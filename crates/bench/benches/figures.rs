@@ -1,0 +1,43 @@
+//! `cargo bench` entry point that regenerates every table and figure in
+//! quick mode (harness = false). The full-resolution run is
+//! `cargo run --release -p windex-bench --bin experiments -- all`.
+
+use windex_bench::experiments::{
+    ablations, fig1, fig7, fig8, fig9, figs34, figs56, summary, table1, whatif,
+};
+use windex_bench::ExpConfig;
+
+fn main() {
+    // Criterion-style filter arguments are ignored; this harness always
+    // regenerates the full figure set in quick mode.
+    let cfg = {
+        let mut c = ExpConfig::quick();
+        c.out_dir = std::path::PathBuf::from("results-quick");
+        c
+    };
+    println!(
+        "regenerating all paper figures (quick mode) into {:?}",
+        cfg.out_dir
+    );
+
+    let mut experiments = vec![table1::table1(), fig1::fig1(&cfg)];
+    let unpart = figs34::unpartitioned_sweep(&cfg);
+    experiments.push(figs34::fig3_from(&unpart));
+    experiments.push(figs34::fig4_from(&unpart));
+    let part = figs56::partitioned_sweep(&cfg);
+    experiments.extend(figs56::figs56_from(&unpart, &part));
+    experiments.push(fig7::fig7(&cfg));
+    experiments.push(fig8::fig8(&cfg));
+    experiments.push(fig9::fig9(&cfg));
+    experiments.extend(ablations::all(&cfg));
+    experiments.push(whatif::whatif_gh200(&cfg));
+    experiments.push(summary::summary(&cfg));
+
+    for exp in experiments {
+        print!("{}", exp.render_text());
+        println!();
+        if let Err(e) = exp.write(&cfg.out_dir) {
+            eprintln!("warning: could not write {}: {e}", exp.id);
+        }
+    }
+}

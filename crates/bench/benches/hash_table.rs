@@ -1,0 +1,51 @@
+//! Criterion micro-bench: multi-value hash table build and probe.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use windex_join::{HashTableConfig, MultiValueHashTable};
+use windex_sim::{Gpu, GpuSpec, Scale};
+use windex_workload::{KeyDistribution, Relation};
+
+fn bench_hash_table(c: &mut Criterion) {
+    let n = 1 << 13;
+    let r = Relation::unique_sorted(1 << 18, KeyDistribution::SparseUniform, 1);
+    let s = Relation::foreign_keys_uniform(&r, n, 2);
+
+    let mut group = c.benchmark_group("multi_value_hash_table");
+    group.throughput(Throughput::Elements(n as u64));
+
+    group.bench_function("build", |b| {
+        b.iter(|| {
+            let mut gpu = Gpu::new(GpuSpec::v100_nvlink2(Scale::PAPER));
+            let mut t = MultiValueHashTable::new(&mut gpu, n, HashTableConfig::default());
+            for (i, &k) in s.keys().iter().enumerate() {
+                t.insert(&mut gpu, k, i as u64);
+            }
+            black_box(t.len())
+        })
+    });
+
+    let mut gpu = Gpu::new(GpuSpec::v100_nvlink2(Scale::PAPER));
+    let mut t = MultiValueHashTable::new(&mut gpu, n, HashTableConfig::default());
+    for (i, &k) in s.keys().iter().enumerate() {
+        t.insert(&mut gpu, k, i as u64);
+    }
+    group.bench_function("probe", |b| {
+        b.iter(|| {
+            let mut matches = 0usize;
+            for &k in s.keys() {
+                matches += t.count(&mut gpu, k);
+            }
+            black_box(matches)
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_hash_table
+}
+criterion_main!(benches);

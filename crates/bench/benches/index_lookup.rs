@@ -1,0 +1,47 @@
+//! Criterion micro-bench: warp-cooperative lookup throughput of each index
+//! structure (simulator-side performance; complements the modeled Q/s of
+//! the figure harness).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use std::hint::black_box;
+use std::rc::Rc;
+use windex_core::strategy::{BuiltIndex, IndexConfigs};
+use windex_index::IndexKind;
+use windex_sim::{Gpu, GpuSpec, MemLocation, Scale, WARP_SIZE};
+use windex_workload::{KeyDistribution, Relation};
+
+fn bench_lookups(c: &mut Criterion) {
+    let n = 1 << 18;
+    let probes = 1 << 10;
+    let r = Relation::unique_sorted(n, KeyDistribution::SparseUniform, 1);
+    let s = Relation::foreign_keys_uniform(&r, probes, 2);
+
+    let mut group = c.benchmark_group("index_lookup_warp");
+    group.throughput(Throughput::Elements(probes as u64));
+    for kind in IndexKind::all() {
+        let mut gpu = Gpu::new(GpuSpec::v100_nvlink2(Scale::PAPER));
+        let col = Rc::new(gpu.alloc_from_vec(MemLocation::Cpu, r.keys().to_vec()));
+        let idx = BuiltIndex::build(&mut gpu, kind, &col, &IndexConfigs::default());
+        group.bench_function(kind.name(), |b| {
+            b.iter_batched(
+                || s.keys().to_vec(),
+                |keys| {
+                    let mut out = [None; WARP_SIZE];
+                    for warp in keys.chunks(WARP_SIZE) {
+                        idx.as_dyn().lookup_warp(&mut gpu, warp, &mut out);
+                        black_box(&out);
+                    }
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_lookups
+}
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Criterion micro-bench: SWWC radix partitioner throughput across fanouts.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use windex_join::{PartitionBits, RadixPartitioner};
+use windex_sim::{Gpu, GpuSpec, MemLocation, Scale};
+use windex_workload::{KeyDistribution, Relation};
+
+fn bench_partition(c: &mut Criterion) {
+    let n = 1 << 14;
+    let r = Relation::unique_sorted(1 << 20, KeyDistribution::Dense, 1);
+    let s = Relation::foreign_keys_uniform(&r, n, 2);
+
+    let mut group = c.benchmark_group("radix_partition");
+    group.throughput(Throughput::Elements(n as u64));
+    for bits in [4u32, 8, 11] {
+        let mut gpu = Gpu::new(GpuSpec::v100_nvlink2(Scale::PAPER));
+        let buf = gpu.alloc_from_vec(MemLocation::Cpu, s.keys().to_vec());
+        let part = RadixPartitioner::new(PartitionBits { shift: 4, bits }, 0);
+        group.bench_function(format!("{}_partitions", 1 << bits), |b| {
+            b.iter(|| {
+                let out = part.partition_stream(&mut gpu, &buf, 0..n);
+                black_box(out.len())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_partition
+}
+criterion_main!(benches);

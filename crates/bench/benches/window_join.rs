@@ -1,0 +1,46 @@
+//! Criterion micro-bench: end-to-end windowed INLJ at several window sizes.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use windex_core::prelude::*;
+
+fn bench_window_join(c: &mut Criterion) {
+    let scale = Scale::PAPER;
+    let r = Relation::unique_sorted(
+        scale.sim_tuples_for_paper_gib(16.0),
+        KeyDistribution::Dense,
+        1,
+    );
+    let s = Relation::foreign_keys_uniform(&r, 1 << 12, 2);
+    let ex = QueryExecutor::new();
+
+    let mut group = c.benchmark_group("windowed_inlj");
+    group.throughput(Throughput::Elements(s.len() as u64));
+    for window_pow in [9usize, 11, 12] {
+        group.bench_function(format!("window_2e{window_pow}"), |b| {
+            b.iter(|| {
+                let mut gpu = Gpu::new(GpuSpec::v100_nvlink2(scale));
+                let report = ex
+                    .run(
+                        &mut gpu,
+                        &r,
+                        &s,
+                        JoinStrategy::WindowedInlj {
+                            index: IndexKind::RadixSpline,
+                            window_tuples: 1 << window_pow,
+                        },
+                    )
+                    .unwrap();
+                black_box(report.result_tuples)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(15);
+    targets = bench_window_join
+}
+criterion_main!(benches);

@@ -1,0 +1,169 @@
+//! ASCII line charts for experiment series.
+//!
+//! The figure harness prints each experiment as an aligned table; this
+//! module adds a compact log-log plot so the *shape* — the cliff at the
+//! TLB range, the crossover, the skew ramp — is visible directly in the
+//! terminal, like the paper's figures.
+
+use crate::output::Experiment;
+use serde_json::Value;
+use std::fmt::Write as _;
+
+/// Plot dimensions.
+const WIDTH: usize = 72;
+const HEIGHT: usize = 18;
+
+/// Series glyphs, assigned to columns in order.
+const GLYPHS: &[char] = &['o', '+', 'x', '*', '#', '@', '%', '&'];
+
+fn log_pos(v: f64, lo: f64, hi: f64, cells: usize) -> usize {
+    if hi <= lo {
+        return 0;
+    }
+    let t = (v.ln() - lo.ln()) / (hi.ln() - lo.ln());
+    ((t * (cells - 1) as f64).round() as isize).clamp(0, cells as isize - 1) as usize
+}
+
+/// Render a log-log chart of an experiment whose first column is a numeric
+/// x axis and whose remaining columns are numeric series. Returns `None`
+/// when the experiment has no plottable data (non-numeric x, a single row,
+/// or no positive values).
+pub fn render_chart(exp: &Experiment) -> Option<String> {
+    let xs: Vec<f64> = exp
+        .rows
+        .iter()
+        .map(|r| r.first().and_then(Value::as_f64))
+        .collect::<Option<Vec<_>>>()?;
+    if xs.len() < 2 || xs.iter().any(|&x| x <= 0.0) {
+        return None;
+    }
+    let n_series = exp.columns.len() - 1;
+    let mut ys: Vec<Vec<Option<f64>>> = vec![Vec::new(); n_series];
+    for row in &exp.rows {
+        for (si, cell) in row[1..].iter().enumerate() {
+            ys[si].push(cell.as_f64().filter(|v| *v > 0.0));
+        }
+    }
+    let flat: Vec<f64> = ys.iter().flatten().flatten().copied().collect();
+    if flat.is_empty() {
+        return None;
+    }
+    let (y_lo, y_hi) = flat
+        .iter()
+        .fold((f64::INFINITY, 0.0f64), |(lo, hi), &v| (lo.min(v), hi.max(v)));
+    let (x_lo, x_hi) = (xs[0], *xs.last()?);
+    if y_hi <= 0.0 || x_hi <= x_lo {
+        return None;
+    }
+    let y_lo = y_lo.min(y_hi / 2.0); // avoid a degenerate flat axis
+
+    let mut grid = vec![vec![' '; WIDTH]; HEIGHT];
+    for (si, series) in ys.iter().enumerate() {
+        let glyph = GLYPHS[si % GLYPHS.len()];
+        for (xi, maybe_y) in series.iter().enumerate() {
+            let Some(y) = maybe_y else { continue };
+            let col = log_pos(xs[xi], x_lo, x_hi, WIDTH);
+            let row = HEIGHT - 1 - log_pos(*y, y_lo, y_hi, HEIGHT);
+            grid[row][col] = glyph;
+        }
+    }
+
+    let mut out = String::new();
+    let _ = writeln!(out, "  {:>9.3} ┤{}", y_hi, grid[0].iter().collect::<String>());
+    for line in &grid[1..HEIGHT - 1] {
+        let _ = writeln!(out, "  {:>9} │{}", "", line.iter().collect::<String>());
+    }
+    let _ = writeln!(
+        out,
+        "  {:>9.3} ┤{}",
+        y_lo,
+        grid[HEIGHT - 1].iter().collect::<String>()
+    );
+    let _ = writeln!(
+        out,
+        "  {:>9} └{}",
+        "",
+        "─".repeat(WIDTH)
+    );
+    let _ = writeln!(
+        out,
+        "  {:>9}  {:<10}{:>x_pad$}",
+        "",
+        format!("{x_lo}"),
+        format!("{x_hi}  (log-log)"),
+        x_pad = WIDTH.saturating_sub(10)
+    );
+    for (si, col) in exp.columns[1..].iter().enumerate() {
+        let _ = writeln!(out, "      {} {}", GLYPHS[si % GLYPHS.len()], col);
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde_json::json;
+
+    fn exp(rows: Vec<Vec<Value>>) -> Experiment {
+        Experiment {
+            id: "t".into(),
+            title: "t".into(),
+            columns: vec!["x".into(), "a".into(), "b".into()],
+            rows,
+            notes: vec![],
+        }
+    }
+
+    #[test]
+    fn renders_two_series() {
+        let e = exp(vec![
+            vec![json!(1.0), json!(10.0), json!(1.0)],
+            vec![json!(10.0), json!(5.0), json!(1.0)],
+            vec![json!(100.0), json!(1.0), json!(1.0)],
+        ]);
+        let chart = render_chart(&e).unwrap();
+        assert!(chart.contains('o'));
+        assert!(chart.contains('+'));
+        assert!(chart.contains("a"));
+        assert!(chart.contains("log-log"));
+    }
+
+    #[test]
+    fn skips_non_numeric_x() {
+        let e = exp(vec![vec![json!("dense"), json!(1.0), json!(2.0)]]);
+        assert!(render_chart(&e).is_none());
+    }
+
+    #[test]
+    fn skips_single_row() {
+        let e = exp(vec![vec![json!(1.0), json!(1.0), json!(2.0)]]);
+        assert!(render_chart(&e).is_none());
+    }
+
+    #[test]
+    fn handles_nulls_in_series() {
+        let e = exp(vec![
+            vec![json!(1.0), json!(10.0), Value::Null],
+            vec![json!(10.0), json!(5.0), Value::Null],
+        ]);
+        let chart = render_chart(&e).unwrap();
+        assert!(chart.contains('o'));
+    }
+
+    #[test]
+    fn cliff_shape_is_visible() {
+        // A series that collapses by 10x must occupy distinct chart rows.
+        // (The second series sits elsewhere: later glyphs overprint
+        // earlier ones at shared positions.)
+        let e = exp(vec![
+            vec![json!(8.0), json!(2.0), json!(4.0)],
+            vec![json!(32.0), json!(2.0), json!(4.0)],
+            vec![json!(64.0), json!(0.2), json!(4.0)],
+        ]);
+        let chart = render_chart(&e).unwrap();
+        let lines: Vec<&str> = chart.lines().collect();
+        let first_o = lines.iter().position(|l| l.contains('o')).unwrap();
+        let last_o = lines.iter().rposition(|l| l.contains('o')).unwrap();
+        assert!(last_o > first_o + 5, "cliff not visible: {chart}");
+    }
+}

@@ -1,0 +1,163 @@
+//! Fig. 8: query throughput under Zipf-skewed lookup keys.
+//!
+//! The lookup keys are Zipf-distributed with exponents 0–1.75 over R =
+//! 100 GiB, window 32 MiB (§5.2.2). INLJ throughput *rises* past exponent
+//! 1.0 because hot traversal paths stay in the on-chip caches. The hash
+//! join — which must *build* on the now heavily-duplicated S — degrades
+//! into long value-block chains; the paper terminated its measurement run
+//! after 10 hours.
+//!
+//! ## Skew extrapolation note
+//!
+//! Chain-walk cost grows *quadratically* in each key's duplicate count, so
+//! the 1024× linear counter scaling understates it. The driver therefore
+//! adds an analytic correction: duplicate counts of hot keys grow ∝ |S|
+//! (count scales by 1024, cost by 1024²), while cold keys (count ≲ 4) only
+//! become more numerous (cost scales linearly, already priced). Runs whose
+//! corrected estimate exceeds [`DNF_SECONDS`] are reported as DNF, mirroring
+//! the paper's terminated run. The model still excludes atomic contention
+//! on the hot chain, which makes real hardware degrade far more.
+
+use super::{make_r, run_point, v100};
+use crate::config::ExpConfig;
+use crate::output::{num, Experiment};
+use serde_json::{json, Value};
+use std::collections::HashMap;
+use windex_core::prelude::*;
+
+/// Threshold beyond which a corrected hash-join estimate is reported DNF.
+pub const DNF_SECONDS: f64 = 60.0;
+
+/// Analytic quadratic correction (seconds) for the hash-join build on a
+/// skewed S, given the simulated duplicate counts.
+pub fn chain_penalty_seconds(s: &Relation, spec: &GpuSpec, max_block: usize) -> f64 {
+    let mut counts: HashMap<u64, u64> = HashMap::new();
+    for &k in s.keys() {
+        *counts.entry(k).or_insert(0) += 1;
+    }
+    // Hot keys: duplicate count scales with |S| (quadratic cost). Cold
+    // keys: count stays O(1) at paper scale; their linear cost is already
+    // priced by the cost model.
+    let hot_sq: f64 = counts
+        .values()
+        .filter(|&&c| c >= 4)
+        .map(|&c| (c as f64) * (c as f64))
+        .sum();
+    let k = spec.scale.factor as f64;
+    let extra_blocks = (k * k - k) * hot_sq / (2.0 * max_block as f64);
+    extra_blocks * spec.cacheline_bytes as f64 / (spec.mem_bandwidth_gbps * 1e9)
+}
+
+/// Run the skew sweep.
+pub fn fig8(cfg: &ExpConfig) -> Experiment {
+    let spec = v100(cfg);
+    let r = make_r(cfg, cfg.fixed_r_gib);
+    let mut columns = vec!["zipf exponent".to_string()];
+    for k in IndexKind::all() {
+        columns.push(format!("Q/s windowed-inlj({k})"));
+    }
+    columns.push("Q/s hash-join".to_string());
+    columns.push("L1 hit rate (RadixSpline)".to_string());
+
+    let mut rows = Vec::new();
+    let mut dnf_seen = false;
+    for z in cfg.zipf_exponents() {
+        let s = Relation::foreign_keys_zipf(&r, cfg.s_tuples, z, 7);
+        let mut row = vec![json!(z)];
+        let mut rs_l1 = 0.0;
+        for index in IndexKind::all() {
+            let report = run_point(
+                &spec,
+                &r,
+                &s,
+                JoinStrategy::WindowedInlj {
+                    index,
+                    window_tuples: cfg.window_tuples,
+                },
+            );
+            if index == IndexKind::RadixSpline {
+                rs_l1 = report.counters.l1_hit_rate();
+            }
+            row.push(num(report.queries_per_second()));
+        }
+        // Hash join with the quadratic build correction.
+        let report = run_point(&spec, &r, &s, JoinStrategy::HashJoin);
+        let penalty = chain_penalty_seconds(&s, &spec, 512);
+        let total = report.time.total_s + penalty;
+        if total > DNF_SECONDS {
+            dnf_seen = true;
+            row.push(Value::Null);
+        } else {
+            row.push(num(1.0 / total));
+        }
+        row.push(num(rs_l1));
+        rows.push(row);
+    }
+    let mut notes = vec![
+        "Expected shape: INLJ throughput increases for exponents above 1.0 \
+         (hot paths cached on-chip); the hash join degrades to long value \
+         chains (§5.2.2)."
+            .into(),
+        "Hash-join estimates include the quadratic chain-walk correction \
+         described in the module docs; contention is not modeled."
+            .into(),
+    ];
+    if dnf_seen {
+        notes.push(format!(
+            "DNF (—): corrected estimate exceeded {DNF_SECONDS} s; the paper \
+             terminated its corresponding run after 10 hours."
+        ));
+    }
+    Experiment {
+        id: "fig8".into(),
+        title: format!(
+            "Query throughput with Zipf-skewed lookup keys (R = {:.0} GiB, window 32 MiB)",
+            cfg.fixed_r_gib
+        ),
+        columns,
+        rows,
+        notes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn penalty_grows_with_skew() {
+        let cfg = ExpConfig::quick();
+        let spec = v100(&cfg);
+        let r = make_r(&cfg, 4.0);
+        let uniform = Relation::foreign_keys_zipf(&r, 1 << 12, 0.0, 1);
+        let skewed = Relation::foreign_keys_zipf(&r, 1 << 12, 1.75, 1);
+        let p_u = chain_penalty_seconds(&uniform, &spec, 512);
+        let p_s = chain_penalty_seconds(&skewed, &spec, 512);
+        assert!(p_s > 100.0 * p_u.max(1e-12), "penalty {p_u} -> {p_s}");
+    }
+
+    #[test]
+    fn skew_helps_the_windowed_inlj() {
+        let mut cfg = ExpConfig::quick();
+        cfg.s_tuples = 1 << 11;
+        cfg.fixed_r_gib = 32.0;
+        let spec = v100(&cfg);
+        let r = make_r(&cfg, cfg.fixed_r_gib);
+        let run = |z: f64| {
+            let s = Relation::foreign_keys_zipf(&r, cfg.s_tuples, z, 7);
+            run_point(
+                &spec,
+                &r,
+                &s,
+                JoinStrategy::WindowedInlj {
+                    index: IndexKind::RadixSpline,
+                    window_tuples: cfg.window_tuples,
+                },
+            )
+            .queries_per_second()
+        };
+        let flat = run(0.0);
+        let hot = run(1.75);
+        assert!(hot > flat, "skewed {hot} <= uniform {flat}");
+    }
+}

@@ -1,0 +1,42 @@
+//! Table 1: overview of interconnect receive bandwidths.
+
+use crate::output::Experiment;
+use serde_json::json;
+use windex_sim::InterconnectSpec;
+
+/// Regenerate Table 1 from the device presets.
+pub fn table1() -> Experiment {
+    let rows = InterconnectSpec::table1()
+        .into_iter()
+        .map(|(gpu, ic)| {
+            vec![
+                json!(gpu),
+                json!(ic.name),
+                json!(format!("{:.0} GB/s", ic.peak_bandwidth_gbps)),
+            ]
+        })
+        .collect();
+    Experiment {
+        id: "table1".into(),
+        title: "Overview of interconnect receive bandwidth".into(),
+        columns: vec!["GPU".into(), "Interconnect".into(), "Bandwidth".into()],
+        rows,
+        notes: vec![
+            "Values are the receive bandwidths listed in Table 1 of the paper.".into(),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_paper_rows() {
+        let t = table1();
+        assert_eq!(t.rows.len(), 5);
+        assert_eq!(t.rows[3][1], "NVLink 2.0");
+        assert_eq!(t.rows[3][2], "75 GB/s");
+        assert_eq!(t.rows[4][2], "450 GB/s");
+    }
+}

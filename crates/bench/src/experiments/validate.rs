@@ -1,0 +1,134 @@
+//! Methodology validation: scale invariance of the reproduction.
+//!
+//! The whole study runs at a reduced scale (default 1024×, DESIGN.md). If
+//! the scaling methodology is sound, re-running the *same paper-scale
+//! point* at different reduction factors must produce (approximately) the
+//! same paper-scale estimates: the cliff must stay at 32 GiB, and Q/s must
+//! agree within a small band. This experiment replays three configurations
+//! at scales 256×–2048×.
+
+use crate::config::ExpConfig;
+use crate::output::{num, Experiment};
+use serde_json::json;
+use windex_core::prelude::*;
+
+fn run_at_scale(
+    scale_factor: u64,
+    paper_gib: f64,
+    paper_s_log2: u32,
+    strategy: JoinStrategy,
+) -> QueryReport {
+    let scale = Scale::new(scale_factor);
+    let spec = GpuSpec::v100_nvlink2(scale);
+    let r = Relation::unique_sorted(
+        scale.sim_tuples_for_paper_gib(paper_gib),
+        KeyDistribution::Dense,
+        42,
+    );
+    let s_tuples = (1usize << paper_s_log2) / scale_factor as usize;
+    let s = Relation::foreign_keys_uniform(&r, s_tuples, 7);
+    let mut gpu = Gpu::new(spec);
+    QueryExecutor::new()
+        .run(&mut gpu, &r, &s, strategy)
+        .expect("query runs")
+}
+
+/// Replay fixed paper-scale points at several reduction factors.
+pub fn validate_scale(cfg: &ExpConfig) -> Experiment {
+    // Paper-scale point: R = 64 GiB (above the cliff), S = 2^26.
+    let paper_gib = 64.0;
+    let scales: &[u64] = if cfg.quick {
+        &[512, 1024, 2048]
+    } else {
+        &[256, 512, 1024, 2048]
+    };
+    let strategies = [
+        (
+            "windowed-inlj(radix-spline)",
+            JoinStrategy::WindowedInlj {
+                index: IndexKind::RadixSpline,
+                // 32 MiB paper window = 2^22 tuples, scaled per factor below.
+                window_tuples: 0, // placeholder, set per scale
+            },
+        ),
+        ("hash-join", JoinStrategy::HashJoin),
+        (
+            "inlj(binary-search)",
+            JoinStrategy::Inlj {
+                index: IndexKind::BinarySearch,
+            },
+        ),
+    ];
+
+    let mut columns = vec!["scale".to_string()];
+    for (name, _) in &strategies {
+        columns.push(format!("Q/s {name}"));
+    }
+    columns.push("tx/lookup inlj(binary-search)".into());
+
+    let mut rows = Vec::new();
+    for &factor in scales {
+        let mut row = vec![json!(format!("1:{factor}"))];
+        let mut bs_tx = 0.0;
+        for (_, st) in &strategies {
+            let st = match st {
+                JoinStrategy::WindowedInlj { index, .. } => JoinStrategy::WindowedInlj {
+                    index: *index,
+                    window_tuples: ((1usize << 22) / factor as usize).max(1),
+                },
+                other => *other,
+            };
+            let rep = run_at_scale(factor, paper_gib, 26, st);
+            if matches!(st, JoinStrategy::Inlj { .. }) {
+                bs_tx = rep.translations_per_lookup();
+            }
+            row.push(num(rep.queries_per_second()));
+        }
+        row.push(num(bs_tx));
+        rows.push(row);
+    }
+
+    Experiment {
+        id: "validate-scale".into(),
+        title: format!(
+            "Scale invariance: the same paper-scale point (R = {paper_gib:.0} GiB, \
+             S = 2^26) at different reduction factors"
+        ),
+        columns,
+        rows,
+        notes: vec![
+            "If the scaling methodology is sound, each column should agree \
+             across rows (the paper-scale estimate must not depend on the \
+             reduction factor). Expect mild drift from log-depth effects \
+             (binary search depth grows with the simulated tuple count) and \
+             the per-lookup thrashing ratio."
+                .into(),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn estimates_agree_across_scales() {
+        let mut cfg = ExpConfig::quick();
+        cfg.quick = true;
+        let exp = validate_scale(&cfg);
+        // Hash-join column must agree tightly (pure streaming, no log terms).
+        let hash: Vec<f64> = exp.rows.iter().map(|r| r[2].as_f64().unwrap()).collect();
+        let (lo, hi) = (
+            hash.iter().cloned().fold(f64::INFINITY, f64::min),
+            hash.iter().cloned().fold(0.0f64, f64::max),
+        );
+        assert!(hi / lo < 1.3, "hash join drifts with scale: {hash:?}");
+        // Windowed INLJ within a 2x band.
+        let inlj: Vec<f64> = exp.rows.iter().map(|r| r[1].as_f64().unwrap()).collect();
+        let (lo, hi) = (
+            inlj.iter().cloned().fold(f64::INFINITY, f64::min),
+            inlj.iter().cloned().fold(0.0f64, f64::max),
+        );
+        assert!(hi / lo < 2.0, "windowed INLJ drifts with scale: {inlj:?}");
+    }
+}

@@ -1,0 +1,275 @@
+//! The query engine: runs a join strategy end-to-end and reports the
+//! paper's metrics.
+//!
+//! Methodology follows §3.2: throughput is reported as queries per second
+//! over the entire query run — including on-the-fly partitioning / hash
+//! build and result materialization, but *not* index construction (the
+//! index is assumed to exist). The memory system is cold at query start.
+
+use crate::strategy::{IndexConfigs, JoinStrategy};
+use windex_join::{HashJoinConfig, PartitionBits};
+use windex_sim::{Counters, Gpu, MemLocation, TimeBreakdown};
+use windex_workload::Relation;
+
+/// Errors from the query engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryError {
+    /// INLJ strategies require the indexed relation to be sorted and
+    /// duplicate-free.
+    IndexedRelationNotSorted,
+    /// The probe relation references keys outside the indexed domain in a
+    /// context that requires foreign-key integrity (currently unused by the
+    /// engine itself; kept for callers that validate workloads).
+    ForeignKeyViolation,
+}
+
+impl std::fmt::Display for QueryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QueryError::IndexedRelationNotSorted => {
+                write!(f, "indexed relation must be sorted and unique")
+            }
+            QueryError::ForeignKeyViolation => write!(f, "probe key outside indexed domain"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+/// Everything measured about one query run.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct QueryReport {
+    /// Strategy label (e.g. `"windowed-inlj(radix-spline, w=4096)"`).
+    pub strategy: String,
+    /// Index kind probed, if any.
+    pub index: Option<windex_index::IndexKind>,
+    /// Indexed-relation tuples (simulated).
+    pub r_tuples: usize,
+    /// Probe-relation tuples (simulated).
+    pub s_tuples: usize,
+    /// Paper-scale size of the indexed relation in GiB.
+    pub paper_r_gib: f64,
+    /// Join selectivity |S| / |R| (§3.2).
+    pub selectivity: f64,
+    /// Materialized result pairs.
+    pub result_tuples: usize,
+    /// Windows processed (0 for non-windowed strategies).
+    pub windows: usize,
+    /// Counter delta of the measured run.
+    pub counters: Counters,
+    /// Cost-model time estimate (paper scale).
+    pub time: TimeBreakdown,
+    /// Paper-scale bytes moved over the interconnect.
+    pub transfer_volume_paper_bytes: u64,
+    /// Auxiliary index footprint in simulated bytes (0 for hash join /
+    /// binary search).
+    pub index_aux_bytes: u64,
+}
+
+impl QueryReport {
+    /// Estimated queries per second — the y-axis of Figs. 3, 5, 7, 8, 9.
+    pub fn queries_per_second(&self) -> f64 {
+        self.time.queries_per_second()
+    }
+
+    /// Address-translation requests per lookup — the y-axis of Fig. 4.
+    pub fn translations_per_lookup(&self) -> f64 {
+        self.counters.translations_per_lookup()
+    }
+}
+
+/// Configurable query runner.
+#[derive(Debug, Clone)]
+pub struct QueryExecutor {
+    /// Concurrent kernel execution (§5.1): overlap interconnect-bound and
+    /// GPU-bound time on two streams.
+    pub overlap: bool,
+    /// Where results are materialized (paper default: GPU memory, §3.2).
+    pub result_location: MemLocation,
+    /// Index build parameters.
+    pub index_configs: IndexConfigs,
+    /// Partition bit range; `None` applies the §4.2 selection rule with at
+    /// most 11 bits (2048 partitions, as in §4.3.1).
+    pub partition_bits: Option<PartitionBits>,
+    /// Hash-join parameters.
+    pub hash_join: HashJoinConfig,
+    /// Flush TLB and caches before the measured run (paper methodology:
+    /// each query is measured cold). Disable to study warm repetitions.
+    pub cold_start: bool,
+}
+
+impl Default for QueryExecutor {
+    fn default() -> Self {
+        QueryExecutor {
+            overlap: true,
+            result_location: MemLocation::Gpu,
+            index_configs: IndexConfigs::default(),
+            partition_bits: None,
+            hash_join: HashJoinConfig::default(),
+            cold_start: true,
+        }
+    }
+}
+
+impl QueryExecutor {
+    /// Create an executor with paper-default settings.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Resolve the partition bit range for a given indexed relation.
+    pub fn resolve_bits(&self, gpu: &Gpu, r: &Relation) -> PartitionBits {
+        self.partition_bits.unwrap_or_else(|| {
+            let domain = r.max_key().unwrap_or(0) - r.min_key().unwrap_or(0);
+            PartitionBits::select(domain, r.len() as u64, gpu.spec(), 11)
+        })
+    }
+
+    /// Run one query: `r` is the (indexed) build side, `s` the probe side.
+    /// Returns the full measurement report.
+    ///
+    /// Each call stages the relations and builds the index afresh — the
+    /// right semantics for independent sweep points. For repeated queries
+    /// over the same data (or warm-cache studies) use
+    /// [`QuerySession`](crate::session::QuerySession), to which this method
+    /// delegates.
+    pub fn run(
+        &self,
+        gpu: &mut Gpu,
+        r: &Relation,
+        s: &Relation,
+        strategy: JoinStrategy,
+    ) -> Result<QueryReport, QueryError> {
+        let mut session =
+            crate::session::QuerySession::new(gpu, self.clone(), r.clone(), s.clone())?;
+        session.run(gpu, strategy)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use windex_index::IndexKind;
+    use windex_sim::{GpuSpec, Scale};
+    use windex_workload::KeyDistribution;
+
+    fn gpu() -> Gpu {
+        Gpu::new(GpuSpec::v100_nvlink2(Scale::PAPER))
+    }
+
+    fn small_workload() -> (Relation, Relation) {
+        let r = Relation::unique_sorted(1 << 14, KeyDistribution::SparseUniform, 1);
+        let s = Relation::foreign_keys_uniform(&r, 1 << 10, 2);
+        (r, s)
+    }
+
+    #[test]
+    fn all_strategies_agree_on_result_count() {
+        let (r, s) = small_workload();
+        let ex = QueryExecutor::new();
+        let strategies = [
+            JoinStrategy::HashJoin,
+            JoinStrategy::Inlj {
+                index: IndexKind::BinarySearch,
+            },
+            JoinStrategy::PartitionedInlj {
+                index: IndexKind::BPlusTree,
+            },
+            JoinStrategy::WindowedInlj {
+                index: IndexKind::Harmonia,
+                window_tuples: 256,
+            },
+            JoinStrategy::WindowedInlj {
+                index: IndexKind::RadixSpline,
+                window_tuples: 256,
+            },
+        ];
+        for st in strategies {
+            let mut g = gpu();
+            let report = ex.run(&mut g, &r, &s, st).unwrap();
+            // Every FK matches exactly once.
+            assert_eq!(report.result_tuples, s.len(), "{st}");
+            assert!(report.time.total_s > 0.0, "{st}");
+            assert!(report.queries_per_second().is_finite(), "{st}");
+        }
+    }
+
+    #[test]
+    fn inlj_requires_sorted_relation() {
+        let r = Relation::from_keys(vec![5, 3, 1], false);
+        let s = Relation::from_keys(vec![3], false);
+        let ex = QueryExecutor::new();
+        let mut g = gpu();
+        let err = ex
+            .run(
+                &mut g,
+                &r,
+                &s,
+                JoinStrategy::Inlj {
+                    index: IndexKind::BinarySearch,
+                },
+            )
+            .unwrap_err();
+        assert_eq!(err, QueryError::IndexedRelationNotSorted);
+        // The hash join does not need sorted inputs.
+        let report = ex.run(&mut g, &r, &s, JoinStrategy::HashJoin).unwrap();
+        assert_eq!(report.result_tuples, 1);
+    }
+
+    #[test]
+    fn report_selectivity_and_scale() {
+        let (r, s) = small_workload();
+        let ex = QueryExecutor::new();
+        let mut g = gpu();
+        let report = ex
+            .run(
+                &mut g,
+                &r,
+                &s,
+                JoinStrategy::Inlj {
+                    index: IndexKind::RadixSpline,
+                },
+            )
+            .unwrap();
+        assert!((report.selectivity - 1.0 / 16.0).abs() < 1e-12);
+        // 2^14 tuples at scale 1024 = 2^14 · 8 · 1024 B = 0.125 GiB.
+        assert!((report.paper_r_gib - 0.125).abs() < 1e-9);
+        assert!(report.index_aux_bytes > 0);
+    }
+
+    #[test]
+    fn windowed_counts_windows() {
+        let (r, s) = small_workload();
+        let ex = QueryExecutor::new();
+        let mut g = gpu();
+        let report = ex
+            .run(
+                &mut g,
+                &r,
+                &s,
+                JoinStrategy::WindowedInlj {
+                    index: IndexKind::BinarySearch,
+                    window_tuples: 128,
+                },
+            )
+            .unwrap();
+        assert_eq!(report.windows, (1 << 10) / 128);
+    }
+
+    #[test]
+    fn overlap_reduces_total_time() {
+        let (r, s) = small_workload();
+        let mut serial = QueryExecutor::new();
+        serial.overlap = false;
+        let overlapped = QueryExecutor::new();
+        let st = JoinStrategy::WindowedInlj {
+            index: IndexKind::RadixSpline,
+            window_tuples: 256,
+        };
+        let mut g1 = gpu();
+        let t_serial = serial.run(&mut g1, &r, &s, st).unwrap().time.total_s;
+        let mut g2 = gpu();
+        let t_overlap = overlapped.run(&mut g2, &r, &s, st).unwrap().time.total_s;
+        assert!(t_overlap <= t_serial);
+    }
+}

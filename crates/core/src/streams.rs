@@ -1,0 +1,243 @@
+//! Push-based streaming windowed join (§5.1's stream-processing extension).
+//!
+//! The batch operator in [`window`](crate::window) pulls tuples from a
+//! relation it can address; this operator inverts control: an upstream
+//! operator *pushes* probe batches as they are produced, and the join emits
+//! matches as windows close — "closing the window occurs either when the
+//! window reaches its capacity, or no more tuples are available on the
+//! probe-side of the join" (§5.1). Only one window of state is ever held.
+
+use crate::window::{WindowConfig, WindowStats};
+use windex_index::OutOfCoreIndex;
+use windex_join::{inlj_pairs, RadixPartitioner, ResultSink};
+use windex_sim::{Buffer, Gpu, MemLocation};
+
+/// A stateful windowed-INLJ operator fed by pushed probe batches.
+///
+/// ```
+/// use windex_core::prelude::*;
+/// use windex_core::streams::StreamingWindowJoin;
+/// use windex_core::strategy::{BuiltIndex, IndexConfigs};
+/// use windex_join::ResultSink;
+/// use std::rc::Rc;
+///
+/// let mut gpu = Gpu::new(GpuSpec::v100_nvlink2(Scale::PAPER));
+/// let r = Relation::unique_sorted(1 << 14, KeyDistribution::Dense, 1);
+/// let col = Rc::new(gpu.alloc_from_vec(MemLocation::Cpu, r.keys().to_vec()));
+/// let idx = BuiltIndex::build(&mut gpu, IndexKind::RadixSpline, &col, &IndexConfigs::default());
+/// let bits = QueryExecutor::new().resolve_bits(&gpu, &r);
+///
+/// let cfg = WindowConfig { window_tuples: 256, bits, min_key: 0 };
+/// let mut op = StreamingWindowJoin::new(&mut gpu, cfg);
+/// let mut sink = ResultSink::with_capacity(&mut gpu, 1 << 10, MemLocation::Gpu);
+///
+/// // Upstream pushes batches of (key, rid) tuples as they are produced.
+/// op.push(&mut gpu, idx.as_dyn(), &[(0, 100), (2, 101), (7, 102)], &mut sink);
+/// let stats = op.finish(&mut gpu, idx.as_dyn(), &mut sink);
+/// assert_eq!(stats.matches, 3);
+/// ```
+#[derive(Debug)]
+pub struct StreamingWindowJoin {
+    config: WindowConfig,
+    /// CPU-side staging for the open window's keys (the upstream operator
+    /// materializes its output batch in CPU memory; filling it is the
+    /// upstream's cost).
+    staging: Buffer<u64>,
+    /// Original rids of the staged keys, parallel to `staging`.
+    rids: Vec<u64>,
+    fill: usize,
+    windows: usize,
+    matches: usize,
+    finished: bool,
+}
+
+impl StreamingWindowJoin {
+    /// Create the operator with one window of CPU staging.
+    pub fn new(gpu: &mut Gpu, config: WindowConfig) -> Self {
+        assert!(config.window_tuples > 0);
+        StreamingWindowJoin {
+            staging: gpu.alloc(MemLocation::Cpu, config.window_tuples),
+            rids: Vec::with_capacity(config.window_tuples),
+            config,
+            fill: 0,
+            windows: 0,
+            matches: 0,
+            finished: false,
+        }
+    }
+
+    /// Tuples currently buffered in the open window.
+    pub fn pending(&self) -> usize {
+        self.fill
+    }
+
+    /// Push a batch of `(key, rid)` probe tuples. Every full window is
+    /// partitioned and joined immediately; matches land in `sink` as
+    /// `(rid, index position)`.
+    pub fn push(
+        &mut self,
+        gpu: &mut Gpu,
+        index: &dyn OutOfCoreIndex,
+        batch: &[(u64, u64)],
+        sink: &mut ResultSink,
+    ) {
+        assert!(!self.finished, "operator already finished");
+        for &(key, rid) in batch {
+            self.staging.host_mut()[self.fill] = key;
+            self.rids.push(rid);
+            self.fill += 1;
+            if self.fill == self.config.window_tuples {
+                self.flush(gpu, index, sink);
+            }
+        }
+    }
+
+    /// Signal end-of-stream (§5.1: the outer loop ends the input stream):
+    /// joins the final partial window and returns the totals. The operator
+    /// can be reused afterwards via [`reset`](Self::reset).
+    pub fn finish(
+        &mut self,
+        gpu: &mut Gpu,
+        index: &dyn OutOfCoreIndex,
+        sink: &mut ResultSink,
+    ) -> WindowStats {
+        if self.fill > 0 {
+            self.flush(gpu, index, sink);
+        }
+        self.finished = true;
+        WindowStats {
+            windows: self.windows,
+            matches: self.matches,
+        }
+    }
+
+    /// Clear all state for a new stream.
+    pub fn reset(&mut self) {
+        self.fill = 0;
+        self.rids.clear();
+        self.windows = 0;
+        self.matches = 0;
+        self.finished = false;
+    }
+
+    fn flush(&mut self, gpu: &mut Gpu, index: &dyn OutOfCoreIndex, sink: &mut ResultSink) {
+        let partitioner = RadixPartitioner::new(self.config.bits, self.config.min_key);
+        let mut window = partitioner.partition_stream(gpu, &self.staging, 0..self.fill);
+        // The partitioner labeled pairs with staging positions; relabel to
+        // the caller's rids. On the device this relabeling is fused into
+        // the scatter kernel (the rid column is scattered alongside the
+        // key), so it costs no extra traffic.
+        for i in 0..window.len() {
+            let staged = window.pairs.host()[i * 2 + 1] as usize;
+            window.pairs.host_mut()[i * 2 + 1] = self.rids[staged];
+        }
+        self.matches += inlj_pairs(gpu, index, &window.pairs, 0..window.len(), sink);
+        self.windows += 1;
+        self.fill = 0;
+        self.rids.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::{BuiltIndex, IndexConfigs};
+    use crate::window::windowed_inlj;
+    use std::rc::Rc;
+    use windex_index::IndexKind;
+    use windex_join::PartitionBits;
+    use windex_sim::{GpuSpec, Scale};
+    use windex_workload::{KeyDistribution, Relation};
+
+    fn setup(
+        n_r: usize,
+    ) -> (Gpu, BuiltIndex, Relation) {
+        let mut g = Gpu::new(GpuSpec::v100_nvlink2(Scale::PAPER));
+        let r = Relation::unique_sorted(n_r, KeyDistribution::SparseUniform, 3);
+        let col = Rc::new(g.alloc_from_vec(MemLocation::Cpu, r.keys().to_vec()));
+        let idx = BuiltIndex::build(&mut g, IndexKind::Harmonia, &col, &IndexConfigs::default());
+        (g, idx, r)
+    }
+
+    fn config(window: usize) -> WindowConfig {
+        WindowConfig {
+            window_tuples: window,
+            bits: PartitionBits { shift: 4, bits: 6 },
+            min_key: 0,
+        }
+    }
+
+    #[test]
+    fn streaming_equals_batch() {
+        let (mut g, idx, r) = setup(20_000);
+        let s = Relation::foreign_keys_uniform(&r, 3000, 4);
+
+        // Batch reference.
+        let s_col = g.alloc_from_vec(MemLocation::Cpu, s.keys().to_vec());
+        let mut batch_sink = ResultSink::with_capacity(&mut g, 3000, MemLocation::Gpu);
+        let batch = windowed_inlj(&mut g, idx.as_dyn(), &s_col, 0..3000, config(256), &mut batch_sink);
+
+        // Streaming: pushed in odd-sized chunks.
+        let mut op = StreamingWindowJoin::new(&mut g, config(256));
+        let mut stream_sink = ResultSink::with_capacity(&mut g, 3000, MemLocation::Gpu);
+        let tuples: Vec<(u64, u64)> = s
+            .keys()
+            .iter()
+            .enumerate()
+            .map(|(i, &k)| (k, i as u64))
+            .collect();
+        for chunk in tuples.chunks(177) {
+            op.push(&mut g, idx.as_dyn(), chunk, &mut stream_sink);
+        }
+        let stats = op.finish(&mut g, idx.as_dyn(), &mut stream_sink);
+
+        assert_eq!(stats.matches, batch.matches);
+        assert_eq!(stats.windows, batch.windows);
+        let mut a = batch_sink.host_pairs();
+        let mut b = stream_sink.host_pairs();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn partial_window_flushes_on_finish() {
+        let (mut g, idx, r) = setup(1000);
+        let mut op = StreamingWindowJoin::new(&mut g, config(100));
+        let mut sink = ResultSink::with_capacity(&mut g, 10, MemLocation::Gpu);
+        let batch: Vec<(u64, u64)> = r.keys()[..7].iter().map(|&k| (k, 900 + k)).collect();
+        op.push(&mut g, idx.as_dyn(), &batch, &mut sink);
+        assert_eq!(op.pending(), 7);
+        assert_eq!(sink.len(), 0, "window not yet closed");
+        let stats = op.finish(&mut g, idx.as_dyn(), &mut sink);
+        assert_eq!(stats.windows, 1);
+        assert_eq!(stats.matches, 7);
+        // Original rids preserved.
+        for (rid, pos) in sink.host_pairs() {
+            assert_eq!(rid, 900 + r.keys()[pos as usize]);
+        }
+    }
+
+    #[test]
+    fn reset_allows_reuse() {
+        let (mut g, idx, r) = setup(1000);
+        let mut op = StreamingWindowJoin::new(&mut g, config(4));
+        let mut sink = ResultSink::with_capacity(&mut g, 100, MemLocation::Gpu);
+        op.push(&mut g, idx.as_dyn(), &[(r.keys()[0], 0)], &mut sink);
+        op.finish(&mut g, idx.as_dyn(), &mut sink);
+        op.reset();
+        op.push(&mut g, idx.as_dyn(), &[(r.keys()[1], 1)], &mut sink);
+        let stats = op.finish(&mut g, idx.as_dyn(), &mut sink);
+        assert_eq!(stats.matches, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "finished")]
+    fn push_after_finish_panics() {
+        let (mut g, idx, _r) = setup(100);
+        let mut op = StreamingWindowJoin::new(&mut g, config(4));
+        let mut sink = ResultSink::with_capacity(&mut g, 10, MemLocation::Gpu);
+        op.finish(&mut g, idx.as_dyn(), &mut sink);
+        op.push(&mut g, idx.as_dyn(), &[(1, 1)], &mut sink);
+    }
+}

@@ -1,0 +1,35 @@
+//! # windex-index — out-of-core GPU index structures
+//!
+//! The four index structures the paper evaluates over a fast interconnect
+//! (§3.1): plain binary search, a standard B+tree with 4 KiB nodes,
+//! Harmonia (a GPU-optimized B+tree with cooperative sub-warp traversal),
+//! and the RadixSpline learned index. All structures live in CPU memory and
+//! answer warp-cooperative point lookups whose every memory access flows
+//! through the [`windex_sim`] GPU model.
+//!
+//! ```
+//! use std::rc::Rc;
+//! use windex_index::{OutOfCoreIndex, RadixSpline, RadixSplineConfig};
+//! use windex_sim::{Gpu, GpuSpec, MemLocation, Scale};
+//!
+//! let mut gpu = Gpu::new(GpuSpec::v100_nvlink2(Scale::PAPER));
+//! let keys: Vec<u64> = (0..10_000u64).map(|i| i * 3).collect();
+//! let col = Rc::new(gpu.alloc_from_vec(MemLocation::Cpu, keys));
+//! let rs = RadixSpline::build(&mut gpu, col, RadixSplineConfig::default());
+//! assert_eq!(rs.lookup(&mut gpu, 300), Some(100));
+//! assert_eq!(rs.lookup(&mut gpu, 301), None);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod binary_search;
+pub mod btree;
+pub mod harmonia;
+pub mod radix_spline;
+pub mod traits;
+
+pub use binary_search::BinarySearchIndex;
+pub use btree::{BPlusTree, BPlusTreeConfig, IndexError};
+pub use harmonia::{Harmonia, HarmoniaConfig};
+pub use radix_spline::{RadixSpline, RadixSplineConfig};
+pub use traits::{IndexKind, OutOfCoreIndex};

@@ -1,0 +1,35 @@
+//! # windex-join — GPU join operators over the simulated memory system
+//!
+//! The join machinery of the reproduction:
+//!
+//! - [`MultiValueHashTable`] / [`hash_join()`] — the paper's baseline: a
+//!   WarpCore-style multi-value hash table in GPU memory, built on the
+//!   smaller relation on the fly and probed by a full scan of the larger
+//!   relation (§3.2);
+//! - [`inlj_stream`] / [`inlj_pairs`] — the textbook index-nested loop join
+//!   dispatching one thread per probe tuple (§3.3.1);
+//! - [`RadixPartitioner`] — software-write-combining radix partitioner with
+//!   a linear allocator (§4.3.1), with the §4.2 bit-range selection in
+//!   [`PartitionBits`];
+//! - [`index_range_scan`] / [`full_scan_filter`] — the Fig. 1 access-path
+//!   pair: stream only a predicate's contiguous key range vs. scan it all;
+//! - [`ResultSink`] — GPU-memory result materialization (with a CPU spill
+//!   mode).
+
+#![warn(missing_docs)]
+
+pub mod hash_join;
+pub mod hash_table;
+pub mod inlj;
+pub mod partition_bits;
+pub mod radix_partition;
+pub mod range_scan;
+pub mod sink;
+
+pub use hash_join::{hash_join, HashJoinConfig, HashJoinStats};
+pub use hash_table::{hash64, HashTableConfig, MultiValueHashTable};
+pub use inlj::{inlj_pairs, inlj_stream};
+pub use partition_bits::PartitionBits;
+pub use radix_partition::{Partitioned, RadixPartitioner};
+pub use range_scan::{full_scan_filter, index_range_scan, RangeScanStats};
+pub use sink::ResultSink;

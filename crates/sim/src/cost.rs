@@ -1,0 +1,213 @@
+//! Analytic cost model: converts counter deltas into estimated wall time.
+//!
+//! The trace-driven engine measures *what* crossed each boundary; this module
+//! prices it. All linear counters are first scaled back up to paper scale
+//! (see [`Scale`](crate::scale::Scale)), so reported times and Q/s are
+//! paper-scale estimates.
+//!
+//! Components:
+//!
+//! - **streamed transfer** — sequential interconnect reads/writes at the
+//!   effective link bandwidth;
+//! - **random transfer** — cacheline-granularity data-dependent reads,
+//!   derated by the link's fine-grained-read efficiency (§2.1);
+//! - **translation** — address-translation requests at ~3 µs each (§3.3.2),
+//!   amortized over the platform's in-flight translation limit (misses from
+//!   many stalled warps overlap, so translations are throughput-limited);
+//! - **GPU memory** — device-memory traffic at HBM bandwidth;
+//! - **compute** — warp instructions at the device's issue rate;
+//! - **launch** — fixed per-kernel overhead. Kernel-launch counts are *not*
+//!   scaled: the experiment drivers launch the same number of kernels the
+//!   paper's runs would (window counts are size-ratio-preserved).
+//!
+//! With *concurrent kernel execution* (§5.1) the interconnect-bound side and
+//! the GPU-bound side overlap on two CUDA streams, so the total is their
+//! maximum; without it the phases serialize.
+
+use crate::counters::Counters;
+use crate::spec::GpuSpec;
+use serde::Serialize;
+
+/// Per-component time estimate, in seconds (paper scale).
+#[derive(Debug, Clone, Copy, Default, Serialize)]
+pub struct TimeBreakdown {
+    /// Sequential interconnect transfers (scans, probe streams, spills).
+    pub streamed_s: f64,
+    /// Data-dependent cacheline fetches over the interconnect.
+    pub random_s: f64,
+    /// Address-translation service time (GPU TLB misses).
+    pub translation_s: f64,
+    /// GPU device-memory traffic.
+    pub gpu_mem_s: f64,
+    /// Compute issue time.
+    pub compute_s: f64,
+    /// Kernel launch overhead.
+    pub launch_s: f64,
+    /// Total estimated time.
+    pub total_s: f64,
+}
+
+impl TimeBreakdown {
+    /// Queries per second implied by the total (`inf` for zero time).
+    pub fn queries_per_second(&self) -> f64 {
+        1.0 / self.total_s
+    }
+
+    /// The interconnect-bound component (what a transfer stream occupies).
+    pub fn interconnect_side_s(&self) -> f64 {
+        self.streamed_s + self.random_s + self.translation_s
+    }
+
+    /// The GPU-bound component (what a compute stream occupies).
+    pub fn gpu_side_s(&self) -> f64 {
+        self.gpu_mem_s + self.compute_s
+    }
+}
+
+/// Prices counter deltas for a particular device.
+#[derive(Debug, Clone)]
+pub struct CostModel {
+    spec: GpuSpec,
+}
+
+impl CostModel {
+    /// Build a cost model for `spec`.
+    pub fn new(spec: &GpuSpec) -> Self {
+        CostModel { spec: spec.clone() }
+    }
+
+    /// Estimate the wall time of the events in `delta`. `overlap` enables
+    /// the concurrent-kernel two-stream model of §5.1.
+    pub fn estimate(&self, delta: &Counters, overlap: bool) -> TimeBreakdown {
+        let s = &self.spec;
+        let ic = &s.interconnect;
+        let scale = s.scale.factor as f64;
+
+        let eff_bw = ic.effective_bandwidth_gbps * 1e9;
+        let rand_bw = eff_bw * ic.fine_grained_efficiency;
+
+        let streamed_s =
+            (delta.ic_bytes_streamed + delta.ic_bytes_written) as f64 * scale / eff_bw;
+        let random_s = delta.ic_bytes_random as f64 * scale / rand_bw;
+        // Page-sweep misses count pages × phases (already paper-scale:
+        // pages are not shrunk per tuple); thrashing re-misses count
+        // lookups (scaled).
+        let thrash_misses = (delta.tlb_misses - delta.tlb_sweep_misses) as f64;
+        let sweep_misses = delta.tlb_sweep_misses as f64;
+        let per_miss_s =
+            ic.translation_latency_ns * 1e-9 / ic.max_inflight_translations as f64;
+        let translation_s = (thrash_misses * scale + sweep_misses) * per_miss_s;
+        let gpu_mem_s = (delta.gpu_bytes_read + delta.gpu_bytes_written) as f64 * scale
+            / (s.mem_bandwidth_gbps * 1e9);
+        // Issue rate: each SM retires roughly two warp-wide instructions per
+        // cycle on the modeled architectures.
+        let issue_rate = s.sm_count as f64 * s.clock_ghz * 1e9 * 2.0;
+        let compute_s = delta.compute_ops as f64 * scale / issue_rate;
+        // Launch counts are scale-invariant (see module docs).
+        let launch_s = delta.kernel_launches as f64 * s.kernel_launch_ns * 1e-9;
+
+        let mut bd = TimeBreakdown {
+            streamed_s,
+            random_s,
+            translation_s,
+            gpu_mem_s,
+            compute_s,
+            launch_s,
+            total_s: 0.0,
+        };
+        let ic_side = bd.interconnect_side_s();
+        let gpu_side = bd.gpu_side_s();
+        bd.total_s = launch_s + if overlap { ic_side.max(gpu_side) } else { ic_side + gpu_side };
+        bd
+    }
+
+    /// Paper-scale bytes moved over the interconnect in `delta` — the
+    /// transfer volume the paper's Fig. 1 and §6 discuss.
+    pub fn transfer_volume_bytes(&self, delta: &Counters) -> u64 {
+        self.spec.scale.paper_bytes(delta.ic_bytes_total())
+    }
+
+    /// The device spec this model prices for.
+    pub fn spec(&self) -> &GpuSpec {
+        &self.spec
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scale::Scale;
+
+    fn model() -> CostModel {
+        CostModel::new(&GpuSpec::v100_nvlink2(Scale::PAPER))
+    }
+
+    #[test]
+    fn streamed_scan_priced_at_effective_bandwidth() {
+        let m = model();
+        // 1 simulated MiB = 1 paper GiB streamed.
+        let d = Counters {
+            ic_bytes_streamed: 1 << 20,
+            ..Counters::default()
+        };
+        let t = m.estimate(&d, false);
+        let expect = (1u64 << 30) as f64 / (63.0 * 1e9);
+        assert!((t.streamed_s - expect).abs() / expect < 1e-9);
+        assert!((t.total_s - expect).abs() / expect < 1e-9);
+    }
+
+    #[test]
+    fn random_reads_are_derated() {
+        let m = model();
+        let d = Counters {
+            ic_bytes_random: 1 << 20,
+            ..Counters::default()
+        };
+        let streamed = Counters {
+            ic_bytes_streamed: 1 << 20,
+            ..Counters::default()
+        };
+        let tr = m.estimate(&d, false).total_s;
+        let ts = m.estimate(&streamed, false).total_s;
+        assert!(tr > ts, "random bytes must cost more than streamed bytes");
+    }
+
+    #[test]
+    fn translations_dominate_when_thrashing() {
+        let m = model();
+        // One translation per lookup for 2^16 simulated lookups ≈ paper's
+        // 2^26 lookups: 2^26 × 3 µs / 24 in flight ≈ 8.4 s.
+        let d = Counters {
+            tlb_misses: 1 << 16,
+            ..Counters::default()
+        };
+        let t = m.estimate(&d, false);
+        assert!(t.translation_s > 6.0 && t.translation_s < 12.0);
+    }
+
+    #[test]
+    fn overlap_takes_max_of_sides() {
+        let m = model();
+        let d = Counters {
+            ic_bytes_streamed: 1 << 20,
+            gpu_bytes_read: 1 << 20,
+            ..Counters::default()
+        };
+        let serial = m.estimate(&d, false);
+        let overlapped = m.estimate(&d, true);
+        assert!(overlapped.total_s < serial.total_s);
+        let expected = serial.streamed_s.max(serial.gpu_mem_s);
+        assert!((overlapped.total_s - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn transfer_volume_is_paper_scaled() {
+        let m = model();
+        let d = Counters {
+            ic_bytes_streamed: 100,
+            ic_bytes_random: 28,
+            ..Counters::default()
+        };
+        assert_eq!(m.transfer_volume_bytes(&d), 128 * 1024);
+    }
+}

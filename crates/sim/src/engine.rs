@@ -1,0 +1,442 @@
+//! The GPU engine: routes every device-side memory access through the
+//! TLB/cache models and maintains the performance counters.
+//!
+//! The model is trace-driven and deterministic: data structures issue their
+//! real access sequences, and the engine decides — line by line — whether an
+//! access hits in L1/L2, whether a CPU-memory line needs an address
+//! translation, and what crosses the interconnect. Timing is *not* simulated
+//! here; the [`CostModel`](crate::cost::CostModel) converts counter deltas
+//! into time estimates afterwards.
+//!
+//! Access path for a CPU-memory (out-of-core) load, mirroring §2.1/§3.3.2 of
+//! the paper:
+//!
+//! 1. L1 lookup — hit: done (remote lines are cached on-chip on the paper's
+//!    coherent NVLink platform).
+//! 2. L2 lookup — hit: done.
+//! 3. GPU TLB lookup for the page — miss: one address-translation request is
+//!    sent to the CPU's IOMMU (~3 µs, the effect the paper studies).
+//! 4. The cacheline is fetched across the interconnect.
+//!
+//! GPU-memory loads take the same cache path but end in device memory and
+//! never involve the remote TLB, which is why the hash join's GPU-resident
+//! hash table is immune to the TLB cliff.
+
+use crate::cache::Cache;
+use crate::counters::Counters;
+use crate::mem::{Buffer, MemLocation};
+use crate::spec::GpuSpec;
+use crate::tlb::Tlb;
+use crate::trace::{HitLevel, Trace, TraceEvent};
+use std::collections::HashMap;
+
+/// Re-miss distance (in line accesses) separating *thrashing* from
+/// *periodic sweep* misses. A page re-missed within this window was evicted
+/// by concurrently running lookups (a lookup-rate event, scaled by the
+/// reproduction factor); a page re-missed after a longer interval is a
+/// periodic revisit — e.g. the next tumbling window sweeping the same pages
+/// — whose count is scale-invariant (pages × phases).
+const THRASH_DISTANCE: u64 = 2048;
+
+/// The simulated GPU. Owns the memory-system state and allocates buffers in
+/// a shared virtual address space.
+#[derive(Debug)]
+pub struct Gpu {
+    spec: GpuSpec,
+    tlb: Tlb,
+    l1: Cache,
+    l2: Cache,
+    counters: Counters,
+    next_addr: u64,
+    line_mask: u64,
+    line_shift: u32,
+    page_shift: u32,
+    /// Line-access clock for re-miss distance measurement.
+    access_clock: u64,
+    /// Per-page stamp of the last miss (distinguishes thrashing re-misses
+    /// from compulsory / periodic-sweep misses).
+    missed_pages: HashMap<u64, u64>,
+    /// Optional access-trace recorder.
+    trace: Option<Trace>,
+}
+
+impl Gpu {
+    /// Create a GPU from a device spec with an empty memory system.
+    pub fn new(spec: GpuSpec) -> Self {
+        assert!(spec.cacheline_bytes.is_power_of_two());
+        assert!(spec.page_bytes.is_power_of_two());
+        assert!(
+            spec.page_bytes >= spec.cacheline_bytes,
+            "page must be at least one cacheline"
+        );
+        let tlb = Tlb::new(spec.tlb_entries, spec.tlb_assoc, spec.page_bytes);
+        let l1 = Cache::new(spec.l1_bytes, spec.cacheline_bytes, spec.l1_assoc);
+        let l2 = Cache::new(spec.l2_bytes, spec.cacheline_bytes, spec.l2_assoc);
+        let line_mask = spec.cacheline_bytes - 1;
+        let line_shift = spec.cacheline_bytes.trailing_zeros();
+        let page_shift = spec.page_bytes.trailing_zeros();
+        let first_addr = spec.page_bytes;
+        Gpu {
+            spec,
+            tlb,
+            l1,
+            l2,
+            counters: Counters::default(),
+            // Reserve the zero page so no valid buffer starts at address 0.
+            next_addr: first_addr,
+            line_mask,
+            line_shift,
+            page_shift,
+            access_clock: 0,
+            missed_pages: HashMap::new(),
+            trace: None,
+        }
+    }
+
+    /// Start recording memory-system events (bounded at `capacity`).
+    /// Replaces any previous recording.
+    pub fn start_trace(&mut self, capacity: usize) {
+        self.trace = Some(Trace::with_capacity(capacity));
+    }
+
+    /// Stop recording and return the trace (empty if never started).
+    pub fn stop_trace(&mut self) -> Trace {
+        self.trace.take().unwrap_or_default()
+    }
+
+    /// Record one TLB miss, classifying it as a page-sweep event
+    /// (compulsory first touch, or periodic revisit after more than
+    /// [`THRASH_DISTANCE`] line accesses) or a thrashing re-miss. The split
+    /// matters for the cost model: sweep misses are page-count events
+    /// (already at paper scale), thrashing re-misses are lookup-rate events
+    /// (scaled back up by the reproduction factor).
+    #[inline]
+    fn record_tlb_miss(&mut self, page_id: u64) {
+        self.counters.tlb_misses += 1;
+        let now = self.access_clock;
+        match self.missed_pages.insert(page_id, now) {
+            None => self.counters.tlb_sweep_misses += 1,
+            Some(last) if now - last > THRASH_DISTANCE => {
+                self.counters.tlb_sweep_misses += 1
+            }
+            Some(_) => {}
+        }
+    }
+
+    /// The device spec.
+    pub fn spec(&self) -> &GpuSpec {
+        &self.spec
+    }
+
+    /// Current cumulative counters.
+    pub fn counters(&self) -> Counters {
+        self.counters
+    }
+
+    /// Allocate a zero-initialized buffer of `len` elements at `loc`.
+    pub fn alloc<T: Copy + Default>(&mut self, loc: MemLocation, len: usize) -> Buffer<T> {
+        self.alloc_from_vec(loc, vec![T::default(); len])
+    }
+
+    /// Allocate a buffer at `loc` initialized with `data` (host-side copy;
+    /// not counted — staging input data is pre-query work).
+    pub fn alloc_from_vec<T: Copy>(&mut self, loc: MemLocation, data: Vec<T>) -> Buffer<T> {
+        let bytes = (data.len() * std::mem::size_of::<T>()) as u64;
+        let base = self.next_addr;
+        // Page-align every allocation so buffers never share a page and the
+        // partitioning bit arithmetic (§4.2) sees page-aligned relations.
+        let page = self.spec.page_bytes;
+        self.next_addr = base + bytes.div_ceil(page).max(1) * page;
+        Buffer::from_parts(data, base, loc)
+    }
+
+    /// Record a data-dependent device-side read of `bytes` at `addr`.
+    /// Every covered cacheline is accessed individually.
+    #[inline]
+    pub fn touch_read(&mut self, loc: MemLocation, addr: u64, bytes: u64) {
+        debug_assert!(bytes > 0);
+        let first = addr >> self.line_shift;
+        let last = (addr + bytes - 1) >> self.line_shift;
+        for line in first..=last {
+            self.access_line_read(loc, line << self.line_shift);
+        }
+    }
+
+    /// Record a device-side write of `bytes` at `addr`. Writes are modeled
+    /// as streaming stores (no write-allocate): GPU kernels in this domain
+    /// write results and partitions once and never read them back through
+    /// the same kernel's caches.
+    #[inline]
+    pub fn touch_write(&mut self, loc: MemLocation, addr: u64, bytes: u64) {
+        if let Some(trace) = &mut self.trace {
+            trace.record(TraceEvent::Write { loc, addr, bytes });
+        }
+        match loc {
+            MemLocation::Gpu => self.counters.gpu_bytes_written += bytes,
+            MemLocation::Cpu => {
+                self.counters.ic_bytes_written += bytes;
+                // Writes to CPU memory still need translations.
+                self.translate(addr, bytes);
+            }
+        }
+    }
+
+    /// Record a sequential streaming read (table scan, probe-key stream).
+    /// Counts full-bandwidth bytes; touches the TLB once per page, so scans
+    /// do not thrash it (§4.3.1).
+    #[inline]
+    pub fn stream_read(&mut self, loc: MemLocation, addr: u64, bytes: u64) {
+        debug_assert!(bytes > 0);
+        if let Some(trace) = &mut self.trace {
+            trace.record(TraceEvent::StreamRead { loc, addr, bytes });
+        }
+        match loc {
+            MemLocation::Gpu => self.counters.gpu_bytes_read += bytes,
+            MemLocation::Cpu => {
+                self.counters.ic_bytes_streamed += bytes;
+                self.translate(addr, bytes);
+            }
+        }
+    }
+
+    /// Record a sequential streaming write.
+    #[inline]
+    pub fn stream_write(&mut self, loc: MemLocation, addr: u64, bytes: u64) {
+        self.touch_write(loc, addr, bytes);
+    }
+
+    /// Count `n` abstract compute operations (≈ warp-wide instructions).
+    #[inline]
+    pub fn op(&mut self, n: u64) {
+        self.counters.compute_ops += n;
+    }
+
+    /// Count `n` completed index lookups (normalizes Fig. 4's metric).
+    #[inline]
+    pub fn count_lookups(&mut self, n: u64) {
+        self.counters.lookups += n;
+    }
+
+    /// Record a kernel launch.
+    #[inline]
+    pub fn kernel_launch(&mut self) {
+        self.counters.kernel_launches += 1;
+        if let Some(trace) = &mut self.trace {
+            trace.record(TraceEvent::KernelLaunch);
+        }
+    }
+
+    /// Snapshot the counters (use with `-` for interval deltas).
+    pub fn snapshot(&self) -> Counters {
+        self.counters
+    }
+
+    /// Flush TLB and caches (cold start between queries). Counters are kept;
+    /// take snapshots to measure intervals.
+    pub fn reset_memory_system(&mut self) {
+        self.tlb.flush();
+        self.l1.flush();
+        self.l2.flush();
+        self.missed_pages.clear();
+    }
+
+    /// Whether the page holding `addr` currently has a cached translation
+    /// (diagnostic; no side effects).
+    pub fn tlb_resident(&self, addr: u64) -> bool {
+        self.tlb.is_resident(addr)
+    }
+
+    #[inline]
+    fn access_line_read(&mut self, loc: MemLocation, line_addr: u64) {
+        self.access_clock += 1;
+        let hit = if self.l1.access(line_addr) {
+            self.counters.l1_hits += 1;
+            HitLevel::L1
+        } else {
+            self.counters.l1_misses += 1;
+            if self.l2.access(line_addr) {
+                self.counters.l2_hits += 1;
+                HitLevel::L2
+            } else {
+                self.counters.l2_misses += 1;
+                match loc {
+                    MemLocation::Gpu => {
+                        self.counters.gpu_bytes_read += self.spec.cacheline_bytes;
+                        HitLevel::GpuMem
+                    }
+                    MemLocation::Cpu => {
+                        let tlb_hit = self.tlb.access(line_addr);
+                        if tlb_hit {
+                            self.counters.tlb_hits += 1;
+                        } else {
+                            self.record_tlb_miss(line_addr >> self.page_shift);
+                        }
+                        self.counters.ic_lines_random += 1;
+                        self.counters.ic_bytes_random += self.spec.cacheline_bytes;
+                        HitLevel::Remote { tlb_hit }
+                    }
+                }
+            }
+        };
+        if let Some(trace) = &mut self.trace {
+            trace.record(TraceEvent::ReadLine {
+                loc,
+                line_addr,
+                hit,
+            });
+        }
+    }
+
+    /// TLB traffic for a (possibly multi-page) sequential or write access.
+    #[inline]
+    fn translate(&mut self, addr: u64, bytes: u64) {
+        let first = addr >> self.page_shift;
+        let last = (addr + bytes - 1) >> self.page_shift;
+        for page in first..=last {
+            if self.tlb.access(page << self.page_shift) {
+                self.counters.tlb_hits += 1;
+            } else {
+                self.record_tlb_miss(page);
+            }
+        }
+    }
+
+    /// Cacheline size helper (used by index layouts).
+    #[inline]
+    pub fn cacheline_bytes(&self) -> u64 {
+        self.spec.cacheline_bytes
+    }
+
+    #[allow(dead_code)]
+    fn line_mask(&self) -> u64 {
+        self.line_mask
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scale::Scale;
+
+    fn gpu() -> Gpu {
+        Gpu::new(GpuSpec::v100_nvlink2(Scale::PAPER))
+    }
+
+    #[test]
+    fn repeated_read_hits_cache() {
+        let mut g = gpu();
+        let buf = g.alloc_from_vec(MemLocation::Cpu, vec![0u64; 64]);
+        let _ = buf.read(&mut g, 0);
+        let before = g.snapshot();
+        let _ = buf.read(&mut g, 1); // same cacheline
+        let d = g.snapshot() - before;
+        assert_eq!(d.ic_lines_random, 0);
+        assert_eq!(d.l1_hits + d.l2_hits, 1);
+    }
+
+    #[test]
+    fn tlb_miss_once_per_page_when_working_set_fits() {
+        let mut g = gpu();
+        let page = g.spec().page_bytes as usize;
+        // Two pages of data; read one element per cacheline, twice.
+        let n = 2 * page / 8;
+        let buf = g.alloc_from_vec(MemLocation::Cpu, vec![0u64; n]);
+        let step = (g.spec().cacheline_bytes / 8) as usize;
+        for round in 0..2 {
+            let before = g.snapshot();
+            for i in (0..n).step_by(step) {
+                let _ = buf.read(&mut g, i);
+            }
+            let d = g.snapshot() - before;
+            if round == 0 {
+                assert_eq!(d.tlb_misses, 2, "cold: one miss per page");
+            }
+        }
+    }
+
+    #[test]
+    fn tlb_thrashes_beyond_coverage() {
+        let mut g = gpu();
+        let page = g.spec().page_bytes;
+        let entries = g.spec().tlb_entries as u64;
+        // Allocate data covering 2x the TLB range; cyclically touch one line
+        // per page. Each line is cold in the caches at the scaled L1/L2
+        // sizes except... use distinct lines each round to defeat caches.
+        let pages = 2 * entries;
+        let n = (pages * page / 8) as usize;
+        let buf = g.alloc_from_vec(MemLocation::Cpu, vec![0u64; n]);
+        let per_page = (page / 8) as usize;
+        let mut misses_last_round = 0;
+        for round in 0..3u64 {
+            let before = g.snapshot();
+            for p in 0..pages as usize {
+                // Different line each round so data caches never filter.
+                let idx = p * per_page + (round as usize + 1) * 16;
+                let _ = buf.read(&mut g, idx);
+            }
+            misses_last_round = (g.snapshot() - before).tlb_misses;
+        }
+        // LRU + cyclic over 2x coverage => every access misses.
+        assert_eq!(misses_last_round, pages);
+    }
+
+    #[test]
+    fn streaming_scan_minimal_tlb_traffic() {
+        let mut g = gpu();
+        let page = g.spec().page_bytes;
+        let n = (4 * page / 8) as usize;
+        let buf = g.alloc_from_vec(MemLocation::Cpu, vec![0u64; n]);
+        let before = g.snapshot();
+        let chunk = 4096;
+        for i in (0..n).step_by(chunk) {
+            let _ = buf.stream_read(&mut g, i, chunk.min(n - i));
+        }
+        let d = g.snapshot() - before;
+        assert_eq!(d.ic_bytes_streamed, n as u64 * 8);
+        // 4 pages -> at most a handful of translations (page boundaries may
+        // be visited by two chunks).
+        assert!(d.tlb_misses <= 8, "got {} misses", d.tlb_misses);
+        assert_eq!(d.ic_lines_random, 0);
+    }
+
+    #[test]
+    fn gpu_memory_never_touches_tlb() {
+        let mut g = gpu();
+        let n = (4 * g.spec().page_bytes / 8) as usize;
+        let buf = g.alloc_from_vec(MemLocation::Gpu, vec![0u64; n]);
+        let before = g.snapshot();
+        let step = (g.spec().cacheline_bytes / 8) as usize;
+        for i in (0..n).step_by(step) {
+            let _ = buf.read(&mut g, i);
+        }
+        let d = g.snapshot() - before;
+        assert_eq!(d.tlb_misses, 0);
+        assert_eq!(d.tlb_hits, 0);
+        assert!(d.gpu_bytes_read > 0);
+        assert_eq!(d.ic_bytes_total(), 0);
+    }
+
+    #[test]
+    fn multi_line_read_counts_each_line() {
+        let mut g = gpu();
+        let buf = g.alloc_from_vec(MemLocation::Cpu, vec![0u64; 1024]);
+        let before = g.snapshot();
+        // 4 KiB node = 32 cachelines of 128 B.
+        let _ = buf.read_range(&mut g, 0, 512);
+        let d = g.snapshot() - before;
+        assert_eq!(d.ic_lines_random, 32);
+    }
+
+    #[test]
+    fn reset_memory_system_forces_cold_misses() {
+        let mut g = gpu();
+        let buf = g.alloc_from_vec(MemLocation::Cpu, vec![0u64; 16]);
+        let _ = buf.read(&mut g, 0);
+        g.reset_memory_system();
+        let before = g.snapshot();
+        let _ = buf.read(&mut g, 0);
+        let d = g.snapshot() - before;
+        assert_eq!(d.ic_lines_random, 1);
+        assert_eq!(d.tlb_misses, 1);
+    }
+}

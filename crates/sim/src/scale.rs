@@ -1,0 +1,98 @@
+//! Paper-scale ↔ simulation-scale conversion.
+//!
+//! The paper evaluates relations of 0.5–120 GiB against a GPU TLB that covers
+//! 32 GiB (32 × 1 GiB huge pages). The throughput cliff it studies depends
+//! only on the *ratio* between the index working set and the TLB coverage,
+//! so the simulation shrinks both sides by a common factor (default 1024:
+//! 1 paper-GiB ≡ 1 simulated-MiB). Linear counters (bytes moved, translation
+//! requests, kernel launches, …) are multiplied back up by the factor when
+//! the cost model reports paper-scale times.
+
+/// A linear scale factor between the paper's data sizes and the simulation's.
+///
+/// `factor = 1024` means every byte simulated stands for 1024 bytes of the
+/// paper's testbed. `Scale::identity()` runs everything at full size (useful
+/// for small unit tests where no shrinking is needed).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize)]
+pub struct Scale {
+    /// How many paper-scale bytes one simulated byte represents.
+    pub factor: u64,
+}
+
+impl Scale {
+    /// The default reproduction scale: 1 paper-GiB ≡ 1 simulated-MiB.
+    pub const PAPER: Scale = Scale { factor: 1024 };
+
+    /// No scaling: simulated sizes equal paper sizes.
+    pub const fn identity() -> Self {
+        Scale { factor: 1 }
+    }
+
+    /// Create a custom scale factor. Must be non-zero.
+    pub fn new(factor: u64) -> Self {
+        assert!(factor > 0, "scale factor must be non-zero");
+        Scale { factor }
+    }
+
+    /// Convert a paper-scale byte count to the simulated byte count.
+    pub fn sim_bytes(&self, paper_bytes: u64) -> u64 {
+        paper_bytes / self.factor
+    }
+
+    /// Convert a simulated byte count back to paper scale.
+    pub fn paper_bytes(&self, sim_bytes: u64) -> u64 {
+        sim_bytes * self.factor
+    }
+
+    /// Number of simulated 8-byte tuples representing `paper_gib` GiB of
+    /// 8-byte tuples at paper scale.
+    pub fn sim_tuples_for_paper_gib(&self, paper_gib: f64) -> usize {
+        let paper_bytes = paper_gib * (1u64 << 30) as f64;
+        (paper_bytes / self.factor as f64 / 8.0).round() as usize
+    }
+
+    /// The paper-scale size in GiB that `sim_tuples` 8-byte tuples represent.
+    pub fn paper_gib_for_sim_tuples(&self, sim_tuples: usize) -> f64 {
+        (sim_tuples as u64 * 8 * self.factor) as f64 / (1u64 << 30) as f64
+    }
+}
+
+impl Default for Scale {
+    fn default() -> Self {
+        Scale::PAPER
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_scale_round_trip() {
+        let s = Scale::PAPER;
+        assert_eq!(s.sim_bytes(1 << 30), 1 << 20); // 1 GiB -> 1 MiB
+        assert_eq!(s.paper_bytes(1 << 20), 1 << 30);
+    }
+
+    #[test]
+    fn tuples_for_gib() {
+        let s = Scale::PAPER;
+        // 1 paper GiB = 1 sim MiB = 2^17 8-byte tuples.
+        assert_eq!(s.sim_tuples_for_paper_gib(1.0), 1 << 17);
+        let back = s.paper_gib_for_sim_tuples(1 << 17);
+        assert!((back - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn identity_scale() {
+        let s = Scale::identity();
+        assert_eq!(s.sim_bytes(12345), 12345);
+        assert_eq!(s.paper_bytes(12345), 12345);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_factor_rejected() {
+        let _ = Scale::new(0);
+    }
+}

@@ -1,0 +1,120 @@
+//! Optional access-trace recording.
+//!
+//! When enabled, the engine records one event per memory-system access —
+//! where it hit, what it cost — so tests and tools can assert on *access
+//! patterns* (coalescing, locality, sweep order) rather than only on
+//! aggregate counters. Tracing is off by default and costs one branch per
+//! access when disabled.
+
+use crate::mem::MemLocation;
+use serde::Serialize;
+
+/// Where a data-dependent line access was satisfied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum HitLevel {
+    /// Served by the L1 data cache.
+    L1,
+    /// Served by the L2 data cache.
+    L2,
+    /// Fetched from GPU device memory.
+    GpuMem,
+    /// Fetched from CPU memory across the interconnect.
+    Remote {
+        /// Whether the page translation was already cached in the TLB.
+        tlb_hit: bool,
+    },
+}
+
+/// One recorded memory-system event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum TraceEvent {
+    /// A data-dependent cacheline access.
+    ReadLine {
+        /// Placement of the accessed buffer.
+        loc: MemLocation,
+        /// Line-aligned virtual address.
+        line_addr: u64,
+        /// Where the access was satisfied.
+        hit: HitLevel,
+    },
+    /// A sequential streaming read.
+    StreamRead {
+        /// Placement of the accessed buffer.
+        loc: MemLocation,
+        /// Start address.
+        addr: u64,
+        /// Bytes streamed.
+        bytes: u64,
+    },
+    /// A write (streaming store).
+    Write {
+        /// Placement of the written buffer.
+        loc: MemLocation,
+        /// Start address.
+        addr: u64,
+        /// Bytes written.
+        bytes: u64,
+    },
+    /// A kernel launch boundary.
+    KernelLaunch,
+}
+
+/// Bounded event recorder. Recording stops silently at `capacity` (the
+/// `truncated` flag reports whether events were dropped).
+#[derive(Debug, Default)]
+pub struct Trace {
+    events: Vec<TraceEvent>,
+    capacity: usize,
+    truncated: bool,
+}
+
+impl Trace {
+    /// Create a recorder bounded at `capacity` events.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Trace {
+            events: Vec::new(),
+            capacity,
+            truncated: false,
+        }
+    }
+
+    /// Record one event (drops and marks truncation beyond capacity).
+    #[inline]
+    pub fn record(&mut self, ev: TraceEvent) {
+        if self.events.len() < self.capacity {
+            self.events.push(ev);
+        } else {
+            self.truncated = true;
+        }
+    }
+
+    /// The recorded events.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Whether events were dropped at the capacity bound.
+    pub fn truncated(&self) -> bool {
+        self.truncated
+    }
+
+    /// Consume the recorder and return the events.
+    pub fn into_events(self) -> Vec<TraceEvent> {
+        self.events
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capacity_bound_marks_truncation() {
+        let mut t = Trace::with_capacity(2);
+        for _ in 0..3 {
+            t.record(TraceEvent::KernelLaunch);
+        }
+        assert_eq!(t.events().len(), 2);
+        assert!(t.truncated());
+    }
+}

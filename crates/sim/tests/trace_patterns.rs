@@ -1,0 +1,108 @@
+//! Trace-recorder tests: assert on access *patterns*, not just counters.
+
+use windex_sim::{Gpu, GpuSpec, HitLevel, MemLocation, Scale, TraceEvent};
+
+fn gpu() -> Gpu {
+    Gpu::new(GpuSpec::v100_nvlink2(Scale::PAPER))
+}
+
+#[test]
+fn coalesced_range_read_is_one_event_per_line() {
+    let mut g = gpu();
+    let buf = g.alloc_from_vec(MemLocation::Cpu, vec![0u64; 1024]);
+    g.start_trace(1024);
+    // A 4 KiB node read = 32 lines of 128 B.
+    let _ = buf.read_range(&mut g, 0, 512);
+    let trace = g.stop_trace();
+    let lines: Vec<u64> = trace
+        .events()
+        .iter()
+        .filter_map(|e| match e {
+            TraceEvent::ReadLine { line_addr, .. } => Some(*line_addr),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(lines.len(), 32);
+    // Line-aligned, ascending, contiguous.
+    assert!(lines.windows(2).all(|w| w[1] == w[0] + 128));
+    assert!(lines.iter().all(|a| a % 128 == 0));
+}
+
+#[test]
+fn second_touch_hits_l1() {
+    let mut g = gpu();
+    let buf = g.alloc_from_vec(MemLocation::Cpu, vec![0u64; 64]);
+    g.start_trace(16);
+    let _ = buf.read(&mut g, 0);
+    let _ = buf.read(&mut g, 1); // same line
+    let trace = g.stop_trace();
+    match trace.events() {
+        [TraceEvent::ReadLine { hit: first, .. }, TraceEvent::ReadLine { hit: second, .. }] => {
+            assert!(matches!(first, HitLevel::Remote { tlb_hit: false }));
+            assert_eq!(*second, HitLevel::L1);
+        }
+        other => panic!("unexpected trace {other:?}"),
+    }
+}
+
+#[test]
+fn gpu_memory_accesses_never_reach_remote() {
+    let mut g = gpu();
+    let buf = g.alloc_from_vec(MemLocation::Gpu, vec![0u64; 1 << 14]);
+    g.start_trace(4096);
+    let step = 16; // one line apart
+    for i in (0..1 << 14).step_by(step) {
+        let _ = buf.read(&mut g, i);
+    }
+    let trace = g.stop_trace();
+    for ev in trace.events() {
+        if let TraceEvent::ReadLine { hit, .. } = ev {
+            assert!(!matches!(hit, HitLevel::Remote { .. }), "{ev:?}");
+        }
+    }
+}
+
+#[test]
+fn stream_and_write_events_recorded() {
+    let mut g = gpu();
+    let buf = g.alloc_from_vec(MemLocation::Cpu, vec![0u64; 4096]);
+    let mut out = g.alloc_from_vec(MemLocation::Gpu, vec![0u64; 16]);
+    g.start_trace(16);
+    g.kernel_launch();
+    let _ = buf.stream_read(&mut g, 0, 4096);
+    out.write(&mut g, 3, 7);
+    let trace = g.stop_trace();
+    assert!(matches!(trace.events()[0], TraceEvent::KernelLaunch));
+    assert!(matches!(
+        trace.events()[1],
+        TraceEvent::StreamRead {
+            loc: MemLocation::Cpu,
+            bytes: 32768,
+            ..
+        }
+    ));
+    assert!(matches!(
+        trace.events()[2],
+        TraceEvent::Write {
+            loc: MemLocation::Gpu,
+            bytes: 8,
+            ..
+        }
+    ));
+}
+
+#[test]
+fn tracing_does_not_change_counters() {
+    let run = |traced: bool| {
+        let mut g = gpu();
+        let buf = g.alloc_from_vec(MemLocation::Cpu, (0u64..1 << 14).collect::<Vec<_>>());
+        if traced {
+            g.start_trace(1 << 20);
+        }
+        for i in (0..1 << 14).step_by(37) {
+            let _ = buf.read(&mut g, i);
+        }
+        g.counters()
+    };
+    assert_eq!(run(false), run(true));
+}

@@ -1,0 +1,24 @@
+//! # windex-workload — join workload generators
+//!
+//! Generates the paper's workload (§3.2): an indexed relation *R* of unique
+//! sorted 8-byte keys and a probe relation *S* of foreign keys into *R*,
+//! drawn uniformly or with Zipf skew (§5.2.2). All generators are seeded and
+//! deterministic so every experiment is exactly reproducible.
+//!
+//! ```
+//! use windex_workload::{join_selectivity, KeyDistribution, Relation};
+//!
+//! let r = Relation::unique_sorted(1 << 14, KeyDistribution::SparseUniform, 42);
+//! let s = Relation::foreign_keys_uniform(&r, 1 << 10, 7);
+//! assert!((join_selectivity(&r, &s) - 1.0 / 16.0).abs() < 1e-12);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod relation;
+pub mod tpch;
+pub mod zipf;
+
+pub use relation::{join_selectivity, KeyDistribution, Relation};
+pub use tpch::TpchLite;
+pub use zipf::ZipfSampler;

@@ -1,0 +1,194 @@
+//! Zipf-distributed rank sampler.
+//!
+//! Used for the skewed-lookup-key experiment (paper §5.2.2, Fig. 8), which
+//! draws probe keys with Zipf exponents 0–1.75. The implementation is the
+//! rejection-inversion method of Hörmann & Derflinger (1996), the same
+//! algorithm production samplers use: O(1) per sample for any exponent,
+//! no precomputed tables, exact distribution.
+
+use rand::Rng;
+
+/// Samples ranks `1..=n` with probability ∝ `1 / rank^exponent`.
+///
+/// `exponent == 0` degenerates to the uniform distribution over `1..=n`,
+/// matching the paper's x-axis which starts at Zipf exponent 0.
+#[derive(Debug, Clone)]
+pub struct ZipfSampler {
+    n: u64,
+    exponent: f64,
+    /// `H(x1)` where `x1 = 1.5` shifted by p(1): upper bound of the
+    /// inversion domain.
+    h_x1: f64,
+    /// `H(n + 0.5)`: lower bound of the inversion domain.
+    h_n: f64,
+    /// Acceptance shortcut threshold.
+    s_cut: f64,
+}
+
+impl ZipfSampler {
+    /// Create a sampler over ranks `1..=n` with the given exponent ≥ 0.
+    pub fn new(n: u64, exponent: f64) -> Self {
+        assert!(n >= 1, "domain must be non-empty");
+        assert!(
+            exponent >= 0.0 && exponent.is_finite(),
+            "exponent must be finite and non-negative"
+        );
+        let mut z = ZipfSampler {
+            n,
+            exponent,
+            h_x1: 0.0,
+            h_n: 0.0,
+            s_cut: 0.0,
+        };
+        z.h_x1 = z.h(1.5) - 1.0;
+        z.h_n = z.h(n as f64 + 0.5);
+        z.s_cut = 1.0 - z.h_inv(z.h(2.5) - 2.0f64.powf(-exponent));
+        z
+    }
+
+    /// Number of ranks.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// The Zipf exponent.
+    pub fn exponent(&self) -> f64 {
+        self.exponent
+    }
+
+    /// `H(x) = ∫ x^-e dx`, the antiderivative used by rejection-inversion.
+    fn h(&self, x: f64) -> f64 {
+        let e = self.exponent;
+        if (e - 1.0).abs() < 1e-12 {
+            x.ln()
+        } else {
+            x.powf(1.0 - e) / (1.0 - e)
+        }
+    }
+
+    /// Inverse of `h`.
+    fn h_inv(&self, x: f64) -> f64 {
+        let e = self.exponent;
+        if (e - 1.0).abs() < 1e-12 {
+            x.exp()
+        } else {
+            (x * (1.0 - e)).powf(1.0 / (1.0 - e))
+        }
+    }
+
+    /// Draw one rank in `1..=n`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        if self.n == 1 {
+            return 1;
+        }
+        // Uniform exponent: plain integer sampling is exact and faster.
+        if self.exponent == 0.0 {
+            return rng.random_range(1..=self.n);
+        }
+        loop {
+            let u = self.h_n + rng.random::<f64>() * (self.h_x1 - self.h_n);
+            let x = self.h_inv(u);
+            let k = x.round().clamp(1.0, self.n as f64);
+            if k - x <= self.s_cut || u >= self.h(k + 0.5) - (-k.ln() * self.exponent).exp() {
+                return k as u64;
+            }
+        }
+    }
+
+    /// Exact probability of rank `k` (for tests and diagnostics).
+    /// O(n); intended for small domains only.
+    pub fn pmf(&self, k: u64) -> f64 {
+        assert!((1..=self.n).contains(&k));
+        let z: f64 = (1..=self.n)
+            .map(|i| (i as f64).powf(-self.exponent))
+            .sum();
+        (k as f64).powf(-self.exponent) / z
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn histogram(n: u64, exponent: f64, samples: usize) -> Vec<u64> {
+        let z = ZipfSampler::new(n, exponent);
+        let mut rng = StdRng::seed_from_u64(0xC0FFEE);
+        let mut h = vec![0u64; n as usize];
+        for _ in 0..samples {
+            let k = z.sample(&mut rng);
+            h[(k - 1) as usize] += 1;
+        }
+        h
+    }
+
+    #[test]
+    fn samples_stay_in_domain() {
+        let z = ZipfSampler::new(100, 1.2);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let k = z.sample(&mut rng);
+            assert!((1..=100).contains(&k));
+        }
+    }
+
+    #[test]
+    fn matches_exact_pmf_small_domain() {
+        for &e in &[0.5, 1.0, 1.5] {
+            let n = 16;
+            let samples = 200_000;
+            let h = histogram(n, e, samples);
+            let z = ZipfSampler::new(n, e);
+            for k in 1..=n {
+                let expect = z.pmf(k) * samples as f64;
+                let got = h[(k - 1) as usize] as f64;
+                // 5 sigma of a binomial with p = pmf.
+                let sigma = (expect * (1.0 - z.pmf(k))).sqrt();
+                assert!(
+                    (got - expect).abs() < 5.0 * sigma + 5.0,
+                    "e={e} k={k}: got {got}, expected {expect}±{sigma}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn exponent_zero_is_uniform() {
+        let n = 32;
+        let samples = 320_000;
+        let h = histogram(n, 0.0, samples);
+        let expect = samples as f64 / n as f64;
+        for (k, &c) in h.iter().enumerate() {
+            assert!(
+                (c as f64 - expect).abs() < 0.05 * expect,
+                "rank {}: {c} vs {expect}",
+                k + 1
+            );
+        }
+    }
+
+    #[test]
+    fn high_exponent_concentrates_on_rank_one() {
+        let h = histogram(1000, 1.75, 100_000);
+        // Rank 1 should receive the plurality of samples by a wide margin;
+        // p(1)/p(2) = 2^1.75 ≈ 3.36.
+        assert!(h[0] > 40_000, "rank-1 count {}", h[0]);
+        assert!(h[0] as f64 > 3.0 * h[1] as f64);
+        assert!((h[0] as f64) < 3.8 * h[1] as f64);
+    }
+
+    #[test]
+    fn rank_frequencies_decrease() {
+        let h = histogram(64, 1.0, 400_000);
+        // Spot-check monotonicity over well-separated ranks.
+        assert!(h[0] > h[3] && h[3] > h[15] && h[15] > h[63]);
+    }
+
+    #[test]
+    fn single_element_domain() {
+        let z = ZipfSampler::new(1, 1.3);
+        let mut rng = StdRng::seed_from_u64(2);
+        assert_eq!(z.sample(&mut rng), 1);
+    }
+}

@@ -1,0 +1,64 @@
+//! Hardware what-if: replay the same selective join on every modeled
+//! platform, including Table 1 hardware the paper only tabulates (GH200
+//! with NVLink C2C).
+//!
+//! ```sh
+//! cargo run --release --example hardware_whatif
+//! ```
+
+use windex::prelude::*;
+
+fn main() {
+    let scale = Scale::PAPER;
+    let r = Relation::unique_sorted(
+        scale.sim_tuples_for_paper_gib(64.0),
+        KeyDistribution::SparseUniform,
+        42,
+    );
+    let s = Relation::foreign_keys_uniform(&r, 1 << 14, 7);
+
+    let platforms = [
+        GpuSpec::v100_nvlink2(scale),
+        GpuSpec::a100_pcie4(scale),
+        GpuSpec::gh200(scale),
+    ];
+
+    println!(
+        "{:<26} {:>12} {:>14} {:>12} {:>10}",
+        "platform", "interconnect", "windowed(RS)", "hash-join", "INLJ/hash"
+    );
+    for spec in platforms {
+        let mut gpu = Gpu::new(spec.clone());
+        let inlj = QueryExecutor::new()
+            .run(
+                &mut gpu,
+                &r,
+                &s,
+                JoinStrategy::WindowedInlj {
+                    index: IndexKind::RadixSpline,
+                    window_tuples: 1 << 12,
+                },
+            )
+            .expect("query runs");
+        let mut gpu = Gpu::new(spec.clone());
+        let hash = QueryExecutor::new()
+            .run(&mut gpu, &r, &s, JoinStrategy::HashJoin)
+            .expect("query runs");
+        println!(
+            "{:<26} {:>12} {:>14.2} {:>12.2} {:>10.2}",
+            spec.name,
+            spec.interconnect.name,
+            inlj.queries_per_second(),
+            hash.queries_per_second(),
+            inlj.queries_per_second() / hash.queries_per_second(),
+        );
+    }
+
+    println!(
+        "\nThe GH200's NVLink C2C row is a what-if beyond the paper's \
+         evaluation: at 450 GB/s receive\nbandwidth even the full table \
+         scan accelerates, but fine-grained index lookups gain more —\nthe \
+         paper's conclusion (indexes are a feasible out-of-core design \
+         point) strengthens with\nevery interconnect generation."
+    );
+}

@@ -1,0 +1,70 @@
+//! Selective join: the TPC-H Q4/Q12-style scenario that motivates the paper.
+//!
+//! A large fact table is joined with a much smaller input — the join touches
+//! only a small fraction of the indexed relation. This example sweeps the
+//! selectivity (by scaling R with S fixed, as in §3.2) and compares every
+//! execution strategy, printing where the index joins overtake the hash
+//! join's full table scan.
+//!
+//! ```sh
+//! cargo run --release --example selective_join
+//! ```
+
+use windex::prelude::*;
+
+fn main() {
+    let scale = Scale::PAPER;
+    let s_tuples = 1 << 14;
+
+    println!(
+        "{:>9} {:>7} | {:>10} {:>12} {:>14} {:>15}",
+        "R (GiB)", "sel(%)", "hash-join", "inlj(RS)", "part-inlj(RS)", "windowed(RS)"
+    );
+    for paper_gib in [0.5, 2.0, 8.0, 32.0, 64.0, 111.0] {
+        let r = Relation::unique_sorted(
+            scale.sim_tuples_for_paper_gib(paper_gib),
+            KeyDistribution::SparseUniform,
+            42,
+        );
+        let s = Relation::foreign_keys_uniform(&r, s_tuples, 7);
+
+        let strategies = [
+            JoinStrategy::HashJoin,
+            JoinStrategy::Inlj {
+                index: IndexKind::RadixSpline,
+            },
+            JoinStrategy::PartitionedInlj {
+                index: IndexKind::RadixSpline,
+            },
+            JoinStrategy::WindowedInlj {
+                index: IndexKind::RadixSpline,
+                window_tuples: 1 << 12,
+            },
+        ];
+        let mut qps = Vec::new();
+        for st in strategies {
+            let mut gpu = Gpu::new(GpuSpec::v100_nvlink2(scale));
+            let report = QueryExecutor::new()
+                .run(&mut gpu, &r, &s, st)
+                .expect("query runs");
+            assert_eq!(report.result_tuples, s.len(), "FK join returns |S| matches");
+            qps.push(report.queries_per_second());
+        }
+        println!(
+            "{:>9.1} {:>7.2} | {:>10.2} {:>12.2} {:>14.2} {:>15.2}",
+            paper_gib,
+            100.0 * join_selectivity(&r, &s),
+            qps[0],
+            qps[1],
+            qps[2],
+            qps[3],
+        );
+    }
+
+    println!(
+        "\nReading the table: the hash join must scan all of R, so its \
+         throughput decays ~1/|R|;\nthe windowed INLJ's cost follows |S| and \
+         stays roughly flat — below some selectivity\nthe index join wins \
+         (the paper measures the crossover at 8% on the V100, §5.2.3)."
+    );
+}

@@ -1,0 +1,102 @@
+//! The paper's motivating query, end to end.
+//!
+//! §3.2: "Our workload is inspired by queries such as TPC-H Q4 and Q12,
+//! which have a large input to a single join with a low join selectivity."
+//! This example builds a miniature ORDERS ⋈ LINEITEM instance, filters
+//! LINEITEM with the Q4 predicate (one receipt quarter, commit date before
+//! receipt date), and runs the resulting selective join with every
+//! strategy.
+//!
+//! ```sh
+//! cargo run --release --example tpch_q4
+//! ```
+
+use windex::prelude::*;
+use windex_workload::TpchLite;
+
+fn main() {
+    let scale = Scale::PAPER;
+    // ORDERS sized to 16 paper-GiB of keys; ~4 lineitems per order.
+    let orders_n = scale.sim_tuples_for_paper_gib(16.0);
+    let t = TpchLite::generate(orders_n, 4, 42);
+    println!(
+        "ORDERS: {} keys ({:.0} GiB at paper scale); LINEITEM: {} rows",
+        t.orders().len(),
+        scale.paper_gib_for_sim_tuples(t.orders().len()),
+        t.lineitems(),
+    );
+
+    // Q4 predicate: one receipt quarter of the 7-year domain,
+    // commitdate < receiptdate.
+    let probe = t.q4_probe(13);
+    println!(
+        "Q4 probe stream: {} lineitems ({:.1}% of LINEITEM; selectivity vs ORDERS {:.2})",
+        probe.len(),
+        100.0 * probe.len() as f64 / t.lineitems() as f64,
+        join_selectivity(t.orders(), &probe),
+    );
+
+    let strategies = [
+        JoinStrategy::HashJoin,
+        JoinStrategy::Inlj {
+            index: IndexKind::RadixSpline,
+        },
+        JoinStrategy::WindowedInlj {
+            index: IndexKind::RadixSpline,
+            window_tuples: 1 << 12,
+        },
+        JoinStrategy::WindowedInlj {
+            index: IndexKind::Harmonia,
+            window_tuples: 1 << 12,
+        },
+    ];
+    println!("\n{:<42} {:>10} {:>12} {:>14}", "strategy", "matches", "Q/s", "transfer GiB");
+    for st in strategies {
+        let mut gpu = Gpu::new(GpuSpec::v100_nvlink2(scale));
+        let report = QueryExecutor::new()
+            .run(&mut gpu, t.orders(), &probe, st)
+            .expect("query runs");
+        assert_eq!(report.result_tuples, probe.len(), "every FK matches one order");
+        println!(
+            "{:<42} {:>10} {:>12.2} {:>14.2}",
+            report.strategy,
+            report.result_tuples,
+            report.queries_per_second(),
+            report.transfer_volume_paper_bytes as f64 / (1u64 << 30) as f64,
+        );
+    }
+    // Drill-down: one ship mode within one quarter — ~1.3 % selectivity,
+    // inside the regime where the paper's index joins win.
+    let drill = t.drilldown_probe(13, 2); // AIR, quarter 13
+    println!(
+        "\nDrill-down stream: {} lineitems (selectivity vs ORDERS {:.3})",
+        drill.len(),
+        join_selectivity(t.orders(), &drill),
+    );
+    let mut qps = Vec::new();
+    for st in [
+        JoinStrategy::HashJoin,
+        JoinStrategy::WindowedInlj {
+            index: IndexKind::RadixSpline,
+            window_tuples: 1 << 12,
+        },
+    ] {
+        let mut gpu = Gpu::new(GpuSpec::v100_nvlink2(scale));
+        let report = QueryExecutor::new()
+            .run(&mut gpu, t.orders(), &drill, st)
+            .expect("query runs");
+        println!(
+            "{:<42} {:>10} {:>12.2}",
+            report.strategy,
+            report.result_tuples,
+            report.queries_per_second()
+        );
+        qps.push(report.queries_per_second());
+    }
+    println!(
+        "\nAt Q4's ~9% selectivity the table scan still wins; the drill-down's \
+         ~1.3% flips it\nto the windowed INLJ ({:.1}x) — the crossover behaviour \
+         of §5.2.3.",
+        qps[1] / qps[0]
+    );
+}

@@ -1,0 +1,60 @@
+//! # windex — out-of-core GPU index joins over fast interconnects
+//!
+//! Facade crate for the `windex` workspace, a full reproduction of
+//! *“Efficiently Indexing Large Data on GPUs with Fast Interconnects”*
+//! (EDBT 2025). It re-exports the public API of all member crates:
+//!
+//! - [`sim`] — GPU + interconnect simulator substrate (TLB, caches, warps,
+//!   cost model);
+//! - [`workload`] — relation generators (unique sorted keys, foreign-key
+//!   sampling, Zipf skew);
+//! - [`index`] — the four out-of-core index structures: binary search,
+//!   B+tree, Harmonia, RadixSpline;
+//! - [`join`] — hash join (WarpCore-style multi-value hash table), INLJ, and
+//!   the SWWC radix partitioner;
+//! - [`core`] — the paper's contribution: windowed partitioning, plus the
+//!   query engine that runs and measures join strategies.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use windex::prelude::*;
+//!
+//! // Simulated V100 + NVLink 2.0 at the default 1024x reproduction scale.
+//! let mut gpu = Gpu::new(GpuSpec::v100_nvlink2(Scale::PAPER));
+//!
+//! // A small join: R (indexed, CPU memory) ⋈ S (probe stream).
+//! let r = Relation::unique_sorted(1 << 16, KeyDistribution::SparseUniform, 42);
+//! let s = Relation::foreign_keys_uniform(&r, 1 << 12, 7);
+//!
+//! let report = QueryExecutor::new()
+//!     .run(
+//!         &mut gpu,
+//!         &r,
+//!         &s,
+//!         JoinStrategy::WindowedInlj {
+//!             index: IndexKind::RadixSpline,
+//!             window_tuples: 1 << 12,
+//!         },
+//!     )
+//!     .unwrap();
+//! assert_eq!(report.result_tuples, 1 << 12); // every FK matches
+//! println!("estimated throughput: {:.2} queries/s", report.queries_per_second());
+//! ```
+
+pub use windex_core as core;
+pub use windex_index as index;
+pub use windex_join as join;
+pub use windex_sim as sim;
+pub use windex_workload as workload;
+
+/// One-stop imports for examples and downstream users.
+pub mod prelude {
+    pub use windex_core::prelude::*;
+    pub use windex_index::{
+        BPlusTree, BinarySearchIndex, Harmonia, IndexKind, OutOfCoreIndex, RadixSpline,
+    };
+    pub use windex_join::{HashJoinConfig, MultiValueHashTable, RadixPartitioner};
+    pub use windex_sim::{Counters, Gpu, GpuSpec, InterconnectSpec, MemLocation, Scale};
+    pub use windex_workload::{KeyDistribution, Relation, ZipfSampler};
+}

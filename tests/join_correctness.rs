@@ -1,0 +1,182 @@
+//! Cross-crate correctness: every execution strategy must produce exactly
+//! the same join result as a host-side reference join, for every index
+//! structure, across workload shapes.
+
+use std::collections::HashMap;
+use windex::prelude::*;
+use windex_core::strategy::{BuiltIndex, IndexConfigs};
+use windex_join::{inlj_stream, ResultSink};
+use windex_sim::Buffer;
+
+fn gpu() -> Gpu {
+    Gpu::new(GpuSpec::v100_nvlink2(Scale::PAPER))
+}
+
+/// Host-side reference join: (s_rid, r_pos) for every matching S tuple.
+fn reference_join(r: &Relation, s: &Relation) -> Vec<(u64, u64)> {
+    let pos: HashMap<u64, u64> = r
+        .keys()
+        .iter()
+        .enumerate()
+        .map(|(i, &k)| (k, i as u64))
+        .collect();
+    let mut out: Vec<(u64, u64)> = s
+        .keys()
+        .iter()
+        .enumerate()
+        .filter_map(|(i, k)| pos.get(k).map(|&p| (i as u64, p)))
+        .collect();
+    out.sort_unstable();
+    out
+}
+
+fn run_sorted(r: &Relation, s: &Relation, st: JoinStrategy) -> Vec<(u64, u64)> {
+    let mut g = gpu();
+    let report = QueryExecutor::new().run(&mut g, r, s, st).unwrap();
+    // Re-execute through the low-level API to retrieve pairs (the executor
+    // reports counts; pairs are validated via inlj/window paths below), so
+    // here we only check counts for the executor and use the operators
+    // directly for pair-level checks.
+    let reference = reference_join(r, s);
+    assert_eq!(report.result_tuples, reference.len(), "{st}");
+    reference
+}
+
+fn fk_workload() -> (Relation, Relation) {
+    let r = Relation::unique_sorted(20_000, KeyDistribution::SparseUniform, 3);
+    let s = Relation::foreign_keys_uniform(&r, 3000, 4);
+    (r, s)
+}
+
+/// Probe relation containing hits and misses in equal measure.
+fn mixed_workload() -> (Relation, Relation) {
+    let r = Relation::unique_sorted(20_000, KeyDistribution::SparseUniform, 5);
+    let mut keys = Vec::new();
+    for (i, &k) in r.keys().iter().enumerate().take(4000) {
+        if i % 2 == 0 {
+            keys.push(k);
+        } else {
+            keys.push(k + 1); // gaps are >= 1, so k+1 may or may not exist
+        }
+    }
+    let s = Relation::from_keys(keys, false);
+    (r, s)
+}
+
+#[test]
+fn executor_counts_match_reference_for_all_strategies() {
+    for (r, s) in [fk_workload(), mixed_workload()] {
+        let mut strategies = vec![JoinStrategy::HashJoin];
+        for index in IndexKind::all() {
+            strategies.push(JoinStrategy::Inlj { index });
+            strategies.push(JoinStrategy::PartitionedInlj { index });
+            strategies.push(JoinStrategy::WindowedInlj {
+                index,
+                window_tuples: 512,
+            });
+        }
+        for st in strategies {
+            run_sorted(&r, &s, st);
+        }
+    }
+}
+
+#[test]
+fn inlj_pairs_match_reference_for_all_indexes() {
+    let (r, s) = mixed_workload();
+    let reference = reference_join(&r, &s);
+    for kind in IndexKind::all() {
+        let mut g = gpu();
+        let col = std::rc::Rc::new(g.alloc_from_vec(MemLocation::Cpu, r.keys().to_vec()));
+        let idx = BuiltIndex::build(&mut g, kind, &col, &IndexConfigs::default());
+        let s_col: Buffer<u64> = g.alloc_from_vec(MemLocation::Cpu, s.keys().to_vec());
+        let mut sink = ResultSink::with_capacity(&mut g, s.len(), MemLocation::Gpu);
+        inlj_stream(&mut g, idx.as_dyn(), &s_col, 0..s_col.len(), &mut sink);
+        let mut pairs = sink.host_pairs();
+        pairs.sort_unstable();
+        assert_eq!(pairs, reference, "index {kind}");
+    }
+}
+
+#[test]
+fn windowed_pairs_match_reference_for_all_indexes() {
+    let (r, s) = mixed_workload();
+    let reference = reference_join(&r, &s);
+    for kind in IndexKind::all() {
+        let mut g = gpu();
+        let col = std::rc::Rc::new(g.alloc_from_vec(MemLocation::Cpu, r.keys().to_vec()));
+        let idx = BuiltIndex::build(&mut g, kind, &col, &IndexConfigs::default());
+        let s_col: Buffer<u64> = g.alloc_from_vec(MemLocation::Cpu, s.keys().to_vec());
+        let mut sink = ResultSink::with_capacity(&mut g, s.len(), MemLocation::Gpu);
+        let bits = QueryExecutor::new().resolve_bits(&g, &r);
+        let cfg = windex_core::WindowConfig {
+            window_tuples: 700, // deliberately not a divisor of |S|
+            bits,
+            min_key: r.min_key().unwrap(),
+        };
+        windex_core::windowed_inlj(&mut g, idx.as_dyn(), &s_col, 0..s_col.len(), cfg, &mut sink);
+        let mut pairs = sink.host_pairs();
+        pairs.sort_unstable();
+        assert_eq!(pairs, reference, "index {kind}");
+    }
+}
+
+#[test]
+fn zipf_skewed_probe_correct() {
+    let r = Relation::unique_sorted(10_000, KeyDistribution::SparseUniform, 6);
+    let s = Relation::foreign_keys_zipf(&r, 5000, 1.5, 7);
+    let reference = reference_join(&r, &s);
+    assert_eq!(reference.len(), 5000); // all FKs match
+    for st in [
+        JoinStrategy::HashJoin,
+        JoinStrategy::WindowedInlj {
+            index: IndexKind::RadixSpline,
+            window_tuples: 512,
+        },
+    ] {
+        run_sorted(&r, &s, st);
+    }
+}
+
+#[test]
+fn dense_keys_work_for_all_indexes() {
+    let r = Relation::unique_sorted(8192, KeyDistribution::Dense, 0);
+    let s = Relation::foreign_keys_uniform(&r, 1024, 1);
+    for index in IndexKind::all() {
+        run_sorted(&r, &s, JoinStrategy::Inlj { index });
+    }
+}
+
+#[test]
+fn tiny_relations() {
+    // R of one tuple; S hitting and missing it.
+    let r = Relation::from_keys(vec![100], true);
+    let s = Relation::from_keys(vec![100, 99, 101, 100], false);
+    for index in IndexKind::all() {
+        let mut g = gpu();
+        let report = QueryExecutor::new()
+            .run(&mut g, &r, &s, JoinStrategy::Inlj { index })
+            .unwrap();
+        assert_eq!(report.result_tuples, 2, "{index}");
+    }
+}
+
+#[test]
+fn empty_probe_side() {
+    let r = Relation::unique_sorted(100, KeyDistribution::Dense, 0);
+    let s = Relation::from_keys(vec![], false);
+    let mut g = gpu();
+    let report = QueryExecutor::new()
+        .run(
+            &mut g,
+            &r,
+            &s,
+            JoinStrategy::WindowedInlj {
+                index: IndexKind::Harmonia,
+                window_tuples: 64,
+            },
+        )
+        .unwrap();
+    assert_eq!(report.result_tuples, 0);
+    assert_eq!(report.windows, 0);
+}

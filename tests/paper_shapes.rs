@@ -1,0 +1,222 @@
+//! Shape tests: the paper's qualitative findings must emerge from the
+//! model at reduced sizes. Each test pins one claim of the evaluation.
+
+use windex::prelude::*;
+
+fn v100() -> GpuSpec {
+    GpuSpec::v100_nvlink2(Scale::PAPER)
+}
+
+fn run(spec: &GpuSpec, r: &Relation, s: &Relation, st: JoinStrategy) -> QueryReport {
+    let mut gpu = Gpu::new(spec.clone());
+    QueryExecutor::new().run(&mut gpu, r, s, st).unwrap()
+}
+
+fn workload(paper_gib: f64, s_tuples: usize) -> (Relation, Relation) {
+    let scale = Scale::PAPER;
+    let r = Relation::unique_sorted(
+        scale.sim_tuples_for_paper_gib(paper_gib),
+        KeyDistribution::SparseUniform,
+        42,
+    );
+    let s = Relation::foreign_keys_uniform(&r, s_tuples, 7);
+    (r, s)
+}
+
+/// §3.3.2 / Fig. 4: translation requests per lookup spike once R exceeds
+/// the 32 GiB TLB range; binary search suffers most, Harmonia least.
+#[test]
+fn tlb_cliff_at_the_tlb_range() {
+    let spec = v100();
+    let s_tuples = 1 << 11;
+    let below = workload(8.0, s_tuples);
+    let above = workload(64.0, s_tuples);
+    let tx = |w: &(Relation, Relation), index| {
+        run(&spec, &w.0, &w.1, JoinStrategy::Inlj { index }).translations_per_lookup()
+    };
+    let bs_below = tx(&below, IndexKind::BinarySearch);
+    let bs_above = tx(&above, IndexKind::BinarySearch);
+    assert!(bs_below < 0.01, "below range: {bs_below}");
+    assert!(bs_above > 0.5, "above range: {bs_above}");
+    let h_above = tx(&above, IndexKind::Harmonia);
+    assert!(
+        h_above < bs_above / 2.0,
+        "Harmonia {h_above} should thrash far less than binary search {bs_above}"
+    );
+}
+
+/// §4.3 / Figs. 5–6: partitioning the lookup keys removes the cliff.
+#[test]
+fn partitioning_restores_throughput() {
+    let spec = v100();
+    let (r, s) = workload(64.0, 1 << 12);
+    let unpart = run(
+        &spec,
+        &r,
+        &s,
+        JoinStrategy::Inlj {
+            index: IndexKind::BinarySearch,
+        },
+    );
+    let part = run(
+        &spec,
+        &r,
+        &s,
+        JoinStrategy::PartitionedInlj {
+            index: IndexKind::BinarySearch,
+        },
+    );
+    assert!(
+        part.queries_per_second() > 3.0 * unpart.queries_per_second(),
+        "partitioned {} vs unpartitioned {}",
+        part.queries_per_second(),
+        unpart.queries_per_second()
+    );
+    assert!(
+        part.translations_per_lookup() < 0.1 * unpart.translations_per_lookup(),
+        "translations not eliminated"
+    );
+}
+
+/// §5 / Fig. 7: the windowed INLJ keeps the partitioned throughput without
+/// materializing the probe input.
+#[test]
+fn windowed_matches_partitioned_throughput() {
+    let spec = v100();
+    let (r, s) = workload(64.0, 1 << 12);
+    let part = run(
+        &spec,
+        &r,
+        &s,
+        JoinStrategy::PartitionedInlj {
+            index: IndexKind::RadixSpline,
+        },
+    );
+    let windowed = run(
+        &spec,
+        &r,
+        &s,
+        JoinStrategy::WindowedInlj {
+            index: IndexKind::RadixSpline,
+            window_tuples: 1 << 10,
+        },
+    );
+    let ratio = windowed.queries_per_second() / part.queries_per_second();
+    assert!(
+        ratio > 0.5 && ratio < 2.0,
+        "windowed should stay near partitioned throughput, ratio {ratio}"
+    );
+}
+
+/// Fig. 3: the hash join's throughput decays with the scan volume — about
+/// 2x more data, about half the throughput.
+#[test]
+fn hash_join_decays_with_scan_volume() {
+    let spec = v100();
+    let s_tuples = 1 << 11;
+    let small = workload(8.0, s_tuples);
+    let large = workload(16.0, s_tuples);
+    let q_small = run(&spec, &small.0, &small.1, JoinStrategy::HashJoin).queries_per_second();
+    let q_large = run(&spec, &large.0, &large.1, JoinStrategy::HashJoin).queries_per_second();
+    let ratio = q_small / q_large;
+    assert!(
+        (1.5..=2.6).contains(&ratio),
+        "expected ~2x decay, got {ratio} ({q_small} -> {q_large})"
+    );
+}
+
+/// §6: for selective joins at large R, the windowed INLJ beats the hash
+/// join by a factor in the paper's 3–10x band.
+#[test]
+fn windowed_inlj_beats_hash_join_on_large_selective_joins() {
+    let spec = v100();
+    let (r, s) = workload(111.0, 1 << 13);
+    let hash = run(&spec, &r, &s, JoinStrategy::HashJoin);
+    let inlj = run(
+        &spec,
+        &r,
+        &s,
+        JoinStrategy::WindowedInlj {
+            index: IndexKind::RadixSpline,
+            window_tuples: 1 << 11,
+        },
+    );
+    let speedup = inlj.queries_per_second() / hash.queries_per_second();
+    assert!(
+        speedup > 2.0,
+        "windowed INLJ speedup only {speedup:.2}x over the hash join"
+    );
+    // And it moves far less data across the interconnect (Fig. 1).
+    assert!(
+        hash.transfer_volume_paper_bytes > 2 * inlj.transfer_volume_paper_bytes,
+        "transfer volumes: hash {} vs inlj {}",
+        hash.transfer_volume_paper_bytes,
+        inlj.transfer_volume_paper_bytes
+    );
+}
+
+/// §5.2.2 / Fig. 8: skewed lookup keys help the INLJ (cache hits).
+#[test]
+fn skew_improves_windowed_inlj() {
+    let spec = v100();
+    let scale = Scale::PAPER;
+    let r = Relation::unique_sorted(
+        scale.sim_tuples_for_paper_gib(48.0),
+        KeyDistribution::SparseUniform,
+        42,
+    );
+    let run_z = |z: f64| {
+        let s = Relation::foreign_keys_zipf(&r, 1 << 12, z, 7);
+        run(
+            &spec,
+            &r,
+            &s,
+            JoinStrategy::WindowedInlj {
+                index: IndexKind::RadixSpline,
+                window_tuples: 1 << 10,
+            },
+        )
+    };
+    let uniform = run_z(0.0);
+    let skewed = run_z(1.75);
+    assert!(
+        skewed.queries_per_second() > 1.5 * uniform.queries_per_second(),
+        "skew should raise throughput: {} -> {}",
+        uniform.queries_per_second(),
+        skewed.queries_per_second()
+    );
+    assert!(skewed.counters.l1_hit_rate() > uniform.counters.l1_hit_rate());
+}
+
+/// §5.2.3 / Fig. 9: NVLink favours the INLJ relative to PCI-e.
+#[test]
+fn nvlink_favours_index_lookups() {
+    let (r, s) = workload(48.0, 1 << 11);
+    let st = JoinStrategy::WindowedInlj {
+        index: IndexKind::RadixSpline,
+        window_tuples: 1 << 10,
+    };
+    let v100 = run(&GpuSpec::v100_nvlink2(Scale::PAPER), &r, &s, st);
+    let a100 = run(&GpuSpec::a100_pcie4(Scale::PAPER), &r, &s, st);
+    assert!(
+        v100.queries_per_second() > a100.queries_per_second(),
+        "INLJ should be faster over NVLink: {} vs {}",
+        v100.queries_per_second(),
+        a100.queries_per_second()
+    );
+}
+
+/// The simulation is deterministic: identical runs produce identical
+/// counters and identical estimates.
+#[test]
+fn runs_are_deterministic() {
+    let (r, s) = workload(16.0, 1 << 10);
+    let st = JoinStrategy::WindowedInlj {
+        index: IndexKind::Harmonia,
+        window_tuples: 256,
+    };
+    let a = run(&v100(), &r, &s, st);
+    let b = run(&v100(), &r, &s, st);
+    assert_eq!(a.counters, b.counters);
+    assert_eq!(a.time.total_s.to_bits(), b.time.total_s.to_bits());
+}

@@ -1,0 +1,195 @@
+//! Property-based cross-crate invariants (proptest).
+
+use proptest::collection::vec as pvec;
+use proptest::prelude::*;
+use std::rc::Rc;
+use windex::prelude::*;
+use windex_core::strategy::{BuiltIndex, IndexConfigs};
+use windex_core::WindowConfig;
+use windex_join::{hash_join, inlj_stream, HashJoinConfig, RadixPartitioner, ResultSink};
+
+fn gpu() -> Gpu {
+    Gpu::new(GpuSpec::v100_nvlink2(Scale::PAPER))
+}
+
+/// Strategy for a sorted-unique key column (bounded so u64::MAX never
+/// appears — it is the reserved sentinel).
+fn sorted_keys(max_len: usize) -> impl Strategy<Value = Vec<u64>> {
+    pvec(1u64..1 << 40, 1..max_len).prop_map(|mut v| {
+        v.sort_unstable();
+        v.dedup();
+        v
+    })
+}
+
+fn index_kind() -> impl Strategy<Value = IndexKind> {
+    prop_oneof![
+        Just(IndexKind::BinarySearch),
+        Just(IndexKind::BPlusTree),
+        Just(IndexKind::Harmonia),
+        Just(IndexKind::RadixSpline),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every index answers membership exactly: present keys return their
+    /// position, absent keys return None.
+    #[test]
+    fn indexes_answer_membership_exactly(
+        keys in sorted_keys(600),
+        probes in pvec(0u64..1 << 41, 1..120),
+        kind in index_kind(),
+    ) {
+        let mut g = gpu();
+        let col = Rc::new(g.alloc_from_vec(MemLocation::Cpu, keys.clone()));
+        let idx = BuiltIndex::build(&mut g, kind, &col, &IndexConfigs::default());
+        for p in probes {
+            let expect = keys.binary_search(&p).ok().map(|i| i as u64);
+            prop_assert_eq!(idx.as_dyn().lookup(&mut g, p), expect);
+        }
+    }
+
+    /// The radix partitioner is a permutation: same multiset of (key, rid)
+    /// pairs out, each in its correct partition, partitions contiguous.
+    #[test]
+    fn partitioner_is_a_permutation(
+        keys in pvec(0u64..1 << 30, 1..800),
+        shift in 0u32..20,
+        bits in 1u32..8,
+    ) {
+        let mut g = gpu();
+        let buf = g.alloc_from_vec(MemLocation::Cpu, keys.clone());
+        let pb = PartitionBits { shift, bits };
+        let part = RadixPartitioner::new(pb, 0);
+        let out = part.partition_stream(&mut g, &buf, 0..keys.len());
+        prop_assert_eq!(out.len(), keys.len());
+        // rids form a permutation of 0..n and map back to their keys.
+        let mut seen = vec![false; keys.len()];
+        for p in 0..out.partitions() {
+            for i in out.offsets[p]..out.offsets[p + 1] {
+                let k = out.pairs.host()[i * 2];
+                let rid = out.pairs.host()[i * 2 + 1] as usize;
+                prop_assert!(!seen[rid]);
+                seen[rid] = true;
+                prop_assert_eq!(keys[rid], k);
+                prop_assert_eq!(pb.partition_of(k, 0), p);
+            }
+        }
+        prop_assert!(seen.into_iter().all(|b| b));
+    }
+
+    /// Windowed INLJ ≡ plain INLJ for any window size and index: the
+    /// paper's operator is a pure optimization, never a semantic change.
+    #[test]
+    fn windowed_inlj_is_semantically_transparent(
+        keys in sorted_keys(500),
+        n_probes in 1usize..200,
+        window in 1usize..300,
+        kind in index_kind(),
+        seed in 0u64..1000,
+    ) {
+        let r = Relation::from_keys(keys, true);
+        let s = Relation::foreign_keys_uniform(&r, n_probes, seed);
+
+        let mut g = gpu();
+        let col = Rc::new(g.alloc_from_vec(MemLocation::Cpu, r.keys().to_vec()));
+        let idx = BuiltIndex::build(&mut g, kind, &col, &IndexConfigs::default());
+        let s_col = g.alloc_from_vec(MemLocation::Cpu, s.keys().to_vec());
+
+        let mut direct = ResultSink::with_capacity(&mut g, s.len(), MemLocation::Gpu);
+        inlj_stream(&mut g, idx.as_dyn(), &s_col, 0..s.len(), &mut direct);
+
+        let mut windowed = ResultSink::with_capacity(&mut g, s.len(), MemLocation::Gpu);
+        let bits = QueryExecutor::new().resolve_bits(&g, &r);
+        let cfg = WindowConfig {
+            window_tuples: window,
+            bits,
+            min_key: r.min_key().unwrap_or(0),
+        };
+        windex_core::windowed_inlj(&mut g, idx.as_dyn(), &s_col, 0..s.len(), cfg, &mut windowed);
+
+        let mut a = direct.host_pairs();
+        let mut b = windowed.host_pairs();
+        a.sort_unstable();
+        b.sort_unstable();
+        prop_assert_eq!(a, b);
+    }
+
+    /// The hash join over arbitrary (duplicate-laden) inputs produces
+    /// exactly the reference cross-match multiset.
+    #[test]
+    fn hash_join_matches_reference_multiset(
+        build in pvec(0u64..48, 1..200),
+        probe in pvec(0u64..64, 1..200),
+    ) {
+        let mut g = gpu();
+        let bb = g.alloc_from_vec(MemLocation::Cpu, build.clone());
+        let pb = g.alloc_from_vec(MemLocation::Cpu, probe.clone());
+        let expected: Vec<(u64, u64)> = {
+            let mut v = Vec::new();
+            for (pi, pk) in probe.iter().enumerate() {
+                for (bi, bk) in build.iter().enumerate() {
+                    if pk == bk {
+                        v.push((pi as u64, bi as u64));
+                    }
+                }
+            }
+            v.sort_unstable();
+            v
+        };
+        let mut sink = ResultSink::with_capacity(&mut g, expected.len().max(1), MemLocation::Gpu);
+        let stats = hash_join(&mut g, &bb, &pb, HashJoinConfig::default(), &mut sink);
+        prop_assert_eq!(stats.matches, expected.len());
+        let mut got = sink.host_pairs();
+        got.sort_unstable();
+        prop_assert_eq!(got, expected);
+    }
+
+    /// The multi-value hash table stores and retrieves exact multisets.
+    #[test]
+    fn hash_table_multiset_semantics(
+        pairs in pvec((0u64..64, 0u64..1 << 20), 1..500),
+        max_block in 1usize..64,
+    ) {
+        let mut g = gpu();
+        let cfg = windex_join::HashTableConfig { load_factor: 0.5, max_block };
+        let mut t = MultiValueHashTable::new(&mut g, pairs.len(), cfg);
+        for &(k, v) in &pairs {
+            t.insert(&mut g, k, v);
+        }
+        for probe_key in 0u64..64 {
+            let mut got = Vec::new();
+            t.probe(&mut g, probe_key, |_, v| got.push(v));
+            let mut expect: Vec<u64> = pairs
+                .iter()
+                .filter(|(k, _)| *k == probe_key)
+                .map(|(_, v)| *v)
+                .collect();
+            got.sort_unstable();
+            expect.sort_unstable();
+            prop_assert_eq!(got, expect, "key {}", probe_key);
+        }
+    }
+
+    /// Zipf sampling with exponent 0 over any domain stays in bounds and is
+    /// deterministic under a fixed seed.
+    #[test]
+    fn zipf_sampler_domain_and_determinism(
+        n in 1u64..100_000,
+        e in 0.0f64..2.0,
+        seed in 0u64..1 << 32,
+    ) {
+        use rand::{rngs::StdRng, SeedableRng};
+        let z = ZipfSampler::new(n, e);
+        let mut r1 = StdRng::seed_from_u64(seed);
+        let mut r2 = StdRng::seed_from_u64(seed);
+        for _ in 0..50 {
+            let a = z.sample(&mut r1);
+            let b = z.sample(&mut r2);
+            prop_assert!(a >= 1 && a <= n);
+            prop_assert_eq!(a, b);
+        }
+    }
+}
