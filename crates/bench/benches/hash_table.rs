@@ -17,18 +17,18 @@ fn bench_hash_table(c: &mut Criterion) {
     group.bench_function("build", |b| {
         b.iter(|| {
             let mut gpu = Gpu::new(GpuSpec::v100_nvlink2(Scale::PAPER));
-            let mut t = MultiValueHashTable::new(&mut gpu, n, HashTableConfig::default());
+            let mut t = MultiValueHashTable::new(&mut gpu, n, HashTableConfig::default()).unwrap();
             for (i, &k) in s.keys().iter().enumerate() {
-                t.insert(&mut gpu, k, i as u64);
+                t.insert(&mut gpu, k, i as u64).unwrap();
             }
             black_box(t.len())
         })
     });
 
     let mut gpu = Gpu::new(GpuSpec::v100_nvlink2(Scale::PAPER));
-    let mut t = MultiValueHashTable::new(&mut gpu, n, HashTableConfig::default());
+    let mut t = MultiValueHashTable::new(&mut gpu, n, HashTableConfig::default()).unwrap();
     for (i, &k) in s.keys().iter().enumerate() {
-        t.insert(&mut gpu, k, i as u64);
+        t.insert(&mut gpu, k, i as u64).unwrap();
     }
     group.bench_function("probe", |b| {
         b.iter(|| {

@@ -7,7 +7,7 @@ use std::hint::black_box;
 use std::rc::Rc;
 use windex_core::strategy::{BuiltIndex, IndexConfigs};
 use windex_index::IndexKind;
-use windex_sim::{Gpu, GpuSpec, MemLocation, Scale, WARP_SIZE};
+use windex_sim::{Gpu, GpuSpec, Scale, WARP_SIZE};
 use windex_workload::{KeyDistribution, Relation};
 
 fn bench_lookups(c: &mut Criterion) {
@@ -20,7 +20,7 @@ fn bench_lookups(c: &mut Criterion) {
     group.throughput(Throughput::Elements(probes as u64));
     for kind in IndexKind::all() {
         let mut gpu = Gpu::new(GpuSpec::v100_nvlink2(Scale::PAPER));
-        let col = Rc::new(gpu.alloc_from_vec(MemLocation::Cpu, r.keys().to_vec()));
+        let col = Rc::new(gpu.alloc_host_from_vec(r.keys().to_vec()));
         let idx = BuiltIndex::build(&mut gpu, kind, &col, &IndexConfigs::default());
         group.bench_function(kind.name(), |b| {
             b.iter_batched(

@@ -3,7 +3,7 @@
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use std::hint::black_box;
 use windex_join::{PartitionBits, RadixPartitioner};
-use windex_sim::{Gpu, GpuSpec, MemLocation, Scale};
+use windex_sim::{Gpu, GpuSpec, Scale};
 use windex_workload::{KeyDistribution, Relation};
 
 fn bench_partition(c: &mut Criterion) {
@@ -15,11 +15,11 @@ fn bench_partition(c: &mut Criterion) {
     group.throughput(Throughput::Elements(n as u64));
     for bits in [4u32, 8, 11] {
         let mut gpu = Gpu::new(GpuSpec::v100_nvlink2(Scale::PAPER));
-        let buf = gpu.alloc_from_vec(MemLocation::Cpu, s.keys().to_vec());
+        let buf = gpu.alloc_host_from_vec(s.keys().to_vec());
         let part = RadixPartitioner::new(PartitionBits { shift: 4, bits }, 0);
         group.bench_function(format!("{}_partitions", 1 << bits), |b| {
             b.iter(|| {
-                let out = part.partition_stream(&mut gpu, &buf, 0..n);
+                let out = part.partition_stream(&mut gpu, &buf, 0..n).unwrap();
                 black_box(out.len())
             })
         });

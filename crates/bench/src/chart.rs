@@ -48,9 +48,9 @@ pub fn render_chart(exp: &Experiment) -> Option<String> {
     if flat.is_empty() {
         return None;
     }
-    let (y_lo, y_hi) = flat
-        .iter()
-        .fold((f64::INFINITY, 0.0f64), |(lo, hi), &v| (lo.min(v), hi.max(v)));
+    let (y_lo, y_hi) = flat.iter().fold((f64::INFINITY, 0.0f64), |(lo, hi), &v| {
+        (lo.min(v), hi.max(v))
+    });
     let (x_lo, x_hi) = (xs[0], *xs.last()?);
     if y_hi <= 0.0 || x_hi <= x_lo {
         return None;
@@ -69,7 +69,12 @@ pub fn render_chart(exp: &Experiment) -> Option<String> {
     }
 
     let mut out = String::new();
-    let _ = writeln!(out, "  {:>9.3} ┤{}", y_hi, grid[0].iter().collect::<String>());
+    let _ = writeln!(
+        out,
+        "  {:>9.3} ┤{}",
+        y_hi,
+        grid[0].iter().collect::<String>()
+    );
     for line in &grid[1..HEIGHT - 1] {
         let _ = writeln!(out, "  {:>9} │{}", "", line.iter().collect::<String>());
     }
@@ -79,12 +84,7 @@ pub fn render_chart(exp: &Experiment) -> Option<String> {
         y_lo,
         grid[HEIGHT - 1].iter().collect::<String>()
     );
-    let _ = writeln!(
-        out,
-        "  {:>9} └{}",
-        "",
-        "─".repeat(WIDTH)
-    );
+    let _ = writeln!(out, "  {:>9} └{}", "", "─".repeat(WIDTH));
     let _ = writeln!(
         out,
         "  {:>9}  {:<10}{:>x_pad$}",

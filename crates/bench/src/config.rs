@@ -33,7 +33,9 @@ impl ExpConfig {
         ExpConfig {
             scale: Scale::PAPER,
             s_tuples: 1 << 16,
-            sweep_gib: vec![0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 24.0, 32.0, 48.0, 64.0, 88.0, 111.0],
+            sweep_gib: vec![
+                0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 24.0, 32.0, 48.0, 64.0, 88.0, 111.0,
+            ],
             window_tuples: 1 << 12,
             fixed_r_gib: 100.0,
             out_dir: PathBuf::from("results"),
@@ -75,7 +77,11 @@ impl ExpConfig {
     /// Window sizes of the Fig. 7 sweep, in simulated tuples
     /// (paper: 2¹⁸–2²⁶ tuples = 2–512 MiB; scaled: 2⁸–2¹⁶).
     pub fn window_sweep(&self) -> Vec<usize> {
-        let range = if self.quick { (8..=16).step_by(2) } else { (8..=16).step_by(1) };
+        let range = if self.quick {
+            (8..=16).step_by(2)
+        } else {
+            (8..=16).step_by(1)
+        };
         range.map(|p| 1usize << p).collect()
     }
 }

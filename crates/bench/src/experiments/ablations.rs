@@ -19,7 +19,10 @@ pub fn ablation_bits(cfg: &ExpConfig) -> Experiment {
     };
     let auto = QueryExecutor::new().resolve_bits(&Gpu::new(spec.clone()), &r);
     let variants: Vec<(String, Option<PartitionBits>)> = vec![
-        (format!("§4.2 rule (shift {}, {} bits)", auto.shift, auto.bits), None),
+        (
+            format!("§4.2 rule (shift {}, {} bits)", auto.shift, auto.bits),
+            None,
+        ),
         (
             "paper fixed (shift 4, 11 bits)".into(),
             Some(PartitionBits { shift: 4, bits: 11 }),
@@ -30,7 +33,10 @@ pub fn ablation_bits(cfg: &ExpConfig) -> Experiment {
         ),
         (
             "too-high bits (shift 40, 11 bits)".into(),
-            Some(PartitionBits { shift: 40, bits: 11 }),
+            Some(PartitionBits {
+                shift: 40,
+                bits: 11,
+            }),
         ),
     ];
     let rows = variants
@@ -100,11 +106,9 @@ pub fn ablation_overlap(cfg: &ExpConfig) -> Experiment {
             "speedup".into(),
         ],
         rows,
-        notes: vec![
-            "Transfer/compute overlap on two CUDA streams keeps the \
+        notes: vec!["Transfer/compute overlap on two CUDA streams keeps the \
              interconnect busy while GPU-side kernels run (§5.1)."
-                .into(),
-        ],
+            .into()],
     }
 }
 
@@ -191,11 +195,7 @@ pub fn ablation_node_size(cfg: &ExpConfig) -> Experiment {
             "B+tree node size (windowed INLJ, R = {:.0} GiB)",
             cfg.fixed_r_gib
         ),
-        columns: vec![
-            "node size".into(),
-            "Q/s".into(),
-            "random B/lookup".into(),
-        ],
+        columns: vec!["node size".into(), "Q/s".into(), "random B/lookup".into()],
         rows,
         notes: vec![
             "§3.1: small nodes deepen the tree (more levels), large nodes \
@@ -254,7 +254,10 @@ pub fn ablation_keydist(cfg: &ExpConfig) -> Experiment {
     let mut rows = Vec::new();
     for (name, dist) in [
         ("dense (0..n)", KeyDistribution::Dense),
-        ("sparse uniform (avg gap 16)", KeyDistribution::SparseUniform),
+        (
+            "sparse uniform (avg gap 16)",
+            KeyDistribution::SparseUniform,
+        ),
     ] {
         let r = Relation::unique_sorted(n, dist, 42);
         let s = Relation::foreign_keys_uniform(&r, cfg.s_tuples, 7);
@@ -356,7 +359,10 @@ pub fn ablation_spill(cfg: &ExpConfig) -> Experiment {
         window_tuples: cfg.window_tuples,
     };
     let mut rows = Vec::new();
-    for (name, loc) in [("GPU memory", MemLocation::Gpu), ("CPU spill", MemLocation::Cpu)] {
+    for (name, loc) in [
+        ("GPU memory", MemLocation::Gpu),
+        ("CPU spill", MemLocation::Cpu),
+    ] {
         let mut ex = QueryExecutor::new();
         ex.result_location = loc;
         let rep = run_point_with(&spec, &r, &s, st, &ex);
@@ -378,12 +384,10 @@ pub fn ablation_spill(cfg: &ExpConfig) -> Experiment {
             "interconnect transfer (GiB)".into(),
         ],
         rows,
-        notes: vec![
-            "Spilling writes the (rid, position) pairs back across the \
+        notes: vec!["Spilling writes the (rid, position) pairs back across the \
              interconnect — 1 GiB for the 2^26-tuple result — a modest cost \
              that frees GPU memory for larger results (§3.2 footnote)."
-                .into(),
-        ],
+            .into()],
     }
 }
 
@@ -423,11 +427,7 @@ pub fn ablation_subwarp(cfg: &ExpConfig) -> Experiment {
             "Harmonia sub-warp width (windowed INLJ, R = {:.0} GiB)",
             cfg.fixed_r_gib
         ),
-        columns: vec![
-            "sub-warp".into(),
-            "Q/s".into(),
-            "warp ops/lookup".into(),
-        ],
+        columns: vec!["sub-warp".into(), "Q/s".into(), "warp ops/lookup".into()],
         rows,
         notes: vec![
             "In the out-of-core regime the traversal is memory-bound: the \

@@ -40,10 +40,7 @@ pub fn fig7(cfg: &ExpConfig) -> Experiment {
     }
     Experiment {
         id: "fig7".into(),
-        title: format!(
-            "Window-size sweep at R = {:.0} GiB (Q/s)",
-            cfg.fixed_r_gib
-        ),
+        title: format!("Window-size sweep at R = {:.0} GiB (Q/s)", cfg.fixed_r_gib),
         columns,
         rows,
         notes: vec![
@@ -74,11 +71,7 @@ mod tests {
         let exp = fig7(&cfg);
         // RadixSpline column (last): min and max within ~3x (generous band
         // for the reduced probe size).
-        let vals: Vec<f64> = exp
-            .rows
-            .iter()
-            .map(|r| r[4].as_f64().unwrap())
-            .collect();
+        let vals: Vec<f64> = exp.rows.iter().map(|r| r[4].as_f64().unwrap()).collect();
         let lo = vals.iter().cloned().fold(f64::INFINITY, f64::min);
         let hi = vals.iter().cloned().fold(0.0, f64::max);
         // The reduced probe size exaggerates the smallest window's

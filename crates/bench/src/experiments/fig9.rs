@@ -80,7 +80,8 @@ pub fn fig9(cfg: &ExpConfig) -> Experiment {
         hash_a / hash_v
     ));
     for (pi, (plat, _)) in specs.iter().enumerate() {
-        let s_tuples_gib = (cfg.s_tuples as u64 * 8 * cfg.scale.factor) as f64 / (1u64 << 30) as f64;
+        let s_tuples_gib =
+            (cfg.s_tuples as u64 * 8 * cfg.scale.factor) as f64 / (1u64 << 30) as f64;
         match crossover_gib(&series[pi][2], &series[pi][0]) {
             Some(x) => notes.push(format!(
                 "{plat}: RadixSpline INLJ overtakes the hash join at ~{x:.1} GiB \
@@ -129,6 +130,9 @@ mod tests {
         );
         // Known model deviation documented in the notes: the A100 hash join
         // is PCIe-scan-bound here, not 1.7x faster as the paper claims.
-        assert!(exp.notes.iter().any(|n| n.contains("Known model deviation")));
+        assert!(exp
+            .notes
+            .iter()
+            .any(|n| n.contains("Known model deviation")));
     }
 }

@@ -127,7 +127,10 @@ mod tests {
         );
         // Harmonia (column 4) thrashes less than binary search.
         let h_large = fig4.rows[1][4].as_f64().unwrap();
-        assert!(h_large < bs_large, "harmonia {h_large} vs binsearch {bs_large}");
+        assert!(
+            h_large < bs_large,
+            "harmonia {h_large} vs binsearch {bs_large}"
+        );
     }
 
     #[test]

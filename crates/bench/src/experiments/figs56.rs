@@ -32,10 +32,7 @@ pub fn partitioned_sweep(cfg: &ExpConfig) -> Vec<(f64, Vec<QueryReport>)> {
 
 /// Build Fig. 5: throughput with partitioned keys, hash join as reference.
 /// `hash` supplies the per-size hash-join reports (from the Fig. 3 sweep).
-pub fn fig5_from(
-    part: &[(f64, Vec<QueryReport>)],
-    hash: &[(f64, QueryReport)],
-) -> Experiment {
+pub fn fig5_from(part: &[(f64, Vec<QueryReport>)], hash: &[(f64, QueryReport)]) -> Experiment {
     let mut columns = vec!["R (GiB)".to_string(), "Q/s hash-join".to_string()];
     for k in IndexKind::all() {
         columns.push(format!("Q/s part-inlj({k})"));

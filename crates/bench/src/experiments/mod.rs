@@ -49,7 +49,12 @@ pub fn a100(cfg: &ExpConfig) -> GpuSpec {
 }
 
 /// Run one query point with default executor settings on a fresh GPU.
-pub fn run_point(spec: &GpuSpec, r: &Relation, s: &Relation, strategy: JoinStrategy) -> QueryReport {
+pub fn run_point(
+    spec: &GpuSpec,
+    r: &Relation,
+    s: &Relation,
+    strategy: JoinStrategy,
+) -> QueryReport {
     run_point_with(spec, r, s, strategy, &QueryExecutor::new())
 }
 

@@ -90,12 +90,16 @@ pub fn summary(cfg: &ExpConfig) -> Experiment {
             json!("up to 12x"),
         ],
         vec![
-            json!(format!("TLB throughput drop undone at {biggest_gib:.0} GiB (binary search)")),
+            json!(format!(
+                "TLB throughput drop undone at {biggest_gib:.0} GiB (binary search)"
+            )),
             num(tlb_drop),
             json!("up to 16.7x"),
         ],
         vec![
-            json!(format!("best INLJ speedup over hash join at {biggest_gib:.0} GiB")),
+            json!(format!(
+                "best INLJ speedup over hash join at {biggest_gib:.0} GiB"
+            )),
             num(speedup),
             json!("3-10x"),
         ],

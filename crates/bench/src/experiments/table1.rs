@@ -21,9 +21,7 @@ pub fn table1() -> Experiment {
         title: "Overview of interconnect receive bandwidth".into(),
         columns: vec!["GPU".into(), "Interconnect".into(), "Bandwidth".into()],
         rows,
-        notes: vec![
-            "Values are the receive bandwidths listed in Table 1 of the paper.".into(),
-        ],
+        notes: vec!["Values are the receive bandwidths listed in Table 1 of the paper.".into()],
     }
 }
 

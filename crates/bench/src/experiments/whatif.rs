@@ -59,7 +59,9 @@ pub fn whatif_gh200(cfg: &ExpConfig) -> Experiment {
     )];
     for (pi, (plat, _)) in specs.iter().enumerate() {
         if let Some(x) = crossover_gib(&series[pi][1], &series[pi][0]) {
-            notes.push(format!("{plat}: INLJ overtakes the hash join at ~{x:.1} GiB"));
+            notes.push(format!(
+                "{plat}: INLJ overtakes the hash join at ~{x:.1} GiB"
+            ));
         }
     }
 

@@ -98,7 +98,15 @@ impl Experiment {
                 s.to_string()
             }
         };
-        let _ = writeln!(out, "{}", self.columns.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
+        let _ = writeln!(
+            out,
+            "{}",
+            self.columns
+                .iter()
+                .map(|c| esc(c))
+                .collect::<Vec<_>>()
+                .join(",")
+        );
         for row in &self.rows {
             let cells: Vec<String> = row
                 .iter()
@@ -156,10 +164,7 @@ mod tests {
             id: "figX".into(),
             title: "sample".into(),
             columns: vec!["x".into(), "a".into()],
-            rows: vec![
-                vec![json!(1), num(0.5)],
-                vec![json!(2), Value::Null],
-            ],
+            rows: vec![vec![json!(1), num(0.5)], vec![json!(2), Value::Null]],
             notes: vec!["a note".into()],
         }
     }

@@ -1,0 +1,112 @@
+//! The unified error hierarchy of the query engine.
+//!
+//! Every failure reachable from the public API is a value of
+//! [`WindexError`]: simulator faults and capacity errors bubble up from
+//! [`windex_sim`], operator errors from [`windex_join`], and query-level
+//! validation failures originate here. Nothing on a public path panics —
+//! the engine degrades (see [`session`](crate::session)) or returns one of
+//! these.
+
+use crate::query::QueryError;
+use serde::Serialize;
+use windex_join::JoinError;
+use windex_sim::SimError;
+
+/// Any error the query engine can return.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub enum WindexError {
+    /// A simulator fault or capacity error that survived retries and
+    /// degradation.
+    Sim(SimError),
+    /// A join-operator error.
+    Join(JoinError),
+    /// A query-level validation error.
+    Query(QueryError),
+    /// Invalid engine or operator configuration.
+    InvalidConfig(&'static str),
+    /// An operation was issued against an operator in the wrong state
+    /// (e.g. pushing into a finished streaming join).
+    InvalidState(&'static str),
+}
+
+impl WindexError {
+    /// Whether retrying the failed operation may succeed.
+    pub fn is_transient(&self) -> bool {
+        match self {
+            WindexError::Sim(e) => e.is_transient(),
+            WindexError::Join(e) => e.is_transient(),
+            _ => false,
+        }
+    }
+
+    /// Whether this is a device-memory-capacity error — the trigger for the
+    /// session's degradation ladder.
+    pub fn is_capacity(&self) -> bool {
+        matches!(
+            self,
+            WindexError::Sim(SimError::OutOfDeviceMemory { .. })
+                | WindexError::Join(JoinError::Sim(SimError::OutOfDeviceMemory { .. }))
+        )
+    }
+}
+
+impl From<SimError> for WindexError {
+    fn from(e: SimError) -> Self {
+        WindexError::Sim(e)
+    }
+}
+
+impl From<JoinError> for WindexError {
+    fn from(e: JoinError) -> Self {
+        WindexError::Join(e)
+    }
+}
+
+impl From<QueryError> for WindexError {
+    fn from(e: QueryError) -> Self {
+        WindexError::Query(e)
+    }
+}
+
+impl std::fmt::Display for WindexError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WindexError::Sim(e) => write!(f, "simulator error: {e}"),
+            WindexError::Join(e) => write!(f, "join error: {e}"),
+            WindexError::Query(e) => write!(f, "query error: {e}"),
+            WindexError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            WindexError::InvalidState(msg) => write!(f, "invalid state: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for WindexError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_classification() {
+        let e: WindexError = SimError::AllocFault.into();
+        assert!(e.is_transient());
+        assert!(!e.is_capacity());
+        let e: WindexError = JoinError::Sim(SimError::OutOfDeviceMemory {
+            requested: 1,
+            live: 0,
+            budget: 0,
+        })
+        .into();
+        assert!(e.is_capacity());
+        assert!(!e.is_transient());
+        let e: WindexError = QueryError::ForeignKeyViolation.into();
+        assert_eq!(e, WindexError::Query(QueryError::ForeignKeyViolation));
+        assert!(!e.is_transient() && !e.is_capacity());
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let e = WindexError::InvalidConfig("window must hold at least one tuple");
+        assert!(e.to_string().contains("window must hold"));
+    }
+}

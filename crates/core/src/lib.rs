@@ -31,13 +31,15 @@
 
 #![warn(missing_docs)]
 
+pub mod error;
 pub mod query;
 pub mod session;
 pub mod strategy;
 pub mod streams;
 pub mod window;
 
-pub use query::{QueryError, QueryExecutor, QueryReport};
+pub use error::WindexError;
+pub use query::{DegradationEvent, QueryError, QueryExecutor, QueryReport};
 pub use session::QuerySession;
 pub use strategy::{BuiltIndex, IndexConfigs, JoinStrategy};
 pub use streams::StreamingWindowJoin;
@@ -45,7 +47,8 @@ pub use window::{windowed_inlj, WindowConfig, WindowStats};
 
 /// One-stop imports for downstream users.
 pub mod prelude {
-    pub use crate::query::{QueryError, QueryExecutor, QueryReport};
+    pub use crate::error::WindexError;
+    pub use crate::query::{DegradationEvent, QueryError, QueryExecutor, QueryReport};
     pub use crate::session::QuerySession;
     pub use crate::strategy::{BuiltIndex, IndexConfigs, JoinStrategy};
     pub use crate::streams::StreamingWindowJoin;

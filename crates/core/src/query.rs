@@ -12,14 +12,16 @@ use windex_sim::{Counters, Gpu, MemLocation, TimeBreakdown};
 use windex_workload::Relation;
 
 /// Errors from the query engine.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize)]
 pub enum QueryError {
     /// INLJ strategies require the indexed relation to be sorted and
     /// duplicate-free.
     IndexedRelationNotSorted,
-    /// The probe relation references keys outside the indexed domain in a
-    /// context that requires foreign-key integrity (currently unused by the
-    /// engine itself; kept for callers that validate workloads).
+    /// The probe relation references keys outside the indexed key domain.
+    /// Raised by [`QuerySession::new`](crate::session::QuerySession::new)
+    /// when [`QueryExecutor::validate_foreign_keys`] is set (the default):
+    /// the paper's workloads are foreign-key joins, so a probe key outside
+    /// `[min(R), max(R)]` indicates a malformed workload.
     ForeignKeyViolation,
 }
 
@@ -35,6 +37,39 @@ impl std::fmt::Display for QueryError {
 }
 
 impl std::error::Error for QueryError {}
+
+/// One step the engine took to keep a query running when device memory (or
+/// an injected fault) would otherwise have failed it. Events are recorded
+/// in [`QueryReport::degradations`] in the order they were applied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize)]
+pub enum DegradationEvent {
+    /// The windowed INLJ's tumbling window was halved so one window of
+    /// partitioned pairs fits the remaining device-memory headroom.
+    WindowShrunk {
+        /// Window capacity (probe tuples) before the shrink.
+        from: usize,
+        /// Window capacity after the shrink.
+        to: usize,
+    },
+    /// A fully-partitioned INLJ could not materialize the whole probe side
+    /// in device memory and was degraded to the windowed operator.
+    PartitionDegradedToWindow {
+        /// Window capacity chosen for the degraded plan.
+        window_tuples: usize,
+    },
+    /// The result sink was placed in (or spilled to) CPU memory instead of
+    /// the requested GPU memory.
+    ResultsSpilledToCpu,
+    /// The hash-join build side exceeded the device-memory headroom and was
+    /// built in multiple passes over chunks of the build relation.
+    HashBuildChunked {
+        /// Number of build/probe passes used.
+        passes: usize,
+    },
+    /// No index-join plan fit the device-memory budget; the engine fell
+    /// back to the (self-chunking) no-partitioning hash join.
+    FellBackToHashJoin,
+}
 
 /// Everything measured about one query run.
 #[derive(Debug, Clone, serde::Serialize)]
@@ -64,6 +99,20 @@ pub struct QueryReport {
     /// Auxiliary index footprint in simulated bytes (0 for hash join /
     /// binary search).
     pub index_aux_bytes: u64,
+    /// Degradation steps applied to complete this query under memory
+    /// pressure or injected faults, in application order. Empty for a
+    /// fault-free run that fit the device budget.
+    pub degradations: Vec<DegradationEvent>,
+    /// Operator retries performed during the measured region (bounded by
+    /// the simulator's retry policy; each retry's deterministic backoff is
+    /// charged to the cost model).
+    pub retries: u64,
+    /// Window capacity actually used, if the executed plan was windowed —
+    /// differs from the requested capacity after `WindowShrunk` events.
+    pub effective_window_tuples: Option<usize>,
+    /// Whether the materialized results ended up in CPU memory even though
+    /// GPU memory was requested.
+    pub result_spilled: bool,
 }
 
 impl QueryReport {
@@ -96,6 +145,11 @@ pub struct QueryExecutor {
     /// Flush TLB and caches before the measured run (paper methodology:
     /// each query is measured cold). Disable to study warm repetitions.
     pub cold_start: bool,
+    /// Verify at session creation that every probe key lies inside the
+    /// indexed relation's key domain (the paper's workloads are
+    /// foreign-key joins). Violations surface as
+    /// [`QueryError::ForeignKeyViolation`].
+    pub validate_foreign_keys: bool,
 }
 
 impl Default for QueryExecutor {
@@ -107,6 +161,7 @@ impl Default for QueryExecutor {
             partition_bits: None,
             hash_join: HashJoinConfig::default(),
             cold_start: true,
+            validate_foreign_keys: true,
         }
     }
 }
@@ -132,14 +187,17 @@ impl QueryExecutor {
     /// right semantics for independent sweep points. For repeated queries
     /// over the same data (or warm-cache studies) use
     /// [`QuerySession`](crate::session::QuerySession), to which this method
-    /// delegates.
+    /// delegates. The query completes by degrading (see
+    /// [`QueryReport::degradations`]) wherever possible; failures that
+    /// survive retries and degradation surface as typed
+    /// [`WindexError`](crate::error::WindexError)s — never panics.
     pub fn run(
         &self,
         gpu: &mut Gpu,
         r: &Relation,
         s: &Relation,
         strategy: JoinStrategy,
-    ) -> Result<QueryReport, QueryError> {
+    ) -> Result<QueryReport, crate::error::WindexError> {
         let mut session =
             crate::session::QuerySession::new(gpu, self.clone(), r.clone(), s.clone())?;
         session.run(gpu, strategy)
@@ -210,7 +268,10 @@ mod tests {
                 },
             )
             .unwrap_err();
-        assert_eq!(err, QueryError::IndexedRelationNotSorted);
+        assert_eq!(
+            err,
+            crate::error::WindexError::Query(QueryError::IndexedRelationNotSorted)
+        );
         // The hash join does not need sorted inputs.
         let report = ex.run(&mut g, &r, &s, JoinStrategy::HashJoin).unwrap();
         assert_eq!(report.result_tuples, 1);

@@ -1,4 +1,5 @@
-//! Query sessions: stage once, query many times.
+//! Query sessions: stage once, query many times — and keep every query
+//! running under memory pressure and injected faults.
 //!
 //! [`QueryExecutor::run`](crate::query::QueryExecutor::run) stages the
 //! relations and builds the index for every call — right for independent
@@ -7,16 +8,44 @@
 //! addresses, so nothing the previous run cached is ever reused). A
 //! [`QuerySession`] pins the staged relations and lazily builds one index
 //! per kind; repeated runs then share addresses, caches, and TLB state.
+//!
+//! # Degradation ladder
+//!
+//! Before the measured region, [`run`](QuerySession::run) performs an
+//! *admission check*: the staging footprint of the requested plan (one
+//! window of partitioned pairs, or the fully-materialized probe side, plus
+//! the result sink) is compared against the device-memory headroom. If the
+//! plan does not fit — or device memory runs out mid-query — the session
+//! degrades it one rung at a time instead of failing:
+//!
+//! 1. **Shrink the window** — halve the windowed INLJ's tumbling window
+//!    (down to [`MIN_WINDOW_TUPLES`]); a fully-partitioned INLJ first
+//!    degrades to the windowed operator.
+//! 2. **Spill results to CPU** — place the result sink in CPU memory.
+//! 3. **Fall back to the hash join** — the no-partitioning hash join
+//!    chunks its own build side to fit the budget.
+//!
+//! Every step is recorded in
+//! [`QueryReport::degradations`](crate::query::QueryReport::degradations),
+//! so a degraded run is distinguishable from a fault-free one while
+//! producing the same result tuples.
 
-use crate::query::{QueryError, QueryExecutor, QueryReport};
+use crate::error::WindexError;
+use crate::query::{DegradationEvent, QueryError, QueryExecutor, QueryReport};
 use crate::strategy::{BuiltIndex, JoinStrategy};
 use crate::window::{windowed_inlj, WindowConfig};
 use std::collections::HashMap;
 use std::rc::Rc;
 use windex_index::IndexKind;
-use windex_join::{hash_join, inlj_pairs, inlj_stream, PartitionBits, RadixPartitioner, ResultSink};
-use windex_sim::{Buffer, CostModel, Gpu};
+use windex_join::{
+    hash_join, inlj_pairs, inlj_stream, PartitionBits, RadixPartitioner, ResultSink,
+};
+use windex_sim::{Buffer, CostModel, Gpu, MemLocation};
 use windex_workload::{join_selectivity, Relation};
+
+/// Smallest window the degradation ladder will shrink to before moving to
+/// the next rung (one warp of probe tuples).
+pub const MIN_WINDOW_TUPLES: usize = 32;
 
 /// Staged relations plus lazily-built indexes for repeated querying.
 #[derive(Debug)]
@@ -34,14 +63,35 @@ impl QuerySession {
     /// Stage `r` and `s` in CPU memory under the given executor settings.
     /// `r` may be unsorted only if the session will run nothing but hash
     /// joins; index strategies verify sortedness at [`run`](Self::run).
+    ///
+    /// When [`QueryExecutor::validate_foreign_keys`] is set (the default),
+    /// every probe key must lie inside the indexed relation's key domain
+    /// `[min(R), max(R)]`; violations return
+    /// [`QueryError::ForeignKeyViolation`].
     pub fn new(
         gpu: &mut Gpu,
         executor: QueryExecutor,
         r: Relation,
         s: Relation,
-    ) -> Result<Self, QueryError> {
-        let r_col = Rc::new(gpu.alloc_from_vec(windex_sim::MemLocation::Cpu, r.keys().to_vec()));
-        let s_col = gpu.alloc_from_vec(windex_sim::MemLocation::Cpu, s.keys().to_vec());
+    ) -> Result<Self, WindexError> {
+        if executor.validate_foreign_keys {
+            match (r.min_key(), r.max_key()) {
+                (Some(lo), Some(hi)) => {
+                    if s.keys().iter().any(|&k| k < lo || k > hi) {
+                        return Err(QueryError::ForeignKeyViolation.into());
+                    }
+                }
+                // An empty indexed relation has an empty key domain: any
+                // probe key at all is outside it.
+                _ => {
+                    if !s.keys().is_empty() {
+                        return Err(QueryError::ForeignKeyViolation.into());
+                    }
+                }
+            }
+        }
+        let r_col = Rc::new(gpu.alloc_host_from_vec(r.keys().to_vec()));
+        let s_col = gpu.alloc_host_from_vec(s.keys().to_vec());
         let bits = executor.resolve_bits(gpu, &r);
         Ok(QuerySession {
             executor,
@@ -72,76 +122,222 @@ impl QuerySession {
             .or_insert_with(|| BuiltIndex::build(gpu, kind, &self.r_col, &configs))
     }
 
+    fn page_round(page: u64, bytes: u64) -> u64 {
+        bytes.div_ceil(page).max(1) * page
+    }
+
+    /// Device bytes the plan needs to stage before any query work runs:
+    /// the partitioner's staging + output pairs (16 B per tuple each) for
+    /// one window (or the whole probe side), plus the result sink if it
+    /// lives in GPU memory. Reservations are page-rounded exactly like the
+    /// allocator rounds them.
+    fn staging_footprint(&self, gpu: &Gpu, plan: JoinStrategy, sink_loc: MemLocation) -> u64 {
+        let page = gpu.spec().page_bytes;
+        let n = self.s_col.len().max(1) as u64;
+        let pair_bufs = |tuples: u64| 2 * Self::page_round(page, tuples * 16);
+        let stage = match plan {
+            // The hash join plans its own build chunking against the live
+            // headroom; the INLJ streams probe keys without staging.
+            JoinStrategy::HashJoin | JoinStrategy::Inlj { .. } => 0,
+            JoinStrategy::PartitionedInlj { .. } => pair_bufs(n),
+            JoinStrategy::WindowedInlj { window_tuples, .. } => {
+                pair_bufs((window_tuples as u64).min(n))
+            }
+        };
+        let sink = match sink_loc {
+            MemLocation::Gpu => Self::page_round(page, n * 16),
+            MemLocation::Cpu => 0,
+        };
+        stage + sink
+    }
+
+    /// Apply one rung of the degradation ladder to `plan` / `sink_loc`.
+    /// Returns `false` when no further degradation exists (the plan is
+    /// already the CPU-sink hash join).
+    fn degrade(
+        plan: &mut JoinStrategy,
+        sink_loc: &mut MemLocation,
+        probe_tuples: usize,
+        events: &mut Vec<DegradationEvent>,
+    ) -> bool {
+        match *plan {
+            JoinStrategy::WindowedInlj {
+                index,
+                window_tuples,
+            } if window_tuples > MIN_WINDOW_TUPLES => {
+                let to = (window_tuples / 2).max(MIN_WINDOW_TUPLES);
+                events.push(DegradationEvent::WindowShrunk {
+                    from: window_tuples,
+                    to,
+                });
+                *plan = JoinStrategy::WindowedInlj {
+                    index,
+                    window_tuples: to,
+                };
+                true
+            }
+            JoinStrategy::PartitionedInlj { index } => {
+                let window_tuples = (probe_tuples / 2).max(MIN_WINDOW_TUPLES);
+                events.push(DegradationEvent::PartitionDegradedToWindow { window_tuples });
+                *plan = JoinStrategy::WindowedInlj {
+                    index,
+                    window_tuples,
+                };
+                true
+            }
+            _ if *sink_loc == MemLocation::Gpu => {
+                events.push(DegradationEvent::ResultsSpilledToCpu);
+                *sink_loc = MemLocation::Cpu;
+                true
+            }
+            JoinStrategy::WindowedInlj { .. } | JoinStrategy::Inlj { .. } => {
+                events.push(DegradationEvent::FellBackToHashJoin);
+                *plan = JoinStrategy::HashJoin;
+                true
+            }
+            JoinStrategy::HashJoin => false,
+        }
+    }
+
     /// Run one query over the staged data. Identical measurement semantics
     /// to [`QueryExecutor::run`], except that staging and index builds are
     /// shared across calls — so with `cold_start = false`, repeated runs
     /// genuinely reuse TLB and cache state.
-    pub fn run(&mut self, gpu: &mut Gpu, strategy: JoinStrategy) -> Result<QueryReport, QueryError> {
+    ///
+    /// Under memory pressure or injected faults the plan is degraded (see
+    /// the [module docs](self)) rather than failed; every step lands in
+    /// [`QueryReport::degradations`]. Device buffers allocated by the run
+    /// are released before it returns, so repeated runs are budget-stable.
+    pub fn run(
+        &mut self,
+        gpu: &mut Gpu,
+        strategy: JoinStrategy,
+    ) -> Result<QueryReport, WindexError> {
         if let Some(kind) = strategy.index_kind() {
             if !self.r.is_sorted_unique() {
-                return Err(QueryError::IndexedRelationNotSorted);
+                return Err(QueryError::IndexedRelationNotSorted.into());
             }
             self.index(gpu, kind); // ensure built before the measured region
         }
-        let mut sink =
-            ResultSink::with_capacity(gpu, self.s.len().max(1), self.executor.result_location);
         let min_key = self.r.min_key().unwrap_or(0);
         let bits = self.bits;
+        let n = self.s_col.len();
+        let mut degradations = Vec::new();
+        let mut plan = strategy;
+        let mut sink_loc = self.executor.result_location;
 
-        // ---- measured region ----
-        if self.executor.cold_start {
-            gpu.reset_memory_system();
-        }
-        let before = gpu.snapshot();
-        let mut windows = 0;
-        let result_tuples = match strategy {
-            JoinStrategy::HashJoin => {
-                let stats = if self.s_col.len() <= self.r_col.len() {
-                    hash_join(gpu, &self.s_col, &self.r_col, self.executor.hash_join, &mut sink)
-                } else {
-                    hash_join(gpu, &self.r_col, &self.s_col, self.executor.hash_join, &mut sink)
-                };
-                stats.matches
+        let (result_tuples, windows, build_passes, delta, sink) = loop {
+            // Admission check: degrade until the staging footprint fits the
+            // device-memory headroom (or the ladder bottoms out at the
+            // CPU-sink hash join, whose footprint is zero).
+            while self.staging_footprint(gpu, plan, sink_loc) > gpu.gpu_headroom() {
+                if !Self::degrade(&mut plan, &mut sink_loc, n, &mut degradations) {
+                    break;
+                }
             }
-            JoinStrategy::Inlj { index } => {
-                let idx = self.built[&index].as_dyn();
-                inlj_stream(gpu, idx, &self.s_col, 0..self.s_col.len(), &mut sink)
+            let mut sink = ResultSink::with_capacity(gpu, self.s.len().max(1), sink_loc)?;
+
+            // ---- measured region ----
+            if self.executor.cold_start {
+                gpu.reset_memory_system();
             }
-            JoinStrategy::PartitionedInlj { index } => {
-                let idx = self.built[&index].as_dyn();
-                let part = RadixPartitioner::new(bits, min_key);
-                let all = part.partition_stream(gpu, &self.s_col, 0..self.s_col.len());
-                inlj_pairs(gpu, idx, &all.pairs, 0..all.len(), &mut sink)
-            }
-            JoinStrategy::WindowedInlj { index, window_tuples } => {
-                let idx = self.built[&index].as_dyn();
-                let cfg = WindowConfig {
+            let before = gpu.snapshot();
+            let mut windows = 0;
+            let mut build_passes = 1;
+            let outcome: Result<usize, WindexError> = match plan {
+                JoinStrategy::HashJoin => {
+                    let (build, probe) = if self.s_col.len() <= self.r_col.len() {
+                        (&self.s_col, &*self.r_col)
+                    } else {
+                        (&*self.r_col, &self.s_col)
+                    };
+                    hash_join(gpu, build, probe, self.executor.hash_join, &mut sink)
+                        .map(|stats| {
+                            build_passes = stats.build_passes;
+                            stats.matches
+                        })
+                        .map_err(WindexError::from)
+                }
+                JoinStrategy::Inlj { index } => {
+                    let idx = self.built[&index].as_dyn();
+                    inlj_stream(gpu, idx, &self.s_col, 0..n, &mut sink).map_err(WindexError::from)
+                }
+                JoinStrategy::PartitionedInlj { index } => {
+                    let idx = self.built[&index].as_dyn();
+                    let part = RadixPartitioner::new(bits, min_key);
+                    match part.partition_stream(gpu, &self.s_col, 0..n) {
+                        Ok(all) => {
+                            let probed = inlj_pairs(gpu, idx, &all.pairs, 0..all.len(), &mut sink);
+                            all.free(gpu);
+                            probed.map_err(WindexError::from)
+                        }
+                        Err(e) => Err(e.into()),
+                    }
+                }
+                JoinStrategy::WindowedInlj {
+                    index,
                     window_tuples,
-                    bits,
-                    min_key,
-                };
-                let stats =
-                    windowed_inlj(gpu, idx, &self.s_col, 0..self.s_col.len(), cfg, &mut sink);
-                windows = stats.windows;
-                stats.matches
+                } => {
+                    let idx = self.built[&index].as_dyn();
+                    let cfg = WindowConfig {
+                        window_tuples,
+                        bits,
+                        min_key,
+                    };
+                    windowed_inlj(gpu, idx, &self.s_col, 0..n, cfg, &mut sink).map(|stats| {
+                        windows = stats.windows;
+                        stats.matches
+                    })
+                }
+            };
+            let after = gpu.snapshot();
+            // ---- end measured region ----
+            match outcome {
+                Ok(result_tuples) => {
+                    break (result_tuples, windows, build_passes, after - before, sink);
+                }
+                Err(e) => {
+                    sink.free(gpu);
+                    if e.is_capacity()
+                        && Self::degrade(&mut plan, &mut sink_loc, n, &mut degradations)
+                    {
+                        continue;
+                    }
+                    return Err(e);
+                }
             }
         };
-        let delta = gpu.snapshot() - before;
-        // ---- end measured region ----
+
+        if build_passes > 1 {
+            degradations.push(DegradationEvent::HashBuildChunked {
+                passes: build_passes,
+            });
+        }
+        if sink.spill_count() > 0 && !degradations.contains(&DegradationEvent::ResultsSpilledToCpu)
+        {
+            degradations.push(DegradationEvent::ResultsSpilledToCpu);
+        }
+        let result_spilled = sink.location() == MemLocation::Cpu
+            && self.executor.result_location == MemLocation::Gpu;
+        sink.free(gpu);
 
         let effective_overlap = self.executor.overlap
-            && match strategy {
+            && match plan {
                 JoinStrategy::WindowedInlj { .. } => windows >= 2,
                 _ => true,
             };
         let cm = CostModel::new(gpu.spec());
         let time = cm.estimate(&delta, effective_overlap);
-        let index_aux_bytes = strategy
+        let index_aux_bytes = plan
             .index_kind()
             .map_or(0, |k| self.built[&k].as_dyn().aux_bytes());
+        let effective_window_tuples = match plan {
+            JoinStrategy::WindowedInlj { window_tuples, .. } => Some(window_tuples),
+            _ => None,
+        };
         Ok(QueryReport {
-            strategy: strategy.label(),
-            index: strategy.index_kind(),
+            strategy: plan.label(),
+            index: plan.index_kind(),
             r_tuples: self.r.len(),
             s_tuples: self.s.len(),
             paper_r_gib: gpu.spec().scale.paper_gib_for_sim_tuples(self.r.len()),
@@ -152,6 +348,10 @@ impl QuerySession {
             time,
             transfer_volume_paper_bytes: cm.transfer_volume_bytes(&delta),
             index_aux_bytes,
+            degradations,
+            retries: delta.retries,
+            effective_window_tuples,
+            result_spilled,
         })
     }
 
@@ -204,9 +404,15 @@ mod tests {
             index: IndexKind::BPlusTree,
         };
         let _ = sess.run(&mut g, st).unwrap();
-        let aux1 = sess.index(&mut g, IndexKind::BPlusTree).as_dyn().aux_bytes();
+        let aux1 = sess
+            .index(&mut g, IndexKind::BPlusTree)
+            .as_dyn()
+            .aux_bytes();
         let _ = sess.run(&mut g, st).unwrap();
-        let aux2 = sess.index(&mut g, IndexKind::BPlusTree).as_dyn().aux_bytes();
+        let aux2 = sess
+            .index(&mut g, IndexKind::BPlusTree)
+            .as_dyn()
+            .aux_bytes();
         assert_eq!(aux1, aux2);
         assert_eq!(sess.built.len(), 1);
     }
@@ -245,10 +451,156 @@ mod tests {
                 }
             )
             .unwrap_err(),
-            QueryError::IndexedRelationNotSorted
+            WindexError::Query(QueryError::IndexedRelationNotSorted)
         );
         // The hash join does not need sorted inputs.
         let rep = sess.run(&mut g, JoinStrategy::HashJoin).unwrap();
         assert_eq!(rep.result_tuples, 1);
+    }
+
+    #[test]
+    fn rejects_probe_keys_outside_indexed_domain() {
+        let mut g = gpu();
+        let r = Relation::from_keys(vec![10, 20, 30], true);
+        let s = Relation::from_keys(vec![20, 31], false);
+        let err = QuerySession::new(&mut g, QueryExecutor::new(), r, s).unwrap_err();
+        assert_eq!(err, WindexError::Query(QueryError::ForeignKeyViolation));
+
+        // Empty indexed relation: any probe key violates.
+        let r = Relation::from_keys(vec![], true);
+        let s = Relation::from_keys(vec![1], false);
+        let err = QuerySession::new(&mut g, QueryExecutor::new(), r, s).unwrap_err();
+        assert_eq!(err, WindexError::Query(QueryError::ForeignKeyViolation));
+
+        // Validation can be disabled for non-FK workloads.
+        let mut ex = QueryExecutor::new();
+        ex.validate_foreign_keys = false;
+        let r = Relation::from_keys(vec![10, 20, 30], true);
+        let s = Relation::from_keys(vec![20, 31], false);
+        let mut sess = QuerySession::new(&mut g, ex, r, s).unwrap();
+        let rep = sess.run(&mut g, JoinStrategy::HashJoin).unwrap();
+        assert_eq!(rep.result_tuples, 1);
+    }
+
+    #[test]
+    fn fault_free_runs_report_no_degradations() {
+        let mut g = gpu();
+        let mut sess = session(&mut g);
+        let rep = sess
+            .run(
+                &mut g,
+                JoinStrategy::WindowedInlj {
+                    index: IndexKind::RadixSpline,
+                    window_tuples: 256,
+                },
+            )
+            .unwrap();
+        assert!(rep.degradations.is_empty());
+        assert_eq!(rep.retries, 0);
+        assert_eq!(rep.effective_window_tuples, Some(256));
+        assert!(!rep.result_spilled);
+    }
+
+    #[test]
+    fn tight_budget_shrinks_the_window() {
+        let mut spec = GpuSpec::v100_nvlink2(Scale::PAPER);
+        spec.page_bytes = 4096;
+        // Room for the sink (one page-rounded 2^11·16 B buffer) plus a
+        // handful of small pair buffers — but not a 2^11-tuple window.
+        spec.hbm_bytes = 80 * 1024;
+        let mut g = Gpu::new(spec);
+        let r = Relation::unique_sorted(1 << 13, KeyDistribution::Dense, 1);
+        let s = Relation::foreign_keys_uniform(&r, 1 << 11, 2);
+        let mut sess = QuerySession::new(&mut g, QueryExecutor::new(), r, s).unwrap();
+        let rep = sess
+            .run(
+                &mut g,
+                JoinStrategy::WindowedInlj {
+                    index: IndexKind::BinarySearch,
+                    window_tuples: 1 << 11,
+                },
+            )
+            .unwrap();
+        assert_eq!(rep.result_tuples, 1 << 11);
+        assert!(
+            rep.degradations
+                .iter()
+                .any(|e| matches!(e, DegradationEvent::WindowShrunk { .. })),
+            "degradations: {:?}",
+            rep.degradations
+        );
+        let w = rep.effective_window_tuples.unwrap();
+        assert!(w < 1 << 11);
+        // The session released everything it allocated.
+        assert_eq!(g.live_gpu_bytes(), 0);
+    }
+
+    #[test]
+    fn degraded_run_equals_fault_free_result() {
+        let r = Relation::unique_sorted(1 << 13, KeyDistribution::Dense, 1);
+        let s = Relation::foreign_keys_uniform(&r, 1 << 11, 2);
+        let st = JoinStrategy::WindowedInlj {
+            index: IndexKind::BinarySearch,
+            window_tuples: 1 << 11,
+        };
+
+        let mut g = gpu();
+        let mut sess =
+            QuerySession::new(&mut g, QueryExecutor::new(), r.clone(), s.clone()).unwrap();
+        let plenty = sess.run(&mut g, st).unwrap();
+
+        let mut spec = GpuSpec::v100_nvlink2(Scale::PAPER);
+        spec.page_bytes = 4096;
+        spec.hbm_bytes = 64 * 1024;
+        let mut g2 = Gpu::new(spec);
+        let mut tight = QuerySession::new(&mut g2, QueryExecutor::new(), r, s).unwrap();
+        let degraded = tight.run(&mut g2, st).unwrap();
+
+        assert_eq!(degraded.result_tuples, plenty.result_tuples);
+        assert!(!degraded.degradations.is_empty());
+    }
+
+    #[test]
+    fn partitioned_inlj_degrades_to_windowed_under_pressure() {
+        let mut spec = GpuSpec::v100_nvlink2(Scale::PAPER);
+        spec.page_bytes = 4096;
+        spec.hbm_bytes = 96 * 1024;
+        let mut g = Gpu::new(spec);
+        let r = Relation::unique_sorted(1 << 13, KeyDistribution::Dense, 1);
+        let s = Relation::foreign_keys_uniform(&r, 1 << 12, 2);
+        let mut sess = QuerySession::new(&mut g, QueryExecutor::new(), r, s).unwrap();
+        let rep = sess
+            .run(
+                &mut g,
+                JoinStrategy::PartitionedInlj {
+                    index: IndexKind::BinarySearch,
+                },
+            )
+            .unwrap();
+        assert_eq!(rep.result_tuples, 1 << 12);
+        assert!(
+            rep.degradations
+                .iter()
+                .any(|e| matches!(e, DegradationEvent::PartitionDegradedToWindow { .. })),
+            "degradations: {:?}",
+            rep.degradations
+        );
+        assert_eq!(g.live_gpu_bytes(), 0);
+    }
+
+    #[test]
+    fn runs_are_budget_stable() {
+        let mut g = gpu();
+        let mut sess = session(&mut g);
+        let st = JoinStrategy::WindowedInlj {
+            index: IndexKind::RadixSpline,
+            window_tuples: 256,
+        };
+        sess.run(&mut g, st).unwrap();
+        let live_after_first = g.live_gpu_bytes();
+        for _ in 0..3 {
+            sess.run(&mut g, st).unwrap();
+        }
+        assert_eq!(g.live_gpu_bytes(), live_after_first);
     }
 }

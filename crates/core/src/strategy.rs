@@ -56,7 +56,10 @@ impl JoinStrategy {
             JoinStrategy::HashJoin => "hash-join".to_string(),
             JoinStrategy::Inlj { index } => format!("inlj({index})"),
             JoinStrategy::PartitionedInlj { index } => format!("partitioned-inlj({index})"),
-            JoinStrategy::WindowedInlj { index, window_tuples } => {
+            JoinStrategy::WindowedInlj {
+                index,
+                window_tuples,
+            } => {
                 format!("windowed-inlj({index}, w={window_tuples})")
             }
         }
@@ -133,13 +136,13 @@ impl BuiltIndex {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use windex_sim::{GpuSpec, MemLocation, Scale};
+    use windex_sim::{GpuSpec, Scale};
 
     #[test]
     fn builds_all_kinds_and_answers_lookups() {
         let mut gpu = Gpu::new(GpuSpec::v100_nvlink2(Scale::PAPER));
         let keys: Vec<u64> = (0..5000u64).map(|i| i * 2 + 1).collect();
-        let col = Rc::new(gpu.alloc_from_vec(MemLocation::Cpu, keys.clone()));
+        let col = Rc::new(gpu.alloc_host_from_vec(keys.clone()));
         for kind in IndexKind::all() {
             let idx = BuiltIndex::build(&mut gpu, kind, &col, &IndexConfigs::default());
             let d = idx.as_dyn();

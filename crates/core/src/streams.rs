@@ -7,10 +7,11 @@
 //! window reaches its capacity, or no more tuples are available on the
 //! probe-side of the join" (§5.1). Only one window of state is ever held.
 
+use crate::error::WindexError;
 use crate::window::{WindowConfig, WindowStats};
 use windex_index::OutOfCoreIndex;
 use windex_join::{inlj_pairs, RadixPartitioner, ResultSink};
-use windex_sim::{Buffer, Gpu, MemLocation};
+use windex_sim::{Buffer, Gpu};
 
 /// A stateful windowed-INLJ operator fed by pushed probe batches.
 ///
@@ -23,17 +24,17 @@ use windex_sim::{Buffer, Gpu, MemLocation};
 ///
 /// let mut gpu = Gpu::new(GpuSpec::v100_nvlink2(Scale::PAPER));
 /// let r = Relation::unique_sorted(1 << 14, KeyDistribution::Dense, 1);
-/// let col = Rc::new(gpu.alloc_from_vec(MemLocation::Cpu, r.keys().to_vec()));
+/// let col = Rc::new(gpu.alloc_host_from_vec(r.keys().to_vec()));
 /// let idx = BuiltIndex::build(&mut gpu, IndexKind::RadixSpline, &col, &IndexConfigs::default());
 /// let bits = QueryExecutor::new().resolve_bits(&gpu, &r);
 ///
 /// let cfg = WindowConfig { window_tuples: 256, bits, min_key: 0 };
-/// let mut op = StreamingWindowJoin::new(&mut gpu, cfg);
-/// let mut sink = ResultSink::with_capacity(&mut gpu, 1 << 10, MemLocation::Gpu);
+/// let mut op = StreamingWindowJoin::new(&mut gpu, cfg).unwrap();
+/// let mut sink = ResultSink::with_capacity(&mut gpu, 1 << 10, MemLocation::Gpu).unwrap();
 ///
 /// // Upstream pushes batches of (key, rid) tuples as they are produced.
-/// op.push(&mut gpu, idx.as_dyn(), &[(0, 100), (2, 101), (7, 102)], &mut sink);
-/// let stats = op.finish(&mut gpu, idx.as_dyn(), &mut sink);
+/// op.push(&mut gpu, idx.as_dyn(), &[(0, 100), (2, 101), (7, 102)], &mut sink).unwrap();
+/// let stats = op.finish(&mut gpu, idx.as_dyn(), &mut sink).unwrap();
 /// assert_eq!(stats.matches, 3);
 /// ```
 #[derive(Debug)]
@@ -52,18 +53,23 @@ pub struct StreamingWindowJoin {
 }
 
 impl StreamingWindowJoin {
-    /// Create the operator with one window of CPU staging.
-    pub fn new(gpu: &mut Gpu, config: WindowConfig) -> Self {
-        assert!(config.window_tuples > 0);
-        StreamingWindowJoin {
-            staging: gpu.alloc(MemLocation::Cpu, config.window_tuples),
+    /// Create the operator with one window of CPU staging. A zero-capacity
+    /// window is a configuration error, not a panic.
+    pub fn new(gpu: &mut Gpu, config: WindowConfig) -> Result<Self, WindexError> {
+        if config.window_tuples == 0 {
+            return Err(WindexError::InvalidConfig(
+                "window must hold at least one tuple",
+            ));
+        }
+        Ok(StreamingWindowJoin {
+            staging: gpu.alloc_host(config.window_tuples),
             rids: Vec::with_capacity(config.window_tuples),
             config,
             fill: 0,
             windows: 0,
             matches: 0,
             finished: false,
-        }
+        })
     }
 
     /// Tuples currently buffered in the open window.
@@ -73,23 +79,27 @@ impl StreamingWindowJoin {
 
     /// Push a batch of `(key, rid)` probe tuples. Every full window is
     /// partitioned and joined immediately; matches land in `sink` as
-    /// `(rid, index position)`.
+    /// `(rid, index position)`. Pushing into a finished operator is a typed
+    /// state error; operator faults bubble up after bounded retries.
     pub fn push(
         &mut self,
         gpu: &mut Gpu,
         index: &dyn OutOfCoreIndex,
         batch: &[(u64, u64)],
         sink: &mut ResultSink,
-    ) {
-        assert!(!self.finished, "operator already finished");
+    ) -> Result<(), WindexError> {
+        if self.finished {
+            return Err(WindexError::InvalidState("operator already finished"));
+        }
         for &(key, rid) in batch {
             self.staging.host_mut()[self.fill] = key;
             self.rids.push(rid);
             self.fill += 1;
             if self.fill == self.config.window_tuples {
-                self.flush(gpu, index, sink);
+                self.flush(gpu, index, sink)?;
             }
         }
+        Ok(())
     }
 
     /// Signal end-of-stream (§5.1: the outer loop ends the input stream):
@@ -100,15 +110,15 @@ impl StreamingWindowJoin {
         gpu: &mut Gpu,
         index: &dyn OutOfCoreIndex,
         sink: &mut ResultSink,
-    ) -> WindowStats {
+    ) -> Result<WindowStats, WindexError> {
         if self.fill > 0 {
-            self.flush(gpu, index, sink);
+            self.flush(gpu, index, sink)?;
         }
         self.finished = true;
-        WindowStats {
+        Ok(WindowStats {
             windows: self.windows,
             matches: self.matches,
-        }
+        })
     }
 
     /// Clear all state for a new stream.
@@ -120,9 +130,14 @@ impl StreamingWindowJoin {
         self.finished = false;
     }
 
-    fn flush(&mut self, gpu: &mut Gpu, index: &dyn OutOfCoreIndex, sink: &mut ResultSink) {
+    fn flush(
+        &mut self,
+        gpu: &mut Gpu,
+        index: &dyn OutOfCoreIndex,
+        sink: &mut ResultSink,
+    ) -> Result<(), WindexError> {
         let partitioner = RadixPartitioner::new(self.config.bits, self.config.min_key);
-        let mut window = partitioner.partition_stream(gpu, &self.staging, 0..self.fill);
+        let mut window = partitioner.partition_stream(gpu, &self.staging, 0..self.fill)?;
         // The partitioner labeled pairs with staging positions; relabel to
         // the caller's rids. On the device this relabeling is fused into
         // the scatter kernel (the rid column is scattered alongside the
@@ -131,10 +146,13 @@ impl StreamingWindowJoin {
             let staged = window.pairs.host()[i * 2 + 1] as usize;
             window.pairs.host_mut()[i * 2 + 1] = self.rids[staged];
         }
-        self.matches += inlj_pairs(gpu, index, &window.pairs, 0..window.len(), sink);
+        let probed = inlj_pairs(gpu, index, &window.pairs, 0..window.len(), sink);
+        window.free(gpu);
+        self.matches += probed?;
         self.windows += 1;
         self.fill = 0;
         self.rids.clear();
+        Ok(())
     }
 }
 
@@ -146,15 +164,13 @@ mod tests {
     use std::rc::Rc;
     use windex_index::IndexKind;
     use windex_join::PartitionBits;
-    use windex_sim::{GpuSpec, Scale};
+    use windex_sim::{GpuSpec, MemLocation, Scale};
     use windex_workload::{KeyDistribution, Relation};
 
-    fn setup(
-        n_r: usize,
-    ) -> (Gpu, BuiltIndex, Relation) {
+    fn setup(n_r: usize) -> (Gpu, BuiltIndex, Relation) {
         let mut g = Gpu::new(GpuSpec::v100_nvlink2(Scale::PAPER));
         let r = Relation::unique_sorted(n_r, KeyDistribution::SparseUniform, 3);
-        let col = Rc::new(g.alloc_from_vec(MemLocation::Cpu, r.keys().to_vec()));
+        let col = Rc::new(g.alloc_host_from_vec(r.keys().to_vec()));
         let idx = BuiltIndex::build(&mut g, IndexKind::Harmonia, &col, &IndexConfigs::default());
         (g, idx, r)
     }
@@ -173,13 +189,21 @@ mod tests {
         let s = Relation::foreign_keys_uniform(&r, 3000, 4);
 
         // Batch reference.
-        let s_col = g.alloc_from_vec(MemLocation::Cpu, s.keys().to_vec());
-        let mut batch_sink = ResultSink::with_capacity(&mut g, 3000, MemLocation::Gpu);
-        let batch = windowed_inlj(&mut g, idx.as_dyn(), &s_col, 0..3000, config(256), &mut batch_sink);
+        let s_col = g.alloc_host_from_vec(s.keys().to_vec());
+        let mut batch_sink = ResultSink::with_capacity(&mut g, 3000, MemLocation::Gpu).unwrap();
+        let batch = windowed_inlj(
+            &mut g,
+            idx.as_dyn(),
+            &s_col,
+            0..3000,
+            config(256),
+            &mut batch_sink,
+        )
+        .unwrap();
 
         // Streaming: pushed in odd-sized chunks.
-        let mut op = StreamingWindowJoin::new(&mut g, config(256));
-        let mut stream_sink = ResultSink::with_capacity(&mut g, 3000, MemLocation::Gpu);
+        let mut op = StreamingWindowJoin::new(&mut g, config(256)).unwrap();
+        let mut stream_sink = ResultSink::with_capacity(&mut g, 3000, MemLocation::Gpu).unwrap();
         let tuples: Vec<(u64, u64)> = s
             .keys()
             .iter()
@@ -187,9 +211,10 @@ mod tests {
             .map(|(i, &k)| (k, i as u64))
             .collect();
         for chunk in tuples.chunks(177) {
-            op.push(&mut g, idx.as_dyn(), chunk, &mut stream_sink);
+            op.push(&mut g, idx.as_dyn(), chunk, &mut stream_sink)
+                .unwrap();
         }
-        let stats = op.finish(&mut g, idx.as_dyn(), &mut stream_sink);
+        let stats = op.finish(&mut g, idx.as_dyn(), &mut stream_sink).unwrap();
 
         assert_eq!(stats.matches, batch.matches);
         assert_eq!(stats.windows, batch.windows);
@@ -203,13 +228,13 @@ mod tests {
     #[test]
     fn partial_window_flushes_on_finish() {
         let (mut g, idx, r) = setup(1000);
-        let mut op = StreamingWindowJoin::new(&mut g, config(100));
-        let mut sink = ResultSink::with_capacity(&mut g, 10, MemLocation::Gpu);
+        let mut op = StreamingWindowJoin::new(&mut g, config(100)).unwrap();
+        let mut sink = ResultSink::with_capacity(&mut g, 10, MemLocation::Gpu).unwrap();
         let batch: Vec<(u64, u64)> = r.keys()[..7].iter().map(|&k| (k, 900 + k)).collect();
-        op.push(&mut g, idx.as_dyn(), &batch, &mut sink);
+        op.push(&mut g, idx.as_dyn(), &batch, &mut sink).unwrap();
         assert_eq!(op.pending(), 7);
         assert_eq!(sink.len(), 0, "window not yet closed");
-        let stats = op.finish(&mut g, idx.as_dyn(), &mut sink);
+        let stats = op.finish(&mut g, idx.as_dyn(), &mut sink).unwrap();
         assert_eq!(stats.windows, 1);
         assert_eq!(stats.matches, 7);
         // Original rids preserved.
@@ -221,23 +246,37 @@ mod tests {
     #[test]
     fn reset_allows_reuse() {
         let (mut g, idx, r) = setup(1000);
-        let mut op = StreamingWindowJoin::new(&mut g, config(4));
-        let mut sink = ResultSink::with_capacity(&mut g, 100, MemLocation::Gpu);
-        op.push(&mut g, idx.as_dyn(), &[(r.keys()[0], 0)], &mut sink);
-        op.finish(&mut g, idx.as_dyn(), &mut sink);
+        let mut op = StreamingWindowJoin::new(&mut g, config(4)).unwrap();
+        let mut sink = ResultSink::with_capacity(&mut g, 100, MemLocation::Gpu).unwrap();
+        op.push(&mut g, idx.as_dyn(), &[(r.keys()[0], 0)], &mut sink)
+            .unwrap();
+        op.finish(&mut g, idx.as_dyn(), &mut sink).unwrap();
         op.reset();
-        op.push(&mut g, idx.as_dyn(), &[(r.keys()[1], 1)], &mut sink);
-        let stats = op.finish(&mut g, idx.as_dyn(), &mut sink);
+        op.push(&mut g, idx.as_dyn(), &[(r.keys()[1], 1)], &mut sink)
+            .unwrap();
+        let stats = op.finish(&mut g, idx.as_dyn(), &mut sink).unwrap();
         assert_eq!(stats.matches, 1);
     }
 
     #[test]
-    #[should_panic(expected = "finished")]
-    fn push_after_finish_panics() {
+    fn zero_window_is_a_typed_config_error() {
+        let (mut g, _idx, _r) = setup(100);
+        let err = StreamingWindowJoin::new(&mut g, config(0)).unwrap_err();
+        assert!(matches!(err, WindexError::InvalidConfig(_)));
+    }
+
+    #[test]
+    fn push_after_finish_is_a_typed_state_error() {
         let (mut g, idx, _r) = setup(100);
-        let mut op = StreamingWindowJoin::new(&mut g, config(4));
-        let mut sink = ResultSink::with_capacity(&mut g, 10, MemLocation::Gpu);
-        op.finish(&mut g, idx.as_dyn(), &mut sink);
-        op.push(&mut g, idx.as_dyn(), &[(1, 1)], &mut sink);
+        let mut op = StreamingWindowJoin::new(&mut g, config(4)).unwrap();
+        let mut sink = ResultSink::with_capacity(&mut g, 10, MemLocation::Gpu).unwrap();
+        op.finish(&mut g, idx.as_dyn(), &mut sink).unwrap();
+        let err = op
+            .push(&mut g, idx.as_dyn(), &[(1, 1)], &mut sink)
+            .unwrap_err();
+        assert_eq!(err, WindexError::InvalidState("operator already finished"));
+        // The operator is still usable after a reset.
+        op.reset();
+        op.push(&mut g, idx.as_dyn(), &[(1, 1)], &mut sink).unwrap();
     }
 }

@@ -16,6 +16,7 @@
 //! issued on two logical CUDA streams (concurrent kernel execution), which
 //! the cost model turns into transfer/compute overlap.
 
+use crate::error::WindexError;
 use windex_index::OutOfCoreIndex;
 use windex_join::{inlj_pairs, PartitionBits, RadixPartitioner, ResultSink};
 use windex_sim::{Buffer, Gpu};
@@ -46,7 +47,10 @@ pub struct WindowStats {
 /// Run the windowed INLJ: stream `s[range]` through tumbling windows of
 /// `config.window_tuples`, radix-partitioning each window and probing
 /// `index` with the partition-ordered pairs. Matches land in `sink` as
-/// `(absolute probe rid, index position)`.
+/// `(absolute probe rid, index position)`. Each window's partitioned pairs
+/// are released before the next window opens, so at most one window of
+/// device memory is held; operator faults and capacity errors surface as
+/// typed errors after bounded retries.
 pub fn windowed_inlj(
     gpu: &mut Gpu,
     index: &dyn OutOfCoreIndex,
@@ -54,8 +58,12 @@ pub fn windowed_inlj(
     range: std::ops::Range<usize>,
     config: WindowConfig,
     sink: &mut ResultSink,
-) -> WindowStats {
-    assert!(config.window_tuples > 0, "window must hold at least one tuple");
+) -> Result<WindowStats, WindexError> {
+    if config.window_tuples == 0 {
+        return Err(WindexError::InvalidConfig(
+            "window must hold at least one tuple",
+        ));
+    }
     let partitioner = RadixPartitioner::new(config.bits, config.min_key);
     let mut windows = 0;
     let mut matches = 0;
@@ -63,12 +71,14 @@ pub fn windowed_inlj(
     while at < range.end {
         // Close the window at capacity or at end-of-stream (§5.1).
         let end = (at + config.window_tuples).min(range.end);
-        let window = partitioner.partition_stream(gpu, s, at..end);
-        matches += inlj_pairs(gpu, index, &window.pairs, 0..window.len(), sink);
+        let window = partitioner.partition_stream(gpu, s, at..end)?;
+        let probed = inlj_pairs(gpu, index, &window.pairs, 0..window.len(), sink);
+        window.free(gpu);
+        matches += probed?;
         windows += 1;
         at = end;
     }
-    WindowStats { windows, matches }
+    Ok(WindowStats { windows, matches })
 }
 
 #[cfg(test)]
@@ -85,10 +95,12 @@ mod tests {
 
     fn fixture(g: &mut Gpu, n_r: usize, n_s: usize) -> (BinarySearchIndex, Buffer<u64>, Vec<u64>) {
         let r_keys: Vec<u64> = (0..n_r as u64).map(|i| i * 3).collect();
-        let data = Rc::new(g.alloc_from_vec(MemLocation::Cpu, r_keys));
+        let data = Rc::new(g.alloc_host_from_vec(r_keys));
         let idx = BinarySearchIndex::new(data);
-        let s_keys: Vec<u64> = (0..n_s as u64).map(|i| (i * 2654435761 % n_r as u64) * 3).collect();
-        let s = g.alloc_from_vec(MemLocation::Cpu, s_keys.clone());
+        let s_keys: Vec<u64> = (0..n_s as u64)
+            .map(|i| (i * 2654435761 % n_r as u64) * 3)
+            .collect();
+        let s = g.alloc_host_from_vec(s_keys.clone());
         (idx, s, s_keys)
     }
 
@@ -104,11 +116,12 @@ mod tests {
     fn windowed_result_equals_unwindowed() {
         let mut g = gpu();
         let (idx, s, _) = fixture(&mut g, 50_000, 10_000);
-        let mut direct = ResultSink::with_capacity(&mut g, 10_000, MemLocation::Gpu);
-        inlj_stream(&mut g, &idx, &s, 0..10_000, &mut direct);
+        let mut direct = ResultSink::with_capacity(&mut g, 10_000, MemLocation::Gpu).unwrap();
+        inlj_stream(&mut g, &idx, &s, 0..10_000, &mut direct).unwrap();
 
-        let mut windowed = ResultSink::with_capacity(&mut g, 10_000, MemLocation::Gpu);
-        let stats = windowed_inlj(&mut g, &idx, &s, 0..10_000, config(1024), &mut windowed);
+        let mut windowed = ResultSink::with_capacity(&mut g, 10_000, MemLocation::Gpu).unwrap();
+        let stats =
+            windowed_inlj(&mut g, &idx, &s, 0..10_000, config(1024), &mut windowed).unwrap();
         assert_eq!(stats.windows, 10); // ceil(10000 / 1024)
         assert_eq!(stats.matches, direct.len());
 
@@ -123,17 +136,17 @@ mod tests {
     fn window_count_matches_capacity_rule() {
         let mut g = gpu();
         let (idx, s, _) = fixture(&mut g, 1000, 100);
-        let mut sink = ResultSink::with_capacity(&mut g, 100, MemLocation::Gpu);
+        let mut sink = ResultSink::with_capacity(&mut g, 100, MemLocation::Gpu).unwrap();
         // Exactly divisible.
-        let st = windowed_inlj(&mut g, &idx, &s, 0..100, config(25), &mut sink);
+        let st = windowed_inlj(&mut g, &idx, &s, 0..100, config(25), &mut sink).unwrap();
         assert_eq!(st.windows, 4);
         sink.clear();
         // Final partial window.
-        let st = windowed_inlj(&mut g, &idx, &s, 0..100, config(30), &mut sink);
+        let st = windowed_inlj(&mut g, &idx, &s, 0..100, config(30), &mut sink).unwrap();
         assert_eq!(st.windows, 4);
         sink.clear();
         // One giant window degenerates to the fully-partitioned join.
-        let st = windowed_inlj(&mut g, &idx, &s, 0..100, config(1 << 20), &mut sink);
+        let st = windowed_inlj(&mut g, &idx, &s, 0..100, config(1 << 20), &mut sink).unwrap();
         assert_eq!(st.windows, 1);
     }
 
@@ -143,8 +156,8 @@ mod tests {
         // at a time; with tiny windows the partitioned buffers stay small.
         let mut g = gpu();
         let (idx, s, _) = fixture(&mut g, 10_000, 5000);
-        let mut sink = ResultSink::with_capacity(&mut g, 5000, MemLocation::Gpu);
-        let st = windowed_inlj(&mut g, &idx, &s, 0..5000, config(128), &mut sink);
+        let mut sink = ResultSink::with_capacity(&mut g, 5000, MemLocation::Gpu).unwrap();
+        let st = windowed_inlj(&mut g, &idx, &s, 0..5000, config(128), &mut sink).unwrap();
         assert_eq!(st.windows, 40);
         assert_eq!(st.matches, 5000);
     }
@@ -153,8 +166,8 @@ mod tests {
     fn sub_range_uses_absolute_rids() {
         let mut g = gpu();
         let (idx, s, s_keys) = fixture(&mut g, 1000, 500);
-        let mut sink = ResultSink::with_capacity(&mut g, 500, MemLocation::Gpu);
-        windowed_inlj(&mut g, &idx, &s, 200..300, config(32), &mut sink);
+        let mut sink = ResultSink::with_capacity(&mut g, 500, MemLocation::Gpu).unwrap();
+        windowed_inlj(&mut g, &idx, &s, 200..300, config(32), &mut sink).unwrap();
         for (srid, rpos) in sink.host_pairs() {
             assert!((200..300).contains(&(srid as usize)));
             assert_eq!(rpos * 3, s_keys[srid as usize]);
@@ -165,8 +178,8 @@ mod tests {
     fn empty_stream() {
         let mut g = gpu();
         let (idx, s, _) = fixture(&mut g, 100, 10);
-        let mut sink = ResultSink::with_capacity(&mut g, 10, MemLocation::Gpu);
-        let st = windowed_inlj(&mut g, &idx, &s, 5..5, config(4), &mut sink);
+        let mut sink = ResultSink::with_capacity(&mut g, 10, MemLocation::Gpu).unwrap();
+        let st = windowed_inlj(&mut g, &idx, &s, 5..5, config(4), &mut sink).unwrap();
         assert_eq!(st.windows, 0);
         assert_eq!(st.matches, 0);
     }

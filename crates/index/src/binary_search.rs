@@ -107,11 +107,11 @@ impl OutOfCoreIndex for BinarySearchIndex {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use windex_sim::{GpuSpec, MemLocation, Scale};
+    use windex_sim::{GpuSpec, Scale};
 
     fn setup(keys: Vec<u64>) -> (Gpu, BinarySearchIndex) {
         let mut gpu = Gpu::new(GpuSpec::v100_nvlink2(Scale::PAPER));
-        let data = Rc::new(gpu.alloc_from_vec(MemLocation::Cpu, keys));
+        let data = Rc::new(gpu.alloc_host_from_vec(keys));
         (gpu, BinarySearchIndex::new(data))
     }
 

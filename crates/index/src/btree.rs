@@ -20,7 +20,7 @@
 //! convention: child `i` holds keys in `[sep[i], sep[i+1])`.
 
 use crate::traits::{IndexKind, OutOfCoreIndex};
-use windex_sim::{lockstep, Buffer, Gpu, MemLocation, WARP_SIZE};
+use windex_sim::{lockstep, Buffer, Gpu, WARP_SIZE};
 
 /// Sentinel node id / rid.
 const NONE: u64 = u64::MAX;
@@ -136,10 +136,10 @@ impl BPlusTree {
         while level.len() > 1 {
             height += 1;
             let fan = per_internal + 1; // children per internal node
-            // Balance the groups instead of chunking greedily: a greedy
-            // final group of one child would create a zero-separator node,
-            // which deletes cannot rebalance through. Balanced sizes are
-            // always ≥ 2 for fan ≥ 2 when more than one group is needed.
+                                        // Balance the groups instead of chunking greedily: a greedy
+                                        // final group of one child would create a zero-separator node,
+                                        // which deletes cannot rebalance through. Balanced sizes are
+                                        // always ≥ 2 for fan ≥ 2 when more than one group is needed.
             let groups = level.len().div_ceil(fan);
             let base_size = level.len() / groups;
             let remainder = level.len() % groups;
@@ -167,7 +167,7 @@ impl BPlusTree {
 
         let root = level[0].1;
         assert!(next_node <= pool_nodes);
-        let nodes = gpu.alloc_from_vec(MemLocation::Cpu, pool);
+        let nodes = gpu.alloc_host_from_vec(pool);
         BPlusTree {
             nodes,
             slots_per_node: slots,

@@ -22,7 +22,7 @@
 //! updates, which a rebuild models at the same interface).
 
 use crate::traits::{IndexKind, OutOfCoreIndex};
-use windex_sim::{lockstep, Buffer, Gpu, MemLocation, SubWarp, WARP_SIZE};
+use windex_sim::{lockstep, Buffer, Gpu, SubWarp, WARP_SIZE};
 
 /// Padding value for unused key slots. `u64::MAX` is therefore not an
 /// indexable key.
@@ -123,8 +123,8 @@ impl Harmonia {
         let height = levels.len() as u32;
 
         Harmonia {
-            key_region: gpu.alloc_from_vec(MemLocation::Cpu, region),
-            prefix: gpu.alloc_from_vec(MemLocation::Cpu, prefix),
+            key_region: gpu.alloc_host_from_vec(region),
+            prefix: gpu.alloc_host_from_vec(prefix),
             nk,
             lanes_per_key: config.lanes_per_key,
             first_leaf,

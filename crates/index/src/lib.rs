@@ -14,7 +14,7 @@
 //!
 //! let mut gpu = Gpu::new(GpuSpec::v100_nvlink2(Scale::PAPER));
 //! let keys: Vec<u64> = (0..10_000u64).map(|i| i * 3).collect();
-//! let col = Rc::new(gpu.alloc_from_vec(MemLocation::Cpu, keys));
+//! let col = Rc::new(gpu.alloc_host_from_vec(keys));
 //! let rs = RadixSpline::build(&mut gpu, col, RadixSplineConfig::default());
 //! assert_eq!(rs.lookup(&mut gpu, 300), Some(100));
 //! assert_eq!(rs.lookup(&mut gpu, 301), None);

@@ -17,7 +17,7 @@
 
 use crate::traits::{IndexKind, OutOfCoreIndex};
 use std::rc::Rc;
-use windex_sim::{lockstep, Buffer, Gpu, MemLocation, WARP_SIZE};
+use windex_sim::{lockstep, Buffer, Gpu, WARP_SIZE};
 
 /// RadixSpline tuning knobs.
 #[derive(Debug, Clone, Copy)]
@@ -105,8 +105,8 @@ impl RadixSpline {
 
         RadixSpline {
             data,
-            spline: gpu.alloc_from_vec(MemLocation::Cpu, interleaved),
-            radix_table: gpu.alloc_from_vec(MemLocation::Cpu, table),
+            spline: gpu.alloc_host_from_vec(interleaved),
+            radix_table: gpu.alloc_host_from_vec(table),
             min_key,
             max_key,
             shift,
@@ -340,8 +340,7 @@ impl OutOfCoreIndex for RadixSpline {
                     } else {
                         let quad = self.spline.read_range(gpu, ((seg_end - 1) * 2) as usize, 4);
                         let (k0, p0, k1, p1) = (quad[0], quad[1], quad[2], quad[3]);
-                        p0 as f64 + (lane.key - k0) as f64 * (p1 - p0) as f64
-                            / (k1 - k0) as f64
+                        p0 as f64 + (lane.key - k0) as f64 * (p1 - p0) as f64 / (k1 - k0) as f64
                     };
                     gpu.op(1);
                     let e = self.lookup_error as f64 + 1.0;
@@ -409,8 +408,7 @@ impl OutOfCoreIndex for RadixSpline {
         } else {
             let quad = self.spline.read_range(gpu, ((lo - 1) * 2) as usize, 4);
             quad[1] as f64
-                + (key - quad[0]) as f64 * (quad[3] - quad[1]) as f64
-                    / (quad[2] - quad[0]) as f64
+                + (key - quad[0]) as f64 * (quad[3] - quad[1]) as f64 / (quad[2] - quad[0]) as f64
         };
         gpu.op(1);
         let e = self.lookup_error as f64 + 1.0;
@@ -442,7 +440,7 @@ mod tests {
 
     fn build(keys: Vec<u64>, config: RadixSplineConfig) -> (Gpu, RadixSpline) {
         let mut g = gpu();
-        let data = Rc::new(g.alloc_from_vec(MemLocation::Cpu, keys));
+        let data = Rc::new(g.alloc_host_from_vec(keys));
         let rs = RadixSpline::build(&mut g, data, config);
         (g, rs)
     }
@@ -564,7 +562,15 @@ mod tests {
         let keys = sparse_keys(5000, 9);
         let (mut g, rs) = build(keys.clone(), RadixSplineConfig::default());
         let max = *keys.last().unwrap();
-        for probe in [0u64, keys[0], keys[0] + 1, keys[777], keys[777] + 1, max, max + 1] {
+        for probe in [
+            0u64,
+            keys[0],
+            keys[0] + 1,
+            keys[777],
+            keys[777] + 1,
+            max,
+            max + 1,
+        ] {
             let expect = keys.partition_point(|&k| k < probe) as u64;
             assert_eq!(rs.lower_bound(&mut g, probe), expect, "probe {probe}");
         }

@@ -5,7 +5,9 @@
 use proptest::collection::vec as pvec;
 use proptest::prelude::*;
 use std::collections::BTreeMap;
-use windex_index::{BPlusTree, BPlusTreeConfig, Harmonia, HarmoniaConfig, IndexError, OutOfCoreIndex};
+use windex_index::{
+    BPlusTree, BPlusTreeConfig, Harmonia, HarmoniaConfig, IndexError, OutOfCoreIndex,
+};
 use windex_sim::{Gpu, GpuSpec, Scale};
 
 fn gpu() -> Gpu {
@@ -141,7 +143,7 @@ proptest! {
         sorted.dedup();
         let mut g = gpu();
         let col = std::rc::Rc::new(
-            g.alloc_from_vec(windex_sim::MemLocation::Cpu, sorted.clone()),
+            g.alloc_host_from_vec(sorted.clone()),
         );
         let indexes: Vec<Box<dyn OutOfCoreIndex>> = vec![
             Box::new(windex_index::BinarySearchIndex::new(std::rc::Rc::clone(&col))),

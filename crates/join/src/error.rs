@@ -1,0 +1,120 @@
+//! Typed errors for the join operators.
+//!
+//! Join operators surface every failure of the simulated device — injected
+//! transient faults, HBM capacity exhaustion — and their own logical errors
+//! (reserved keys, pool exhaustion, bad configuration) as values instead of
+//! panicking, so the query engine above can degrade gracefully.
+
+use serde::Serialize;
+use windex_sim::{Gpu, SimError};
+
+/// An error from a join operator.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub enum JoinError {
+    /// A simulator fault or capacity error (allocation failure, transfer
+    /// fault, kernel-launch failure, out of device memory).
+    Sim(SimError),
+    /// `u64::MAX` is reserved as the hash table's empty-slot sentinel and
+    /// cannot be inserted as a key.
+    ReservedKey,
+    /// The hash table's value-block pool is exhausted (more values inserted
+    /// than the table was sized for).
+    PoolExhausted {
+        /// Pool slots the allocation needed.
+        needed: usize,
+        /// Pool slots still available.
+        available: usize,
+    },
+    /// Invalid operator configuration.
+    InvalidConfig(&'static str),
+}
+
+impl JoinError {
+    /// Whether retrying the failed operation may succeed (delegates to
+    /// [`SimError::is_transient`]; logical errors are never transient).
+    pub fn is_transient(&self) -> bool {
+        match self {
+            JoinError::Sim(e) => e.is_transient(),
+            _ => false,
+        }
+    }
+}
+
+impl From<SimError> for JoinError {
+    fn from(e: SimError) -> Self {
+        JoinError::Sim(e)
+    }
+}
+
+impl std::fmt::Display for JoinError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JoinError::Sim(e) => write!(f, "simulator error: {e}"),
+            JoinError::ReservedKey => {
+                write!(f, "u64::MAX is reserved as the hash-table sentinel")
+            }
+            JoinError::PoolExhausted { needed, available } => write!(
+                f,
+                "hash-table value pool exhausted (needed {needed} slots, {available} available)"
+            ),
+            JoinError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for JoinError {}
+
+/// Run `attempt` with bounded retries on transient faults, mirroring
+/// [`windex_sim::with_retries`] but for [`JoinError`]-returning operators.
+/// Each retry charges its deterministic backoff to the GPU's counters.
+pub fn with_join_retries<R>(
+    gpu: &mut Gpu,
+    mut attempt: impl FnMut(&mut Gpu) -> Result<R, JoinError>,
+) -> Result<R, JoinError> {
+    let max_retries = gpu.retry_policy().max_retries;
+    let mut tries: u32 = 0;
+    loop {
+        match attempt(gpu) {
+            Ok(r) => return Ok(r),
+            Err(e) if e.is_transient() && tries < max_retries => {
+                gpu.record_retry(tries);
+                tries += 1;
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use windex_sim::{FaultPlan, GpuSpec, MemLocation, Scale};
+
+    #[test]
+    fn transiency_classification() {
+        assert!(JoinError::Sim(SimError::AllocFault).is_transient());
+        assert!(!JoinError::ReservedKey.is_transient());
+        assert!(!JoinError::PoolExhausted {
+            needed: 1,
+            available: 0
+        }
+        .is_transient());
+        assert!(!JoinError::InvalidConfig("x").is_transient());
+    }
+
+    #[test]
+    fn retries_recover_from_transient_alloc_faults() {
+        let mut gpu = Gpu::new(GpuSpec::v100_nvlink2(Scale::PAPER));
+        gpu.set_fault_plan(FaultPlan::seeded(7).with_alloc_failures(0.5));
+        // With a 50 % alloc-fault rate and 3 retries, some attempt in the
+        // deterministic sequence succeeds.
+        let buf = with_join_retries(&mut gpu, |g| {
+            g.alloc::<u64>(MemLocation::Gpu, 64)
+                .map_err(JoinError::from)
+        })
+        .expect("retries should eventually succeed at this rate");
+        assert_eq!(buf.len(), 64);
+        assert!(gpu.counters().retries >= 1 || gpu.counters().faults_alloc == 0);
+        gpu.free(buf);
+    }
+}

@@ -16,6 +16,7 @@
 //! capacity — the design choice the paper challenges with out-of-core
 //! indexes.
 
+use crate::error::{with_join_retries, JoinError};
 use windex_sim::{Buffer, Gpu, MemLocation};
 
 /// Sentinel for an empty slot / null block pointer.
@@ -73,28 +74,74 @@ fn hash64_step(x: u64) -> u64 {
 }
 
 impl MultiValueHashTable {
+    /// Slot-array capacity for `expected` insertions at `config`'s load
+    /// factor.
+    fn capacity_for(expected: usize, config: &HashTableConfig) -> usize {
+        ((expected.max(1) as f64 / config.load_factor) as usize)
+            .next_power_of_two()
+            .max(16)
+    }
+
+    /// Value-pool slots for `expected` insertions: worst case every key is
+    /// distinct (one 1-value block per key, 1 + header), plus geometric
+    /// growth overhead bounded by 2x.
+    fn pool_slots_for(expected: usize) -> usize {
+        expected * (BLOCK_HEADER + 2) * 2 + 64
+    }
+
+    /// Device bytes a table sized for `expected` insertions reserves
+    /// (page-rounded, like the engine's allocator). Used by the query
+    /// engine's admission check and the hash join's build chunking.
+    pub fn reservation_bytes(gpu: &Gpu, expected: usize, config: &HashTableConfig) -> u64 {
+        let page = gpu.spec().page_bytes;
+        let round = |bytes: u64| bytes.div_ceil(page).max(1) * page;
+        let slots = (Self::capacity_for(expected, config) * 2 * 8) as u64;
+        let pool = (Self::pool_slots_for(expected) * 8) as u64;
+        round(slots) + round(pool)
+    }
+
     /// Create a table sized for `expected` insertions at the configured
     /// load factor. The value pool is sized for `expected` values plus
-    /// chain overhead.
-    pub fn new(gpu: &mut Gpu, expected: usize, config: HashTableConfig) -> Self {
-        assert!(config.load_factor > 0.0 && config.load_factor <= 1.0);
-        assert!(config.max_block >= 1);
-        let capacity = ((expected.max(1) as f64 / config.load_factor) as usize)
-            .next_power_of_two()
-            .max(16);
-        // Worst case every key is distinct: one 1-value block per key
-        // (1 + header); plus geometric growth overhead bounded by 2x.
-        let pool_slots = expected * (BLOCK_HEADER + 2) * 2 + 64;
-        MultiValueHashTable {
-            slots: gpu.alloc_from_vec(MemLocation::Gpu, vec![EMPTY; capacity * 2]),
-            pool: gpu.alloc_from_vec(MemLocation::Gpu, vec![0u64; pool_slots]),
+    /// chain overhead. Fails with [`JoinError::InvalidConfig`] on a bad
+    /// configuration and propagates device-allocation errors; transient
+    /// allocation faults are retried under the engine's retry policy.
+    pub fn new(gpu: &mut Gpu, expected: usize, config: HashTableConfig) -> Result<Self, JoinError> {
+        if !(config.load_factor > 0.0 && config.load_factor <= 1.0) {
+            return Err(JoinError::InvalidConfig(
+                "hash-table load factor must be in (0, 1]",
+            ));
+        }
+        if config.max_block < 1 {
+            return Err(JoinError::InvalidConfig(
+                "hash-table max block must be at least 1",
+            ));
+        }
+        let capacity = Self::capacity_for(expected, &config);
+        let pool_slots = Self::pool_slots_for(expected);
+        let slots = with_join_retries(gpu, |g| {
+            g.alloc_from_vec(MemLocation::Gpu, vec![EMPTY; capacity * 2])
+                .map_err(JoinError::from)
+        })?;
+        let pool = match with_join_retries(gpu, |g| {
+            g.alloc_from_vec(MemLocation::Gpu, vec![0u64; pool_slots])
+                .map_err(JoinError::from)
+        }) {
+            Ok(p) => p,
+            Err(e) => {
+                gpu.free(slots);
+                return Err(e);
+            }
+        };
+        Ok(MultiValueHashTable {
+            slots,
+            pool,
             pool_cursor: 0,
             capacity,
             mask: capacity as u64 - 1,
             len: 0,
             distinct: 0,
             config,
-        }
+        })
     }
 
     /// Number of inserted (key, value) pairs.
@@ -122,24 +169,30 @@ impl MultiValueHashTable {
         self.slots.size_bytes() + self.pool.size_bytes()
     }
 
-    fn alloc_block(&mut self, gpu: &mut Gpu, cap: usize) -> u64 {
+    fn alloc_block(&mut self, gpu: &mut Gpu, cap: usize) -> Result<u64, JoinError> {
         let need = BLOCK_HEADER + cap;
-        assert!(
-            self.pool_cursor + need <= self.pool.len(),
-            "value pool exhausted"
-        );
+        if self.pool_cursor + need > self.pool.len() {
+            return Err(JoinError::PoolExhausted {
+                needed: need,
+                available: self.pool.len() - self.pool_cursor,
+            });
+        }
         let at = self.pool_cursor;
         self.pool_cursor += need;
         self.pool.write(gpu, at, cap as u64);
         self.pool.write(gpu, at + 1, 0);
         self.pool.write(gpu, at + 2, EMPTY);
-        at as u64
+        Ok(at as u64)
     }
 
     /// Insert one (key, value) pair (device-side: every access is counted).
     /// Duplicate keys append to the key's block chain, walking to the tail.
-    pub fn insert(&mut self, gpu: &mut Gpu, key: u64, value: u64) {
-        assert_ne!(key, EMPTY, "u64::MAX is reserved");
+    /// Fails with [`JoinError::ReservedKey`] for `u64::MAX` and
+    /// [`JoinError::PoolExhausted`] when the table was undersized.
+    pub fn insert(&mut self, gpu: &mut Gpu, key: u64, value: u64) -> Result<(), JoinError> {
+        if key == EMPTY {
+            return Err(JoinError::ReservedKey);
+        }
         let mut slot = hash64(key) & self.mask;
         let step = hash64_step(key);
         loop {
@@ -148,19 +201,19 @@ impl MultiValueHashTable {
             let (k, head) = (pair[0], pair[1]);
             if k == EMPTY {
                 // Claim the slot with a fresh 1-value block.
-                let b = self.alloc_block(gpu, 1) as usize;
+                let b = self.alloc_block(gpu, 1)? as usize;
                 self.pool.write(gpu, b + 1, 1);
                 self.pool.write(gpu, b + BLOCK_HEADER, value);
                 self.slots.write(gpu, (slot * 2) as usize, key);
                 self.slots.write(gpu, (slot * 2 + 1) as usize, b as u64);
                 self.len += 1;
                 self.distinct += 1;
-                return;
+                return Ok(());
             }
             if k == key {
-                self.append_to_chain(gpu, head, value);
+                self.append_to_chain(gpu, head, value)?;
                 self.len += 1;
-                return;
+                return Ok(());
             }
             slot = (slot + step) & self.mask;
         }
@@ -168,7 +221,7 @@ impl MultiValueHashTable {
 
     /// Walk the chain from `head` to the tail block and append, growing the
     /// chain with a geometrically larger block when the tail is full.
-    fn append_to_chain(&mut self, gpu: &mut Gpu, head: u64, value: u64) {
+    fn append_to_chain(&mut self, gpu: &mut Gpu, head: u64, value: u64) -> Result<(), JoinError> {
         let mut b = head as usize;
         loop {
             let hdr = self.pool.read_range(gpu, b, BLOCK_HEADER);
@@ -176,7 +229,7 @@ impl MultiValueHashTable {
             if used < cap {
                 self.pool.write(gpu, b + BLOCK_HEADER + used, value);
                 self.pool.write(gpu, b + 1, (used + 1) as u64);
-                return;
+                return Ok(());
             }
             if next != EMPTY {
                 b = next as usize;
@@ -184,12 +237,18 @@ impl MultiValueHashTable {
             }
             // Grow: next block is 8x larger, capped at max_block.
             let new_cap = (cap * 8).min(self.config.max_block).max(1);
-            let nb = self.alloc_block(gpu, new_cap) as usize;
+            let nb = self.alloc_block(gpu, new_cap)? as usize;
             self.pool.write(gpu, nb + 1, 1);
             self.pool.write(gpu, nb + BLOCK_HEADER, value);
             self.pool.write(gpu, b + 2, nb as u64);
-            return;
+            return Ok(());
         }
+    }
+
+    /// Release the table's device buffers back to the HBM budget.
+    pub fn free(self, gpu: &mut Gpu) {
+        gpu.free(self.slots);
+        gpu.free(self.pool);
     }
 
     /// Probe for `key`, invoking `emit` for every stored value (the GPU
@@ -213,14 +272,17 @@ impl MultiValueHashTable {
                     let hdr = self.pool.read_range(gpu, b, BLOCK_HEADER);
                     let (used, next) = (hdr[1] as usize, hdr[2]);
                     if used > 0 {
-                        let vals =
-                            self.pool.read_range(gpu, b + BLOCK_HEADER, used).to_vec();
+                        let vals = self.pool.read_range(gpu, b + BLOCK_HEADER, used).to_vec();
                         for v in vals {
                             emit(gpu, v);
                         }
                         count += used;
                     }
-                    b = if next == EMPTY { EMPTY as usize } else { next as usize };
+                    b = if next == EMPTY {
+                        EMPTY as usize
+                    } else {
+                        next as usize
+                    };
                 }
                 return count;
             }
@@ -246,9 +308,9 @@ mod tests {
     #[test]
     fn insert_and_probe_unique() {
         let mut g = gpu();
-        let mut t = MultiValueHashTable::new(&mut g, 1000, HashTableConfig::default());
+        let mut t = MultiValueHashTable::new(&mut g, 1000, HashTableConfig::default()).unwrap();
         for i in 0..1000u64 {
-            t.insert(&mut g, i * 3, i);
+            t.insert(&mut g, i * 3, i).unwrap();
         }
         assert_eq!(t.len(), 1000);
         assert_eq!(t.distinct_keys(), 1000);
@@ -265,9 +327,9 @@ mod tests {
     #[test]
     fn multi_value_chains() {
         let mut g = gpu();
-        let mut t = MultiValueHashTable::new(&mut g, 4000, HashTableConfig::default());
+        let mut t = MultiValueHashTable::new(&mut g, 4000, HashTableConfig::default()).unwrap();
         for i in 0..1000u64 {
-            t.insert(&mut g, i % 10, i);
+            t.insert(&mut g, i % 10, i).unwrap();
         }
         assert_eq!(t.len(), 1000);
         assert_eq!(t.distinct_keys(), 10);
@@ -286,10 +348,10 @@ mod tests {
             load_factor: 0.5,
             max_block: 64,
         };
-        let mut t = MultiValueHashTable::new(&mut g, 2000, cfg);
+        let mut t = MultiValueHashTable::new(&mut g, 2000, cfg).unwrap();
         // One hot key with 1000 values: chain 1, 8, 64, 64, ...
         for i in 0..1000u64 {
-            t.insert(&mut g, 42, i);
+            t.insert(&mut g, 42, i).unwrap();
         }
         let mut got = Vec::new();
         t.probe(&mut g, 42, |_, v| got.push(v));
@@ -301,7 +363,7 @@ mod tests {
     #[test]
     fn load_factor_respected() {
         let mut g = gpu();
-        let t = MultiValueHashTable::new(&mut g, 1024, HashTableConfig::default());
+        let t = MultiValueHashTable::new(&mut g, 1024, HashTableConfig::default()).unwrap();
         assert!(t.capacity() >= 2048);
     }
 
@@ -314,12 +376,12 @@ mod tests {
             load_factor: 0.5,
             max_block: 8,
         };
-        let mut t = MultiValueHashTable::new(&mut g, 4096, cfg);
+        let mut t = MultiValueHashTable::new(&mut g, 4096, cfg).unwrap();
         for i in 0..64u64 {
-            t.insert(&mut g, 7, i);
+            t.insert(&mut g, 7, i).unwrap();
         }
         let before = g.snapshot();
-        t.insert(&mut g, 7, 64);
+        t.insert(&mut g, 7, 64).unwrap();
         let d = g.snapshot() - before;
         // Walking ~9 full blocks: at least one header access per block
         // (they may hit in cache, but the accesses are issued).
@@ -330,9 +392,9 @@ mod tests {
     #[test]
     fn table_is_gpu_resident() {
         let mut g = gpu();
-        let mut t = MultiValueHashTable::new(&mut g, 128, HashTableConfig::default());
+        let mut t = MultiValueHashTable::new(&mut g, 128, HashTableConfig::default()).unwrap();
         let before = g.snapshot();
-        t.insert(&mut g, 1, 2);
+        t.insert(&mut g, 1, 2).unwrap();
         let _ = t.count(&mut g, 1);
         let d = g.snapshot() - before;
         assert_eq!(d.ic_bytes_total(), 0);

@@ -15,77 +15,91 @@
 //!   GPU-memory buffer (the partitioned joins of §4.3 and the windowed
 //!   operator of §5).
 
+use crate::error::{with_join_retries, JoinError};
 use crate::sink::ResultSink;
 use windex_index::OutOfCoreIndex;
-use windex_sim::{launch_kernel, warps_of, Buffer, Gpu, WARP_SIZE};
+use windex_sim::{try_launch_kernel, warps_of, Buffer, Gpu, WARP_SIZE};
 
 /// Probe the index with keys from the CPU-resident probe relation
 /// `s[range]` (one streaming pass over the interconnect). Matches are
 /// appended to `sink` as `(absolute probe rid, index position)`.
-/// Returns the number of matches.
+/// Returns the number of matches. Injected transient faults are retried
+/// under the engine's retry policy; each retry rolls the sink back to its
+/// entry length so partial outputs of a failed kernel are discarded.
 pub fn inlj_stream(
     gpu: &mut Gpu,
     index: &dyn OutOfCoreIndex,
     s: &Buffer<u64>,
     range: std::ops::Range<usize>,
     sink: &mut ResultSink,
-) -> usize {
+) -> Result<usize, JoinError> {
     if range.is_empty() {
-        return 0;
+        return Ok(0);
     }
-    launch_kernel(gpu, |gpu| {
-        let mut matches = 0;
-        let mut out = [None; WARP_SIZE];
-        for warp in warps_of(range) {
-            let start = warp.start;
-            let keys = s.stream_read(gpu, start, warp.len()).to_vec();
-            index.lookup_warp(gpu, &keys, &mut out);
-            for (i, hit) in out[..keys.len()].iter().enumerate() {
-                if let Some(pos) = hit {
-                    sink.emit(gpu, (start + i) as u64, *pos);
-                    matches += 1;
+    let mark = sink.len();
+    with_join_retries(gpu, |gpu| {
+        sink.truncate(mark);
+        try_launch_kernel(gpu, |gpu| {
+            let mut matches = 0;
+            let mut out = [None; WARP_SIZE];
+            for warp in warps_of(range.clone()) {
+                let start = warp.start;
+                let keys = s.stream_read(gpu, start, warp.len()).to_vec();
+                index.lookup_warp(gpu, &keys, &mut out);
+                for (i, hit) in out[..keys.len()].iter().enumerate() {
+                    if let Some(pos) = hit {
+                        sink.emit(gpu, (start + i) as u64, *pos);
+                        matches += 1;
+                    }
                 }
             }
-        }
-        matches
+            matches
+        })
+        .map_err(JoinError::from)
     })
 }
 
 /// Probe the index with partitioned `(key, rid)` pairs from GPU memory
 /// (`pairs[pair_range]`, pair-indexed). Matches are appended to `sink` as
-/// `(probe rid, index position)`. Returns the number of matches.
+/// `(probe rid, index position)`. Returns the number of matches. Fault
+/// retry semantics match [`inlj_stream`].
 pub fn inlj_pairs(
     gpu: &mut Gpu,
     index: &dyn OutOfCoreIndex,
     pairs: &Buffer<u64>,
     pair_range: std::ops::Range<usize>,
     sink: &mut ResultSink,
-) -> usize {
+) -> Result<usize, JoinError> {
     if pair_range.is_empty() {
-        return 0;
+        return Ok(0);
     }
-    launch_kernel(gpu, |gpu| {
-        let mut matches = 0;
-        let mut out = [None; WARP_SIZE];
-        let mut keys = [0u64; WARP_SIZE];
-        let mut rids = [0u64; WARP_SIZE];
-        for warp in warps_of(pair_range) {
-            let w = warp.len();
-            // One coalesced read of the warp's (key, rid) pairs.
-            let chunk = pairs.read_range(gpu, warp.start * 2, w * 2);
-            for i in 0..w {
-                keys[i] = chunk[i * 2];
-                rids[i] = chunk[i * 2 + 1];
-            }
-            index.lookup_warp(gpu, &keys[..w], &mut out);
-            for (i, hit) in out[..w].iter().enumerate() {
-                if let Some(pos) = hit {
-                    sink.emit(gpu, rids[i], *pos);
-                    matches += 1;
+    let mark = sink.len();
+    with_join_retries(gpu, |gpu| {
+        sink.truncate(mark);
+        try_launch_kernel(gpu, |gpu| {
+            let mut matches = 0;
+            let mut out = [None; WARP_SIZE];
+            let mut keys = [0u64; WARP_SIZE];
+            let mut rids = [0u64; WARP_SIZE];
+            for warp in warps_of(pair_range.clone()) {
+                let w = warp.len();
+                // One coalesced read of the warp's (key, rid) pairs.
+                let chunk = pairs.read_range(gpu, warp.start * 2, w * 2);
+                for i in 0..w {
+                    keys[i] = chunk[i * 2];
+                    rids[i] = chunk[i * 2 + 1];
+                }
+                index.lookup_warp(gpu, &keys[..w], &mut out);
+                for (i, hit) in out[..w].iter().enumerate() {
+                    if let Some(pos) = hit {
+                        sink.emit(gpu, rids[i], *pos);
+                        matches += 1;
+                    }
                 }
             }
-        }
-        matches
+            matches
+        })
+        .map_err(JoinError::from)
     })
 }
 
@@ -106,12 +120,12 @@ mod tests {
     fn stream_inlj_finds_all_fk_matches() {
         let mut g = gpu();
         let r_keys: Vec<u64> = (0..10_000u64).map(|i| i * 2).collect();
-        let data = Rc::new(g.alloc_from_vec(MemLocation::Cpu, r_keys.clone()));
+        let data = Rc::new(g.alloc_host_from_vec(r_keys.clone()));
         let idx = BinarySearchIndex::new(data);
         let s_keys: Vec<u64> = (0..500u64).map(|i| (i * 37 % 10_000) * 2).collect();
-        let s = g.alloc_from_vec(MemLocation::Cpu, s_keys.clone());
-        let mut sink = ResultSink::with_capacity(&mut g, 500, MemLocation::Gpu);
-        let n = inlj_stream(&mut g, &idx, &s, 0..500, &mut sink);
+        let s = g.alloc_host_from_vec(s_keys.clone());
+        let mut sink = ResultSink::with_capacity(&mut g, 500, MemLocation::Gpu).unwrap();
+        let n = inlj_stream(&mut g, &idx, &s, 0..500, &mut sink).unwrap();
         assert_eq!(n, 500);
         for (srid, rpos) in sink.host_pairs() {
             assert_eq!(r_keys[rpos as usize], s_keys[srid as usize]);
@@ -122,13 +136,13 @@ mod tests {
     fn stream_inlj_skips_misses() {
         let mut g = gpu();
         let r_keys: Vec<u64> = (0..100u64).map(|i| i * 2).collect();
-        let data = Rc::new(g.alloc_from_vec(MemLocation::Cpu, r_keys));
+        let data = Rc::new(g.alloc_host_from_vec(r_keys));
         let idx = BinarySearchIndex::new(data);
         // Odd keys never match.
         let s_keys: Vec<u64> = (0..64u64).map(|i| i * 2 + (i % 2)).collect();
-        let s = g.alloc_from_vec(MemLocation::Cpu, s_keys);
-        let mut sink = ResultSink::with_capacity(&mut g, 64, MemLocation::Gpu);
-        let n = inlj_stream(&mut g, &idx, &s, 0..64, &mut sink);
+        let s = g.alloc_host_from_vec(s_keys);
+        let mut sink = ResultSink::with_capacity(&mut g, 64, MemLocation::Gpu).unwrap();
+        let n = inlj_stream(&mut g, &idx, &s, 0..64, &mut sink).unwrap();
         assert_eq!(n, 32);
     }
 
@@ -136,18 +150,18 @@ mod tests {
     fn pairs_inlj_equals_stream_inlj() {
         let mut g = gpu();
         let r_keys: Vec<u64> = (0..50_000u64).map(|i| i * 3).collect();
-        let data = Rc::new(g.alloc_from_vec(MemLocation::Cpu, r_keys));
+        let data = Rc::new(g.alloc_host_from_vec(r_keys));
         let idx = BinarySearchIndex::new(data);
         let s_keys: Vec<u64> = (0..4096u64).map(|i| (i * 997 % 50_000) * 3).collect();
-        let s = g.alloc_from_vec(MemLocation::Cpu, s_keys);
+        let s = g.alloc_host_from_vec(s_keys);
 
-        let mut direct = ResultSink::with_capacity(&mut g, 4096, MemLocation::Gpu);
-        inlj_stream(&mut g, &idx, &s, 0..4096, &mut direct);
+        let mut direct = ResultSink::with_capacity(&mut g, 4096, MemLocation::Gpu).unwrap();
+        inlj_stream(&mut g, &idx, &s, 0..4096, &mut direct).unwrap();
 
         let part = RadixPartitioner::new(PartitionBits { shift: 4, bits: 8 }, 0);
-        let pt = part.partition_stream(&mut g, &s, 0..4096, );
-        let mut viaparts = ResultSink::with_capacity(&mut g, 4096, MemLocation::Gpu);
-        inlj_pairs(&mut g, &idx, &pt.pairs, 0..pt.len(), &mut viaparts);
+        let pt = part.partition_stream(&mut g, &s, 0..4096).unwrap();
+        let mut viaparts = ResultSink::with_capacity(&mut g, 4096, MemLocation::Gpu).unwrap();
+        inlj_pairs(&mut g, &idx, &pt.pairs, 0..pt.len(), &mut viaparts).unwrap();
 
         let mut a = direct.host_pairs();
         let mut b = viaparts.host_pairs();
@@ -159,11 +173,11 @@ mod tests {
     #[test]
     fn empty_probe_range() {
         let mut g = gpu();
-        let data = Rc::new(g.alloc_from_vec(MemLocation::Cpu, vec![1u64, 2, 3]));
+        let data = Rc::new(g.alloc_host_from_vec(vec![1u64, 2, 3]));
         let idx = BinarySearchIndex::new(data);
-        let s = g.alloc_from_vec(MemLocation::Cpu, vec![1u64]);
-        let mut sink = ResultSink::with_capacity(&mut g, 1, MemLocation::Gpu);
-        assert_eq!(inlj_stream(&mut g, &idx, &s, 0..0, &mut sink), 0);
+        let s = g.alloc_host_from_vec(vec![1u64]);
+        let mut sink = ResultSink::with_capacity(&mut g, 1, MemLocation::Gpu).unwrap();
+        assert_eq!(inlj_stream(&mut g, &idx, &s, 0..0, &mut sink).unwrap(), 0);
         assert_eq!(g.counters().kernel_launches, 0);
     }
 }

@@ -18,6 +18,7 @@
 
 #![warn(missing_docs)]
 
+pub mod error;
 pub mod hash_join;
 pub mod hash_table;
 pub mod inlj;
@@ -26,6 +27,7 @@ pub mod radix_partition;
 pub mod range_scan;
 pub mod sink;
 
+pub use error::{with_join_retries, JoinError};
 pub use hash_join::{hash_join, HashJoinConfig, HashJoinStats};
 pub use hash_table::{hash64, HashTableConfig, MultiValueHashTable};
 pub use inlj::{inlj_pairs, inlj_stream};

@@ -52,7 +52,9 @@ impl PartitionBits {
             (spec.page_bytes as f64 / 8.0 * key_domain as f64 / tuples as f64).max(1.0);
         let page_bit = keys_per_page.log2().ceil() as u32;
         // Take the top `max_bits` of the domain, but never below page_bit.
-        let shift = domain_bits.saturating_sub(max_bits).max(page_bit.min(domain_bits - 1));
+        let shift = domain_bits
+            .saturating_sub(max_bits)
+            .max(page_bit.min(domain_bits - 1));
         let bits = (domain_bits - shift).clamp(1, max_bits);
         PartitionBits { shift, bits }
     }

@@ -18,8 +18,9 @@
 //! device-memory writes are full cachelines — the properties that make SWWC
 //! fast on real GPUs.
 
+use crate::error::{with_join_retries, JoinError};
 use crate::partition_bits::PartitionBits;
-use windex_sim::{launch_kernel, Buffer, Gpu, MemLocation};
+use windex_sim::{try_launch_kernel, Buffer, Gpu, MemLocation};
 
 /// A reusable radix partitioner for (key, rid) pairs.
 #[derive(Debug, Clone)]
@@ -53,6 +54,11 @@ impl Partitioned {
     pub fn partitions(&self) -> usize {
         self.offsets.len() - 1
     }
+
+    /// Release the pair buffer back to the device budget.
+    pub fn free(self, gpu: &mut Gpu) {
+        gpu.free(self.pairs);
+    }
 }
 
 impl RadixPartitioner {
@@ -71,87 +77,125 @@ impl RadixPartitioner {
     /// Partition `keys[range]` (a run of the CPU-resident probe stream) with
     /// rids equal to their absolute stream positions. Launches the staging
     /// and partitioning kernels and returns partition-ordered pairs in GPU
-    /// memory.
+    /// memory. Device-allocation and injected-fault errors are surfaced
+    /// after bounded retries (each kernel is idempotent, so retrying simply
+    /// re-runs it); the staging buffer is always released.
     pub fn partition_stream(
         &self,
         gpu: &mut Gpu,
         keys: &Buffer<u64>,
         range: std::ops::Range<usize>,
-    ) -> Partitioned {
+    ) -> Result<Partitioned, JoinError> {
         let n = range.len();
         let p = self.bits.partitions();
         if n == 0 {
-            return Partitioned {
-                pairs: gpu.alloc(MemLocation::Gpu, 0),
+            return Ok(Partitioned {
+                pairs: with_join_retries(gpu, |g| {
+                    g.alloc(MemLocation::Gpu, 0).map_err(JoinError::from)
+                })?,
                 offsets: vec![0; p + 1],
-            };
+            });
         }
         let line_pairs = (gpu.spec().cacheline_bytes as usize / 16).max(1);
 
         // --- stage: one interconnect pass, paired with rids in GPU memory.
-        let mut staging: Buffer<u64> = gpu.alloc(MemLocation::Gpu, n * 2);
-        launch_kernel(gpu, |gpu| {
-            let start = range.start;
-            let vals = keys.stream_read(gpu, start, n).to_vec();
-            for (i, k) in vals.into_iter().enumerate() {
-                // Written as full lines by the staging kernel.
-                staging.host_mut()[i * 2] = k;
-                staging.host_mut()[i * 2 + 1] = (start + i) as u64;
-            }
-            gpu.stream_write(MemLocation::Gpu, staging.addr_of(0), (n * 16) as u64);
+        let mut staging: Buffer<u64> = with_join_retries(gpu, |g| {
+            g.alloc(MemLocation::Gpu, n * 2).map_err(JoinError::from)
+        })?;
+        let staged = with_join_retries(gpu, |gpu| {
+            try_launch_kernel(gpu, |gpu| {
+                let start = range.start;
+                let vals = keys.stream_read(gpu, start, n).to_vec();
+                for (i, k) in vals.into_iter().enumerate() {
+                    // Written as full lines by the staging kernel.
+                    staging.host_mut()[i * 2] = k;
+                    staging.host_mut()[i * 2 + 1] = (start + i) as u64;
+                }
+                gpu.stream_write(MemLocation::Gpu, staging.addr_of(0), (n * 16) as u64);
+            })
+            .map_err(JoinError::from)
         });
+        if let Err(e) = staged {
+            gpu.free(staging);
+            return Err(e);
+        }
 
         // --- histogram + prefix sum (linear allocator).
         let mut hist = vec![0usize; p];
-        launch_kernel(gpu, |gpu| {
-            gpu.stream_read(MemLocation::Gpu, staging.addr_of(0), (n * 16) as u64);
-            for i in 0..n {
-                let key = staging.host()[i * 2];
-                hist[self.bits.partition_of(key, self.min_key)] += 1;
-            }
-            gpu.op(n as u64 / 32 + p as u64);
+        let counted = with_join_retries(gpu, |gpu| {
+            hist.iter_mut().for_each(|h| *h = 0); // idempotent retries
+            try_launch_kernel(gpu, |gpu| {
+                gpu.stream_read(MemLocation::Gpu, staging.addr_of(0), (n * 16) as u64);
+                for i in 0..n {
+                    let key = staging.host()[i * 2];
+                    hist[self.bits.partition_of(key, self.min_key)] += 1;
+                }
+                gpu.op(n as u64 / 32 + p as u64);
+            })
+            .map_err(JoinError::from)
         });
+        if let Err(e) = counted {
+            gpu.free(staging);
+            return Err(e);
+        }
         let mut offsets = vec![0usize; p + 1];
         for i in 0..p {
             offsets[i + 1] = offsets[i] + hist[i];
         }
 
         // --- scatter through per-partition write-combining buffers.
-        let mut out: Buffer<u64> = gpu.alloc(MemLocation::Gpu, n * 2);
-        launch_kernel(gpu, |gpu| {
-            gpu.stream_read(MemLocation::Gpu, staging.addr_of(0), (n * 16) as u64);
-            let mut cursors = offsets[..p].to_vec();
-            let mut wc: Vec<Vec<u64>> = vec![Vec::with_capacity(line_pairs * 2); p];
-            for i in 0..n {
-                let key = staging.host()[i * 2];
-                let rid = staging.host()[i * 2 + 1];
-                let part = self.bits.partition_of(key, self.min_key);
-                let buf = &mut wc[part];
-                buf.push(key);
-                buf.push(rid);
-                if buf.len() == line_pairs * 2 {
-                    // Flush one full cacheline with a coalesced write.
-                    out.write_range(gpu, cursors[part] * 2, buf);
-                    cursors[part] += line_pairs;
-                    buf.clear();
-                }
-            }
-            // Flush the remaining partial lines.
-            for (part, buf) in wc.iter_mut().enumerate() {
-                if !buf.is_empty() {
-                    out.write_range(gpu, cursors[part] * 2, buf);
-                    cursors[part] += buf.len() / 2;
-                    buf.clear();
-                }
-            }
-            gpu.op(n as u64 / 32);
-            debug_assert!(cursors
-                .iter()
-                .zip(offsets[1..].iter())
-                .all(|(c, o)| c == o));
+        let out: Result<Buffer<u64>, JoinError> = with_join_retries(gpu, |g| {
+            g.alloc(MemLocation::Gpu, n * 2).map_err(JoinError::from)
         });
+        let mut out = match out {
+            Ok(b) => b,
+            Err(e) => {
+                gpu.free(staging);
+                return Err(e);
+            }
+        };
+        let scattered = with_join_retries(gpu, |gpu| {
+            try_launch_kernel(gpu, |gpu| {
+                gpu.stream_read(MemLocation::Gpu, staging.addr_of(0), (n * 16) as u64);
+                let mut cursors = offsets[..p].to_vec();
+                let mut wc: Vec<Vec<u64>> = vec![Vec::with_capacity(line_pairs * 2); p];
+                for i in 0..n {
+                    let key = staging.host()[i * 2];
+                    let rid = staging.host()[i * 2 + 1];
+                    let part = self.bits.partition_of(key, self.min_key);
+                    let buf = &mut wc[part];
+                    buf.push(key);
+                    buf.push(rid);
+                    if buf.len() == line_pairs * 2 {
+                        // Flush one full cacheline with a coalesced write.
+                        out.write_range(gpu, cursors[part] * 2, buf);
+                        cursors[part] += line_pairs;
+                        buf.clear();
+                    }
+                }
+                // Flush the remaining partial lines.
+                for (part, buf) in wc.iter_mut().enumerate() {
+                    if !buf.is_empty() {
+                        out.write_range(gpu, cursors[part] * 2, buf);
+                        cursors[part] += buf.len() / 2;
+                        buf.clear();
+                    }
+                }
+                gpu.op(n as u64 / 32);
+                debug_assert!(cursors.iter().zip(offsets[1..].iter()).all(|(c, o)| c == o));
+            })
+            .map_err(JoinError::from)
+        });
+        gpu.free(staging);
+        if let Err(e) = scattered {
+            gpu.free(out);
+            return Err(e);
+        }
 
-        Partitioned { pairs: out, offsets }
+        Ok(Partitioned {
+            pairs: out,
+            offsets,
+        })
     }
 }
 
@@ -165,7 +209,7 @@ mod tests {
     }
 
     fn keys_buffer(gpu: &mut Gpu, keys: Vec<u64>) -> Buffer<u64> {
-        gpu.alloc_from_vec(MemLocation::Cpu, keys)
+        gpu.alloc_host_from_vec(keys)
     }
 
     #[test]
@@ -175,7 +219,7 @@ mod tests {
         let buf = keys_buffer(&mut g, keys.clone());
         let bits = PartitionBits { shift: 4, bits: 6 };
         let part = RadixPartitioner::new(bits, 0);
-        let out = part.partition_stream(&mut g, &buf, 0..keys.len());
+        let out = part.partition_stream(&mut g, &buf, 0..keys.len()).unwrap();
         assert_eq!(out.len(), keys.len());
         assert_eq!(out.partitions(), 64);
         // Every pair is in its partition's region and rids map back.
@@ -188,7 +232,9 @@ mod tests {
             }
         }
         // All rids present exactly once.
-        let mut rids: Vec<u64> = (0..out.len()).map(|i| out.pairs.host()[i * 2 + 1]).collect();
+        let mut rids: Vec<u64> = (0..out.len())
+            .map(|i| out.pairs.host()[i * 2 + 1])
+            .collect();
         rids.sort_unstable();
         assert!(rids.iter().enumerate().all(|(i, &r)| r == i as u64));
     }
@@ -199,7 +245,7 @@ mod tests {
         let keys: Vec<u64> = (0..1000u64).collect();
         let buf = keys_buffer(&mut g, keys);
         let part = RadixPartitioner::new(PartitionBits { shift: 0, bits: 4 }, 0);
-        let out = part.partition_stream(&mut g, &buf, 500..600);
+        let out = part.partition_stream(&mut g, &buf, 500..600).unwrap();
         assert_eq!(out.len(), 100);
         for i in 0..out.len() {
             let rid = out.pairs.host()[i * 2 + 1];
@@ -215,7 +261,7 @@ mod tests {
         let buf = keys_buffer(&mut g, keys);
         let part = RadixPartitioner::new(PartitionBits::paper_default(), 0);
         let before = g.snapshot();
-        let _ = part.partition_stream(&mut g, &buf, 0..n);
+        let _ = part.partition_stream(&mut g, &buf, 0..n).unwrap();
         let d = g.snapshot() - before;
         assert_eq!(d.ic_bytes_streamed, n as u64 * 8, "exactly one input pass");
         assert_eq!(d.ic_bytes_random, 0);
@@ -230,7 +276,7 @@ mod tests {
         let mut g = gpu();
         let buf = keys_buffer(&mut g, vec![1, 2, 3]);
         let part = RadixPartitioner::new(PartitionBits::paper_default(), 0);
-        let out = part.partition_stream(&mut g, &buf, 1..1);
+        let out = part.partition_stream(&mut g, &buf, 1..1).unwrap();
         assert!(out.is_empty());
         assert_eq!(out.offsets.last(), Some(&0));
     }
@@ -242,7 +288,7 @@ mod tests {
         let buf = keys_buffer(&mut g, keys.clone());
         // All keys share the partition when shift swallows the domain.
         let part = RadixPartitioner::new(PartitionBits { shift: 32, bits: 1 }, 0);
-        let out = part.partition_stream(&mut g, &buf, 0..4);
+        let out = part.partition_stream(&mut g, &buf, 0..4).unwrap();
         assert_eq!(out.offsets, vec![0, 4, 4]);
         // SWWC preserves arrival order within a partition.
         let got: Vec<u64> = (0..4).map(|i| out.pairs.host()[i * 2]).collect();

@@ -9,9 +9,10 @@
 //! GPU. Both operators return the matching tuples materialized in GPU
 //! memory; the difference is the transfer volume.
 
+use crate::error::{with_join_retries, JoinError};
 use crate::sink::ResultSink;
 use windex_index::OutOfCoreIndex;
-use windex_sim::{launch_kernel, Buffer, Gpu};
+use windex_sim::{try_launch_kernel, Buffer, Gpu};
 
 /// Result of a range-selection operator.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -25,6 +26,8 @@ pub struct RangeScanStats {
 /// Index range scan: two index searches bound the contiguous run of
 /// positions with keys in `lo..=hi`; the run is streamed once across the
 /// interconnect and materialized as `(position, key)` pairs in `sink`.
+/// Injected transient faults are retried under the engine's retry policy;
+/// each retry rolls the sink back to its entry length.
 pub fn index_range_scan(
     gpu: &mut Gpu,
     index: &dyn OutOfCoreIndex,
@@ -32,64 +35,72 @@ pub fn index_range_scan(
     lo: u64,
     hi: u64,
     sink: &mut ResultSink,
-) -> RangeScanStats {
-    launch_kernel(gpu, |gpu| {
-        let range = index.range(gpu, lo, hi);
-        let first_pos = range.start;
-        let (start, end) = (range.start as usize, range.end as usize);
-        let mut matches = 0;
-        // Stream the matching run in chunks (coalesced, full-bandwidth).
-        const CHUNK: usize = 4096;
-        let mut at = start;
-        while at < end {
-            let n = CHUNK.min(end - at);
-            let vals = data.stream_read(gpu, at, n).to_vec();
-            for (i, v) in vals.into_iter().enumerate() {
-                debug_assert!((lo..=hi).contains(&v));
-                sink.emit(gpu, (at + i) as u64, v);
-                matches += 1;
+) -> Result<RangeScanStats, JoinError> {
+    let mark = sink.len();
+    with_join_retries(gpu, |gpu| {
+        sink.truncate(mark);
+        try_launch_kernel(gpu, |gpu| {
+            let range = index.range(gpu, lo, hi);
+            let first_pos = range.start;
+            let (start, end) = (range.start as usize, range.end as usize);
+            let mut matches = 0;
+            // Stream the matching run in chunks (coalesced, full-bandwidth).
+            const CHUNK: usize = 4096;
+            let mut at = start;
+            while at < end {
+                let n = CHUNK.min(end - at);
+                let vals = data.stream_read(gpu, at, n).to_vec();
+                for (i, v) in vals.into_iter().enumerate() {
+                    debug_assert!((lo..=hi).contains(&v));
+                    sink.emit(gpu, (at + i) as u64, v);
+                    matches += 1;
+                }
+                at += n;
             }
-            at += n;
-        }
-        RangeScanStats {
-            matches,
-            first_pos,
-        }
+            RangeScanStats { matches, first_pos }
+        })
+        .map_err(JoinError::from)
     })
 }
 
 /// Full-scan baseline: stream the whole relation, filter on the GPU, and
 /// materialize the matches. Transfers `|R|` bytes regardless of
-/// selectivity — the Fig. 1 waste.
+/// selectivity — the Fig. 1 waste. Fault retry semantics match
+/// [`index_range_scan`].
 pub fn full_scan_filter(
     gpu: &mut Gpu,
     data: &Buffer<u64>,
     lo: u64,
     hi: u64,
     sink: &mut ResultSink,
-) -> RangeScanStats {
-    launch_kernel(gpu, |gpu| {
-        let mut matches = 0;
-        let mut first_pos = u64::MAX;
-        const CHUNK: usize = 4096;
-        let mut at = 0;
-        let n_total = data.len();
-        while at < n_total {
-            let n = CHUNK.min(n_total - at);
-            let vals = data.stream_read(gpu, at, n).to_vec();
-            gpu.op(n as u64 / 32 + 1); // predicate evaluation
-            for (i, v) in vals.into_iter().enumerate() {
-                if (lo..=hi).contains(&v) {
-                    if first_pos == u64::MAX {
-                        first_pos = (at + i) as u64;
+) -> Result<RangeScanStats, JoinError> {
+    let mark = sink.len();
+    with_join_retries(gpu, |gpu| {
+        sink.truncate(mark);
+        try_launch_kernel(gpu, |gpu| {
+            let mut matches = 0;
+            let mut first_pos = u64::MAX;
+            const CHUNK: usize = 4096;
+            let mut at = 0;
+            let n_total = data.len();
+            while at < n_total {
+                let n = CHUNK.min(n_total - at);
+                let vals = data.stream_read(gpu, at, n).to_vec();
+                gpu.op(n as u64 / 32 + 1); // predicate evaluation
+                for (i, v) in vals.into_iter().enumerate() {
+                    if (lo..=hi).contains(&v) {
+                        if first_pos == u64::MAX {
+                            first_pos = (at + i) as u64;
+                        }
+                        sink.emit(gpu, (at + i) as u64, v);
+                        matches += 1;
                     }
-                    sink.emit(gpu, (at + i) as u64, v);
-                    matches += 1;
                 }
+                at += n;
             }
-            at += n;
-        }
-        RangeScanStats { matches, first_pos }
+            RangeScanStats { matches, first_pos }
+        })
+        .map_err(JoinError::from)
     })
 }
 
@@ -103,7 +114,7 @@ mod tests {
     fn setup(n: u64) -> (Gpu, Rc<Buffer<u64>>, BinarySearchIndex) {
         let mut g = Gpu::new(GpuSpec::v100_nvlink2(Scale::PAPER));
         let keys: Vec<u64> = (0..n).map(|i| i * 3).collect();
-        let data = Rc::new(g.alloc_from_vec(MemLocation::Cpu, keys));
+        let data = Rc::new(g.alloc_host_from_vec(keys));
         let idx = BinarySearchIndex::new(Rc::clone(&data));
         (g, data, idx)
     }
@@ -112,10 +123,10 @@ mod tests {
     fn index_scan_equals_full_scan() {
         let (mut g, data, idx) = setup(10_000);
         let (lo, hi) = (3000, 9000);
-        let mut a = ResultSink::with_capacity(&mut g, 10_000, MemLocation::Gpu);
-        let sa = index_range_scan(&mut g, &idx, &data, lo, hi, &mut a);
-        let mut b = ResultSink::with_capacity(&mut g, 10_000, MemLocation::Gpu);
-        let sb = full_scan_filter(&mut g, &data, lo, hi, &mut b);
+        let mut a = ResultSink::with_capacity(&mut g, 10_000, MemLocation::Gpu).unwrap();
+        let sa = index_range_scan(&mut g, &idx, &data, lo, hi, &mut a).unwrap();
+        let mut b = ResultSink::with_capacity(&mut g, 10_000, MemLocation::Gpu).unwrap();
+        let sb = full_scan_filter(&mut g, &data, lo, hi, &mut b).unwrap();
         assert_eq!(sa, sb);
         assert_eq!(a.host_pairs(), b.host_pairs());
         assert_eq!(sa.matches, 2001); // keys 3000,3003,…,9000
@@ -125,17 +136,17 @@ mod tests {
     #[test]
     fn index_scan_transfers_only_the_range() {
         let (mut g, data, idx) = setup(100_000);
-        let mut sink = ResultSink::with_capacity(&mut g, 100_000, MemLocation::Gpu);
+        let mut sink = ResultSink::with_capacity(&mut g, 100_000, MemLocation::Gpu).unwrap();
         let before = g.snapshot();
-        index_range_scan(&mut g, &idx, &data, 0, 2_999, &mut sink);
+        index_range_scan(&mut g, &idx, &data, 0, 2_999, &mut sink).unwrap();
         let d = g.snapshot() - before;
         // 1000 matching tuples: ~8 KB streamed + a few search lines, far
         // below the 800 KB full relation.
         assert!(d.ic_bytes_streamed <= 16 * 1024, "{}", d.ic_bytes_streamed);
 
-        let mut sink2 = ResultSink::with_capacity(&mut g, 100_000, MemLocation::Gpu);
+        let mut sink2 = ResultSink::with_capacity(&mut g, 100_000, MemLocation::Gpu).unwrap();
         let before = g.snapshot();
-        full_scan_filter(&mut g, &data, 0, 2_999, &mut sink2);
+        full_scan_filter(&mut g, &data, 0, 2_999, &mut sink2).unwrap();
         let d_full = g.snapshot() - before;
         assert!(d_full.ic_bytes_streamed >= 100_000 * 8);
     }
@@ -143,21 +154,21 @@ mod tests {
     #[test]
     fn empty_range() {
         let (mut g, data, idx) = setup(100);
-        let mut sink = ResultSink::with_capacity(&mut g, 100, MemLocation::Gpu);
+        let mut sink = ResultSink::with_capacity(&mut g, 100, MemLocation::Gpu).unwrap();
         // Between two keys: 3k+1 never matches.
-        let s = index_range_scan(&mut g, &idx, &data, 7, 8, &mut sink);
+        let s = index_range_scan(&mut g, &idx, &data, 7, 8, &mut sink).unwrap();
         assert_eq!(s.matches, 0);
         assert!(sink.is_empty());
         // Inverted bounds.
-        let s = index_range_scan(&mut g, &idx, &data, 50, 10, &mut sink);
+        let s = index_range_scan(&mut g, &idx, &data, 50, 10, &mut sink).unwrap();
         assert_eq!(s.matches, 0);
     }
 
     #[test]
     fn full_domain_range() {
         let (mut g, data, idx) = setup(1000);
-        let mut sink = ResultSink::with_capacity(&mut g, 1000, MemLocation::Gpu);
-        let s = index_range_scan(&mut g, &idx, &data, 0, u64::MAX, &mut sink);
+        let mut sink = ResultSink::with_capacity(&mut g, 1000, MemLocation::Gpu).unwrap();
+        let s = index_range_scan(&mut g, &idx, &data, 0, u64::MAX, &mut sink).unwrap();
         assert_eq!(s.matches, 1000);
     }
 }

@@ -2,36 +2,79 @@
 //!
 //! The paper's queries materialize join results into GPU memory (§3.2,
 //! footnote: "Large results could be spilled to CPU memory"). The sink is a
-//! preallocated pair buffer with an append cursor; a spill variant writes to
-//! CPU memory instead, for results larger than device capacity.
+//! preallocated pair buffer with an append cursor. When the buffer
+//! overflows, the sink *spills*: the live pairs move to a larger CPU-memory
+//! buffer (the copy crossing the interconnect is counted) and appends
+//! continue there — results larger than device capacity degrade gracefully
+//! instead of failing the query.
 
+use crate::error::{with_join_retries, JoinError};
 use windex_sim::{Buffer, Gpu, MemLocation};
 
-/// An append-only buffer of join result pairs.
+/// An append-only buffer of join result pairs with automatic CPU spill.
 #[derive(Debug)]
 pub struct ResultSink {
     /// Interleaved pairs `(left, right)`.
     pairs: Buffer<u64>,
     cursor: usize,
+    spills: usize,
 }
 
 impl ResultSink {
     /// Preallocate space for `capacity` result pairs at `loc`
     /// ([`MemLocation::Gpu`] for the paper's default, [`MemLocation::Cpu`]
-    /// to model spilling).
-    pub fn with_capacity(gpu: &mut Gpu, capacity: usize, loc: MemLocation) -> Self {
-        ResultSink {
-            pairs: gpu.alloc(loc, capacity * 2),
+    /// to model spilling). Device allocations are fallible; transient
+    /// allocation faults are retried under the engine's retry policy.
+    pub fn with_capacity(
+        gpu: &mut Gpu,
+        capacity: usize,
+        loc: MemLocation,
+    ) -> Result<Self, JoinError> {
+        let pairs = match loc {
+            MemLocation::Gpu => with_join_retries(gpu, |g| {
+                g.alloc(MemLocation::Gpu, capacity * 2)
+                    .map_err(JoinError::from)
+            })?,
+            MemLocation::Cpu => gpu.alloc_host(capacity * 2),
+        };
+        Ok(ResultSink {
+            pairs,
             cursor: 0,
-        }
+            spills: 0,
+        })
     }
 
-    /// Append one result pair (a device-side materialization write).
+    /// Append one result pair (a device-side materialization write). On
+    /// overflow the sink spills to a doubled CPU-memory buffer and the
+    /// append proceeds there; it never fails.
     #[inline]
     pub fn emit(&mut self, gpu: &mut Gpu, left: u64, right: u64) {
-        assert!(self.cursor * 2 + 2 <= self.pairs.len(), "result sink overflow");
+        if self.cursor * 2 + 2 > self.pairs.len() {
+            self.spill_grow(gpu);
+        }
         self.pairs.write_range(gpu, self.cursor * 2, &[left, right]);
         self.cursor += 1;
+    }
+
+    /// Move the live pairs into a CPU-memory buffer of at least double the
+    /// capacity. The copy is real traffic: the live pairs are read from
+    /// their current location and streamed to CPU memory over the
+    /// interconnect.
+    fn spill_grow(&mut self, gpu: &mut Gpu) {
+        let new_len = (self.pairs.len() * 2).max(4);
+        let mut data = self.pairs.host()[..self.cursor * 2].to_vec();
+        data.resize(new_len, 0);
+        let moved_bytes = (self.cursor * 16) as u64;
+        if moved_bytes > 0 {
+            gpu.stream_read(self.pairs.location(), self.pairs.addr_of(0), moved_bytes);
+        }
+        let new_pairs = gpu.alloc_host_from_vec(data);
+        if moved_bytes > 0 {
+            gpu.stream_write(MemLocation::Cpu, new_pairs.addr_of(0), moved_bytes);
+        }
+        let old = std::mem::replace(&mut self.pairs, new_pairs);
+        gpu.free(old);
+        self.spills += 1;
     }
 
     /// Number of materialized pairs.
@@ -44,9 +87,14 @@ impl ResultSink {
         self.cursor == 0
     }
 
-    /// Where the results live.
+    /// Where the results currently live (changes to CPU after a spill).
     pub fn location(&self) -> MemLocation {
         self.pairs.location()
+    }
+
+    /// Number of overflow spills performed.
+    pub fn spill_count(&self) -> usize {
+        self.spills
     }
 
     /// Host view of the materialized pairs (tests / verification).
@@ -56,9 +104,21 @@ impl ResultSink {
             .collect()
     }
 
+    /// Roll the cursor back to `len` pairs (no-op if already shorter).
+    /// Operators retrying a failed kernel truncate to their entry mark so
+    /// partial outputs of the failed attempt are discarded.
+    pub fn truncate(&mut self, len: usize) {
+        self.cursor = self.cursor.min(len);
+    }
+
     /// Reset the cursor, keeping the allocation (reuse across queries).
     pub fn clear(&mut self) {
         self.cursor = 0;
+    }
+
+    /// Release the sink's buffer back to the device budget.
+    pub fn free(self, gpu: &mut Gpu) {
+        gpu.free(self.pairs);
     }
 }
 
@@ -70,7 +130,7 @@ mod tests {
     #[test]
     fn emit_and_read_back() {
         let mut gpu = Gpu::new(GpuSpec::v100_nvlink2(Scale::PAPER));
-        let mut sink = ResultSink::with_capacity(&mut gpu, 4, MemLocation::Gpu);
+        let mut sink = ResultSink::with_capacity(&mut gpu, 4, MemLocation::Gpu).unwrap();
         sink.emit(&mut gpu, 1, 2);
         sink.emit(&mut gpu, 3, 4);
         assert_eq!(sink.len(), 2);
@@ -81,18 +141,78 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "overflow")]
-    fn overflow_panics() {
+    fn overflow_spills_to_cpu_and_keeps_results() {
         let mut gpu = Gpu::new(GpuSpec::v100_nvlink2(Scale::PAPER));
-        let mut sink = ResultSink::with_capacity(&mut gpu, 1, MemLocation::Gpu);
+        let mut sink = ResultSink::with_capacity(&mut gpu, 2, MemLocation::Gpu).unwrap();
+        assert_eq!(sink.location(), MemLocation::Gpu);
+        for i in 0..10u64 {
+            sink.emit(&mut gpu, i, i * 10);
+        }
+        assert_eq!(sink.len(), 10);
+        assert_eq!(
+            sink.location(),
+            MemLocation::Cpu,
+            "sink must spill, not panic"
+        );
+        assert!(sink.spill_count() >= 1);
+        let pairs = sink.host_pairs();
+        assert_eq!(pairs, (0..10u64).map(|i| (i, i * 10)).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn spill_copy_is_counted_as_interconnect_writes() {
+        let mut gpu = Gpu::new(GpuSpec::v100_nvlink2(Scale::PAPER));
+        let mut sink = ResultSink::with_capacity(&mut gpu, 2, MemLocation::Gpu).unwrap();
         sink.emit(&mut gpu, 1, 2);
         sink.emit(&mut gpu, 3, 4);
+        let before = gpu.snapshot();
+        sink.emit(&mut gpu, 5, 6); // overflow: 2 live pairs move to CPU
+        let d = gpu.snapshot() - before;
+        // The 32-byte copy crosses the interconnect, plus the new append.
+        assert!(
+            d.ic_bytes_written >= 32,
+            "spill writes: {}",
+            d.ic_bytes_written
+        );
+        assert!(d.gpu_bytes_read >= 32, "spill reads the live GPU pairs");
+    }
+
+    #[test]
+    fn spill_releases_the_device_reservation() {
+        let mut gpu = Gpu::new(GpuSpec::v100_nvlink2(Scale::PAPER));
+        let mut sink = ResultSink::with_capacity(&mut gpu, 2, MemLocation::Gpu).unwrap();
+        let held = gpu.live_gpu_bytes();
+        assert!(held > 0);
+        for i in 0..5u64 {
+            sink.emit(&mut gpu, i, i);
+        }
+        assert_eq!(
+            gpu.live_gpu_bytes(),
+            0,
+            "spilled sink holds no device memory"
+        );
+        sink.free(&mut gpu);
+        assert_eq!(gpu.live_gpu_bytes(), 0);
+    }
+
+    #[test]
+    fn truncate_rolls_back_partial_output() {
+        let mut gpu = Gpu::new(GpuSpec::v100_nvlink2(Scale::PAPER));
+        let mut sink = ResultSink::with_capacity(&mut gpu, 8, MemLocation::Gpu).unwrap();
+        sink.emit(&mut gpu, 1, 1);
+        let mark = sink.len();
+        sink.emit(&mut gpu, 2, 2);
+        sink.emit(&mut gpu, 3, 3);
+        sink.truncate(mark);
+        assert_eq!(sink.host_pairs(), vec![(1, 1)]);
+        sink.truncate(99); // no-op when longer than the cursor
+        assert_eq!(sink.len(), 1);
     }
 
     #[test]
     fn cpu_spill_counts_interconnect_writes() {
         let mut gpu = Gpu::new(GpuSpec::v100_nvlink2(Scale::PAPER));
-        let mut sink = ResultSink::with_capacity(&mut gpu, 2, MemLocation::Cpu);
+        let mut sink = ResultSink::with_capacity(&mut gpu, 2, MemLocation::Cpu).unwrap();
         sink.emit(&mut gpu, 7, 8);
         assert!(gpu.counters().ic_bytes_written >= 16);
     }

@@ -24,7 +24,10 @@ impl Cache {
     /// multiple of the associativity — this keeps scaled-down configurations
     /// (where a paper-sized cache shrinks to a handful of lines) valid.
     pub fn new(capacity_bytes: u64, line_bytes: u64, assoc: usize) -> Self {
-        assert!(line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(
+            line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
         let lines = ((capacity_bytes / line_bytes) as usize).max(1);
         let assoc = assoc.clamp(1, lines);
         let lines = lines - lines % assoc;

@@ -43,6 +43,8 @@ pub struct TimeBreakdown {
     pub compute_s: f64,
     /// Kernel launch overhead.
     pub launch_s: f64,
+    /// Retry backoff stall time after transient faults.
+    pub fault_s: f64,
     /// Total estimated time.
     pub total_s: f64,
 }
@@ -86,16 +88,14 @@ impl CostModel {
         let eff_bw = ic.effective_bandwidth_gbps * 1e9;
         let rand_bw = eff_bw * ic.fine_grained_efficiency;
 
-        let streamed_s =
-            (delta.ic_bytes_streamed + delta.ic_bytes_written) as f64 * scale / eff_bw;
+        let streamed_s = (delta.ic_bytes_streamed + delta.ic_bytes_written) as f64 * scale / eff_bw;
         let random_s = delta.ic_bytes_random as f64 * scale / rand_bw;
         // Page-sweep misses count pages × phases (already paper-scale:
         // pages are not shrunk per tuple); thrashing re-misses count
         // lookups (scaled).
         let thrash_misses = (delta.tlb_misses - delta.tlb_sweep_misses) as f64;
         let sweep_misses = delta.tlb_sweep_misses as f64;
-        let per_miss_s =
-            ic.translation_latency_ns * 1e-9 / ic.max_inflight_translations as f64;
+        let per_miss_s = ic.translation_latency_ns * 1e-9 / ic.max_inflight_translations as f64;
         let translation_s = (thrash_misses * scale + sweep_misses) * per_miss_s;
         let gpu_mem_s = (delta.gpu_bytes_read + delta.gpu_bytes_written) as f64 * scale
             / (s.mem_bandwidth_gbps * 1e9);
@@ -105,6 +105,9 @@ impl CostModel {
         let compute_s = delta.compute_ops as f64 * scale / issue_rate;
         // Launch counts are scale-invariant (see module docs).
         let launch_s = delta.kernel_launches as f64 * s.kernel_launch_ns * 1e-9;
+        // Retry backoff is wall-clock stall time, already in real
+        // nanoseconds (like launches: retry counts are scale-invariant).
+        let fault_s = delta.retry_backoff_ns as f64 * 1e-9;
 
         let mut bd = TimeBreakdown {
             streamed_s,
@@ -113,11 +116,18 @@ impl CostModel {
             gpu_mem_s,
             compute_s,
             launch_s,
+            fault_s,
             total_s: 0.0,
         };
         let ic_side = bd.interconnect_side_s();
         let gpu_side = bd.gpu_side_s();
-        bd.total_s = launch_s + if overlap { ic_side.max(gpu_side) } else { ic_side + gpu_side };
+        bd.total_s = launch_s
+            + fault_s
+            + if overlap {
+                ic_side.max(gpu_side)
+            } else {
+                ic_side + gpu_side
+            };
         bd
     }
 

@@ -54,6 +54,17 @@ pub struct Counters {
     /// Number of index lookups performed (for per-lookup normalization,
     /// as in Fig. 4's "translation requests per lookup").
     pub lookups: u64,
+    /// Injected device-allocation failures observed.
+    pub faults_alloc: u64,
+    /// Injected transient transfer faults observed.
+    pub faults_transfer: u64,
+    /// Injected kernel-launch failures observed.
+    pub faults_launch: u64,
+    /// Operator retries performed in response to transient faults.
+    pub retries: u64,
+    /// Deterministic retry backoff accumulated, in nanoseconds. Priced by
+    /// the cost model as unscaled stall time (like kernel launches).
+    pub retry_backoff_ns: u64,
 }
 
 impl Counters {
@@ -76,6 +87,11 @@ impl Counters {
     /// only; translation traffic is accounted separately by the cost model).
     pub fn ic_bytes_total(&self) -> u64 {
         self.ic_bytes_random + self.ic_bytes_streamed + self.ic_bytes_written
+    }
+
+    /// Total injected faults observed, across all kinds.
+    pub fn faults_total(&self) -> u64 {
+        self.faults_alloc + self.faults_transfer + self.faults_launch
     }
 
     /// L1 hit rate in [0, 1]; 0.0 if there were no L1 accesses.
@@ -132,6 +148,11 @@ impl Sub for Counters {
             compute_ops: self.compute_ops - rhs.compute_ops,
             kernel_launches: self.kernel_launches - rhs.kernel_launches,
             lookups: self.lookups - rhs.lookups,
+            faults_alloc: self.faults_alloc - rhs.faults_alloc,
+            faults_transfer: self.faults_transfer - rhs.faults_transfer,
+            faults_launch: self.faults_launch - rhs.faults_launch,
+            retries: self.retries - rhs.retries,
+            retry_backoff_ns: self.retry_backoff_ns - rhs.retry_backoff_ns,
         }
     }
 }

@@ -24,6 +24,7 @@
 
 use crate::cache::Cache;
 use crate::counters::Counters;
+use crate::fault::{FaultKind, FaultPlan, RetryPolicy, SimError};
 use crate::mem::{Buffer, MemLocation};
 use crate::spec::GpuSpec;
 use crate::tlb::Tlb;
@@ -58,17 +59,30 @@ pub struct Gpu {
     missed_pages: HashMap<u64, u64>,
     /// Optional access-trace recorder.
     trace: Option<Trace>,
+    /// Deterministic fault-injection plan (defaults to no faults).
+    fault_plan: FaultPlan,
+    /// Per-kind fault draw sequence numbers (alloc, transfer, launch).
+    fault_seq: [u64; 3],
+    /// First injected fault observed during the current kernel body;
+    /// surfaced by [`try_launch_kernel`](crate::exec::try_launch_kernel).
+    pending_fault: Option<SimError>,
+    /// Retry policy operators apply to transient faults.
+    retry: RetryPolicy,
+    /// Device bytes currently allocated (page-rounded reservations).
+    gpu_live_bytes: u64,
 }
 
 impl Gpu {
     /// Create a GPU from a device spec with an empty memory system.
+    /// Panicking convenience over [`Gpu::try_new`]; use `try_new` where the
+    /// spec comes from configuration rather than a vetted preset.
     pub fn new(spec: GpuSpec) -> Self {
-        assert!(spec.cacheline_bytes.is_power_of_two());
-        assert!(spec.page_bytes.is_power_of_two());
-        assert!(
-            spec.page_bytes >= spec.cacheline_bytes,
-            "page must be at least one cacheline"
-        );
+        Self::try_new(spec).expect("invalid GPU spec")
+    }
+
+    /// Create a GPU from a device spec, validating it first.
+    pub fn try_new(spec: GpuSpec) -> Result<Self, SimError> {
+        spec.validate()?;
         let tlb = Tlb::new(spec.tlb_entries, spec.tlb_assoc, spec.page_bytes);
         let l1 = Cache::new(spec.l1_bytes, spec.cacheline_bytes, spec.l1_assoc);
         let l2 = Cache::new(spec.l2_bytes, spec.cacheline_bytes, spec.l2_assoc);
@@ -76,7 +90,7 @@ impl Gpu {
         let line_shift = spec.cacheline_bytes.trailing_zeros();
         let page_shift = spec.page_bytes.trailing_zeros();
         let first_addr = spec.page_bytes;
-        Gpu {
+        Ok(Gpu {
             spec,
             tlb,
             l1,
@@ -90,7 +104,12 @@ impl Gpu {
             access_clock: 0,
             missed_pages: HashMap::new(),
             trace: None,
-        }
+            fault_plan: FaultPlan::none(),
+            fault_seq: [0; 3],
+            pending_fault: None,
+            retry: RetryPolicy::default(),
+            gpu_live_bytes: 0,
+        })
     }
 
     /// Start recording memory-system events (bounded at `capacity`).
@@ -116,9 +135,7 @@ impl Gpu {
         let now = self.access_clock;
         match self.missed_pages.insert(page_id, now) {
             None => self.counters.tlb_sweep_misses += 1,
-            Some(last) if now - last > THRASH_DISTANCE => {
-                self.counters.tlb_sweep_misses += 1
-            }
+            Some(last) if now - last > THRASH_DISTANCE => self.counters.tlb_sweep_misses += 1,
             Some(_) => {}
         }
     }
@@ -134,20 +151,174 @@ impl Gpu {
     }
 
     /// Allocate a zero-initialized buffer of `len` elements at `loc`.
-    pub fn alloc<T: Copy + Default>(&mut self, loc: MemLocation, len: usize) -> Buffer<T> {
+    ///
+    /// Device allocations are fallible: they fail with
+    /// [`SimError::OutOfDeviceMemory`] when the HBM capacity budget
+    /// (`spec.hbm_bytes`) would be exceeded, and with
+    /// [`SimError::AllocFault`] when an injected transient allocation
+    /// failure fires. Host allocations always succeed (CPU DRAM is the
+    /// capacity backstop in the paper's out-of-core setting).
+    pub fn alloc<T: Copy + Default>(
+        &mut self,
+        loc: MemLocation,
+        len: usize,
+    ) -> Result<Buffer<T>, SimError> {
         self.alloc_from_vec(loc, vec![T::default(); len])
     }
 
     /// Allocate a buffer at `loc` initialized with `data` (host-side copy;
-    /// not counted — staging input data is pre-query work).
-    pub fn alloc_from_vec<T: Copy>(&mut self, loc: MemLocation, data: Vec<T>) -> Buffer<T> {
-        let bytes = (data.len() * std::mem::size_of::<T>()) as u64;
+    /// not counted — staging input data is pre-query work). See
+    /// [`Gpu::alloc`] for the failure modes of device allocations.
+    pub fn alloc_from_vec<T: Copy>(
+        &mut self,
+        loc: MemLocation,
+        data: Vec<T>,
+    ) -> Result<Buffer<T>, SimError> {
+        let reserved = self.reservation_bytes::<T>(data.len());
+        if loc == MemLocation::Gpu {
+            if self.draw_fault(FaultKind::Alloc) {
+                self.counters.faults_alloc += 1;
+                return Err(SimError::AllocFault);
+            }
+            let budget = self.spec.hbm_bytes;
+            if self.gpu_live_bytes + reserved > budget {
+                return Err(SimError::OutOfDeviceMemory {
+                    requested: reserved,
+                    live: self.gpu_live_bytes,
+                    budget,
+                });
+            }
+            self.gpu_live_bytes += reserved;
+        }
         let base = self.next_addr;
         // Page-align every allocation so buffers never share a page and the
         // partitioning bit arithmetic (§4.2) sees page-aligned relations.
+        self.next_addr = base + reserved;
+        Ok(Buffer::from_parts(data, base, loc))
+    }
+
+    /// Allocate a zero-initialized host (CPU-memory) buffer. Host
+    /// allocations are infallible by contract, so callers staging input or
+    /// spilling state to CPU memory need no error paths.
+    pub fn alloc_host<T: Copy + Default>(&mut self, len: usize) -> Buffer<T> {
+        self.alloc_host_from_vec(vec![T::default(); len])
+    }
+
+    /// Allocate a host (CPU-memory) buffer initialized with `data`;
+    /// infallible (see [`Gpu::alloc_host`]).
+    pub fn alloc_host_from_vec<T: Copy>(&mut self, data: Vec<T>) -> Buffer<T> {
+        self.alloc_from_vec(MemLocation::Cpu, data)
+            .expect("host allocations are infallible")
+    }
+
+    /// Release a buffer. Device buffers return their reservation to the HBM
+    /// budget; host buffers are simply dropped. Address space is not reused
+    /// (the engine is a bump allocator), only capacity accounting changes.
+    pub fn free<T: Copy>(&mut self, buf: Buffer<T>) {
+        if buf.location() == MemLocation::Gpu {
+            let reserved = self.reservation_bytes::<T>(buf.len());
+            self.gpu_live_bytes = self.gpu_live_bytes.saturating_sub(reserved);
+        }
+    }
+
+    /// Device bytes currently allocated (page-rounded reservations).
+    pub fn live_gpu_bytes(&self) -> u64 {
+        self.gpu_live_bytes
+    }
+
+    /// Device bytes still available under the HBM budget.
+    pub fn gpu_headroom(&self) -> u64 {
+        self.spec.hbm_bytes.saturating_sub(self.gpu_live_bytes)
+    }
+
+    /// Page-rounded bytes an allocation of `len` elements reserves.
+    fn reservation_bytes<T>(&self, len: usize) -> u64 {
+        let bytes = (len * std::mem::size_of::<T>()) as u64;
         let page = self.spec.page_bytes;
-        self.next_addr = base + bytes.div_ceil(page).max(1) * page;
-        Buffer::from_parts(data, base, loc)
+        bytes.div_ceil(page).max(1) * page
+    }
+
+    /// Install a fault-injection plan (replaces the current plan and resets
+    /// the per-kind fault sequences so plans compose reproducibly).
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.fault_plan = plan;
+        self.fault_seq = [0; 3];
+        self.pending_fault = None;
+    }
+
+    /// The active fault-injection plan.
+    pub fn fault_plan(&self) -> FaultPlan {
+        self.fault_plan
+    }
+
+    /// Set the retry policy operators apply to transient faults.
+    pub fn set_retry_policy(&mut self, retry: RetryPolicy) {
+        self.retry = retry;
+    }
+
+    /// The active retry policy.
+    pub fn retry_policy(&self) -> RetryPolicy {
+        self.retry
+    }
+
+    /// Draw the next fault decision for `kind` (advances that kind's
+    /// deterministic sequence).
+    fn draw_fault(&mut self, kind: FaultKind) -> bool {
+        if !self.fault_plan.is_active() {
+            return false;
+        }
+        let slot = match kind {
+            FaultKind::Alloc => 0,
+            FaultKind::Transfer => 1,
+            FaultKind::Launch => 2,
+        };
+        let seq = self.fault_seq[slot];
+        self.fault_seq[slot] += 1;
+        self.fault_plan.should_fault(kind, seq)
+    }
+
+    /// Draw a transfer fault for one interconnect operation; records the
+    /// fault and latches it for the surrounding fallible kernel launch.
+    #[inline]
+    fn draw_transfer_fault(&mut self) {
+        if self.draw_fault(FaultKind::Transfer) {
+            self.counters.faults_transfer += 1;
+            if self.pending_fault.is_none() {
+                self.pending_fault = Some(SimError::TransientTransferFault);
+            }
+        }
+    }
+
+    /// Clear any latched fault (called at fallible kernel entry).
+    #[doc(hidden)]
+    pub fn clear_pending_fault(&mut self) {
+        self.pending_fault = None;
+    }
+
+    /// Take the fault latched during the current kernel body, if any.
+    #[doc(hidden)]
+    pub fn take_pending_fault(&mut self) -> Option<SimError> {
+        self.pending_fault.take()
+    }
+
+    /// Count a kernel launch and draw an injected launch failure. Used by
+    /// [`try_launch_kernel`](crate::exec::try_launch_kernel); the infallible
+    /// [`kernel_launch`](Gpu::kernel_launch) never fails.
+    #[doc(hidden)]
+    pub fn try_begin_launch(&mut self) -> Result<(), SimError> {
+        self.kernel_launch();
+        if self.draw_fault(FaultKind::Launch) {
+            self.counters.faults_launch += 1;
+            return Err(SimError::KernelLaunchFailed);
+        }
+        Ok(())
+    }
+
+    /// Charge the deterministic backoff for retry number `attempt`
+    /// (0-based) to the counters.
+    pub fn record_retry(&mut self, attempt: u32) {
+        self.counters.retries += 1;
+        self.counters.retry_backoff_ns += self.retry.backoff_ns(attempt);
     }
 
     /// Record a data-dependent device-side read of `bytes` at `addr`.
@@ -155,6 +326,9 @@ impl Gpu {
     #[inline]
     pub fn touch_read(&mut self, loc: MemLocation, addr: u64, bytes: u64) {
         debug_assert!(bytes > 0);
+        if loc == MemLocation::Cpu {
+            self.draw_transfer_fault();
+        }
         let first = addr >> self.line_shift;
         let last = (addr + bytes - 1) >> self.line_shift;
         for line in first..=last {
@@ -174,6 +348,7 @@ impl Gpu {
         match loc {
             MemLocation::Gpu => self.counters.gpu_bytes_written += bytes,
             MemLocation::Cpu => {
+                self.draw_transfer_fault();
                 self.counters.ic_bytes_written += bytes;
                 // Writes to CPU memory still need translations.
                 self.translate(addr, bytes);
@@ -193,6 +368,7 @@ impl Gpu {
         match loc {
             MemLocation::Gpu => self.counters.gpu_bytes_read += bytes,
             MemLocation::Cpu => {
+                self.draw_transfer_fault();
                 self.counters.ic_bytes_streamed += bytes;
                 self.translate(addr, bytes);
             }
@@ -325,7 +501,7 @@ mod tests {
     #[test]
     fn repeated_read_hits_cache() {
         let mut g = gpu();
-        let buf = g.alloc_from_vec(MemLocation::Cpu, vec![0u64; 64]);
+        let buf = g.alloc_host_from_vec(vec![0u64; 64]);
         let _ = buf.read(&mut g, 0);
         let before = g.snapshot();
         let _ = buf.read(&mut g, 1); // same cacheline
@@ -340,7 +516,7 @@ mod tests {
         let page = g.spec().page_bytes as usize;
         // Two pages of data; read one element per cacheline, twice.
         let n = 2 * page / 8;
-        let buf = g.alloc_from_vec(MemLocation::Cpu, vec![0u64; n]);
+        let buf = g.alloc_host_from_vec(vec![0u64; n]);
         let step = (g.spec().cacheline_bytes / 8) as usize;
         for round in 0..2 {
             let before = g.snapshot();
@@ -364,7 +540,7 @@ mod tests {
         // sizes except... use distinct lines each round to defeat caches.
         let pages = 2 * entries;
         let n = (pages * page / 8) as usize;
-        let buf = g.alloc_from_vec(MemLocation::Cpu, vec![0u64; n]);
+        let buf = g.alloc_host_from_vec(vec![0u64; n]);
         let per_page = (page / 8) as usize;
         let mut misses_last_round = 0;
         for round in 0..3u64 {
@@ -385,7 +561,7 @@ mod tests {
         let mut g = gpu();
         let page = g.spec().page_bytes;
         let n = (4 * page / 8) as usize;
-        let buf = g.alloc_from_vec(MemLocation::Cpu, vec![0u64; n]);
+        let buf = g.alloc_host_from_vec(vec![0u64; n]);
         let before = g.snapshot();
         let chunk = 4096;
         for i in (0..n).step_by(chunk) {
@@ -403,7 +579,7 @@ mod tests {
     fn gpu_memory_never_touches_tlb() {
         let mut g = gpu();
         let n = (4 * g.spec().page_bytes / 8) as usize;
-        let buf = g.alloc_from_vec(MemLocation::Gpu, vec![0u64; n]);
+        let buf = g.alloc_from_vec(MemLocation::Gpu, vec![0u64; n]).unwrap();
         let before = g.snapshot();
         let step = (g.spec().cacheline_bytes / 8) as usize;
         for i in (0..n).step_by(step) {
@@ -419,7 +595,7 @@ mod tests {
     #[test]
     fn multi_line_read_counts_each_line() {
         let mut g = gpu();
-        let buf = g.alloc_from_vec(MemLocation::Cpu, vec![0u64; 1024]);
+        let buf = g.alloc_host_from_vec(vec![0u64; 1024]);
         let before = g.snapshot();
         // 4 KiB node = 32 cachelines of 128 B.
         let _ = buf.read_range(&mut g, 0, 512);
@@ -430,7 +606,7 @@ mod tests {
     #[test]
     fn reset_memory_system_forces_cold_misses() {
         let mut g = gpu();
-        let buf = g.alloc_from_vec(MemLocation::Cpu, vec![0u64; 16]);
+        let buf = g.alloc_host_from_vec(vec![0u64; 16]);
         let _ = buf.read(&mut g, 0);
         g.reset_memory_system();
         let before = g.snapshot();

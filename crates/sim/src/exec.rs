@@ -10,6 +10,7 @@
 //! rather than a hard-coded penalty.
 
 use crate::engine::Gpu;
+use crate::fault::SimError;
 use std::ops::Range;
 
 /// Threads per warp (NVIDIA).
@@ -62,6 +63,46 @@ where
 pub fn launch_kernel<R>(gpu: &mut Gpu, body: impl FnOnce(&mut Gpu) -> R) -> R {
     gpu.kernel_launch();
     body(gpu)
+}
+
+/// Launch a kernel with fault detection: counts the launch, draws an
+/// injected launch failure, runs the body, and surfaces the first transfer
+/// fault the body's interconnect traffic hit. The body's counter effects are
+/// kept on failure — the traffic happened before the fault was detected —
+/// so callers retrying must first roll back their own partial outputs.
+pub fn try_launch_kernel<R>(
+    gpu: &mut Gpu,
+    body: impl FnOnce(&mut Gpu) -> R,
+) -> Result<R, SimError> {
+    gpu.clear_pending_fault();
+    gpu.try_begin_launch()?;
+    let result = body(gpu);
+    match gpu.take_pending_fault() {
+        Some(err) => Err(err),
+        None => Ok(result),
+    }
+}
+
+/// Run `attempt` with bounded retries on transient faults, per the engine's
+/// [`RetryPolicy`](crate::fault::RetryPolicy). Each retry charges its
+/// deterministic backoff to the counters. Non-transient errors (budget,
+/// validation) and faults persisting past the retry limit are returned.
+pub fn with_retries<R>(
+    gpu: &mut Gpu,
+    mut attempt: impl FnMut(&mut Gpu) -> Result<R, SimError>,
+) -> Result<R, SimError> {
+    let max_retries = gpu.retry_policy().max_retries;
+    let mut tries: u32 = 0;
+    loop {
+        match attempt(gpu) {
+            Ok(r) => return Ok(r),
+            Err(e) if e.is_transient() && tries < max_retries => {
+                gpu.record_retry(tries);
+                tries += 1;
+            }
+            Err(e) => return Err(e),
+        }
+    }
 }
 
 /// Sub-warp geometry used by Harmonia's cooperative traversal (§2.2): the

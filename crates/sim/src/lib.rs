@@ -37,7 +37,7 @@
 //! use windex_sim::{Gpu, GpuSpec, MemLocation, Scale};
 //!
 //! let mut gpu = Gpu::new(GpuSpec::v100_nvlink2(Scale::PAPER));
-//! let data = gpu.alloc_from_vec(MemLocation::Cpu, (0u64..1024).collect::<Vec<_>>());
+//! let data = gpu.alloc_host_from_vec((0u64..1024).collect::<Vec<_>>());
 //! let before = gpu.snapshot();
 //! let v = data.read(&mut gpu, 512); // out-of-core read across the interconnect
 //! assert_eq!(v, 512);
@@ -52,6 +52,7 @@ pub mod cost;
 pub mod counters;
 pub mod engine;
 pub mod exec;
+pub mod fault;
 mod lru;
 pub mod mem;
 pub mod scale;
@@ -62,7 +63,11 @@ pub mod trace;
 pub use cost::{CostModel, TimeBreakdown};
 pub use counters::Counters;
 pub use engine::Gpu;
-pub use exec::{launch_kernel, lockstep, warps_of, SubWarp, MAX_LANES, WARP_SIZE};
+pub use exec::{
+    launch_kernel, lockstep, try_launch_kernel, warps_of, with_retries, SubWarp, MAX_LANES,
+    WARP_SIZE,
+};
+pub use fault::{FaultKind, FaultPlan, RetryPolicy, SimError};
 pub use mem::{Buffer, MemLocation};
 pub use scale::Scale;
 pub use spec::{GpuSpec, InterconnectSpec};

@@ -42,8 +42,14 @@ impl SetAssocLru {
     /// fine for a simulator and lets scaled-down cache geometries stay
     /// faithful to their capacity).
     pub fn new(entries: usize, assoc: usize) -> Self {
-        assert!(entries > 0 && assoc > 0, "entries and assoc must be non-zero");
-        assert!(entries.is_multiple_of(assoc), "entries must be a multiple of assoc");
+        assert!(
+            entries > 0 && assoc > 0,
+            "entries and assoc must be non-zero"
+        );
+        assert!(
+            entries.is_multiple_of(assoc),
+            "entries must be a multiple of assoc"
+        );
         let sets = entries / assoc;
         SetAssocLru {
             tags: vec![EMPTY; entries],

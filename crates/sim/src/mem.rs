@@ -148,8 +148,8 @@ mod tests {
     #[test]
     fn addresses_are_contiguous_and_page_aligned() {
         let mut gpu = gpu();
-        let a: Buffer<u64> = gpu.alloc(MemLocation::Cpu, 10);
-        let b: Buffer<u64> = gpu.alloc(MemLocation::Cpu, 10);
+        let a: Buffer<u64> = gpu.alloc_host(10);
+        let b: Buffer<u64> = gpu.alloc_host(10);
         assert_eq!(a.addr_of(1) - a.addr_of(0), 8);
         assert_eq!(a.base_addr() % gpu.spec().page_bytes, 0);
         assert_eq!(b.base_addr() % gpu.spec().page_bytes, 0);
@@ -159,7 +159,7 @@ mod tests {
     #[test]
     fn read_write_round_trip_counted() {
         let mut gpu = gpu();
-        let mut buf: Buffer<u64> = gpu.alloc(MemLocation::Gpu, 4);
+        let mut buf: Buffer<u64> = gpu.alloc(MemLocation::Gpu, 4).unwrap();
         buf.write(&mut gpu, 2, 42);
         assert_eq!(buf.read(&mut gpu, 2), 42);
         let c = gpu.counters();
@@ -170,7 +170,7 @@ mod tests {
     #[test]
     fn cpu_read_crosses_interconnect() {
         let mut gpu = gpu();
-        let buf = gpu.alloc_from_vec(MemLocation::Cpu, vec![1u64, 2, 3]);
+        let buf = gpu.alloc_host_from_vec(vec![1u64, 2, 3]);
         let _ = buf.read(&mut gpu, 0);
         let c = gpu.counters();
         assert_eq!(c.ic_lines_random, 1);
@@ -180,7 +180,7 @@ mod tests {
     #[test]
     fn host_access_not_counted() {
         let mut gpu = gpu();
-        let mut buf = gpu.alloc_from_vec(MemLocation::Cpu, vec![0u64; 100]);
+        let mut buf = gpu.alloc_host_from_vec(vec![0u64; 100]);
         buf.host_mut()[5] = 7;
         assert_eq!(buf.host()[5], 7);
         assert_eq!(gpu.counters().ic_bytes_total(), 0);

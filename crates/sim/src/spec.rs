@@ -136,6 +136,12 @@ pub struct GpuSpec {
     pub clock_ghz: f64,
     /// On-board (device) memory bandwidth in GB/s.
     pub mem_bandwidth_gbps: f64,
+    /// On-board (device) memory capacity in *simulated* bytes, scaled with
+    /// the data like `l2_bytes`. This is the budget the engine enforces on
+    /// device allocations: the paper's workloads exceed GPU memory by
+    /// design (out-of-core processing), so operators that stage state in
+    /// HBM must fit it or degrade.
+    pub hbm_bytes: u64,
     /// Cacheline / memory transaction size in bytes (128 B on NVIDIA).
     /// Kept unscaled: it is the interconnect transfer granularity.
     pub cacheline_bytes: u64,
@@ -181,6 +187,7 @@ impl GpuSpec {
             sm_count: 80,
             clock_ghz: 1.38,
             mem_bandwidth_gbps: 900.0,
+            hbm_bytes: scale.sim_bytes(16 << 30),
             cacheline_bytes: 128,
             l1_bytes: 16 << 10,
             l1_assoc: 8,
@@ -206,6 +213,7 @@ impl GpuSpec {
             sm_count: 108,
             clock_ghz: 1.41,
             mem_bandwidth_gbps: 1555.0,
+            hbm_bytes: scale.sim_bytes(40 << 30),
             cacheline_bytes: 128,
             l1_bytes: 24 << 10,
             l1_assoc: 8,
@@ -230,6 +238,7 @@ impl GpuSpec {
             sm_count: 132,
             clock_ghz: 1.83,
             mem_bandwidth_gbps: 4000.0,
+            hbm_bytes: scale.sim_bytes(96 << 30),
             cacheline_bytes: 128,
             l1_bytes: 32 << 10,
             l1_assoc: 8,
@@ -270,11 +279,50 @@ impl GpuSpec {
         self
     }
 
+    /// Override the device-memory capacity budget (simulated bytes) — used
+    /// by capacity what-if studies and the fault-tolerance stress tests.
+    pub fn with_hbm_bytes(mut self, hbm_bytes: u64) -> Self {
+        self.hbm_bytes = hbm_bytes;
+        self
+    }
+
     /// The address range covered by the TLB, in simulated bytes
     /// (entries × page size). 32 MiB for the scaled V100 preset,
     /// representing the paper's 32 GiB.
     pub fn tlb_range_bytes(&self) -> u64 {
         self.tlb_entries as u64 * self.page_bytes
+    }
+
+    /// Validate structural invariants the engine depends on. [`Gpu::try_new`]
+    /// (crate::Gpu::try_new) calls this; it is public so configuration code
+    /// can check specs before constructing a device.
+    pub fn validate(&self) -> Result<(), crate::fault::SimError> {
+        use crate::fault::SimError;
+        if !self.cacheline_bytes.is_power_of_two() {
+            return Err(SimError::InvalidSpec(format!(
+                "cacheline size {} B is not a power of two",
+                self.cacheline_bytes
+            )));
+        }
+        if !self.page_bytes.is_power_of_two() {
+            return Err(SimError::InvalidSpec(format!(
+                "page size {} B is not a power of two",
+                self.page_bytes
+            )));
+        }
+        if self.page_bytes < self.cacheline_bytes {
+            return Err(SimError::InvalidSpec(format!(
+                "page size {} B is smaller than one cacheline ({} B)",
+                self.page_bytes, self.cacheline_bytes
+            )));
+        }
+        if self.hbm_bytes < self.page_bytes {
+            return Err(SimError::InvalidSpec(format!(
+                "device memory budget {} B holds less than one page ({} B)",
+                self.hbm_bytes, self.page_bytes
+            )));
+        }
+        Ok(())
     }
 }
 
@@ -301,7 +349,7 @@ mod tests {
     fn page_size_override() {
         let spec = GpuSpec::v100_nvlink2(Scale::PAPER).with_paper_page_size(2 << 20);
         assert_eq!(spec.page_bytes, 2 << 10); // 2 MiB -> 2 KiB simulated
-        // Coverage is preserved: more, smaller pages.
+                                              // Coverage is preserved: more, smaller pages.
         assert_eq!(spec.tlb_range_bytes(), 32 << 20);
         assert_eq!(spec.tlb_entries, 16384);
     }

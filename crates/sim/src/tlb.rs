@@ -21,7 +21,10 @@ impl Tlb {
     /// Create a TLB with `entries` ways of associativity `assoc` translating
     /// `page_bytes`-sized pages. `page_bytes` must be a power of two.
     pub fn new(entries: usize, assoc: usize, page_bytes: u64) -> Self {
-        assert!(page_bytes.is_power_of_two(), "page size must be a power of two");
+        assert!(
+            page_bytes.is_power_of_two(),
+            "page size must be a power of two"
+        );
         Tlb {
             store: SetAssocLru::new(entries, assoc),
             page_bytes,

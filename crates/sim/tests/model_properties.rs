@@ -118,6 +118,7 @@ proptest! {
             Counters { tlb_misses: base_misses + extra, ..base },
             Counters { gpu_bytes_read: extra, ..base },
             Counters { kernel_launches: extra.min(1 << 10), ..base },
+            Counters { retry_backoff_ns: extra, ..base },
         ] {
             let t1 = model.estimate(&grow, overlap).total_s;
             prop_assert!(t1 >= t0, "adding events reduced time: {t0} -> {t1}");

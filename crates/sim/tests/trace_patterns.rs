@@ -9,7 +9,7 @@ fn gpu() -> Gpu {
 #[test]
 fn coalesced_range_read_is_one_event_per_line() {
     let mut g = gpu();
-    let buf = g.alloc_from_vec(MemLocation::Cpu, vec![0u64; 1024]);
+    let buf = g.alloc_host_from_vec(vec![0u64; 1024]);
     g.start_trace(1024);
     // A 4 KiB node read = 32 lines of 128 B.
     let _ = buf.read_range(&mut g, 0, 512);
@@ -31,7 +31,7 @@ fn coalesced_range_read_is_one_event_per_line() {
 #[test]
 fn second_touch_hits_l1() {
     let mut g = gpu();
-    let buf = g.alloc_from_vec(MemLocation::Cpu, vec![0u64; 64]);
+    let buf = g.alloc_host_from_vec(vec![0u64; 64]);
     g.start_trace(16);
     let _ = buf.read(&mut g, 0);
     let _ = buf.read(&mut g, 1); // same line
@@ -48,7 +48,9 @@ fn second_touch_hits_l1() {
 #[test]
 fn gpu_memory_accesses_never_reach_remote() {
     let mut g = gpu();
-    let buf = g.alloc_from_vec(MemLocation::Gpu, vec![0u64; 1 << 14]);
+    let buf = g
+        .alloc_from_vec(MemLocation::Gpu, vec![0u64; 1 << 14])
+        .unwrap();
     g.start_trace(4096);
     let step = 16; // one line apart
     for i in (0..1 << 14).step_by(step) {
@@ -65,8 +67,8 @@ fn gpu_memory_accesses_never_reach_remote() {
 #[test]
 fn stream_and_write_events_recorded() {
     let mut g = gpu();
-    let buf = g.alloc_from_vec(MemLocation::Cpu, vec![0u64; 4096]);
-    let mut out = g.alloc_from_vec(MemLocation::Gpu, vec![0u64; 16]);
+    let buf = g.alloc_host_from_vec(vec![0u64; 4096]);
+    let mut out = g.alloc_from_vec(MemLocation::Gpu, vec![0u64; 16]).unwrap();
     g.start_trace(16);
     g.kernel_launch();
     let _ = buf.stream_read(&mut g, 0, 4096);
@@ -95,7 +97,7 @@ fn stream_and_write_events_recorded() {
 fn tracing_does_not_change_counters() {
     let run = |traced: bool| {
         let mut g = gpu();
-        let buf = g.alloc_from_vec(MemLocation::Cpu, (0u64..1 << 14).collect::<Vec<_>>());
+        let buf = g.alloc_host_from_vec((0u64..1 << 14).collect::<Vec<_>>());
         if traced {
             g.start_trace(1 << 20);
         }

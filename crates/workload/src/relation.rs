@@ -36,7 +36,10 @@ impl Relation {
             !sorted_unique || keys.windows(2).all(|w| w[0] < w[1]),
             "keys declared sorted+unique but are not"
         );
-        Relation { keys, sorted_unique }
+        Relation {
+            keys,
+            sorted_unique,
+        }
     }
 
     /// Generate `n` unique sorted keys (the indexed relation *R*).
@@ -65,7 +68,10 @@ impl Relation {
     /// Generate `n` foreign keys drawn uniformly from `r` (the probe
     /// relation *S*). Every key matches exactly one *R* tuple.
     pub fn foreign_keys_uniform(r: &Relation, n: usize, seed: u64) -> Self {
-        assert!(!r.is_empty(), "cannot draw foreign keys from an empty relation");
+        assert!(
+            !r.is_empty(),
+            "cannot draw foreign keys from an empty relation"
+        );
         let mut rng = StdRng::seed_from_u64(seed);
         let keys = (0..n)
             .map(|_| r.keys[rng.random_range(0..r.len())])
@@ -80,7 +86,10 @@ impl Relation {
     /// (§5.2.2). Hot ranks are scattered across the key domain by a fixed
     /// coprime multiplier, so skew does not coincide with key order.
     pub fn foreign_keys_zipf(r: &Relation, n: usize, exponent: f64, seed: u64) -> Self {
-        assert!(!r.is_empty(), "cannot draw foreign keys from an empty relation");
+        assert!(
+            !r.is_empty(),
+            "cannot draw foreign keys from an empty relation"
+        );
         let sampler = ZipfSampler::new(r.len() as u64, exponent);
         let mut rng = StdRng::seed_from_u64(seed);
         let scatter = scatter_multiplier(r.len() as u64);

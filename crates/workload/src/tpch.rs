@@ -160,7 +160,7 @@ mod tests {
     fn q12_two_modes_one_year_are_selective() {
         let t = TpchLite::generate(10_000, 4, 2);
         let probe = t.q12_probe(&[0, 1], 3); // MAIL, SHIP — the Q12 pair
-        // 2/7 modes × 63 % late × 1/7 years × 4 per order ≈ 0.10 of ORDERS.
+                                             // 2/7 modes × 63 % late × 1/7 years × 4 per order ≈ 0.10 of ORDERS.
         let sel = join_selectivity(t.orders(), &probe);
         assert!((0.06..0.15).contains(&sel), "selectivity {sel}");
         // Disjoint mode sets partition that year's late lineitems.

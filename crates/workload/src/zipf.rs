@@ -99,9 +99,7 @@ impl ZipfSampler {
     /// O(n); intended for small domains only.
     pub fn pmf(&self, k: u64) -> f64 {
         assert!((1..=self.n).contains(&k));
-        let z: f64 = (1..=self.n)
-            .map(|i| (i as f64).powf(-self.exponent))
-            .sum();
+        let z: f64 = (1..=self.n).map(|i| (i as f64).powf(-self.exponent)).sum();
         (k as f64).powf(-self.exponent) / z
     }
 }

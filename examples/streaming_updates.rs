@@ -55,13 +55,13 @@ fn main() {
     };
 
     // Epoch 1: stream probes for even and odd keys; odd keys miss.
-    let mut op = StreamingWindowJoin::new(&mut gpu, cfg);
-    let mut sink = ResultSink::with_capacity(&mut gpu, 1 << 14, MemLocation::Gpu);
+    let mut op = StreamingWindowJoin::new(&mut gpu, cfg).expect("valid window config");
+    let mut sink = ResultSink::with_capacity(&mut gpu, 1 << 14, MemLocation::Gpu).unwrap();
     let probes: Vec<(u64, u64)> = (0..1u64 << 13).map(|i| (i, i)).collect();
     for chunk in probes.chunks(700) {
-        op.push(&mut gpu, &tree, chunk, &mut sink);
+        op.push(&mut gpu, &tree, chunk, &mut sink).expect("push");
     }
-    let epoch1 = op.finish(&mut gpu, &tree, &mut sink);
+    let epoch1 = op.finish(&mut gpu, &tree, &mut sink).expect("finish");
     println!(
         "epoch 1: {} windows, {} matches of {} probes (odd keys not indexed yet)",
         epoch1.windows,
@@ -74,15 +74,19 @@ fn main() {
     for i in 0..inserts {
         tree.insert(i * 2 + 1, n as u64 + i).expect("insert");
     }
-    println!("inserted {} odd keys (tree now {} keys)", inserts, tree.len());
+    println!(
+        "inserted {} odd keys (tree now {} keys)",
+        inserts,
+        tree.len()
+    );
 
     // Epoch 2: the same probe stream now matches the inserted keys too.
     op.reset();
     sink.clear();
     for chunk in probes.chunks(700) {
-        op.push(&mut gpu, &tree, chunk, &mut sink);
+        op.push(&mut gpu, &tree, chunk, &mut sink).expect("push");
     }
-    let epoch2 = op.finish(&mut gpu, &tree, &mut sink);
+    let epoch2 = op.finish(&mut gpu, &tree, &mut sink).expect("finish");
     println!(
         "epoch 2: {} windows, {} matches (+{} from the inserts)",
         epoch2.windows,

@@ -50,13 +50,20 @@ fn main() {
             window_tuples: 1 << 12,
         },
     ];
-    println!("\n{:<42} {:>10} {:>12} {:>14}", "strategy", "matches", "Q/s", "transfer GiB");
+    println!(
+        "\n{:<42} {:>10} {:>12} {:>14}",
+        "strategy", "matches", "Q/s", "transfer GiB"
+    );
     for st in strategies {
         let mut gpu = Gpu::new(GpuSpec::v100_nvlink2(scale));
         let report = QueryExecutor::new()
             .run(&mut gpu, t.orders(), &probe, st)
             .expect("query runs");
-        assert_eq!(report.result_tuples, probe.len(), "every FK matches one order");
+        assert_eq!(
+            report.result_tuples,
+            probe.len(),
+            "every FK matches one order"
+        );
         println!(
             "{:<42} {:>10} {:>12.2} {:>14.2}",
             report.strategy,

@@ -1,0 +1,165 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The real serde is unavailable in this build environment (no network, no
+//! vendored registry), so this shim provides the small slice of its surface
+//! the workspace actually uses: a [`Serialize`] trait plus a derive macro.
+//! Instead of serde's visitor-based data model, serialization goes through a
+//! simple self-describing tree ([`SerValue`]) that `serde_json` (also
+//! shimmed) renders as JSON. The derive macro mirrors serde's externally
+//! tagged representation for enums, so swapping the real crates back in
+//! produces identical JSON output.
+
+// Shim code mirrors upstream API shapes; keep clippy out of it.
+#![allow(clippy::all)]
+pub use serde_derive::Serialize;
+
+/// Self-describing serialization tree — the shim's data model.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SerValue {
+    /// Unit / nothing (`null`).
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Signed integer.
+    I64(i64),
+    /// Unsigned integer.
+    U64(u64),
+    /// Floating point.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Ordered sequence.
+    Seq(Vec<SerValue>),
+    /// Ordered map with string keys (struct fields, objects).
+    Map(Vec<(String, SerValue)>),
+}
+
+/// Types that can describe themselves as a [`SerValue`].
+pub trait Serialize {
+    /// Produce the serialization tree for `self`.
+    fn to_ser_value(&self) -> SerValue;
+}
+
+macro_rules! impl_ser_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_ser_value(&self) -> SerValue {
+                SerValue::I64(*self as i64)
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_ser_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_ser_value(&self) -> SerValue {
+                SerValue::U64(*self as u64)
+            }
+        }
+    )*};
+}
+
+impl_ser_int!(i8, i16, i32, i64, isize);
+impl_ser_uint!(u8, u16, u32, u64, usize);
+
+impl Serialize for f64 {
+    fn to_ser_value(&self) -> SerValue {
+        SerValue::F64(*self)
+    }
+}
+
+impl Serialize for f32 {
+    fn to_ser_value(&self) -> SerValue {
+        SerValue::F64(*self as f64)
+    }
+}
+
+impl Serialize for bool {
+    fn to_ser_value(&self) -> SerValue {
+        SerValue::Bool(*self)
+    }
+}
+
+impl Serialize for str {
+    fn to_ser_value(&self) -> SerValue {
+        SerValue::Str(self.to_string())
+    }
+}
+
+impl Serialize for String {
+    fn to_ser_value(&self) -> SerValue {
+        SerValue::Str(self.clone())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_ser_value(&self) -> SerValue {
+        (**self).to_ser_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_ser_value(&self) -> SerValue {
+        match self {
+            None => SerValue::Null,
+            Some(v) => v.to_ser_value(),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_ser_value(&self) -> SerValue {
+        SerValue::Seq(self.iter().map(Serialize::to_ser_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_ser_value(&self) -> SerValue {
+        SerValue::Seq(self.iter().map(Serialize::to_ser_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_ser_value(&self) -> SerValue {
+        SerValue::Seq(self.iter().map(Serialize::to_ser_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn to_ser_value(&self) -> SerValue {
+        (**self).to_ser_value()
+    }
+}
+
+macro_rules! impl_ser_tuple {
+    ($($name:ident : $idx:tt),+) => {
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_ser_value(&self) -> SerValue {
+                SerValue::Seq(vec![$(self.$idx.to_ser_value()),+])
+            }
+        }
+    };
+}
+
+impl_ser_tuple!(A: 0);
+impl_ser_tuple!(A: 0, B: 1);
+impl_ser_tuple!(A: 0, B: 1, C: 2);
+impl_ser_tuple!(A: 0, B: 1, C: 2, D: 3);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_serialize() {
+        assert_eq!(1u64.to_ser_value(), SerValue::U64(1));
+        assert_eq!((-2i32).to_ser_value(), SerValue::I64(-2));
+        assert_eq!("x".to_ser_value(), SerValue::Str("x".into()));
+        assert_eq!(None::<u64>.to_ser_value(), SerValue::Null);
+        assert_eq!(
+            vec![1u64, 2].to_ser_value(),
+            SerValue::Seq(vec![SerValue::U64(1), SerValue::U64(2)])
+        );
+    }
+}

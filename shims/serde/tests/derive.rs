@@ -1,0 +1,87 @@
+//! Derive-macro behavior: named structs and externally tagged enums, the
+//! exact shapes the workspace serializes.
+
+use serde::{SerValue, Serialize};
+
+#[derive(Serialize)]
+struct Point {
+    x: u64,
+    y: f64,
+}
+
+#[derive(Serialize)]
+#[allow(dead_code)]
+enum Shape {
+    Dot,
+    Line { from: u64, to: u64 },
+    Tag(String),
+    Pair(u64, u64),
+}
+
+#[derive(Serialize)]
+struct Nested {
+    name: &'static str,
+    inner: Point,
+    maybe: Option<u64>,
+    list: Vec<Shape>,
+}
+
+#[test]
+fn derive_struct_named_fields() {
+    let p = Point { x: 3, y: 0.5 };
+    assert_eq!(
+        p.to_ser_value(),
+        SerValue::Map(vec![
+            ("x".into(), SerValue::U64(3)),
+            ("y".into(), SerValue::F64(0.5)),
+        ])
+    );
+}
+
+#[test]
+fn derive_enum_externally_tagged() {
+    assert_eq!(Shape::Dot.to_ser_value(), SerValue::Str("Dot".into()));
+    assert_eq!(
+        Shape::Line { from: 1, to: 2 }.to_ser_value(),
+        SerValue::Map(vec![(
+            "Line".into(),
+            SerValue::Map(vec![
+                ("from".into(), SerValue::U64(1)),
+                ("to".into(), SerValue::U64(2)),
+            ])
+        )])
+    );
+    assert_eq!(
+        Shape::Tag("t".into()).to_ser_value(),
+        SerValue::Map(vec![("Tag".into(), SerValue::Str("t".into()))])
+    );
+    assert_eq!(
+        Shape::Pair(1, 2).to_ser_value(),
+        SerValue::Map(vec![(
+            "Pair".into(),
+            SerValue::Seq(vec![SerValue::U64(1), SerValue::U64(2)])
+        )])
+    );
+}
+
+#[test]
+fn derive_nested_struct() {
+    let n = Nested {
+        name: "n",
+        inner: Point { x: 1, y: 2.0 },
+        maybe: None,
+        list: vec![Shape::Dot],
+    };
+    let v = n.to_ser_value();
+    if let SerValue::Map(fields) = v {
+        assert_eq!(fields.len(), 4);
+        assert_eq!(fields[0], ("name".into(), SerValue::Str("n".into())));
+        assert_eq!(fields[2].1, SerValue::Null);
+        assert_eq!(
+            fields[3].1,
+            SerValue::Seq(vec![SerValue::Str("Dot".into())])
+        );
+    } else {
+        panic!("expected map");
+    }
+}

@@ -1,0 +1,470 @@
+//! Offline stand-in for `serde_json`, covering the slice the workspace
+//! uses: [`Value`] / [`Number`], the [`json!`] macro over plain expressions,
+//! [`to_string`] / [`to_string_pretty`], and `Display` rendering that
+//! matches serde_json's output for the value shapes produced here.
+
+// Shim code mirrors upstream API shapes; keep clippy out of it.
+#![allow(clippy::all)]
+use serde::{SerValue, Serialize};
+use std::fmt;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number (integer or float).
+    Number(Number),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object: ordered key → value pairs (insertion order preserved).
+    Object(Vec<(String, Value)>),
+}
+
+/// A JSON number: integer-ness is preserved, as in serde_json.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Number(Repr);
+
+#[derive(Debug, Clone, Copy)]
+enum Repr {
+    I64(i64),
+    U64(u64),
+    F64(f64),
+}
+
+impl PartialEq for Repr {
+    fn eq(&self, other: &Repr) -> bool {
+        match (*self, *other) {
+            (Repr::I64(a), Repr::I64(b)) => a == b,
+            (Repr::U64(a), Repr::U64(b)) => a == b,
+            (Repr::F64(a), Repr::F64(b)) => a == b,
+            // Signed/unsigned reprs of the same integer are the same number.
+            (Repr::I64(a), Repr::U64(b)) | (Repr::U64(b), Repr::I64(a)) => a >= 0 && a as u64 == b,
+            // Integers never equal floats, matching serde_json.
+            _ => false,
+        }
+    }
+}
+
+impl Number {
+    /// Lossy view as `f64` (always succeeds for the shim's representations).
+    pub fn as_f64(&self) -> Option<f64> {
+        Some(match self.0 {
+            Repr::I64(v) => v as f64,
+            Repr::U64(v) => v as f64,
+            Repr::F64(v) => v,
+        })
+    }
+
+    /// Exact view as `i64` if the number is a signed integer in range.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self.0 {
+            Repr::I64(v) => Some(v),
+            Repr::U64(v) => i64::try_from(v).ok(),
+            Repr::F64(_) => None,
+        }
+    }
+
+    /// Exact view as `u64` if the number is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self.0 {
+            Repr::I64(v) => u64::try_from(v).ok(),
+            Repr::U64(v) => Some(v),
+            Repr::F64(_) => None,
+        }
+    }
+
+    /// Whether the underlying representation is a signed integer.
+    pub fn is_i64(&self) -> bool {
+        matches!(self.0, Repr::I64(_))
+    }
+
+    /// Whether the underlying representation is an unsigned integer.
+    pub fn is_u64(&self) -> bool {
+        matches!(self.0, Repr::U64(_))
+    }
+
+    /// Whether the underlying representation is a float.
+    pub fn is_f64(&self) -> bool {
+        matches!(self.0, Repr::F64(_))
+    }
+
+    /// Build from an `f64` (`None` for NaN / infinity, as in serde_json).
+    pub fn from_f64(v: f64) -> Option<Number> {
+        v.is_finite().then_some(Number(Repr::F64(v)))
+    }
+}
+
+impl fmt::Display for Number {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.0 {
+            Repr::I64(v) => write!(f, "{v}"),
+            Repr::U64(v) => write!(f, "{v}"),
+            Repr::F64(v) => {
+                if v == v.trunc() && v.abs() < 1e16 {
+                    // serde_json prints floats with a trailing `.0`.
+                    write!(f, "{v:.1}")
+                } else {
+                    write!(f, "{v}")
+                }
+            }
+        }
+    }
+}
+
+impl Value {
+    /// Lossy numeric view (`None` for non-numbers).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => n.as_f64(),
+            _ => None,
+        }
+    }
+
+    /// String view (`None` for non-strings).
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Whether this is `Value::Null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+}
+
+fn escape_into(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_value(out: &mut String, v: &Value, indent: Option<usize>, level: usize) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Number(n) => out.push_str(&n.to_string()),
+        Value::String(s) => escape_into(out, s),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                if let Some(w) = indent {
+                    out.push('\n');
+                    out.push_str(&" ".repeat(w * (level + 1)));
+                }
+                write_value(out, item, indent, level + 1);
+            }
+            if let Some(w) = indent {
+                out.push('\n');
+                out.push_str(&" ".repeat(w * level));
+            }
+            out.push(']');
+        }
+        Value::Object(entries) => {
+            if entries.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (k, item)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                if let Some(w) = indent {
+                    out.push('\n');
+                    out.push_str(&" ".repeat(w * (level + 1)));
+                }
+                escape_into(out, k);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, item, indent, level + 1);
+            }
+            if let Some(w) = indent {
+                out.push('\n');
+                out.push_str(&" ".repeat(w * level));
+            }
+            out.push('}');
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut out = String::new();
+        write_value(&mut out, self, None, 0);
+        f.write_str(&out)
+    }
+}
+
+impl From<SerValue> for Value {
+    fn from(v: SerValue) -> Value {
+        match v {
+            SerValue::Null => Value::Null,
+            SerValue::Bool(b) => Value::Bool(b),
+            SerValue::I64(v) => Value::Number(Number(Repr::I64(v))),
+            SerValue::U64(v) => Value::Number(Repr::U64(v).into()),
+            SerValue::F64(v) => Value::Number(Number(Repr::F64(v))),
+            SerValue::Str(s) => Value::String(s),
+            SerValue::Seq(items) => Value::Array(items.into_iter().map(Value::from).collect()),
+            SerValue::Map(entries) => Value::Object(
+                entries
+                    .into_iter()
+                    .map(|(k, v)| (k, Value::from(v)))
+                    .collect(),
+            ),
+        }
+    }
+}
+
+impl From<Repr> for Number {
+    fn from(r: Repr) -> Number {
+        Number(r)
+    }
+}
+
+impl Serialize for Value {
+    fn to_ser_value(&self) -> SerValue {
+        match self {
+            Value::Null => SerValue::Null,
+            Value::Bool(b) => SerValue::Bool(*b),
+            Value::Number(n) => match n.0 {
+                Repr::I64(v) => SerValue::I64(v),
+                Repr::U64(v) => SerValue::U64(v),
+                Repr::F64(v) => SerValue::F64(v),
+            },
+            Value::String(s) => SerValue::Str(s.clone()),
+            Value::Array(items) => {
+                SerValue::Seq(items.iter().map(Serialize::to_ser_value).collect())
+            }
+            Value::Object(entries) => SerValue::Map(
+                entries
+                    .iter()
+                    .map(|(k, v)| (k.clone(), v.to_ser_value()))
+                    .collect(),
+            ),
+        }
+    }
+}
+
+macro_rules! impl_value_eq_prim {
+    ($($t:ty),*) => {$(
+        impl PartialEq<$t> for Value {
+            fn eq(&self, other: &$t) -> bool {
+                *self == Value::from(*other)
+            }
+        }
+
+        impl PartialEq<Value> for $t {
+            fn eq(&self, other: &Value) -> bool {
+                Value::from(*self) == *other
+            }
+        }
+    )*};
+}
+
+impl_value_eq_prim!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize, f64, f32, bool);
+
+impl PartialEq<&str> for Value {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == Some(*other)
+    }
+}
+
+impl PartialEq<str> for Value {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == Some(other)
+    }
+}
+
+impl PartialEq<String> for Value {
+    fn eq(&self, other: &String) -> bool {
+        self.as_str() == Some(other.as_str())
+    }
+}
+
+impl PartialEq<Value> for &str {
+    fn eq(&self, other: &Value) -> bool {
+        other.as_str() == Some(*self)
+    }
+}
+
+impl PartialEq<Value> for String {
+    fn eq(&self, other: &Value) -> bool {
+        other.as_str() == Some(self.as_str())
+    }
+}
+
+macro_rules! impl_value_from_int {
+    ($($t:ty => $repr:ident as $cast:ty),*) => {$(
+        impl From<$t> for Value {
+            fn from(v: $t) -> Value {
+                Value::Number(Number(Repr::$repr(v as $cast)))
+            }
+        }
+    )*};
+}
+
+impl_value_from_int!(
+    i8 => I64 as i64, i16 => I64 as i64, i32 => I64 as i64, i64 => I64 as i64,
+    isize => I64 as i64,
+    u8 => U64 as u64, u16 => U64 as u64, u32 => U64 as u64, u64 => U64 as u64,
+    usize => U64 as u64
+);
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Value {
+        Value::Number(Number(Repr::F64(v)))
+    }
+}
+
+impl From<f32> for Value {
+    fn from(v: f32) -> Value {
+        Value::Number(Number(Repr::F64(v as f64)))
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Value {
+        Value::Bool(v)
+    }
+}
+
+macro_rules! impl_value_from_ref {
+    ($($t:ty),*) => {$(
+        impl From<&$t> for Value {
+            fn from(v: &$t) -> Value {
+                Value::from(*v)
+            }
+        }
+    )*};
+}
+
+impl_value_from_ref!(i32, i64, u32, u64, usize, f64, f32, bool);
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Value {
+        Value::String(v.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Value {
+        Value::String(v)
+    }
+}
+
+/// Serialization error (the shim's data model is total, so this only exists
+/// for signature compatibility).
+#[derive(Debug)]
+pub struct Error(String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serialize `value` as a compact JSON string.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let v = Value::from(value.to_ser_value());
+    let mut out = String::new();
+    write_value(&mut out, &v, None, 0);
+    Ok(out)
+}
+
+/// Serialize `value` as pretty-printed JSON (two-space indent).
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let v = Value::from(value.to_ser_value());
+    let mut out = String::new();
+    write_value(&mut out, &v, Some(2), 0);
+    Ok(out)
+}
+
+/// Convert a serializable value into a [`Value`] tree.
+pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Result<Value, Error> {
+    Ok(Value::from(value.to_ser_value()))
+}
+
+/// Build a [`Value`] from a plain expression (or `null`). Object/array
+/// literal syntax from the real `json!` macro is intentionally unsupported.
+#[macro_export]
+macro_rules! json {
+    (null) => {
+        $crate::Value::Null
+    };
+    ($e:expr) => {
+        $crate::Value::from($e)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_macro_preserves_integerness() {
+        let one = json!(1);
+        match &one {
+            Value::Number(n) => {
+                assert!(n.is_i64());
+                assert_eq!(n.as_f64(), Some(1.0));
+            }
+            _ => panic!("expected number"),
+        }
+        assert_eq!(one.to_string(), "1");
+        assert_eq!(json!(1.5).to_string(), "1.5");
+        assert_eq!(json!(2.0).to_string(), "2.0");
+        assert_eq!(json!("hi").to_string(), "\"hi\"");
+        assert_eq!(json!(null), Value::Null);
+    }
+
+    #[test]
+    fn float_equality_matches_test_usage() {
+        // Mirrors `num(1.23456) == json!(1.235)` in the bench crate.
+        let r = (1.23456f64 * 1000.0).round() / 1000.0;
+        assert_eq!(json!(r), json!(1.235));
+    }
+
+    #[test]
+    fn pretty_print_shape() {
+        let v = Value::Object(vec![
+            ("a".into(), json!(1)),
+            ("b".into(), Value::Array(vec![json!(true), Value::Null])),
+        ]);
+        let s = to_string_pretty(&v).unwrap();
+        assert_eq!(s, "{\n  \"a\": 1,\n  \"b\": [\n    true,\n    null\n  ]\n}");
+        assert_eq!(to_string(&v).unwrap(), "{\"a\":1,\"b\":[true,null]}");
+    }
+
+    #[test]
+    fn string_escaping() {
+        assert_eq!(json!("a\"b\\c\nd").to_string(), "\"a\\\"b\\\\c\\nd\"");
+    }
+}

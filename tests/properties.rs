@@ -43,7 +43,7 @@ proptest! {
         kind in index_kind(),
     ) {
         let mut g = gpu();
-        let col = Rc::new(g.alloc_from_vec(MemLocation::Cpu, keys.clone()));
+        let col = Rc::new(g.alloc_host_from_vec(keys.clone()));
         let idx = BuiltIndex::build(&mut g, kind, &col, &IndexConfigs::default());
         for p in probes {
             let expect = keys.binary_search(&p).ok().map(|i| i as u64);
@@ -60,10 +60,10 @@ proptest! {
         bits in 1u32..8,
     ) {
         let mut g = gpu();
-        let buf = g.alloc_from_vec(MemLocation::Cpu, keys.clone());
+        let buf = g.alloc_host_from_vec(keys.clone());
         let pb = PartitionBits { shift, bits };
         let part = RadixPartitioner::new(pb, 0);
-        let out = part.partition_stream(&mut g, &buf, 0..keys.len());
+        let out = part.partition_stream(&mut g, &buf, 0..keys.len()).unwrap();
         prop_assert_eq!(out.len(), keys.len());
         // rids form a permutation of 0..n and map back to their keys.
         let mut seen = vec![false; keys.len()];
@@ -94,21 +94,21 @@ proptest! {
         let s = Relation::foreign_keys_uniform(&r, n_probes, seed);
 
         let mut g = gpu();
-        let col = Rc::new(g.alloc_from_vec(MemLocation::Cpu, r.keys().to_vec()));
+        let col = Rc::new(g.alloc_host_from_vec(r.keys().to_vec()));
         let idx = BuiltIndex::build(&mut g, kind, &col, &IndexConfigs::default());
-        let s_col = g.alloc_from_vec(MemLocation::Cpu, s.keys().to_vec());
+        let s_col = g.alloc_host_from_vec(s.keys().to_vec());
 
-        let mut direct = ResultSink::with_capacity(&mut g, s.len(), MemLocation::Gpu);
-        inlj_stream(&mut g, idx.as_dyn(), &s_col, 0..s.len(), &mut direct);
+        let mut direct = ResultSink::with_capacity(&mut g, s.len(), MemLocation::Gpu).unwrap();
+        inlj_stream(&mut g, idx.as_dyn(), &s_col, 0..s.len(), &mut direct).unwrap();
 
-        let mut windowed = ResultSink::with_capacity(&mut g, s.len(), MemLocation::Gpu);
+        let mut windowed = ResultSink::with_capacity(&mut g, s.len(), MemLocation::Gpu).unwrap();
         let bits = QueryExecutor::new().resolve_bits(&g, &r);
         let cfg = WindowConfig {
             window_tuples: window,
             bits,
             min_key: r.min_key().unwrap_or(0),
         };
-        windex_core::windowed_inlj(&mut g, idx.as_dyn(), &s_col, 0..s.len(), cfg, &mut windowed);
+        windex_core::windowed_inlj(&mut g, idx.as_dyn(), &s_col, 0..s.len(), cfg, &mut windowed).unwrap();
 
         let mut a = direct.host_pairs();
         let mut b = windowed.host_pairs();
@@ -125,8 +125,8 @@ proptest! {
         probe in pvec(0u64..64, 1..200),
     ) {
         let mut g = gpu();
-        let bb = g.alloc_from_vec(MemLocation::Cpu, build.clone());
-        let pb = g.alloc_from_vec(MemLocation::Cpu, probe.clone());
+        let bb = g.alloc_host_from_vec(build.clone());
+        let pb = g.alloc_host_from_vec(probe.clone());
         let expected: Vec<(u64, u64)> = {
             let mut v = Vec::new();
             for (pi, pk) in probe.iter().enumerate() {
@@ -139,8 +139,8 @@ proptest! {
             v.sort_unstable();
             v
         };
-        let mut sink = ResultSink::with_capacity(&mut g, expected.len().max(1), MemLocation::Gpu);
-        let stats = hash_join(&mut g, &bb, &pb, HashJoinConfig::default(), &mut sink);
+        let mut sink = ResultSink::with_capacity(&mut g, expected.len().max(1), MemLocation::Gpu).unwrap();
+        let stats = hash_join(&mut g, &bb, &pb, HashJoinConfig::default(), &mut sink).unwrap();
         prop_assert_eq!(stats.matches, expected.len());
         let mut got = sink.host_pairs();
         got.sort_unstable();
@@ -155,9 +155,9 @@ proptest! {
     ) {
         let mut g = gpu();
         let cfg = windex_join::HashTableConfig { load_factor: 0.5, max_block };
-        let mut t = MultiValueHashTable::new(&mut g, pairs.len(), cfg);
+        let mut t = MultiValueHashTable::new(&mut g, pairs.len(), cfg).unwrap();
         for &(k, v) in &pairs {
-            t.insert(&mut g, k, v);
+            t.insert(&mut g, k, v).unwrap();
         }
         for probe_key in 0u64..64 {
             let mut got = Vec::new();
