@@ -1,0 +1,113 @@
+//! Criterion micro-bench: the streaming operator's push path and the
+//! serving layer's micro-batch dispatch loop.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use std::rc::Rc;
+use windex_core::prelude::*;
+use windex_core::streams::StreamingWindowJoin;
+use windex_serve::prelude::{generate_trace, BatchPolicy, ServeConfig, Server, TraceConfig};
+use windex_sim::MemLocation;
+
+fn setup(n_r: usize) -> (Gpu, BuiltIndex, Relation, PartitionBits) {
+    let mut gpu = Gpu::new(GpuSpec::v100_nvlink2(Scale::PAPER));
+    let r = Relation::unique_sorted(n_r, KeyDistribution::Dense, 1);
+    let col = Rc::new(gpu.alloc_host_from_vec(r.keys().to_vec()));
+    let idx = BuiltIndex::build(
+        &mut gpu,
+        IndexKind::RadixSpline,
+        &col,
+        &IndexConfigs::default(),
+    );
+    let bits = QueryExecutor::new().resolve_bits(&gpu, &r);
+    (gpu, idx, r, bits)
+}
+
+fn bench_streaming_push(c: &mut Criterion) {
+    let (mut gpu, idx, r, bits) = setup(1 << 16);
+    let s = Relation::foreign_keys_uniform(&r, 1 << 12, 2);
+    let tuples: Vec<(u64, u64)> = s
+        .keys()
+        .iter()
+        .enumerate()
+        .map(|(i, &k)| (k, i as u64))
+        .collect();
+
+    let mut group = c.benchmark_group("streaming_push");
+    group.throughput(Throughput::Elements(tuples.len() as u64));
+    for window_pow in [8usize, 10, 12] {
+        group.bench_function(format!("window_2e{window_pow}"), |b| {
+            b.iter(|| {
+                let cfg = WindowConfig {
+                    window_tuples: 1 << window_pow,
+                    bits,
+                    min_key: 0,
+                };
+                let mut op = StreamingWindowJoin::new(&mut gpu, cfg).unwrap();
+                let mut sink = windex_join::ResultSink::with_capacity(
+                    &mut gpu,
+                    tuples.len(),
+                    MemLocation::Cpu,
+                )
+                .unwrap();
+                for chunk in tuples.chunks(331) {
+                    op.push(&mut gpu, idx.as_dyn(), chunk, &mut sink).unwrap();
+                }
+                let stats = op.finish(&mut gpu, idx.as_dyn(), &mut sink).unwrap();
+                sink.free(&mut gpu);
+                black_box(stats.matches)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_serve_dispatch(c: &mut Criterion) {
+    let r = Relation::unique_sorted(1 << 14, KeyDistribution::SparseUniform, 1);
+    let trace = generate_trace(
+        &TraceConfig {
+            requests: 128,
+            offered_load_rps: 50_000.0,
+            ..TraceConfig::default()
+        },
+        &r,
+    );
+    let total_keys: u64 = trace.iter().map(|t| t.request.keys.len() as u64).sum();
+
+    let mut group = c.benchmark_group("serve_dispatch");
+    group.throughput(Throughput::Elements(total_keys));
+    for (name, policy) in [
+        ("per_request", BatchPolicy::PerRequest),
+        (
+            "shared_200us",
+            BatchPolicy::Shared {
+                max_delay_s: 200e-6,
+            },
+        ),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut gpu = Gpu::new(GpuSpec::v100_nvlink2(Scale::PAPER));
+                let mut server = Server::new(
+                    &mut gpu,
+                    ServeConfig {
+                        policy,
+                        ..ServeConfig::default()
+                    },
+                    r.clone(),
+                )
+                .unwrap();
+                let outcome = server.run(&mut gpu, &trace).unwrap();
+                black_box(outcome.report.completed)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(15);
+    targets = bench_streaming_push, bench_serve_dispatch
+}
+criterion_main!(benches);

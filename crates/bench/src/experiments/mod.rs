@@ -12,6 +12,7 @@ pub mod fig8;
 pub mod fig9;
 pub mod figs34;
 pub mod figs56;
+pub mod serve;
 pub mod summary;
 pub mod table1;
 pub mod validate;

@@ -12,6 +12,7 @@
 //!   fig7         window-size sweep
 //!   fig8         Zipf-skewed lookup keys
 //!   fig9         V100+NVLink2 vs A100+PCIe4
+//!   serve        latency-throughput: cross-query window batching
 //!   whatif-gh200 GH200 NVLink C2C what-if (beyond the paper)
 //!   validate-scale  same paper point at reduction factors 256x-2048x
 //!   summary      §6 discussion claims, measured vs paper
@@ -23,7 +24,7 @@
 
 use std::path::{Path, PathBuf};
 use windex_bench::experiments::{
-    ablations, fig1, fig7, fig8, fig9, figs34, figs56, summary, table1, validate, whatif,
+    ablations, fig1, fig7, fig8, fig9, figs34, figs56, serve, summary, table1, validate, whatif,
 };
 use windex_bench::{ExpConfig, Experiment};
 
@@ -69,6 +70,7 @@ fn run_target(target: &str, cfg: &ExpConfig) -> Result<Vec<Experiment>, String> 
         "ablation-subwarp" => vec![ablations::ablation_subwarp(cfg)],
         "whatif-gh200" => vec![whatif::whatif_gh200(cfg)],
         "validate-scale" => vec![validate::validate_scale(cfg)],
+        "serve" => vec![serve::serve(cfg)],
         "all" => {
             let mut out = vec![table1::table1(), fig1::fig1(cfg)];
             let unpart = figs34::unpartitioned_sweep(cfg);
@@ -80,6 +82,7 @@ fn run_target(target: &str, cfg: &ExpConfig) -> Result<Vec<Experiment>, String> 
             out.push(fig8::fig8(cfg));
             out.push(fig9::fig9(cfg));
             out.extend(ablations::all(cfg));
+            out.push(serve::serve(cfg));
             out.push(whatif::whatif_gh200(cfg));
             out.push(validate::validate_scale(cfg));
             out.push(summary::summary(cfg));
@@ -107,7 +110,7 @@ fn main() {
             }
             "--help" | "-h" => {
                 println!("usage: experiments [--quick] [--charts] [--out DIR] <target>...");
-                println!("targets: all table1 fig1 fig3 fig4 fig5 fig6 fig7 fig8 fig9 whatif-gh200 validate-scale");
+                println!("targets: all table1 fig1 fig3 fig4 fig5 fig6 fig7 fig8 fig9 serve whatif-gh200 validate-scale");
                 println!("         summary ablations ablation-{{bits,overlap,pages,node-size,fanout,keydist,warm,spill,subwarp}}");
                 return;
             }

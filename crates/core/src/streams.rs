@@ -102,6 +102,38 @@ impl StreamingWindowJoin {
         Ok(())
     }
 
+    /// Close the open window *now*, joining whatever it holds, without
+    /// ending the stream. This is the dispatch hook for serving layers that
+    /// batch keys from many clients into shared windows: a max-delay policy
+    /// closes a partially-filled window early rather than holding the
+    /// oldest request hostage until the window fills. An empty window is a
+    /// no-op. Returns the number of tuples joined.
+    pub fn flush_now(
+        &mut self,
+        gpu: &mut Gpu,
+        index: &dyn OutOfCoreIndex,
+        sink: &mut ResultSink,
+    ) -> Result<usize, WindexError> {
+        if self.finished {
+            return Err(WindexError::InvalidState("operator already finished"));
+        }
+        let tuples = self.fill;
+        if tuples > 0 {
+            self.flush(gpu, index, sink)?;
+        }
+        Ok(tuples)
+    }
+
+    /// Running totals over all windows closed so far (the stream may still
+    /// be open; [`finish`](Self::finish) returns the same totals and ends
+    /// the stream).
+    pub fn stats(&self) -> WindowStats {
+        WindowStats {
+            windows: self.windows,
+            matches: self.matches,
+        }
+    }
+
     /// Signal end-of-stream (§5.1: the outer loop ends the input stream):
     /// joins the final partial window and returns the totals. The operator
     /// can be reused afterwards via [`reset`](Self::reset).
@@ -146,13 +178,25 @@ impl StreamingWindowJoin {
             let staged = window.pairs.host()[i * 2 + 1] as usize;
             window.pairs.host_mut()[i * 2 + 1] = self.rids[staged];
         }
+        // Long-lived sinks (serving layers batch many clients into one
+        // sink) must never observe a failed window's partial output, so a
+        // probe that fails past its retries is rolled back here.
+        let mark = sink.len();
         let probed = inlj_pairs(gpu, index, &window.pairs, 0..window.len(), sink);
         window.free(gpu);
-        self.matches += probed?;
-        self.windows += 1;
-        self.fill = 0;
-        self.rids.clear();
-        Ok(())
+        match probed {
+            Ok(m) => {
+                self.matches += m;
+                self.windows += 1;
+                self.fill = 0;
+                self.rids.clear();
+                Ok(())
+            }
+            Err(e) => {
+                sink.truncate(mark);
+                Err(e.into())
+            }
+        }
     }
 }
 
@@ -256,6 +300,116 @@ mod tests {
             .unwrap();
         let stats = op.finish(&mut g, idx.as_dyn(), &mut sink).unwrap();
         assert_eq!(stats.matches, 1);
+    }
+
+    #[test]
+    fn empty_push_is_a_noop() {
+        let (mut g, idx, _r) = setup(100);
+        let mut op = StreamingWindowJoin::new(&mut g, config(8)).unwrap();
+        let mut sink = ResultSink::with_capacity(&mut g, 10, MemLocation::Gpu).unwrap();
+        let launches_before = g.counters().kernel_launches;
+        op.push(&mut g, idx.as_dyn(), &[], &mut sink).unwrap();
+        assert_eq!(op.pending(), 0);
+        assert_eq!(g.counters().kernel_launches, launches_before);
+        assert_eq!(op.stats(), WindowStats::default());
+    }
+
+    #[test]
+    fn finish_on_empty_window_closes_no_windows() {
+        let (mut g, idx, _r) = setup(100);
+        let mut op = StreamingWindowJoin::new(&mut g, config(8)).unwrap();
+        let mut sink = ResultSink::with_capacity(&mut g, 10, MemLocation::Gpu).unwrap();
+        let stats = op.finish(&mut g, idx.as_dyn(), &mut sink).unwrap();
+        assert_eq!(stats, WindowStats::default());
+        assert_eq!(sink.len(), 0);
+    }
+
+    #[test]
+    fn batch_exactly_filling_a_window_flushes_once() {
+        let (mut g, idx, r) = setup(1000);
+        let mut op = StreamingWindowJoin::new(&mut g, config(64)).unwrap();
+        let mut sink = ResultSink::with_capacity(&mut g, 64, MemLocation::Gpu).unwrap();
+        let batch: Vec<(u64, u64)> = r.keys()[..64].iter().map(|&k| (k, k)).collect();
+        op.push(&mut g, idx.as_dyn(), &batch, &mut sink).unwrap();
+        // The exact fill closed the window during push; nothing is pending.
+        assert_eq!(op.pending(), 0);
+        assert_eq!(op.stats().windows, 1);
+        assert_eq!(sink.len(), 64);
+        // finish has nothing left to flush.
+        let stats = op.finish(&mut g, idx.as_dyn(), &mut sink).unwrap();
+        assert_eq!(stats.windows, 1);
+        assert_eq!(stats.matches, 64);
+    }
+
+    #[test]
+    fn flush_now_closes_the_partial_window_early() {
+        let (mut g, idx, r) = setup(1000);
+        let mut op = StreamingWindowJoin::new(&mut g, config(100)).unwrap();
+        let mut sink = ResultSink::with_capacity(&mut g, 10, MemLocation::Gpu).unwrap();
+        let batch: Vec<(u64, u64)> = r.keys()[..5].iter().map(|&k| (k, k)).collect();
+        op.push(&mut g, idx.as_dyn(), &batch, &mut sink).unwrap();
+        assert_eq!(op.flush_now(&mut g, idx.as_dyn(), &mut sink).unwrap(), 5);
+        assert_eq!(op.pending(), 0);
+        assert_eq!(op.stats().windows, 1);
+        assert_eq!(sink.len(), 5);
+        // Empty flush is a no-op, and the stream is still open for pushes.
+        assert_eq!(op.flush_now(&mut g, idx.as_dyn(), &mut sink).unwrap(), 0);
+        assert_eq!(op.stats().windows, 1);
+        op.push(&mut g, idx.as_dyn(), &batch[..1], &mut sink)
+            .unwrap();
+        let stats = op.finish(&mut g, idx.as_dyn(), &mut sink).unwrap();
+        assert_eq!(stats.windows, 2);
+        assert_eq!(stats.matches, 6);
+    }
+
+    #[test]
+    fn failed_flush_rolls_the_sink_back() {
+        // A transient fault mid-push must not leak a failed window's
+        // partial output into a long-lived sink.
+        use windex_sim::{FaultPlan, RetryPolicy};
+        let (mut g, idx, r) = setup(1000);
+        let mut op = StreamingWindowJoin::new(&mut g, config(16)).unwrap();
+        let mut sink = ResultSink::with_capacity(&mut g, 100, MemLocation::Cpu).unwrap();
+
+        // A healthy window first, so the sink holds prior results.
+        let ok: Vec<(u64, u64)> = r.keys()[..16].iter().map(|&k| (k, k)).collect();
+        op.push(&mut g, idx.as_dyn(), &ok, &mut sink).unwrap();
+        let committed = sink.len();
+        assert_eq!(committed, 16);
+
+        // Every transfer now faults: retries exhaust and the flush fails.
+        g.set_retry_policy(RetryPolicy {
+            max_retries: 1,
+            base_backoff_ns: 10,
+        });
+        g.set_fault_plan(FaultPlan::seeded(11).with_transfer_faults(1.0));
+        let bad: Vec<(u64, u64)> = r.keys()[16..32].iter().map(|&k| (k, k)).collect();
+        let err = op.push(&mut g, idx.as_dyn(), &bad, &mut sink).unwrap_err();
+        assert!(err.is_transient(), "fault survives retries: {err}");
+        assert_eq!(
+            sink.len(),
+            committed,
+            "failed window's partial output must be rolled back"
+        );
+        assert_eq!(op.stats().windows, 1, "the failed window did not close");
+
+        // Lifting the fault plan lets the stream continue cleanly.
+        g.set_fault_plan(FaultPlan::none());
+        op.reset();
+        op.push(&mut g, idx.as_dyn(), &bad, &mut sink).unwrap();
+        let stats = op.finish(&mut g, idx.as_dyn(), &mut sink).unwrap();
+        assert_eq!(stats.matches, 16);
+        assert_eq!(sink.len(), committed + 16);
+    }
+
+    #[test]
+    fn window_stats_serialize_for_reports() {
+        let stats = WindowStats {
+            windows: 3,
+            matches: 42,
+        };
+        let json = serde_json::to_string(&stats).unwrap();
+        assert_eq!(json, r#"{"windows":3,"matches":42}"#);
     }
 
     #[test]

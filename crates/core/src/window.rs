@@ -35,8 +35,10 @@ pub struct WindowConfig {
     pub min_key: u64,
 }
 
-/// Outcome of one windowed-INLJ run.
-#[derive(Debug, Clone, Copy)]
+/// Outcome of one windowed-INLJ run. Serializable so serving-layer
+/// reports ([`windex-serve`]'s `ServerReport`) can embed it on the
+/// existing JSON/CSV output path.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize)]
 pub struct WindowStats {
     /// Number of windows processed.
     pub windows: usize,

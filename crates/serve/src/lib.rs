@@ -1,0 +1,74 @@
+//! # windex-serve — deterministic multi-tenant serving with cross-query window batching
+//!
+//! The paper's windowed operator (§5) restores TLB locality by partitioning
+//! probe keys *inside tumbling windows*. A serving workload — many tenants
+//! issuing small index lookups — leaves those windows nearly empty if each
+//! request executes alone: the fixed window costs (partition + probe kernel
+//! launches, per-window transfers) are paid per request instead of per
+//! window. This crate adds the layer the paper stops short of: a
+//! query server that **coalesces keys from concurrent requests into shared
+//! windows**, so the batching amortizes exactly the costs the windowed
+//! operator introduces.
+//!
+//! Everything runs in *virtual time*: the only clock is the cost model's
+//! estimate of each dispatched window, so a served trace is a pure function
+//! of (seed, configuration) — same inputs, byte-identical responses and
+//! reports. That makes latency–throughput studies reproducible down to the
+//! serialized report.
+//!
+//! Pieces:
+//!
+//! - [`LookupRequest`] / [`LookupResponse`] — the request model
+//!   ([`request`]);
+//! - [`generate_trace`] — seeded open-loop multi-tenant traces ([`trace`]);
+//! - [`DrrScheduler`] — deficit round-robin tenant fairness ([`sched`]);
+//! - [`MicroBatcher`] — rid-tagged cross-query batching with exact
+//!   demultiplexing ([`batch`]);
+//! - [`Server`] — the event loop: admission control, batching policies,
+//!   the degradation ladder under memory pressure, and the
+//!   [`ServerReport`] with virtual-time tail latencies ([`server`],
+//!   [`report`]).
+//!
+//! ```
+//! use windex_serve::prelude::*;
+//!
+//! let mut gpu = Gpu::new(GpuSpec::v100_nvlink2(Scale::PAPER));
+//! let r = Relation::unique_sorted(1 << 14, KeyDistribution::SparseUniform, 1);
+//! let trace = generate_trace(
+//!     &TraceConfig { requests: 64, ..TraceConfig::default() },
+//!     &r,
+//! );
+//! let mut server = Server::new(&mut gpu, ServeConfig::default(), r).unwrap();
+//! let outcome = server.run(&mut gpu, &trace).unwrap();
+//! assert_eq!(outcome.responses.len(), 64);
+//! assert!(outcome.report.completed > 0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod batch;
+pub mod report;
+pub mod request;
+pub mod sched;
+pub mod server;
+pub mod trace;
+
+pub use batch::MicroBatcher;
+pub use report::{LatencyStats, ServeEvent, ServerReport};
+pub use request::{LookupRequest, LookupResponse, RequestOutcome, TenantId};
+pub use sched::DrrScheduler;
+pub use server::{BatchPolicy, ServeConfig, ServeOutcome, Server};
+pub use trace::{generate_trace, TimedRequest, TraceConfig};
+
+/// One-stop imports for downstream users.
+pub mod prelude {
+    pub use crate::batch::MicroBatcher;
+    pub use crate::report::{LatencyStats, ServeEvent, ServerReport};
+    pub use crate::request::{LookupRequest, LookupResponse, RequestOutcome, TenantId};
+    pub use crate::sched::DrrScheduler;
+    pub use crate::server::{BatchPolicy, ServeConfig, ServeOutcome, Server};
+    pub use crate::trace::{generate_trace, TimedRequest, TraceConfig};
+    pub use windex_index::IndexKind;
+    pub use windex_sim::{Gpu, GpuSpec, MemLocation, Scale};
+    pub use windex_workload::{KeyDistribution, Relation};
+}

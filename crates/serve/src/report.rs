@@ -1,0 +1,169 @@
+//! Serving metrics: virtual-time latency distributions and the
+//! [`ServerReport`] rendered through the workspace's JSON output path.
+
+use crate::request::TenantId;
+use serde::Serialize;
+use windex_core::WindowStats;
+use windex_index::IndexKind;
+use windex_sim::Counters;
+
+/// Latency distribution over completed requests, in virtual seconds.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize)]
+pub struct LatencyStats {
+    /// Requests the distribution covers (completed + deadline-missed).
+    pub samples: usize,
+    /// Mean latency.
+    pub mean_s: f64,
+    /// Median (nearest-rank).
+    pub p50_s: f64,
+    /// 95th percentile (nearest-rank).
+    pub p95_s: f64,
+    /// 99th percentile (nearest-rank).
+    pub p99_s: f64,
+    /// Slowest request.
+    pub max_s: f64,
+}
+
+impl LatencyStats {
+    /// Compute the distribution from raw samples (order-insensitive).
+    pub fn from_samples(mut samples: Vec<f64>) -> Self {
+        if samples.is_empty() {
+            return LatencyStats::default();
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+        let n = samples.len();
+        let rank = |q: f64| samples[((q * n as f64).ceil() as usize).clamp(1, n) - 1];
+        LatencyStats {
+            samples: n,
+            mean_s: samples.iter().sum::<f64>() / n as f64,
+            p50_s: rank(0.50),
+            p95_s: rank(0.95),
+            p99_s: rank(0.99),
+            max_s: samples[n - 1],
+        }
+    }
+}
+
+/// One notable event during a served trace, in occurrence order.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub enum ServeEvent {
+    /// The shared window was halved to fit the device-memory headroom
+    /// (the serving analogue of the query engine's degradation ladder).
+    WindowShrunk {
+        /// Window capacity (keys) before the shrink.
+        from: usize,
+        /// Window capacity after the shrink.
+        to: usize,
+    },
+    /// The result sink was placed in (or moved to) CPU memory because the
+    /// device budget could not hold it.
+    SinkSpilledToCpu,
+    /// A request was refused at admission: accepting it would have pushed
+    /// the queued-key backlog past the backpressure bound.
+    LoadShed {
+        /// The refused tenant.
+        tenant: TenantId,
+        /// Server-assigned id of the refused request.
+        request: u64,
+        /// Keys the request carried.
+        keys: usize,
+    },
+    /// A dispatched batch could not complete even after degradation (e.g.
+    /// a fault outlasting its retries); its requests were shed.
+    BatchAbandoned {
+        /// Keys in the abandoned batch.
+        keys: usize,
+        /// Requests shed with it.
+        requests: usize,
+    },
+}
+
+/// Everything measured about one served trace. Serialized through the same
+/// JSON path as [`QueryReport`](windex_core::QueryReport); same seed ⇒
+/// byte-identical serialization.
+#[derive(Debug, Clone, Serialize)]
+pub struct ServerReport {
+    /// Dispatch-policy label, e.g. `"shared(max_delay=200us)"`.
+    pub policy: String,
+    /// Index kind probed by the shared operator.
+    pub index: IndexKind,
+    /// Distinct tenants that submitted requests.
+    pub tenants: usize,
+    /// Requests admitted to the server (the whole trace).
+    pub requests: usize,
+    /// Requests fully served within their deadline (or with none set).
+    pub completed: usize,
+    /// Requests shed by admission control or abandoned dispatches.
+    pub shed: usize,
+    /// Requests served but past their deadline.
+    pub deadline_missed: usize,
+    /// Total matches returned across all responses.
+    pub result_tuples: usize,
+    /// Probe keys actually dispatched through shared windows.
+    pub keys_probed: usize,
+    /// Windows dispatched and total matches (windows ≡ dispatches: the
+    /// server closes exactly one window per dispatch).
+    pub window: WindowStats,
+    /// Mean keys per dispatched window — the batching win in one number
+    /// (per-request execution leaves windows nearly empty).
+    pub mean_batch_keys: f64,
+    /// Window capacity as configured.
+    pub configured_window_tuples: usize,
+    /// Window capacity after any degradation, at trace end.
+    pub effective_window_tuples: usize,
+    /// Virtual time from first arrival to last response.
+    pub virtual_makespan_s: f64,
+    /// Completed requests per virtual second.
+    pub completed_rps: f64,
+    /// Probed keys per virtual second.
+    pub keys_per_second: f64,
+    /// Latency distribution over served (non-shed) requests.
+    pub latency: LatencyStats,
+    /// Largest queued-key backlog observed at any admission.
+    pub max_queue_depth_keys: usize,
+    /// Degradation / shed events, in order.
+    pub events: Vec<ServeEvent>,
+    /// Counter delta over the whole served trace.
+    pub counters: Counters,
+    /// Operator retries during the trace (priced into virtual time).
+    pub retries: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_percentiles_nearest_rank() {
+        let samples: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        let l = LatencyStats::from_samples(samples);
+        assert_eq!(l.samples, 100);
+        assert_eq!(l.p50_s, 50.0);
+        assert_eq!(l.p95_s, 95.0);
+        assert_eq!(l.p99_s, 99.0);
+        assert_eq!(l.max_s, 100.0);
+        assert!((l.mean_s - 50.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_distribution_is_zeroed() {
+        let l = LatencyStats::from_samples(vec![]);
+        assert_eq!(l, LatencyStats::default());
+    }
+
+    #[test]
+    fn single_sample() {
+        let l = LatencyStats::from_samples(vec![0.25]);
+        assert_eq!(l.p50_s, 0.25);
+        assert_eq!(l.p99_s, 0.25);
+        assert_eq!(l.max_s, 0.25);
+    }
+
+    #[test]
+    fn events_serialize_with_fields() {
+        let e = ServeEvent::WindowShrunk { from: 64, to: 32 };
+        let json = serde_json::to_string(&e).unwrap();
+        assert!(json.contains("WindowShrunk"), "{json}");
+        assert!(json.contains("\"from\":64"), "{json}");
+    }
+}

@@ -1,0 +1,627 @@
+//! The deterministic serving event loop.
+//!
+//! [`Server`] owns one indexed relation, one shared
+//! [`StreamingWindowJoin`](windex_core::streams::StreamingWindowJoin), and
+//! one result sink, and serves a seeded trace of multi-tenant lookup
+//! requests entirely in *virtual time*: the only clock is the cost model's
+//! estimate of each dispatched window, so the same trace and configuration
+//! always produce byte-identical responses and reports — no threads, no
+//! wall clock, no nondeterminism.
+//!
+//! # The loop
+//!
+//! 1. **Admit** every trace arrival due at the current virtual instant.
+//!    Admission control sheds a request outright when accepting it would
+//!    push the queued-key backlog past the backpressure bound.
+//! 2. **Schedule**: deficit round-robin releases queued requests into the
+//!    micro-batcher until the shared window is covered (or, under
+//!    [`BatchPolicy::PerRequest`], exactly one request is staged).
+//! 3. **Dispatch** when the window is full, the oldest staged key has
+//!    waited `max_delay_s`, or the policy is per-request: the batch flows
+//!    through the shared operator, virtual time advances by the cost
+//!    model's estimate, and matches demultiplex back to their requests via
+//!    the rid map.
+//! 4. Otherwise **advance** the clock to the next arrival or flush
+//!    deadline.
+//!
+//! Device-memory pressure mid-dispatch walks the serving analogue of the
+//! query engine's degradation ladder — halve the shared window (down to
+//! [`MIN_WINDOW_TUPLES`](windex_core::session::MIN_WINDOW_TUPLES)), spill
+//! the sink to CPU memory, and finally shed the batch — so an overloaded
+//! or faulty server sheds load instead of failing.
+
+use crate::batch::MicroBatcher;
+use crate::report::{LatencyStats, ServeEvent, ServerReport};
+use crate::request::{LookupResponse, RequestOutcome, TenantId};
+use crate::sched::DrrScheduler;
+use crate::trace::TimedRequest;
+use std::collections::BTreeMap;
+use std::rc::Rc;
+use windex_core::query::QueryError;
+use windex_core::session::MIN_WINDOW_TUPLES;
+use windex_core::strategy::{BuiltIndex, IndexConfigs};
+use windex_core::streams::StreamingWindowJoin;
+use windex_core::window::WindowConfig;
+use windex_core::{WindexError, WindowStats};
+use windex_index::IndexKind;
+use windex_join::{PartitionBits, ResultSink};
+use windex_sim::{CostModel, Gpu, MemLocation};
+use windex_workload::Relation;
+
+/// When staged keys are dispatched through the shared operator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum BatchPolicy {
+    /// Cross-query batching (the point of the serving layer): keys from
+    /// concurrent tenants share windows. A window dispatches when it fills
+    /// or when its oldest key has waited `max_delay_s`, whichever comes
+    /// first.
+    Shared {
+        /// Longest a staged key may wait for the window to fill, in
+        /// virtual seconds.
+        max_delay_s: f64,
+    },
+    /// The baseline the experiments compare against: every request is
+    /// dispatched alone, immediately, through its own (mostly empty)
+    /// window.
+    PerRequest,
+}
+
+impl BatchPolicy {
+    /// Stable label for reports.
+    pub fn label(&self) -> String {
+        match self {
+            BatchPolicy::Shared { max_delay_s } => {
+                format!("shared(max_delay={:.0}us)", max_delay_s * 1e6)
+            }
+            BatchPolicy::PerRequest => "per-request".to_string(),
+        }
+    }
+}
+
+/// Server configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ServeConfig {
+    /// Index probed by the shared operator.
+    pub index: IndexKind,
+    /// Shared-window capacity in keys.
+    pub window_tuples: usize,
+    /// Dispatch policy.
+    pub policy: BatchPolicy,
+    /// DRR quantum: key-credits granted per tenant visit.
+    pub quantum_keys: usize,
+    /// Backpressure bound: a request is shed at admission when queued +
+    /// staged keys would exceed this.
+    pub max_pending_keys: usize,
+    /// Where the (per-dispatch) result sink lives. GPU placement falls
+    /// back to CPU under memory pressure, recorded as
+    /// [`ServeEvent::SinkSpilledToCpu`].
+    pub result_location: MemLocation,
+    /// Partition bit range; `None` applies the §4.2 selection rule.
+    pub partition_bits: Option<PartitionBits>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            index: IndexKind::RadixSpline,
+            window_tuples: 1024,
+            policy: BatchPolicy::Shared {
+                max_delay_s: 200e-6,
+            },
+            quantum_keys: 256,
+            max_pending_keys: 1 << 16,
+            result_location: MemLocation::Gpu,
+            partition_bits: None,
+        }
+    }
+}
+
+/// A served trace: every response plus the aggregate report.
+#[derive(Debug, Clone)]
+pub struct ServeOutcome {
+    /// One response per trace request, ordered by request id (arrival
+    /// order).
+    pub responses: Vec<LookupResponse>,
+    /// Aggregate virtual-time metrics.
+    pub report: ServerReport,
+}
+
+/// A request admitted but not yet fully answered.
+#[derive(Debug)]
+struct InFlight {
+    tenant: TenantId,
+    keys: Vec<u64>,
+    deadline: Option<f64>,
+    submitted_s: f64,
+    /// Keys not yet probed through a dispatched window.
+    remaining: usize,
+    matches: Vec<(u64, u64)>,
+}
+
+/// The deterministic multi-tenant query server.
+#[derive(Debug)]
+pub struct Server {
+    cfg: ServeConfig,
+    r: Relation,
+    index: BuiltIndex,
+    bits: PartitionBits,
+    min_key: u64,
+    /// Current shared-window capacity (≤ configured after degradation;
+    /// degradation persists across traces, like a real server's state).
+    window_tuples: usize,
+    op: StreamingWindowJoin,
+    sink: ResultSink,
+    sink_loc: MemLocation,
+    cost: CostModel,
+    /// Degradation applied during construction (e.g. the sink never fit on
+    /// the device), replayed at the head of every report.
+    setup_events: Vec<ServeEvent>,
+}
+
+impl Server {
+    /// Build a server over the (sorted, duplicate-free) relation `r`:
+    /// stages the column, builds the index, and allocates the shared
+    /// operator and sink. A sink that cannot fit in device memory falls
+    /// back to CPU placement instead of failing.
+    pub fn new(gpu: &mut Gpu, cfg: ServeConfig, r: Relation) -> Result<Self, WindexError> {
+        if cfg.window_tuples == 0 {
+            return Err(WindexError::InvalidConfig(
+                "serving window must hold at least one key",
+            ));
+        }
+        if cfg.quantum_keys == 0 {
+            return Err(WindexError::InvalidConfig("DRR quantum must be positive"));
+        }
+        if cfg.max_pending_keys == 0 {
+            return Err(WindexError::InvalidConfig(
+                "backpressure bound must admit at least one key",
+            ));
+        }
+        if let BatchPolicy::Shared { max_delay_s } = cfg.policy {
+            if !max_delay_s.is_finite() || max_delay_s <= 0.0 {
+                return Err(WindexError::InvalidConfig(
+                    "shared-batch max delay must be positive",
+                ));
+            }
+        }
+        if !r.is_sorted_unique() {
+            return Err(QueryError::IndexedRelationNotSorted.into());
+        }
+        let col = Rc::new(gpu.alloc_host_from_vec(r.keys().to_vec()));
+        let index = BuiltIndex::build(gpu, cfg.index, &col, &IndexConfigs::default());
+        let bits = cfg.partition_bits.unwrap_or_else(|| {
+            let domain = r.max_key().unwrap_or(0) - r.min_key().unwrap_or(0);
+            PartitionBits::select(domain, r.len() as u64, gpu.spec(), 11)
+        });
+        let min_key = r.min_key().unwrap_or(0);
+        let op = StreamingWindowJoin::new(
+            gpu,
+            WindowConfig {
+                window_tuples: cfg.window_tuples,
+                bits,
+                min_key,
+            },
+        )?;
+        let mut setup_events = Vec::new();
+        let mut sink_loc = cfg.result_location;
+        let sink = match ResultSink::with_capacity(gpu, cfg.window_tuples, sink_loc) {
+            Ok(s) => s,
+            Err(e) if WindexError::from(e.clone()).is_capacity() => {
+                setup_events.push(ServeEvent::SinkSpilledToCpu);
+                sink_loc = MemLocation::Cpu;
+                ResultSink::with_capacity(gpu, cfg.window_tuples, sink_loc)?
+            }
+            Err(e) => return Err(e.into()),
+        };
+        let cost = CostModel::new(gpu.spec());
+        Ok(Server {
+            window_tuples: cfg.window_tuples,
+            cfg,
+            r,
+            index,
+            bits,
+            min_key,
+            op,
+            sink,
+            sink_loc,
+            cost,
+            setup_events,
+        })
+    }
+
+    /// The served relation.
+    pub fn relation(&self) -> &Relation {
+        &self.r
+    }
+
+    /// Current shared-window capacity (shrinks under memory pressure).
+    pub fn effective_window_tuples(&self) -> usize {
+        self.window_tuples
+    }
+
+    /// Serve a trace to completion and return every response plus the
+    /// aggregate report. Arrivals must be sorted by time (as
+    /// [`generate_trace`](crate::trace::generate_trace) produces them).
+    pub fn run(
+        &mut self,
+        gpu: &mut Gpu,
+        trace: &[TimedRequest],
+    ) -> Result<ServeOutcome, WindexError> {
+        debug_assert!(
+            trace.windows(2).all(|w| w[0].at_s <= w[1].at_s),
+            "trace must be sorted by arrival time"
+        );
+        let run_start = gpu.snapshot();
+        let mut clock = 0.0f64;
+        let mut sched = DrrScheduler::new(self.cfg.quantum_keys);
+        let mut batcher = MicroBatcher::new();
+        let mut inflight: BTreeMap<u64, InFlight> = BTreeMap::new();
+        let mut responses: Vec<LookupResponse> = Vec::with_capacity(trace.len());
+        let mut events = self.setup_events.clone();
+        let mut next_arrival = 0usize;
+        let mut max_queue_depth = 0usize;
+        let mut keys_probed = 0usize;
+        let mut windows_closed = 0usize;
+        let mut matches_total = 0usize;
+        self.op.reset();
+        self.sink.clear();
+
+        loop {
+            // 1. Admit every arrival due now.
+            while next_arrival < trace.len() && trace[next_arrival].at_s <= clock {
+                let t = &trace[next_arrival];
+                let id = next_arrival as u64;
+                next_arrival += 1;
+                let n = t.request.keys.len();
+                let backlog = sched.queued_keys() + batcher.pending();
+                if backlog + n > self.cfg.max_pending_keys {
+                    events.push(ServeEvent::LoadShed {
+                        tenant: t.request.tenant,
+                        request: id,
+                        keys: n,
+                    });
+                    responses.push(shed_response(id, &t.request.tenant, t.at_s, clock));
+                    continue;
+                }
+                inflight.insert(
+                    id,
+                    InFlight {
+                        tenant: t.request.tenant,
+                        keys: t.request.keys.clone(),
+                        deadline: t.request.deadline,
+                        submitted_s: t.at_s,
+                        remaining: n,
+                        matches: Vec::new(),
+                    },
+                );
+                sched.enqueue(t.request.tenant, id, n);
+                max_queue_depth = max_queue_depth.max(sched.queued_keys() + batcher.pending());
+            }
+
+            // 2. Release queued requests into the batcher under DRR order.
+            match self.cfg.policy {
+                BatchPolicy::Shared { .. } => {
+                    while batcher.pending() < self.window_tuples {
+                        match sched.dequeue() {
+                            Some(id) => stage(&mut batcher, &inflight, id, clock),
+                            None => break,
+                        }
+                    }
+                }
+                BatchPolicy::PerRequest => {
+                    if batcher.pending() == 0 {
+                        if let Some(id) = sched.dequeue() {
+                            stage(&mut batcher, &inflight, id, clock);
+                        }
+                    }
+                }
+            }
+
+            // 3. Dispatch if the policy says so.
+            let dispatch_now = match self.cfg.policy {
+                BatchPolicy::PerRequest => batcher.pending() > 0,
+                BatchPolicy::Shared { max_delay_s } => {
+                    batcher.pending() >= self.window_tuples
+                        || batcher
+                            .oldest_since()
+                            .is_some_and(|since| since + max_delay_s <= clock)
+                }
+            };
+            if dispatch_now {
+                let take = match self.cfg.policy {
+                    // One request per dispatch, however many keys it has.
+                    BatchPolicy::PerRequest => batcher.pending(),
+                    BatchPolicy::Shared { .. } => self.window_tuples.min(batcher.pending()),
+                };
+                let batch = batcher.take(take, clock);
+                keys_probed += batch.len();
+                self.dispatch(
+                    gpu,
+                    &batch,
+                    &mut batcher,
+                    &mut inflight,
+                    &mut responses,
+                    &mut events,
+                    &mut clock,
+                    &mut windows_closed,
+                    &mut matches_total,
+                )?;
+                continue;
+            }
+
+            // 4. Advance the clock to the next event, or finish.
+            let next_at = (next_arrival < trace.len()).then(|| trace[next_arrival].at_s);
+            let flush_due = match self.cfg.policy {
+                BatchPolicy::Shared { max_delay_s } => {
+                    batcher.oldest_since().map(|s| s + max_delay_s)
+                }
+                BatchPolicy::PerRequest => None,
+            };
+            match (next_at, flush_due) {
+                (Some(a), Some(f)) => clock = clock.max(a.min(f)),
+                (Some(a), None) => clock = clock.max(a),
+                (None, Some(f)) => clock = clock.max(f),
+                (None, None) => {
+                    // No arrivals and no flush timer: queued work would
+                    // have been staged (and a timer set) in step 2, so the
+                    // trace is fully answered.
+                    debug_assert!(
+                        sched.is_empty() && batcher.pending() == 0,
+                        "event loop stalled with queued work"
+                    );
+                    break;
+                }
+            }
+        }
+        debug_assert!(inflight.is_empty(), "all admitted requests answered");
+
+        responses.sort_by_key(|r| r.request);
+        let counters = gpu.snapshot() - run_start;
+        let completed = responses
+            .iter()
+            .filter(|r| r.outcome == RequestOutcome::Completed)
+            .count();
+        let shed = responses
+            .iter()
+            .filter(|r| r.outcome == RequestOutcome::Shed)
+            .count();
+        let deadline_missed = responses
+            .iter()
+            .filter(|r| r.outcome == RequestOutcome::DeadlineMissed)
+            .count();
+        let latency = LatencyStats::from_samples(
+            responses
+                .iter()
+                .filter(|r| r.outcome != RequestOutcome::Shed)
+                .map(|r| r.latency_s)
+                .collect(),
+        );
+        let makespan = clock;
+        let report = ServerReport {
+            policy: self.cfg.policy.label(),
+            index: self.cfg.index,
+            tenants: {
+                let mut t: Vec<TenantId> = trace.iter().map(|t| t.request.tenant).collect();
+                t.sort_unstable();
+                t.dedup();
+                t.len()
+            },
+            requests: trace.len(),
+            completed,
+            shed,
+            deadline_missed,
+            result_tuples: responses.iter().map(|r| r.matches.len()).sum(),
+            keys_probed,
+            window: WindowStats {
+                windows: windows_closed,
+                matches: matches_total,
+            },
+            mean_batch_keys: if windows_closed > 0 {
+                keys_probed as f64 / windows_closed as f64
+            } else {
+                0.0
+            },
+            configured_window_tuples: self.cfg.window_tuples,
+            effective_window_tuples: self.window_tuples,
+            virtual_makespan_s: makespan,
+            completed_rps: if makespan > 0.0 {
+                completed as f64 / makespan
+            } else {
+                0.0
+            },
+            keys_per_second: if makespan > 0.0 {
+                keys_probed as f64 / makespan
+            } else {
+                0.0
+            },
+            latency,
+            max_queue_depth_keys: max_queue_depth,
+            events,
+            retries: counters.retries,
+            counters,
+        };
+        Ok(ServeOutcome { responses, report })
+    }
+
+    /// Push one batch through the shared operator, advancing virtual time
+    /// by the cost model's estimate of the dispatch. Capacity pressure
+    /// degrades (shrink window → spill sink → shed the batch); any error
+    /// that survives degradation sheds the batch's requests rather than
+    /// failing the server.
+    #[allow(clippy::too_many_arguments)]
+    fn dispatch(
+        &mut self,
+        gpu: &mut Gpu,
+        batch: &[(u64, u64)],
+        batcher: &mut MicroBatcher,
+        inflight: &mut BTreeMap<u64, InFlight>,
+        responses: &mut Vec<LookupResponse>,
+        events: &mut Vec<ServeEvent>,
+        clock: &mut f64,
+        windows_closed: &mut usize,
+        matches_total: &mut usize,
+    ) -> Result<(), WindexError> {
+        loop {
+            // A failed attempt leaves staged keys in the operator; start
+            // each attempt from a clean window (the sink was already rolled
+            // back by the operator itself).
+            self.op.reset();
+            let before = gpu.snapshot();
+            let attempt = self
+                .op
+                .push(gpu, self.index.as_dyn(), batch, &mut self.sink)
+                .and_then(|()| self.op.flush_now(gpu, self.index.as_dyn(), &mut self.sink));
+            let delta = gpu.snapshot() - before;
+            // Failed attempts consumed real device time too; virtual time
+            // moves forward either way, keeping the clock monotone.
+            *clock += self.cost.estimate(&delta, false).total_s;
+            match attempt {
+                Ok(_) => {
+                    let stats = self.op.stats();
+                    *windows_closed += stats.windows;
+                    *matches_total += stats.matches;
+                    self.complete(batch, batcher, inflight, responses, *clock);
+                    return Ok(());
+                }
+                Err(e) if e.is_capacity() => {
+                    if self.window_tuples > MIN_WINDOW_TUPLES {
+                        let to = (self.window_tuples / 2).max(MIN_WINDOW_TUPLES);
+                        events.push(ServeEvent::WindowShrunk {
+                            from: self.window_tuples,
+                            to,
+                        });
+                        self.window_tuples = to;
+                        self.op = StreamingWindowJoin::new(
+                            gpu,
+                            WindowConfig {
+                                window_tuples: to,
+                                bits: self.bits,
+                                min_key: self.min_key,
+                            },
+                        )?;
+                        continue;
+                    }
+                    if self.sink_loc == MemLocation::Gpu {
+                        events.push(ServeEvent::SinkSpilledToCpu);
+                        self.sink_loc = MemLocation::Cpu;
+                        let old = std::mem::replace(
+                            &mut self.sink,
+                            ResultSink::with_capacity(gpu, self.window_tuples, MemLocation::Cpu)?,
+                        );
+                        old.free(gpu);
+                        continue;
+                    }
+                    self.abandon(batch, batcher, inflight, responses, events, *clock);
+                    return Ok(());
+                }
+                Err(_) => {
+                    // Fault outlasted its retries (or another terminal
+                    // operator error): shed the batch, keep serving.
+                    self.abandon(batch, batcher, inflight, responses, events, *clock);
+                    return Ok(());
+                }
+            }
+        }
+    }
+
+    /// Demultiplex the sink's matches back to their requests and answer
+    /// every request whose last key was just probed.
+    fn complete(
+        &mut self,
+        batch: &[(u64, u64)],
+        batcher: &mut MicroBatcher,
+        inflight: &mut BTreeMap<u64, InFlight>,
+        responses: &mut Vec<LookupResponse>,
+        now_s: f64,
+    ) {
+        for (rid, pos) in self.sink.host_pairs() {
+            let (req, key_idx) = batcher.resolve(rid);
+            if let Some(inf) = inflight.get_mut(&req) {
+                inf.matches.push((inf.keys[key_idx as usize], pos));
+            }
+        }
+        self.sink.clear();
+        for &(_, rid) in batch {
+            let (req, _) = batcher.resolve(rid);
+            if let Some(inf) = inflight.get_mut(&req) {
+                inf.remaining -= 1;
+            }
+        }
+        // Answer finished requests in dispatch order (dedup preserves the
+        // order their last keys went out).
+        let mut done: Vec<u64> = Vec::new();
+        for &(_, rid) in batch {
+            let (req, _) = batcher.resolve(rid);
+            if inflight.get(&req).is_some_and(|inf| inf.remaining == 0) && !done.contains(&req) {
+                done.push(req);
+            }
+        }
+        for req in done {
+            let inf = inflight.remove(&req).expect("request in flight");
+            let latency = now_s - inf.submitted_s;
+            let outcome = match inf.deadline {
+                Some(d) if latency > d => RequestOutcome::DeadlineMissed,
+                _ => RequestOutcome::Completed,
+            };
+            responses.push(LookupResponse {
+                request: req,
+                tenant: inf.tenant,
+                outcome,
+                matches: inf.matches,
+                submitted_s: inf.submitted_s,
+                completed_s: now_s,
+                latency_s: latency,
+            });
+        }
+    }
+
+    /// Shed every request with a key in the failed batch: answer it
+    /// [`RequestOutcome::Shed`] and drop its still-pending keys.
+    fn abandon(
+        &mut self,
+        batch: &[(u64, u64)],
+        batcher: &mut MicroBatcher,
+        inflight: &mut BTreeMap<u64, InFlight>,
+        responses: &mut Vec<LookupResponse>,
+        events: &mut Vec<ServeEvent>,
+        now_s: f64,
+    ) {
+        self.sink.clear();
+        let mut victims: Vec<u64> = Vec::new();
+        for &(_, rid) in batch {
+            let (req, _) = batcher.resolve(rid);
+            if !victims.contains(&req) {
+                victims.push(req);
+            }
+        }
+        events.push(ServeEvent::BatchAbandoned {
+            keys: batch.len(),
+            requests: victims.len(),
+        });
+        for req in victims {
+            if let Some(inf) = inflight.remove(&req) {
+                batcher.drop_request(req);
+                responses.push(shed_response(req, &inf.tenant, inf.submitted_s, now_s));
+            }
+        }
+    }
+}
+
+/// Build a [`RequestOutcome::Shed`] response.
+fn shed_response(id: u64, tenant: &TenantId, submitted_s: f64, now_s: f64) -> LookupResponse {
+    LookupResponse {
+        request: id,
+        tenant: *tenant,
+        outcome: RequestOutcome::Shed,
+        matches: Vec::new(),
+        submitted_s,
+        completed_s: now_s,
+        latency_s: now_s - submitted_s,
+    }
+}
+
+/// Stage a released request's keys into the batcher.
+fn stage(batcher: &mut MicroBatcher, inflight: &BTreeMap<u64, InFlight>, id: u64, now_s: f64) {
+    let inf = &inflight[&id];
+    batcher.stage(id, &inf.keys, now_s);
+}

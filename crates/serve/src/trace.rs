@@ -1,0 +1,173 @@
+//! Seeded multi-tenant request traces.
+//!
+//! The serving experiments need *open-loop* arrival processes (requests
+//! arrive on their own schedule, queueing when the server falls behind, as
+//! in any latency–throughput study) that are perfectly reproducible. A
+//! [`TraceConfig`] derives every arrival instant, tenant assignment, and
+//! probe key from counter-indexed draws of a splitmix64 stream — the same
+//! construction the simulator's [`FaultPlan`](windex_sim::FaultPlan) uses —
+//! so one seed always produces byte-identical traces.
+
+use crate::request::{LookupRequest, TenantId};
+use windex_workload::Relation;
+
+/// One scheduled arrival of a served trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimedRequest {
+    /// Virtual arrival instant in seconds from trace start.
+    pub at_s: f64,
+    /// The request itself.
+    pub request: LookupRequest,
+}
+
+/// Parameters of a seeded trace.
+#[derive(Debug, Clone, Copy)]
+pub struct TraceConfig {
+    /// Seed of all deterministic draws.
+    pub seed: u64,
+    /// Number of tenants issuing requests (assigned per-request from the
+    /// seeded stream, so all tenants stay active throughout).
+    pub tenants: u32,
+    /// Total requests in the trace.
+    pub requests: usize,
+    /// Minimum probe keys per request (inclusive).
+    pub min_keys: usize,
+    /// Maximum probe keys per request (inclusive).
+    pub max_keys: usize,
+    /// Offered load in requests per virtual second: arrivals follow a
+    /// Poisson process of this rate (deterministic inverse-CDF draws).
+    pub offered_load_rps: f64,
+    /// Optional per-request latency budget (virtual seconds).
+    pub deadline_s: Option<f64>,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        TraceConfig {
+            seed: 7,
+            tenants: 4,
+            requests: 256,
+            min_keys: 4,
+            max_keys: 64,
+            offered_load_rps: 2_000.0,
+            deadline_s: None,
+        }
+    }
+}
+
+#[inline]
+fn splitmix64(seed: u64) -> u64 {
+    let mut z = seed.wrapping_add(0x9e3779b97f4a7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
+}
+
+/// Uniform f64 in `(0, 1]` from one hash draw (never 0, so `ln` is finite).
+#[inline]
+fn unit(seed: u64, salt: u64, seq: u64) -> f64 {
+    let h = splitmix64(seed ^ salt.wrapping_mul(0x9e3779b97f4a7c15) ^ seq);
+    ((h >> 11) as f64 + 1.0) / (1u64 << 53) as f64
+}
+
+const SALT_ARRIVAL: u64 = 0x61727269;
+const SALT_TENANT: u64 = 0x74656e61;
+const SALT_NKEYS: u64 = 0x6e6b6579;
+const SALT_KEY: u64 = 0x6b657921;
+
+/// Generate the trace: `cfg.requests` arrivals sorted by time, with probe
+/// keys sampled uniformly from the served relation `r` (foreign-key-valid
+/// probes, as in the paper's workloads §3.2). Same config ⇒ identical trace.
+pub fn generate_trace(cfg: &TraceConfig, r: &Relation) -> Vec<TimedRequest> {
+    assert!(cfg.tenants > 0, "trace needs at least one tenant");
+    assert!(
+        cfg.min_keys >= 1 && cfg.min_keys <= cfg.max_keys,
+        "key-count range must be non-empty"
+    );
+    assert!(cfg.offered_load_rps > 0.0, "offered load must be positive");
+    assert!(!r.keys().is_empty(), "served relation must not be empty");
+
+    let mut out = Vec::with_capacity(cfg.requests);
+    let mut clock = 0.0f64;
+    let mut key_seq = 0u64;
+    for i in 0..cfg.requests as u64 {
+        // Exponential inter-arrival (Poisson process) via inverse CDF.
+        clock += -unit(cfg.seed, SALT_ARRIVAL, i).ln() / cfg.offered_load_rps;
+        let tenant = (splitmix64(cfg.seed ^ SALT_TENANT.wrapping_mul(31) ^ i) % cfg.tenants as u64)
+            as TenantId;
+        let span = (cfg.max_keys - cfg.min_keys + 1) as u64;
+        let n_keys =
+            cfg.min_keys + (splitmix64(cfg.seed ^ SALT_NKEYS.wrapping_mul(31) ^ i) % span) as usize;
+        let mut keys = Vec::with_capacity(n_keys);
+        for _ in 0..n_keys {
+            let pick = splitmix64(cfg.seed ^ SALT_KEY.wrapping_mul(31) ^ key_seq) as usize
+                % r.keys().len();
+            keys.push(r.keys()[pick]);
+            key_seq += 1;
+        }
+        out.push(TimedRequest {
+            at_s: clock,
+            request: LookupRequest {
+                tenant,
+                keys,
+                deadline: cfg.deadline_s,
+            },
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use windex_workload::KeyDistribution;
+
+    fn relation() -> Relation {
+        Relation::unique_sorted(4096, KeyDistribution::SparseUniform, 1)
+    }
+
+    #[test]
+    fn traces_are_deterministic() {
+        let cfg = TraceConfig::default();
+        let r = relation();
+        let a = generate_trace(&cfg, &r);
+        let b = generate_trace(&cfg, &r);
+        assert_eq!(a, b);
+        let other = generate_trace(&TraceConfig { seed: 8, ..cfg }, &r);
+        assert_ne!(a, other, "different seeds must differ");
+    }
+
+    #[test]
+    fn arrivals_are_sorted_and_rate_shaped() {
+        let cfg = TraceConfig {
+            requests: 2000,
+            offered_load_rps: 1000.0,
+            ..TraceConfig::default()
+        };
+        let trace = generate_trace(&cfg, &relation());
+        assert!(trace.windows(2).all(|w| w[0].at_s <= w[1].at_s));
+        let span = trace.last().unwrap().at_s;
+        // 2000 arrivals at 1000 rps ≈ 2 s ± generous slack.
+        assert!((1.5..2.5).contains(&span), "span {span}");
+    }
+
+    #[test]
+    fn keys_come_from_the_relation_and_tenants_spread() {
+        let cfg = TraceConfig {
+            tenants: 3,
+            ..TraceConfig::default()
+        };
+        let r = relation();
+        let trace = generate_trace(&cfg, &r);
+        let mut seen = [false; 3];
+        for t in &trace {
+            seen[t.request.tenant as usize] = true;
+            assert!(!t.request.keys.is_empty());
+            assert!((cfg.min_keys..=cfg.max_keys).contains(&t.request.keys.len()));
+            for k in &t.request.keys {
+                assert!(r.keys().binary_search(k).is_ok());
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "all tenants must appear");
+    }
+}

@@ -8,7 +8,7 @@
 
 use windex::prelude::*;
 
-fn main() {
+fn main() -> Result<(), WindexError> {
     let scale = Scale::PAPER;
     let r = Relation::unique_sorted(
         scale.sim_tuples_for_paper_gib(64.0),
@@ -29,21 +29,17 @@ fn main() {
     );
     for spec in platforms {
         let mut gpu = Gpu::new(spec.clone());
-        let inlj = QueryExecutor::new()
-            .run(
-                &mut gpu,
-                &r,
-                &s,
-                JoinStrategy::WindowedInlj {
-                    index: IndexKind::RadixSpline,
-                    window_tuples: 1 << 12,
-                },
-            )
-            .expect("query runs");
+        let inlj = QueryExecutor::new().run(
+            &mut gpu,
+            &r,
+            &s,
+            JoinStrategy::WindowedInlj {
+                index: IndexKind::RadixSpline,
+                window_tuples: 1 << 12,
+            },
+        )?;
         let mut gpu = Gpu::new(spec.clone());
-        let hash = QueryExecutor::new()
-            .run(&mut gpu, &r, &s, JoinStrategy::HashJoin)
-            .expect("query runs");
+        let hash = QueryExecutor::new().run(&mut gpu, &r, &s, JoinStrategy::HashJoin)?;
         println!(
             "{:<26} {:>12} {:>14.2} {:>12.2} {:>10.2}",
             spec.name,
@@ -61,4 +57,5 @@ fn main() {
          paper's conclusion (indexes are a feasible out-of-core design \
          point) strengthens with\nevery interconnect generation."
     );
+    Ok(())
 }

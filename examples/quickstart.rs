@@ -7,7 +7,7 @@
 
 use windex::prelude::*;
 
-fn main() {
+fn main() -> Result<(), WindexError> {
     // A simulated V100 attached over NVLink 2.0, at the default 1024x
     // reproduction scale (1 paper-GiB of data = 1 simulated MiB).
     let scale = Scale::PAPER;
@@ -33,17 +33,15 @@ fn main() {
 
     // Run the paper's contribution: an INLJ over tumbling partitioning
     // windows, probing a RadixSpline (the recommended index, §6).
-    let report = QueryExecutor::new()
-        .run(
-            &mut gpu,
-            &r,
-            &s,
-            JoinStrategy::WindowedInlj {
-                index: IndexKind::RadixSpline,
-                window_tuples: 1 << 12, // = the paper's 32 MiB window
-            },
-        )
-        .expect("query runs");
+    let report = QueryExecutor::new().run(
+        &mut gpu,
+        &r,
+        &s,
+        JoinStrategy::WindowedInlj {
+            index: IndexKind::RadixSpline,
+            window_tuples: 1 << 12, // = the paper's 32 MiB window
+        },
+    )?;
 
     println!("\nstrategy:            {}", report.strategy);
     println!("result tuples:       {}", report.result_tuples);
@@ -64,9 +62,7 @@ fn main() {
 
     // Compare against the hash-join baseline on the same data.
     let mut gpu2 = Gpu::new(GpuSpec::v100_nvlink2(scale));
-    let hash = QueryExecutor::new()
-        .run(&mut gpu2, &r, &s, JoinStrategy::HashJoin)
-        .expect("query runs");
+    let hash = QueryExecutor::new().run(&mut gpu2, &r, &s, JoinStrategy::HashJoin)?;
     println!(
         "\nhash-join baseline:  {:.2} queries/s ({:.2} GiB transferred)",
         hash.queries_per_second(),
@@ -76,4 +72,5 @@ fn main() {
         "windowed INLJ moves {:.0}x less data across the interconnect",
         hash.transfer_volume_paper_bytes as f64 / report.transfer_volume_paper_bytes as f64
     );
+    Ok(())
 }

@@ -12,7 +12,7 @@
 
 use windex::prelude::*;
 
-fn main() {
+fn main() -> Result<(), WindexError> {
     let scale = Scale::PAPER;
     let s_tuples = 1 << 14;
 
@@ -44,9 +44,7 @@ fn main() {
         let mut qps = Vec::new();
         for st in strategies {
             let mut gpu = Gpu::new(GpuSpec::v100_nvlink2(scale));
-            let report = QueryExecutor::new()
-                .run(&mut gpu, &r, &s, st)
-                .expect("query runs");
+            let report = QueryExecutor::new().run(&mut gpu, &r, &s, st)?;
             assert_eq!(report.result_tuples, s.len(), "FK join returns |S| matches");
             qps.push(report.queries_per_second());
         }
@@ -67,4 +65,5 @@ fn main() {
          stays roughly flat — below some selectivity\nthe index join wins \
          (the paper measures the crossover at 8% on the V100, §5.2.3)."
     );
+    Ok(())
 }

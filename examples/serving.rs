@@ -1,0 +1,95 @@
+//! Serving: concurrent multi-tenant lookups batched into shared windows.
+//!
+//! The paper evaluates one big join at a time; a serving deployment instead
+//! sees many small, concurrent lookup requests. Executed one-by-one, each
+//! request pays the fixed per-window partitioning cost for a nearly empty
+//! window. `windex-serve` coalesces keys from concurrent tenants into
+//! shared partitioning windows and demultiplexes the matches back per
+//! request — the same windowed INLJ, amortized across queries.
+//!
+//! Everything runs on the simulator's virtual clock: the same seed yields a
+//! byte-identical trace and report.
+//!
+//! ```sh
+//! cargo run --release --example serving
+//! ```
+
+use windex::prelude::*;
+
+fn main() -> Result<(), WindexError> {
+    let scale = Scale::PAPER;
+
+    // The indexed relation: 8 paper-GiB of dense keys.
+    let r = Relation::unique_sorted(
+        scale.sim_tuples_for_paper_gib(8.0),
+        KeyDistribution::Dense,
+        42,
+    );
+
+    // A deterministic multi-tenant trace: 4 tenants, Poisson arrivals at
+    // 50k requests/s, 1-16 keys per request — small point lookups, the
+    // worst case for per-request window execution.
+    let trace_cfg = TraceConfig {
+        seed: 7,
+        tenants: 4,
+        requests: 512,
+        min_keys: 1,
+        max_keys: 16,
+        offered_load_rps: 50_000.0,
+        ..TraceConfig::default()
+    };
+    let trace = generate_trace(&trace_cfg, &r);
+    let total_keys: usize = trace.iter().map(|t| t.request.keys.len()).sum();
+    println!(
+        "trace: {} requests from {} tenants, {} keys total, offered load {:.0} req/s",
+        trace.len(),
+        trace_cfg.tenants,
+        total_keys,
+        trace_cfg.offered_load_rps,
+    );
+
+    println!(
+        "\n{:<26} {:>9} {:>9} {:>9} {:>11} {:>11}",
+        "policy", "p50 (ms)", "p95 (ms)", "p99 (ms)", "keys/s", "batch keys"
+    );
+    let policies = [
+        BatchPolicy::PerRequest,
+        BatchPolicy::Shared {
+            max_delay_s: 200e-6,
+        },
+    ];
+    let mut p95 = Vec::new();
+    for policy in policies {
+        let mut gpu = Gpu::new(GpuSpec::v100_nvlink2(scale));
+        let mut server = Server::new(
+            &mut gpu,
+            ServeConfig {
+                policy,
+                ..ServeConfig::default()
+            },
+            r.clone(),
+        )?;
+        let outcome = server.run(&mut gpu, &trace)?;
+        let rep = &outcome.report;
+        assert_eq!(rep.completed, trace.len(), "no load shedding at this rate");
+        println!(
+            "{:<26} {:>9.3} {:>9.3} {:>9.3} {:>11.0} {:>11.1}",
+            rep.policy,
+            rep.latency.p50_s * 1e3,
+            rep.latency.p95_s * 1e3,
+            rep.latency.p99_s * 1e3,
+            rep.keys_per_second,
+            rep.mean_batch_keys,
+        );
+        p95.push(rep.latency.p95_s);
+    }
+
+    println!(
+        "\nShared windows fill before they flush, so the fixed per-window \
+         partitioning cost is\namortized across tenants: p95 latency drops \
+         {:.1}x versus per-request execution\nwhile every request still \
+         receives exactly its own matches.",
+        p95[0] / p95[1]
+    );
+    Ok(())
+}

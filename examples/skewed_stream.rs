@@ -11,7 +11,7 @@
 
 use windex::prelude::*;
 
-fn main() {
+fn main() -> Result<(), WindexError> {
     let scale = Scale::PAPER;
     let gpu_template = || Gpu::new(GpuSpec::v100_nvlink2(scale));
     let r = Relation::unique_sorted(
@@ -28,22 +28,18 @@ fn main() {
         let s = Relation::foreign_keys_zipf(&r, 1 << 13, z, 7);
 
         let mut gpu = gpu_template();
-        let inlj = QueryExecutor::new()
-            .run(
-                &mut gpu,
-                &r,
-                &s,
-                JoinStrategy::WindowedInlj {
-                    index: IndexKind::RadixSpline,
-                    window_tuples: 1 << 12,
-                },
-            )
-            .expect("query runs");
+        let inlj = QueryExecutor::new().run(
+            &mut gpu,
+            &r,
+            &s,
+            JoinStrategy::WindowedInlj {
+                index: IndexKind::RadixSpline,
+                window_tuples: 1 << 12,
+            },
+        )?;
 
         let mut gpu = gpu_template();
-        let hash = QueryExecutor::new()
-            .run(&mut gpu, &r, &s, JoinStrategy::HashJoin)
-            .expect("query runs");
+        let hash = QueryExecutor::new().run(&mut gpu, &r, &s, JoinStrategy::HashJoin)?;
 
         // The simulated hash-join estimate understates the quadratic
         // chain-append blowup at high skew; the experiment harness
@@ -65,4 +61,5 @@ fn main() {
          the hash table's value chains — the paper terminated its\nhash-join \
          run after 10 hours at high skew."
     );
+    Ok(())
 }

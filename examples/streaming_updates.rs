@@ -21,7 +21,7 @@ use windex_core::WindowConfig;
 use windex_index::{BPlusTree, BPlusTreeConfig};
 use windex_join::ResultSink;
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut gpu = Gpu::new(GpuSpec::v100_nvlink2(Scale::PAPER));
 
     // Start with even keys 0, 2, 4, … indexed in a B+tree with insert
@@ -55,13 +55,13 @@ fn main() {
     };
 
     // Epoch 1: stream probes for even and odd keys; odd keys miss.
-    let mut op = StreamingWindowJoin::new(&mut gpu, cfg).expect("valid window config");
-    let mut sink = ResultSink::with_capacity(&mut gpu, 1 << 14, MemLocation::Gpu).unwrap();
+    let mut op = StreamingWindowJoin::new(&mut gpu, cfg)?;
+    let mut sink = ResultSink::with_capacity(&mut gpu, 1 << 14, MemLocation::Gpu)?;
     let probes: Vec<(u64, u64)> = (0..1u64 << 13).map(|i| (i, i)).collect();
     for chunk in probes.chunks(700) {
-        op.push(&mut gpu, &tree, chunk, &mut sink).expect("push");
+        op.push(&mut gpu, &tree, chunk, &mut sink)?;
     }
-    let epoch1 = op.finish(&mut gpu, &tree, &mut sink).expect("finish");
+    let epoch1 = op.finish(&mut gpu, &tree, &mut sink)?;
     println!(
         "epoch 1: {} windows, {} matches of {} probes (odd keys not indexed yet)",
         epoch1.windows,
@@ -72,7 +72,7 @@ fn main() {
     // Maintenance: insert the odd keys incrementally.
     let inserts = 1u64 << 12;
     for i in 0..inserts {
-        tree.insert(i * 2 + 1, n as u64 + i).expect("insert");
+        tree.insert(i * 2 + 1, n as u64 + i)?;
     }
     println!(
         "inserted {} odd keys (tree now {} keys)",
@@ -84,9 +84,9 @@ fn main() {
     op.reset();
     sink.clear();
     for chunk in probes.chunks(700) {
-        op.push(&mut gpu, &tree, chunk, &mut sink).expect("push");
+        op.push(&mut gpu, &tree, chunk, &mut sink)?;
     }
-    let epoch2 = op.finish(&mut gpu, &tree, &mut sink).expect("finish");
+    let epoch2 = op.finish(&mut gpu, &tree, &mut sink)?;
     println!(
         "epoch 2: {} windows, {} matches (+{} from the inserts)",
         epoch2.windows,
@@ -106,21 +106,20 @@ fn main() {
     let r = Relation::from_keys(all_keys, true);
     let s = Relation::from_keys(probes.iter().map(|&(k, _)| k).collect(), false);
     let mut gpu2 = Gpu::new(GpuSpec::v100_nvlink2(Scale::PAPER));
-    let report = QueryExecutor::new()
-        .run(
-            &mut gpu2,
-            &r,
-            &s,
-            JoinStrategy::WindowedInlj {
-                index: IndexKind::Harmonia,
-                window_tuples: 1 << 10,
-            },
-        )
-        .expect("query runs");
+    let report = QueryExecutor::new().run(
+        &mut gpu2,
+        &r,
+        &s,
+        JoinStrategy::WindowedInlj {
+            index: IndexKind::Harmonia,
+            window_tuples: 1 << 10,
+        },
+    )?;
     println!(
         "harmonia cross-check: {} matches at {:.2} queries/s",
         report.result_tuples,
         report.queries_per_second()
     );
     assert_eq!(report.result_tuples, epoch2.matches);
+    Ok(())
 }

@@ -14,7 +14,7 @@
 use windex::prelude::*;
 use windex_workload::TpchLite;
 
-fn main() {
+fn main() -> Result<(), WindexError> {
     let scale = Scale::PAPER;
     // ORDERS sized to 16 paper-GiB of keys; ~4 lineitems per order.
     let orders_n = scale.sim_tuples_for_paper_gib(16.0);
@@ -56,9 +56,7 @@ fn main() {
     );
     for st in strategies {
         let mut gpu = Gpu::new(GpuSpec::v100_nvlink2(scale));
-        let report = QueryExecutor::new()
-            .run(&mut gpu, t.orders(), &probe, st)
-            .expect("query runs");
+        let report = QueryExecutor::new().run(&mut gpu, t.orders(), &probe, st)?;
         assert_eq!(
             report.result_tuples,
             probe.len(),
@@ -89,9 +87,7 @@ fn main() {
         },
     ] {
         let mut gpu = Gpu::new(GpuSpec::v100_nvlink2(scale));
-        let report = QueryExecutor::new()
-            .run(&mut gpu, t.orders(), &drill, st)
-            .expect("query runs");
+        let report = QueryExecutor::new().run(&mut gpu, t.orders(), &drill, st)?;
         println!(
             "{:<42} {:>10} {:>12.2}",
             report.strategy,
@@ -106,4 +102,5 @@ fn main() {
          of §5.2.3.",
         qps[1] / qps[0]
     );
+    Ok(())
 }

@@ -13,7 +13,9 @@
 //! - [`join`] — hash join (WarpCore-style multi-value hash table), INLJ, and
 //!   the SWWC radix partitioner;
 //! - [`core`] — the paper's contribution: windowed partitioning, plus the
-//!   query engine that runs and measures join strategies.
+//!   query engine that runs and measures join strategies;
+//! - [`serve`] — a deterministic multi-tenant serving layer that batches
+//!   concurrent lookup requests into shared partitioning windows.
 //!
 //! ## Quickstart
 //!
@@ -45,6 +47,7 @@
 pub use windex_core as core;
 pub use windex_index as index;
 pub use windex_join as join;
+pub use windex_serve as serve;
 pub use windex_sim as sim;
 pub use windex_workload as workload;
 
@@ -55,6 +58,10 @@ pub mod prelude {
         BPlusTree, BinarySearchIndex, Harmonia, IndexKind, OutOfCoreIndex, RadixSpline,
     };
     pub use windex_join::{HashJoinConfig, MultiValueHashTable, RadixPartitioner};
+    pub use windex_serve::{
+        generate_trace, BatchPolicy, LookupRequest, LookupResponse, RequestOutcome, ServeConfig,
+        Server, ServerReport, TraceConfig,
+    };
     pub use windex_sim::{Counters, Gpu, GpuSpec, InterconnectSpec, MemLocation, Scale};
     pub use windex_workload::{KeyDistribution, Relation, ZipfSampler};
 }
