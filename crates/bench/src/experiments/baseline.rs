@@ -1,0 +1,235 @@
+//! The `baseline` target: a deterministic performance baseline for
+//! regression trajectories.
+//!
+//! Runs a *fixed* seed matrix — independent of `--quick`, so the output is
+//! canonical — and writes `BENCH_baseline.json` next to the usual
+//! experiment files: Q/s, translations per lookup, and per-phase time
+//! shares for every (strategy, R size) point. The simulator is
+//! deterministic and the JSON writer formats floats deterministically, so
+//! the same toolchain produces a byte-identical file on every run — CI
+//! runs the target twice and byte-diffs the outputs, and future PRs diff
+//! their baseline against this one to see exactly which phase moved.
+
+use crate::config::ExpConfig;
+use crate::output::{num, num6, Experiment};
+use serde::Serialize;
+use serde_json::json;
+use windex_core::prelude::*;
+use windex_sim::phase;
+
+/// Format-version marker for trajectory tooling.
+const SCHEMA_VERSION: u32 = 1;
+
+/// Fixed probe-side size of the baseline matrix (simulated tuples).
+const S_TUPLES: usize = 1 << 13;
+
+/// Fixed indexed-relation sizes of the baseline matrix, in paper GiB.
+const R_GIB: [f64; 2] = [1.0, 8.0];
+
+/// Fixed window capacity for the windowed strategy (the paper's 32 MiB
+/// window at 1024× scale).
+const WINDOW_TUPLES: usize = 1 << 12;
+
+/// The strategies the baseline tracks, in report order.
+fn strategies() -> Vec<JoinStrategy> {
+    vec![
+        JoinStrategy::HashJoin,
+        JoinStrategy::Inlj {
+            index: IndexKind::BinarySearch,
+        },
+        JoinStrategy::Inlj {
+            index: IndexKind::RadixSpline,
+        },
+        JoinStrategy::PartitionedInlj {
+            index: IndexKind::RadixSpline,
+        },
+        JoinStrategy::WindowedInlj {
+            index: IndexKind::Harmonia,
+            window_tuples: WINDOW_TUPLES,
+        },
+        JoinStrategy::WindowedInlj {
+            index: IndexKind::RadixSpline,
+            window_tuples: WINDOW_TUPLES,
+        },
+    ]
+}
+
+/// One (strategy, R size) point of the baseline.
+#[derive(Debug, Clone, Serialize)]
+struct BaselineEntry {
+    strategy: String,
+    r_gib: f64,
+    queries_per_second: f64,
+    translations_per_lookup: f64,
+    share_partition: f64,
+    share_lookup: f64,
+    share_other: f64,
+    windows: usize,
+    result_tuples: usize,
+    tlb_misses: u64,
+    ic_bytes_total: u64,
+    retries: u64,
+}
+
+/// The whole baseline file.
+#[derive(Debug, Clone, Serialize)]
+struct Baseline {
+    schema: u32,
+    scale_factor: u64,
+    s_tuples: usize,
+    window_tuples: usize,
+    entries: Vec<BaselineEntry>,
+}
+
+/// Round to 6 decimals so the recorded trajectory is stable against
+/// last-bit float jitter from benign refactors.
+fn r6(v: f64) -> f64 {
+    (v * 1e6).round() / 1e6
+}
+
+fn compute() -> Baseline {
+    let scale = Scale::PAPER;
+    let spec = GpuSpec::v100_nvlink2(scale);
+    let mut entries = Vec::new();
+    for &gib in &R_GIB {
+        let r = Relation::unique_sorted(
+            scale.sim_tuples_for_paper_gib(gib),
+            KeyDistribution::Dense,
+            42,
+        );
+        let s = Relation::foreign_keys_uniform(&r, S_TUPLES, 7);
+        for st in strategies() {
+            let mut gpu = Gpu::new(spec.clone());
+            let rep = QueryExecutor::new()
+                .run(&mut gpu, &r, &s, st)
+                .expect("baseline query must succeed");
+            entries.push(BaselineEntry {
+                strategy: rep.strategy.clone(),
+                r_gib: gib,
+                queries_per_second: r6(rep.queries_per_second()),
+                translations_per_lookup: r6(rep.translations_per_lookup()),
+                share_partition: r6(rep.phases.share(phase::PARTITION)),
+                share_lookup: r6(rep.phases.share(phase::LOOKUP)),
+                share_other: r6(rep.phases.share(phase::OTHER)),
+                windows: rep.windows,
+                result_tuples: rep.result_tuples,
+                tlb_misses: rep.counters.tlb_misses,
+                ic_bytes_total: rep.counters.ic_bytes_total(),
+                retries: rep.retries,
+            });
+        }
+    }
+    Baseline {
+        schema: SCHEMA_VERSION,
+        scale_factor: scale.factor,
+        s_tuples: S_TUPLES,
+        window_tuples: WINDOW_TUPLES,
+        entries,
+    }
+}
+
+/// The canonical baseline serialization — what `BENCH_baseline.json`
+/// contains, byte-for-byte.
+pub fn baseline_json() -> String {
+    let mut text = serde_json::to_string_pretty(&compute()).expect("baseline serializes");
+    text.push('\n');
+    text
+}
+
+/// The `baseline` target: renders the matrix as an experiment table and
+/// writes the canonical `BENCH_baseline.json` into `cfg.out_dir`.
+pub fn baseline(cfg: &ExpConfig) -> Experiment {
+    let data = compute();
+    let path = cfg.out_dir.join("BENCH_baseline.json");
+    let write =
+        std::fs::create_dir_all(&cfg.out_dir).and_then(|()| std::fs::write(&path, baseline_json()));
+    if let Err(e) = write {
+        eprintln!("warning: could not write {}: {e}", path.display());
+    }
+    let rows = data
+        .entries
+        .iter()
+        .map(|e| {
+            vec![
+                json!(e.strategy.clone()),
+                num(e.r_gib),
+                num(e.queries_per_second),
+                num6(e.translations_per_lookup),
+                num(e.share_partition),
+                num(e.share_lookup),
+                num(e.share_other),
+                json!(e.windows),
+                json!(e.retries),
+            ]
+        })
+        .collect();
+    Experiment {
+        id: "baseline".into(),
+        title: "Perf baseline: Q/s, translations/lookup, per-phase shares (fixed matrix)".into(),
+        columns: vec![
+            "strategy".into(),
+            "r_gib".into(),
+            "qps".into(),
+            "transl_per_lookup".into(),
+            "share_partition".into(),
+            "share_lookup".into(),
+            "share_other".into(),
+            "windows".into(),
+            "retries".into(),
+        ],
+        rows,
+        notes: vec![
+            "fixed seed matrix, independent of --quick: canonical regression trajectory".into(),
+            format!(
+                "also written as BENCH_baseline.json (schema v{SCHEMA_VERSION}); \
+                 same toolchain => byte-identical, enforced by CI"
+            ),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_is_byte_deterministic() {
+        assert_eq!(baseline_json(), baseline_json());
+    }
+
+    #[test]
+    fn baseline_covers_the_matrix_with_sane_shares() {
+        let data = compute();
+        assert_eq!(data.entries.len(), R_GIB.len() * strategies().len());
+        for e in &data.entries {
+            assert!(e.queries_per_second > 0.0, "{}", e.strategy);
+            assert_eq!(e.result_tuples, S_TUPLES, "{}", e.strategy);
+            let share_sum = e.share_partition + e.share_lookup + e.share_other;
+            assert!(
+                share_sum > 0.99 && share_sum < 1.01,
+                "{}: shares sum to {share_sum}",
+                e.strategy
+            );
+            assert_eq!(e.retries, 0, "{}: baseline runs are fault-free", e.strategy);
+        }
+        // Windowed strategies decompose into partition + lookup; the
+        // unpartitioned INLJ is all lookup.
+        let windowed = data
+            .entries
+            .iter()
+            .find(|e| e.strategy.starts_with("windowed-inlj"))
+            .unwrap();
+        assert!(windowed.share_partition > 0.0);
+        assert!(windowed.share_lookup > 0.0);
+        let inlj = data
+            .entries
+            .iter()
+            .find(|e| e.strategy.starts_with("inlj"))
+            .unwrap();
+        assert!(
+            inlj.share_lookup > 0.9,
+            "inlj lookup share {}",
+            inlj.share_lookup
+        );
+    }
+}

@@ -6,6 +6,7 @@
 //! whole query.
 
 pub mod ablations;
+pub mod baseline;
 pub mod fig1;
 pub mod fig7;
 pub mod fig8;

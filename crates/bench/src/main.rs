@@ -13,6 +13,7 @@
 //!   fig8         Zipf-skewed lookup keys
 //!   fig9         V100+NVLink2 vs A100+PCIe4
 //!   serve        latency-throughput: cross-query window batching
+//!   baseline     deterministic perf baseline (writes BENCH_baseline.json)
 //!   whatif-gh200 GH200 NVLink C2C what-if (beyond the paper)
 //!   validate-scale  same paper point at reduction factors 256x-2048x
 //!   summary      §6 discussion claims, measured vs paper
@@ -24,7 +25,8 @@
 
 use std::path::{Path, PathBuf};
 use windex_bench::experiments::{
-    ablations, fig1, fig7, fig8, fig9, figs34, figs56, serve, summary, table1, validate, whatif,
+    ablations, baseline, fig1, fig7, fig8, fig9, figs34, figs56, serve, summary, table1, validate,
+    whatif,
 };
 use windex_bench::{ExpConfig, Experiment};
 
@@ -71,6 +73,7 @@ fn run_target(target: &str, cfg: &ExpConfig) -> Result<Vec<Experiment>, String> 
         "whatif-gh200" => vec![whatif::whatif_gh200(cfg)],
         "validate-scale" => vec![validate::validate_scale(cfg)],
         "serve" => vec![serve::serve(cfg)],
+        "baseline" => vec![baseline::baseline(cfg)],
         "all" => {
             let mut out = vec![table1::table1(), fig1::fig1(cfg)];
             let unpart = figs34::unpartitioned_sweep(cfg);
@@ -110,7 +113,7 @@ fn main() {
             }
             "--help" | "-h" => {
                 println!("usage: experiments [--quick] [--charts] [--out DIR] <target>...");
-                println!("targets: all table1 fig1 fig3 fig4 fig5 fig6 fig7 fig8 fig9 serve whatif-gh200 validate-scale");
+                println!("targets: all table1 fig1 fig3 fig4 fig5 fig6 fig7 fig8 fig9 serve baseline whatif-gh200 validate-scale");
                 println!("         summary ablations ablation-{{bits,overlap,pages,node-size,fanout,keydist,warm,spill,subwarp}}");
                 return;
             }

@@ -43,7 +43,9 @@ pub use query::{DegradationEvent, QueryError, QueryExecutor, QueryReport};
 pub use session::QuerySession;
 pub use strategy::{BuiltIndex, IndexConfigs, JoinStrategy};
 pub use streams::StreamingWindowJoin;
-pub use window::{windowed_inlj, WindowConfig, WindowStats};
+pub use window::{
+    windowed_inlj, windowed_inlj_observed, WindowConfig, WindowObserver, WindowSpan, WindowStats,
+};
 
 /// One-stop imports for downstream users.
 pub mod prelude {
@@ -52,9 +54,15 @@ pub mod prelude {
     pub use crate::session::QuerySession;
     pub use crate::strategy::{BuiltIndex, IndexConfigs, JoinStrategy};
     pub use crate::streams::StreamingWindowJoin;
-    pub use crate::window::{windowed_inlj, WindowConfig, WindowStats};
+    pub use crate::window::{
+        windowed_inlj, windowed_inlj_observed, WindowConfig, WindowObserver, WindowSpan,
+        WindowStats,
+    };
     pub use windex_index::{IndexKind, OutOfCoreIndex};
     pub use windex_join::PartitionBits;
-    pub use windex_sim::{Counters, Gpu, GpuSpec, InterconnectSpec, MemLocation, Scale};
+    pub use windex_sim::{
+        phase, Counters, Gpu, GpuSpec, InterconnectSpec, MemLocation, PhaseBreakdown,
+        PhaseRecorder, Scale,
+    };
     pub use windex_workload::{join_selectivity, KeyDistribution, Relation};
 }

@@ -7,8 +7,9 @@
 //! index is assumed to exist). The memory system is cold at query start.
 
 use crate::strategy::{IndexConfigs, JoinStrategy};
+use crate::window::WindowSpan;
 use windex_join::{HashJoinConfig, PartitionBits};
-use windex_sim::{Counters, Gpu, MemLocation, TimeBreakdown};
+use windex_sim::{Counters, Gpu, MemLocation, PhaseBreakdown, TimeBreakdown};
 use windex_workload::Relation;
 
 /// Errors from the query engine.
@@ -113,6 +114,14 @@ pub struct QueryReport {
     /// Whether the materialized results ended up in CPU memory even though
     /// GPU memory was requested.
     pub result_spilled: bool,
+    /// Per-phase decomposition of the measured region (partition, lookup,
+    /// …). The span-sum invariant holds: `phases.counter_sum()` equals
+    /// `counters`, including under degradation and injected faults.
+    pub phases: PhaseBreakdown,
+    /// Per-window timeline for windowed plans (empty otherwise): one entry
+    /// per closed window with its keys, matches, counter delta, and serial
+    /// time estimate.
+    pub window_timeline: Vec<WindowSpan>,
 }
 
 impl QueryReport {

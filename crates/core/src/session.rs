@@ -33,14 +33,14 @@
 use crate::error::WindexError;
 use crate::query::{DegradationEvent, QueryError, QueryExecutor, QueryReport};
 use crate::strategy::{BuiltIndex, JoinStrategy};
-use crate::window::{windowed_inlj, WindowConfig};
+use crate::window::{windowed_inlj_observed, WindowConfig, WindowObserver, WindowSpan};
 use std::collections::HashMap;
 use std::rc::Rc;
 use windex_index::IndexKind;
 use windex_join::{
     hash_join, inlj_pairs, inlj_stream, PartitionBits, RadixPartitioner, ResultSink,
 };
-use windex_sim::{Buffer, CostModel, Gpu, MemLocation};
+use windex_sim::{phase, Buffer, CostModel, Gpu, MemLocation, PhaseRecorder};
 use windex_workload::{join_selectivity, Relation};
 
 /// Smallest window the degradation ladder will shrink to before moving to
@@ -226,7 +226,7 @@ impl QuerySession {
         let mut plan = strategy;
         let mut sink_loc = self.executor.result_location;
 
-        let (result_tuples, windows, build_passes, delta, sink) = loop {
+        let (result_tuples, windows, build_passes, delta, sink, phases, window_timeline) = loop {
             // Admission check: degrade until the staging footprint fits the
             // device-memory headroom (or the ladder bottoms out at the
             // CPU-sink hash join, whose footprint is zero).
@@ -242,6 +242,10 @@ impl QuerySession {
                 gpu.reset_memory_system();
             }
             let before = gpu.snapshot();
+            // The recorder decomposes the measured region into phases; a
+            // fresh one per attempt so a degraded retry starts clean.
+            let mut rec = PhaseRecorder::start(gpu);
+            let mut timeline: Vec<WindowSpan> = Vec::new();
             let mut windows = 0;
             let mut build_passes = 1;
             let outcome: Result<usize, WindexError> = match plan {
@@ -251,6 +255,9 @@ impl QuerySession {
                     } else {
                         (&*self.r_col, &self.s_col)
                     };
+                    // Build and probe are fused in one operator call; the
+                    // whole join is attributed to the lookup phase.
+                    rec.begin(gpu, phase::LOOKUP);
                     hash_join(gpu, build, probe, self.executor.hash_join, &mut sink)
                         .map(|stats| {
                             build_passes = stats.build_passes;
@@ -260,13 +267,16 @@ impl QuerySession {
                 }
                 JoinStrategy::Inlj { index } => {
                     let idx = self.built[&index].as_dyn();
+                    rec.begin(gpu, phase::LOOKUP);
                     inlj_stream(gpu, idx, &self.s_col, 0..n, &mut sink).map_err(WindexError::from)
                 }
                 JoinStrategy::PartitionedInlj { index } => {
                     let idx = self.built[&index].as_dyn();
                     let part = RadixPartitioner::new(bits, min_key);
+                    rec.begin(gpu, phase::PARTITION);
                     match part.partition_stream(gpu, &self.s_col, 0..n) {
                         Ok(all) => {
+                            rec.begin(gpu, phase::LOOKUP);
                             let probed = inlj_pairs(gpu, idx, &all.pairs, 0..all.len(), &mut sink);
                             all.free(gpu);
                             probed.map_err(WindexError::from)
@@ -284,17 +294,32 @@ impl QuerySession {
                         bits,
                         min_key,
                     };
-                    windowed_inlj(gpu, idx, &self.s_col, 0..n, cfg, &mut sink).map(|stats| {
-                        windows = stats.windows;
-                        stats.matches
-                    })
+                    let obs = WindowObserver {
+                        phases: Some(&mut rec),
+                        timeline: Some(&mut timeline),
+                    };
+                    windowed_inlj_observed(gpu, idx, &self.s_col, 0..n, cfg, &mut sink, obs).map(
+                        |stats| {
+                            windows = stats.windows;
+                            stats.matches
+                        },
+                    )
                 }
             };
             let after = gpu.snapshot();
             // ---- end measured region ----
             match outcome {
                 Ok(result_tuples) => {
-                    break (result_tuples, windows, build_passes, after - before, sink);
+                    let phases = rec.finish(gpu);
+                    break (
+                        result_tuples,
+                        windows,
+                        build_passes,
+                        after - before,
+                        sink,
+                        phases,
+                        timeline,
+                    );
                 }
                 Err(e) => {
                     sink.free(gpu);
@@ -352,6 +377,8 @@ impl QuerySession {
             retries: delta.retries,
             effective_window_tuples,
             result_spilled,
+            phases,
+            window_timeline,
         })
     }
 

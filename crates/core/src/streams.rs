@@ -8,10 +8,10 @@
 //! probe-side of the join" (§5.1). Only one window of state is ever held.
 
 use crate::error::WindexError;
-use crate::window::{WindowConfig, WindowStats};
+use crate::window::{WindowConfig, WindowSpan, WindowStats};
 use windex_index::OutOfCoreIndex;
 use windex_join::{inlj_pairs, RadixPartitioner, ResultSink};
-use windex_sim::{Buffer, Gpu};
+use windex_sim::{phase, Buffer, CostModel, Gpu, PhaseRecorder};
 
 /// A stateful windowed-INLJ operator fed by pushed probe batches.
 ///
@@ -50,6 +50,14 @@ pub struct StreamingWindowJoin {
     windows: usize,
     matches: usize,
     finished: bool,
+    /// Prices per-window counter deltas for the timeline.
+    cost: CostModel,
+    /// One entry per successfully closed window, in close order.
+    timeline: Vec<WindowSpan>,
+    /// Optional phase recorder the operator marks partition/lookup spans
+    /// on. Owned (rather than borrowed) so serving layers can transfer it
+    /// when the operator is recreated mid-run (e.g. window shrink).
+    recorder: Option<PhaseRecorder>,
 }
 
 impl StreamingWindowJoin {
@@ -69,7 +77,30 @@ impl StreamingWindowJoin {
             windows: 0,
             matches: 0,
             finished: false,
+            cost: CostModel::new(gpu.spec()),
+            timeline: Vec::new(),
+            recorder: None,
         })
+    }
+
+    /// Per-window timeline of every window closed so far: counter delta and
+    /// serial time estimate per window, tiling the operator's flush work.
+    pub fn timeline(&self) -> &[WindowSpan] {
+        &self.timeline
+    }
+
+    /// Install (or clear) a phase recorder; the operator marks each flush's
+    /// partition and probe work on it. Returns the previously installed
+    /// recorder so callers can chain recorders across operator instances.
+    pub fn set_phase_recorder(&mut self, rec: Option<PhaseRecorder>) -> Option<PhaseRecorder> {
+        std::mem::replace(&mut self.recorder, rec)
+    }
+
+    /// Take the installed phase recorder, leaving none. Serving layers use
+    /// this to finish the breakdown, or to move the recorder onto a
+    /// replacement operator when degrading (window shrink).
+    pub fn take_phase_recorder(&mut self) -> Option<PhaseRecorder> {
+        self.recorder.take()
     }
 
     /// Tuples currently buffered in the open window.
@@ -153,13 +184,16 @@ impl StreamingWindowJoin {
         })
     }
 
-    /// Clear all state for a new stream.
+    /// Clear all state for a new stream. The per-window timeline restarts
+    /// with the stream; an installed phase recorder is kept (it attributes
+    /// a whole serving run, which may span many streams).
     pub fn reset(&mut self) {
         self.fill = 0;
         self.rids.clear();
         self.windows = 0;
         self.matches = 0;
         self.finished = false;
+        self.timeline.clear();
     }
 
     fn flush(
@@ -168,8 +202,23 @@ impl StreamingWindowJoin {
         index: &dyn OutOfCoreIndex,
         sink: &mut ResultSink,
     ) -> Result<(), WindexError> {
+        let w0 = gpu.snapshot();
+        let keys = self.fill;
         let partitioner = RadixPartitioner::new(self.config.bits, self.config.min_key);
-        let mut window = partitioner.partition_stream(gpu, &self.staging, 0..self.fill)?;
+        if let Some(rec) = self.recorder.as_mut() {
+            rec.begin(gpu, phase::PARTITION);
+        }
+        let mut window = match partitioner.partition_stream(gpu, &self.staging, 0..self.fill) {
+            Ok(w) => w,
+            Err(e) => {
+                // Close the span so the fault/retry activity stays
+                // attributed to the partition phase.
+                if let Some(rec) = self.recorder.as_mut() {
+                    rec.end(gpu);
+                }
+                return Err(e.into());
+            }
+        };
         // The partitioner labeled pairs with staging positions; relabel to
         // the caller's rids. On the device this relabeling is fused into
         // the scatter kernel (the rid column is scattered alongside the
@@ -178,14 +227,28 @@ impl StreamingWindowJoin {
             let staged = window.pairs.host()[i * 2 + 1] as usize;
             window.pairs.host_mut()[i * 2 + 1] = self.rids[staged];
         }
+        if let Some(rec) = self.recorder.as_mut() {
+            rec.begin(gpu, phase::LOOKUP);
+        }
         // Long-lived sinks (serving layers batch many clients into one
         // sink) must never observe a failed window's partial output, so a
         // probe that fails past its retries is rolled back here.
         let mark = sink.len();
         let probed = inlj_pairs(gpu, index, &window.pairs, 0..window.len(), sink);
         window.free(gpu);
+        if let Some(rec) = self.recorder.as_mut() {
+            rec.end(gpu);
+        }
         match probed {
             Ok(m) => {
+                let delta = gpu.snapshot() - w0;
+                self.timeline.push(WindowSpan {
+                    window: self.windows,
+                    keys,
+                    matches: m,
+                    counters: delta,
+                    est_s: self.cost.estimate(&delta, false).total_s,
+                });
                 self.matches += m;
                 self.windows += 1;
                 self.fill = 0;
@@ -400,6 +463,54 @@ mod tests {
         let stats = op.finish(&mut g, idx.as_dyn(), &mut sink).unwrap();
         assert_eq!(stats.matches, 16);
         assert_eq!(sink.len(), committed + 16);
+    }
+
+    #[test]
+    fn timeline_and_recorder_observe_every_closed_window() {
+        use windex_sim::Counters;
+        let (mut g, idx, r) = setup(2000);
+        let s = Relation::foreign_keys_uniform(&r, 600, 9);
+        let mut op = StreamingWindowJoin::new(&mut g, config(128)).unwrap();
+        op.set_phase_recorder(Some(PhaseRecorder::start(&g)));
+        let mut sink = ResultSink::with_capacity(&mut g, 600, MemLocation::Gpu).unwrap();
+        let tuples: Vec<(u64, u64)> = s
+            .keys()
+            .iter()
+            .enumerate()
+            .map(|(i, &k)| (k, i as u64))
+            .collect();
+        for chunk in tuples.chunks(97) {
+            op.push(&mut g, idx.as_dyn(), chunk, &mut sink).unwrap();
+        }
+        let stats = op.finish(&mut g, idx.as_dyn(), &mut sink).unwrap();
+
+        let timeline = op.timeline().to_vec();
+        assert_eq!(timeline.len(), stats.windows);
+        assert_eq!(timeline.iter().map(|w| w.keys).sum::<usize>(), 600);
+        assert_eq!(
+            timeline.iter().map(|w| w.matches).sum::<usize>(),
+            stats.matches
+        );
+        assert!(timeline.iter().all(|w| w.est_s > 0.0));
+        // Window indices are the close order.
+        for (i, w) in timeline.iter().enumerate() {
+            assert_eq!(w.window, i);
+        }
+
+        let bd = op.take_phase_recorder().unwrap().finish(&g);
+        assert_eq!(bd.counter_sum(), bd.total, "span-sum invariant");
+        // The recorder covers exactly the flushes, which the timeline tiles
+        // (staging writes between flushes are uncounted host work).
+        let tiles = timeline
+            .iter()
+            .fold(Counters::default(), |a, w| a + w.counters);
+        assert_eq!(bd.total, tiles);
+        assert!(bd.get(phase::PARTITION).is_some());
+        assert!(bd.get(phase::LOOKUP).is_some());
+        assert!(
+            bd.get(phase::OTHER).is_none(),
+            "all flush work is attributed to a named phase"
+        );
     }
 
     #[test]

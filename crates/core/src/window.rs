@@ -19,7 +19,7 @@
 use crate::error::WindexError;
 use windex_index::OutOfCoreIndex;
 use windex_join::{inlj_pairs, PartitionBits, RadixPartitioner, ResultSink};
-use windex_sim::{Buffer, Gpu};
+use windex_sim::{phase, Buffer, CostModel, Counters, Gpu, PhaseRecorder};
 
 /// Configuration of the windowed INLJ pipeline.
 #[derive(Debug, Clone, Copy)]
@@ -46,6 +46,39 @@ pub struct WindowStats {
     pub matches: usize,
 }
 
+/// One entry in a windowed run's per-window timeline: which window, how
+/// many probe keys it held, the counter events it generated, and the serial
+/// time the cost model assigns those events. Timeline entries tile the
+/// windowed region of the run, so their counter deltas sum to the portion
+/// of the run total spent inside windows.
+#[derive(Debug, Clone, Copy, Default, serde::Serialize)]
+pub struct WindowSpan {
+    /// Zero-based window index within the run.
+    pub window: usize,
+    /// Probe keys processed by this window.
+    pub keys: usize,
+    /// Matches this window materialized.
+    pub matches: usize,
+    /// Counter events attributed to this window (partition + probe).
+    pub counters: Counters,
+    /// Serial (non-overlapped) cost-model estimate for this window, in
+    /// seconds.
+    pub est_s: f64,
+}
+
+/// Optional observation hooks for [`windowed_inlj_observed`]: a phase
+/// recorder that attributes each window's partition/probe work to the
+/// canonical phases, and a timeline that receives one [`WindowSpan`] per
+/// closed window. Either hook (or both) may be absent; the default
+/// observer observes nothing and costs nothing.
+#[derive(Debug, Default)]
+pub struct WindowObserver<'a> {
+    /// Phase recorder to mark `partition`/`lookup` spans on, if any.
+    pub phases: Option<&'a mut PhaseRecorder>,
+    /// Timeline receiving one entry per closed window, if any.
+    pub timeline: Option<&'a mut Vec<WindowSpan>>,
+}
+
 /// Run the windowed INLJ: stream `s[range]` through tumbling windows of
 /// `config.window_tuples`, radix-partitioning each window and probing
 /// `index` with the partition-ordered pairs. Matches land in `sink` as
@@ -61,11 +94,37 @@ pub fn windowed_inlj(
     config: WindowConfig,
     sink: &mut ResultSink,
 ) -> Result<WindowStats, WindexError> {
+    windowed_inlj_observed(
+        gpu,
+        index,
+        s,
+        range,
+        config,
+        sink,
+        WindowObserver::default(),
+    )
+}
+
+/// [`windowed_inlj`] with observation: identical join semantics (and
+/// identical counter trace — observation only snapshots, never touches),
+/// but each window's partition and probe work is marked on the observer's
+/// phase recorder and appended to its timeline.
+#[allow(clippy::too_many_arguments)]
+pub fn windowed_inlj_observed(
+    gpu: &mut Gpu,
+    index: &dyn OutOfCoreIndex,
+    s: &Buffer<u64>,
+    range: std::ops::Range<usize>,
+    config: WindowConfig,
+    sink: &mut ResultSink,
+    mut obs: WindowObserver<'_>,
+) -> Result<WindowStats, WindexError> {
     if config.window_tuples == 0 {
         return Err(WindexError::InvalidConfig(
             "window must hold at least one tuple",
         ));
     }
+    let cost = obs.timeline.is_some().then(|| CostModel::new(gpu.spec()));
     let partitioner = RadixPartitioner::new(config.bits, config.min_key);
     let mut windows = 0;
     let mut matches = 0;
@@ -73,10 +132,35 @@ pub fn windowed_inlj(
     while at < range.end {
         // Close the window at capacity or at end-of-stream (§5.1).
         let end = (at + config.window_tuples).min(range.end);
+        let w0 = gpu.snapshot();
+        if let Some(rec) = obs.phases.as_deref_mut() {
+            rec.begin(gpu, phase::PARTITION);
+        }
         let window = partitioner.partition_stream(gpu, s, at..end)?;
+        if let Some(rec) = obs.phases.as_deref_mut() {
+            rec.begin(gpu, phase::LOOKUP);
+        }
         let probed = inlj_pairs(gpu, index, &window.pairs, 0..window.len(), sink);
         window.free(gpu);
-        matches += probed?;
+        if let Some(rec) = obs.phases.as_deref_mut() {
+            rec.end(gpu);
+        }
+        let window_matches = probed?;
+        if let Some(timeline) = obs.timeline.as_deref_mut() {
+            let delta = gpu.snapshot() - w0;
+            let est_s = cost
+                .as_ref()
+                .map(|c| c.estimate(&delta, false).total_s)
+                .unwrap_or(0.0);
+            timeline.push(WindowSpan {
+                window: windows,
+                keys: end - at,
+                matches: window_matches,
+                counters: delta,
+                est_s,
+            });
+        }
+        matches += window_matches;
         windows += 1;
         at = end;
     }
@@ -174,6 +258,47 @@ mod tests {
             assert!((200..300).contains(&(srid as usize)));
             assert_eq!(rpos * 3, s_keys[srid as usize]);
         }
+    }
+
+    #[test]
+    fn observed_timeline_tiles_the_run() {
+        use windex_sim::{Counters, PhaseRecorder};
+        let mut g = gpu();
+        let (idx, s, _) = fixture(&mut g, 10_000, 2000);
+        let mut sink = ResultSink::with_capacity(&mut g, 2000, MemLocation::Gpu).unwrap();
+        let mut rec = PhaseRecorder::start(&g);
+        let mut timeline = Vec::new();
+        let before = g.snapshot();
+        let st = windowed_inlj_observed(
+            &mut g,
+            &idx,
+            &s,
+            0..2000,
+            config(256),
+            &mut sink,
+            WindowObserver {
+                phases: Some(&mut rec),
+                timeline: Some(&mut timeline),
+            },
+        )
+        .unwrap();
+        let total = g.snapshot() - before;
+        assert_eq!(timeline.len(), st.windows);
+        assert_eq!(timeline.iter().map(|w| w.keys).sum::<usize>(), 2000);
+        assert_eq!(
+            timeline.iter().map(|w| w.matches).sum::<usize>(),
+            st.matches
+        );
+        assert!(timeline.iter().all(|w| w.est_s > 0.0));
+        let sum = timeline
+            .iter()
+            .fold(Counters::default(), |a, w| a + w.counters);
+        assert_eq!(sum, total, "window deltas tile the windowed region");
+        let bd = rec.finish(&g);
+        assert_eq!(bd.total, total);
+        assert_eq!(bd.counter_sum(), bd.total, "span-sum invariant");
+        assert!(bd.get(windex_sim::phase::PARTITION).is_some());
+        assert!(bd.get(windex_sim::phase::LOOKUP).is_some());
     }
 
     #[test]

@@ -54,7 +54,7 @@ pub mod server;
 pub mod trace;
 
 pub use batch::MicroBatcher;
-pub use report::{LatencyStats, ServeEvent, ServerReport};
+pub use report::{BatchSpan, LatencyStats, ServeEvent, ServerReport};
 pub use request::{LookupRequest, LookupResponse, RequestOutcome, TenantId};
 pub use sched::DrrScheduler;
 pub use server::{BatchPolicy, ServeConfig, ServeOutcome, Server};
@@ -63,7 +63,7 @@ pub use trace::{generate_trace, TimedRequest, TraceConfig};
 /// One-stop imports for downstream users.
 pub mod prelude {
     pub use crate::batch::MicroBatcher;
-    pub use crate::report::{LatencyStats, ServeEvent, ServerReport};
+    pub use crate::report::{BatchSpan, LatencyStats, ServeEvent, ServerReport};
     pub use crate::request::{LookupRequest, LookupResponse, RequestOutcome, TenantId};
     pub use crate::sched::DrrScheduler;
     pub use crate::server::{BatchPolicy, ServeConfig, ServeOutcome, Server};

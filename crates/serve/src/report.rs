@@ -5,7 +5,7 @@ use crate::request::TenantId;
 use serde::Serialize;
 use windex_core::WindowStats;
 use windex_index::IndexKind;
-use windex_sim::Counters;
+use windex_sim::{Counters, PhaseBreakdown};
 
 /// Latency distribution over completed requests, in virtual seconds.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Serialize)]
@@ -22,15 +22,27 @@ pub struct LatencyStats {
     pub p99_s: f64,
     /// Slowest request.
     pub max_s: f64,
+    /// Non-finite samples (NaN/∞) excluded from the distribution. Always
+    /// 0 on healthy runs; non-zero flags a virtual-clock defect upstream
+    /// instead of panicking the report.
+    pub dropped: usize,
 }
 
 impl LatencyStats {
     /// Compute the distribution from raw samples (order-insensitive).
+    /// Non-finite samples are dropped and counted in `dropped` rather than
+    /// poisoning the sort or the percentiles.
     pub fn from_samples(mut samples: Vec<f64>) -> Self {
+        let n_raw = samples.len();
+        samples.retain(|s| s.is_finite());
+        let dropped = n_raw - samples.len();
         if samples.is_empty() {
-            return LatencyStats::default();
+            return LatencyStats {
+                dropped,
+                ..LatencyStats::default()
+            };
         }
-        samples.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+        samples.sort_by(f64::total_cmp);
         let n = samples.len();
         let rank = |q: f64| samples[((q * n as f64).ceil() as usize).clamp(1, n) - 1];
         LatencyStats {
@@ -40,8 +52,29 @@ impl LatencyStats {
             p95_s: rank(0.95),
             p99_s: rank(0.99),
             max_s: samples[n - 1],
+            dropped,
         }
     }
+}
+
+/// One entry in the server's per-dispatch timeline: a batch pushed through
+/// the shared operator, with the counter events and virtual time it cost —
+/// summed across degradation attempts (a batch retried after a window
+/// shrink is still one dispatch).
+#[derive(Debug, Clone, Copy, Default, Serialize)]
+pub struct BatchSpan {
+    /// Zero-based dispatch ordinal within the run.
+    pub batch: usize,
+    /// Probe keys the batch carried.
+    pub keys: usize,
+    /// Windows the successful attempt closed (0 for an abandoned batch).
+    pub windows: usize,
+    /// Whether the batch completed (false: shed after degradation).
+    pub completed: bool,
+    /// Counter events across all attempts of this dispatch.
+    pub counters: Counters,
+    /// Virtual time charged for this dispatch, in seconds.
+    pub est_s: f64,
 }
 
 /// One notable event during a served trace, in occurrence order.
@@ -127,6 +160,13 @@ pub struct ServerReport {
     pub counters: Counters,
     /// Operator retries during the trace (priced into virtual time).
     pub retries: u64,
+    /// Per-phase decomposition of the trace's counter delta (partition /
+    /// lookup / other). The span-sum invariant holds:
+    /// `phases.counter_sum()` equals `counters`.
+    pub phases: PhaseBreakdown,
+    /// Per-dispatch timeline: one entry per batch pushed through the
+    /// shared operator, in dispatch order.
+    pub batches: Vec<BatchSpan>,
 }
 
 #[cfg(test)]
@@ -149,6 +189,23 @@ mod tests {
     fn empty_distribution_is_zeroed() {
         let l = LatencyStats::from_samples(vec![]);
         assert_eq!(l, LatencyStats::default());
+    }
+
+    #[test]
+    fn non_finite_samples_are_dropped_not_panicked() {
+        // Regression: a single NaN latency used to panic the whole report
+        // via `partial_cmp(..).expect(..)` after the serve run completed.
+        let l = LatencyStats::from_samples(vec![2.0, f64::NAN, 1.0, f64::INFINITY, 3.0]);
+        assert_eq!(l.samples, 3);
+        assert_eq!(l.dropped, 2);
+        assert_eq!(l.p50_s, 2.0);
+        assert_eq!(l.max_s, 3.0);
+        assert!((l.mean_s - 2.0).abs() < 1e-12);
+        // All-NaN input degrades to an empty (flagged) distribution.
+        let l = LatencyStats::from_samples(vec![f64::NAN, f64::NAN]);
+        assert_eq!(l.samples, 0);
+        assert_eq!(l.dropped, 2);
+        assert_eq!(l.mean_s, 0.0);
     }
 
     #[test]

@@ -15,6 +15,7 @@
 
 use crate::request::TenantId;
 use std::collections::{BTreeMap, VecDeque};
+use windex_core::WindexError;
 
 /// A queued request, by server-assigned id and its key count (the DRR
 /// "packet length").
@@ -46,14 +47,18 @@ pub struct DrrScheduler {
 
 impl DrrScheduler {
     /// Create a scheduler granting `quantum` key-credits per tenant visit.
-    pub fn new(quantum: usize) -> Self {
-        assert!(quantum > 0, "DRR quantum must be positive");
-        DrrScheduler {
+    /// A zero quantum would never release any request, so it is a typed
+    /// configuration error, not a panic.
+    pub fn new(quantum: usize) -> Result<Self, WindexError> {
+        if quantum == 0 {
+            return Err(WindexError::InvalidConfig("DRR quantum must be positive"));
+        }
+        Ok(DrrScheduler {
             quantum,
             tenants: BTreeMap::new(),
             ring: VecDeque::new(),
             queued_keys: 0,
-        }
+        })
     }
 
     /// Total keys waiting across all tenant queues.
@@ -120,8 +125,17 @@ mod tests {
     use super::*;
 
     #[test]
+    fn zero_quantum_is_a_typed_error_not_a_panic() {
+        let err = DrrScheduler::new(0).unwrap_err();
+        assert_eq!(
+            err,
+            WindexError::InvalidConfig("DRR quantum must be positive")
+        );
+    }
+
+    #[test]
     fn single_tenant_is_fifo() {
-        let mut s = DrrScheduler::new(8);
+        let mut s = DrrScheduler::new(8).unwrap();
         s.enqueue(0, 10, 3);
         s.enqueue(0, 11, 3);
         s.enqueue(0, 12, 3);
@@ -135,7 +149,7 @@ mod tests {
 
     #[test]
     fn small_tenant_interleaves_with_heavy_tenant() {
-        let mut s = DrrScheduler::new(4);
+        let mut s = DrrScheduler::new(4).unwrap();
         // Tenant 0 queues four 8-key requests, tenant 1 four 1-key requests.
         for i in 0..4 {
             s.enqueue(0, i, 8);
@@ -158,7 +172,7 @@ mod tests {
 
     #[test]
     fn oversized_requests_accumulate_credit_and_progress() {
-        let mut s = DrrScheduler::new(2);
+        let mut s = DrrScheduler::new(2).unwrap();
         s.enqueue(5, 1, 9); // needs 5 visits of quantum 2
         s.enqueue(6, 2, 1);
         assert_eq!(s.dequeue(), Some(2), "small request goes first");
@@ -168,7 +182,7 @@ mod tests {
 
     #[test]
     fn idle_tenants_do_not_hoard_credit() {
-        let mut s = DrrScheduler::new(100);
+        let mut s = DrrScheduler::new(100).unwrap();
         s.enqueue(0, 1, 1);
         assert_eq!(s.dequeue(), Some(1));
         // Tenant 0 drained; its deficit must have been reset.

@@ -31,7 +31,7 @@
 //! or faulty server sheds load instead of failing.
 
 use crate::batch::MicroBatcher;
-use crate::report::{LatencyStats, ServeEvent, ServerReport};
+use crate::report::{BatchSpan, LatencyStats, ServeEvent, ServerReport};
 use crate::request::{LookupResponse, RequestOutcome, TenantId};
 use crate::sched::DrrScheduler;
 use crate::trace::TimedRequest;
@@ -45,7 +45,7 @@ use windex_core::window::WindowConfig;
 use windex_core::{WindexError, WindowStats};
 use windex_index::IndexKind;
 use windex_join::{PartitionBits, ResultSink};
-use windex_sim::{CostModel, Gpu, MemLocation};
+use windex_sim::{CostModel, Gpu, MemLocation, PhaseRecorder};
 use windex_workload::Relation;
 
 /// When staged keys are dispatched through the shared operator.
@@ -252,8 +252,14 @@ impl Server {
             "trace must be sorted by arrival time"
         );
         let run_start = gpu.snapshot();
+        // A fresh recorder per trace, anchored at the run-start snapshot so
+        // the per-phase breakdown decomposes exactly the report's counter
+        // delta. The operator owns it (it marks partition/lookup spans in
+        // its flushes) and hands it back across degradation recreations.
+        self.op.set_phase_recorder(Some(PhaseRecorder::start(gpu)));
+        let mut batches: Vec<BatchSpan> = Vec::new();
         let mut clock = 0.0f64;
-        let mut sched = DrrScheduler::new(self.cfg.quantum_keys);
+        let mut sched = DrrScheduler::new(self.cfg.quantum_keys)?;
         let mut batcher = MicroBatcher::new();
         let mut inflight: BTreeMap<u64, InFlight> = BTreeMap::new();
         let mut responses: Vec<LookupResponse> = Vec::with_capacity(trace.len());
@@ -345,6 +351,7 @@ impl Server {
                     &mut clock,
                     &mut windows_closed,
                     &mut matches_total,
+                    &mut batches,
                 )?;
                 continue;
             }
@@ -377,6 +384,11 @@ impl Server {
 
         responses.sort_by_key(|r| r.request);
         let counters = gpu.snapshot() - run_start;
+        let phases = self
+            .op
+            .take_phase_recorder()
+            .map(|rec| rec.finish(gpu))
+            .unwrap_or_default();
         let completed = responses
             .iter()
             .filter(|r| r.outcome == RequestOutcome::Completed)
@@ -439,6 +451,8 @@ impl Server {
             events,
             retries: counters.retries,
             counters,
+            phases,
+            batches,
         };
         Ok(ServeOutcome { responses, report })
     }
@@ -460,7 +474,16 @@ impl Server {
         clock: &mut f64,
         windows_closed: &mut usize,
         matches_total: &mut usize,
+        batches: &mut Vec<BatchSpan>,
     ) -> Result<(), WindexError> {
+        // One timeline entry per dispatch, accumulating every attempt's
+        // counter delta and virtual time (a batch retried after degradation
+        // is still one dispatch).
+        let mut span = BatchSpan {
+            batch: batches.len(),
+            keys: batch.len(),
+            ..BatchSpan::default()
+        };
         loop {
             // A failed attempt leaves staged keys in the operator; start
             // each attempt from a clean window (the sink was already rolled
@@ -472,14 +495,20 @@ impl Server {
                 .push(gpu, self.index.as_dyn(), batch, &mut self.sink)
                 .and_then(|()| self.op.flush_now(gpu, self.index.as_dyn(), &mut self.sink));
             let delta = gpu.snapshot() - before;
+            let est_s = self.cost.estimate(&delta, false).total_s;
             // Failed attempts consumed real device time too; virtual time
             // moves forward either way, keeping the clock monotone.
-            *clock += self.cost.estimate(&delta, false).total_s;
+            *clock += est_s;
+            span.counters = span.counters + delta;
+            span.est_s += est_s;
             match attempt {
                 Ok(_) => {
                     let stats = self.op.stats();
                     *windows_closed += stats.windows;
                     *matches_total += stats.matches;
+                    span.windows = stats.windows;
+                    span.completed = true;
+                    batches.push(span);
                     self.complete(batch, batcher, inflight, responses, *clock);
                     return Ok(());
                 }
@@ -491,6 +520,9 @@ impl Server {
                             to,
                         });
                         self.window_tuples = to;
+                        // Carry the phase recorder onto the replacement
+                        // operator so the run's breakdown stays whole.
+                        let rec = self.op.take_phase_recorder();
                         self.op = StreamingWindowJoin::new(
                             gpu,
                             WindowConfig {
@@ -499,6 +531,7 @@ impl Server {
                                 min_key: self.min_key,
                             },
                         )?;
+                        self.op.set_phase_recorder(rec);
                         continue;
                     }
                     if self.sink_loc == MemLocation::Gpu {
@@ -511,12 +544,14 @@ impl Server {
                         old.free(gpu);
                         continue;
                     }
+                    batches.push(span);
                     self.abandon(batch, batcher, inflight, responses, events, *clock);
                     return Ok(());
                 }
                 Err(_) => {
                     // Fault outlasted its retries (or another terminal
                     // operator error): shed the batch, keep serving.
+                    batches.push(span);
                     self.abandon(batch, batcher, inflight, responses, events, *clock);
                     return Ok(());
                 }

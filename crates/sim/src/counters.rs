@@ -4,8 +4,40 @@
 //! uses to observe the GPU's address-translation traffic (§3.3.2), plus the
 //! usual cache/transfer counters needed by the cost model.
 
+use crate::fault::SimError;
 use serde::Serialize;
-use std::ops::Sub;
+use std::ops::{Add, Sub};
+
+/// Invoke a macro once with the full list of counter fields. Every
+/// element-wise operation (delta, sum, inversion check) goes through this
+/// single list, so adding a counter cannot silently miss one of them.
+macro_rules! for_each_counter {
+    ($m:ident) => {
+        $m!(
+            ic_lines_random,
+            ic_bytes_random,
+            ic_bytes_streamed,
+            ic_bytes_written,
+            tlb_hits,
+            tlb_misses,
+            tlb_sweep_misses,
+            l1_hits,
+            l1_misses,
+            l2_hits,
+            l2_misses,
+            gpu_bytes_read,
+            gpu_bytes_written,
+            compute_ops,
+            kernel_launches,
+            lookups,
+            faults_alloc,
+            faults_transfer,
+            faults_launch,
+            retries,
+            retry_backoff_ns
+        )
+    };
+}
 
 /// Cumulative event counters. All counts are in *simulated* units; the cost
 /// model scales them back up to paper scale.
@@ -123,37 +155,60 @@ impl Counters {
             self.tlb_hits as f64 / total as f64
         }
     }
+
+    /// Strict interval delta: `after.checked_delta(before)` yields the
+    /// events between two snapshots, or a typed
+    /// [`SimError::CounterDeltaInverted`] naming the first inverted field
+    /// when the snapshots were captured out of order (or across a counter
+    /// reset). Use this wherever a garbage delta would poison a report;
+    /// the `-` operator saturates instead of failing.
+    pub fn checked_delta(self, before: Counters) -> Result<Counters, SimError> {
+        macro_rules! check_fields {
+            ($($f:ident),+) => {{
+                $(
+                    if self.$f < before.$f {
+                        return Err(SimError::CounterDeltaInverted {
+                            field: stringify!($f),
+                        });
+                    }
+                )+
+            }};
+        }
+        for_each_counter!(check_fields);
+        Ok(self - before)
+    }
 }
 
 impl Sub for Counters {
     type Output = Counters;
 
-    /// Element-wise difference: `after - before` yields the events of the
-    /// interval between two snapshots.
+    /// Element-wise *saturating* difference: `after - before` yields the
+    /// events of the interval between two snapshots. An inverted pair
+    /// (snapshots out of order, or taken across a counter reset) clamps to
+    /// zero instead of panicking in debug / wrapping in release; use
+    /// [`Counters::checked_delta`] to surface inversion as a typed error.
     fn sub(self, rhs: Counters) -> Counters {
-        Counters {
-            ic_lines_random: self.ic_lines_random - rhs.ic_lines_random,
-            ic_bytes_random: self.ic_bytes_random - rhs.ic_bytes_random,
-            ic_bytes_streamed: self.ic_bytes_streamed - rhs.ic_bytes_streamed,
-            ic_bytes_written: self.ic_bytes_written - rhs.ic_bytes_written,
-            tlb_hits: self.tlb_hits - rhs.tlb_hits,
-            tlb_misses: self.tlb_misses - rhs.tlb_misses,
-            tlb_sweep_misses: self.tlb_sweep_misses - rhs.tlb_sweep_misses,
-            l1_hits: self.l1_hits - rhs.l1_hits,
-            l1_misses: self.l1_misses - rhs.l1_misses,
-            l2_hits: self.l2_hits - rhs.l2_hits,
-            l2_misses: self.l2_misses - rhs.l2_misses,
-            gpu_bytes_read: self.gpu_bytes_read - rhs.gpu_bytes_read,
-            gpu_bytes_written: self.gpu_bytes_written - rhs.gpu_bytes_written,
-            compute_ops: self.compute_ops - rhs.compute_ops,
-            kernel_launches: self.kernel_launches - rhs.kernel_launches,
-            lookups: self.lookups - rhs.lookups,
-            faults_alloc: self.faults_alloc - rhs.faults_alloc,
-            faults_transfer: self.faults_transfer - rhs.faults_transfer,
-            faults_launch: self.faults_launch - rhs.faults_launch,
-            retries: self.retries - rhs.retries,
-            retry_backoff_ns: self.retry_backoff_ns - rhs.retry_backoff_ns,
+        macro_rules! sub_fields {
+            ($($f:ident),+) => {
+                Counters { $($f: self.$f.saturating_sub(rhs.$f)),+ }
+            };
         }
+        for_each_counter!(sub_fields)
+    }
+}
+
+impl Add for Counters {
+    type Output = Counters;
+
+    /// Element-wise saturating sum — used to aggregate per-phase and
+    /// per-window deltas back into run totals.
+    fn add(self, rhs: Counters) -> Counters {
+        macro_rules! add_fields {
+            ($($f:ident),+) => {
+                Counters { $($f: self.$f.saturating_add(rhs.$f)),+ }
+            };
+        }
+        for_each_counter!(add_fields)
     }
 }
 
@@ -177,6 +232,60 @@ mod tests {
         assert_eq!(d.tlb_misses, 20);
         assert_eq!(d.lookups, 10);
         assert!((d.translations_per_lookup() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inverted_delta_saturates_instead_of_panicking() {
+        // Regression: a delta across a counter reset (or out-of-order
+        // snapshots) used to panic in debug and wrap to garbage in release.
+        let before = Counters {
+            tlb_misses: 25,
+            lookups: 20,
+            ..Counters::default()
+        };
+        let after = Counters {
+            tlb_misses: 5,
+            lookups: 30,
+            ..Counters::default()
+        };
+        let d = after - before;
+        assert_eq!(d.tlb_misses, 0, "inverted field clamps to zero");
+        assert_eq!(d.lookups, 10, "well-ordered fields still subtract");
+    }
+
+    #[test]
+    fn checked_delta_surfaces_inversion_as_typed_error() {
+        let before = Counters {
+            l1_hits: 7,
+            ..Counters::default()
+        };
+        let after = Counters {
+            l1_hits: 3,
+            ..Counters::default()
+        };
+        let err = after.checked_delta(before).unwrap_err();
+        assert_eq!(err, SimError::CounterDeltaInverted { field: "l1_hits" });
+        // A well-ordered pair matches the `-` operator exactly.
+        let ok = before.checked_delta(after - after).unwrap();
+        assert_eq!(ok, before);
+    }
+
+    #[test]
+    fn add_is_elementwise() {
+        let a = Counters {
+            tlb_misses: 3,
+            lookups: 1,
+            ..Counters::default()
+        };
+        let b = Counters {
+            tlb_misses: 4,
+            retries: 2,
+            ..Counters::default()
+        };
+        let s = a + b;
+        assert_eq!(s.tlb_misses, 7);
+        assert_eq!(s.lookups, 1);
+        assert_eq!(s.retries, 2);
     }
 
     #[test]

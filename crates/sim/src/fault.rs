@@ -32,6 +32,15 @@ pub enum SimError {
         /// The device's HBM capacity budget in simulated bytes.
         budget: u64,
     },
+    /// A counter-interval delta was taken from snapshots captured out of
+    /// order (or across a counter reset): the named field decreased.
+    /// Raised by [`Counters::checked_delta`](crate::counters::Counters);
+    /// a report built from such a delta would attribute garbage per-phase
+    /// costs, so the inversion is surfaced instead.
+    CounterDeltaInverted {
+        /// The first counter field observed to decrease.
+        field: &'static str,
+    },
     /// An injected (transient) allocation failure.
     AllocFault,
     /// An injected transient fault on an interconnect transfer.
@@ -65,6 +74,10 @@ impl fmt::Display for SimError {
                 f,
                 "out of device memory: requested {requested} B with {live} B live \
                  of {budget} B budget"
+            ),
+            SimError::CounterDeltaInverted { field } => write!(
+                f,
+                "counter delta inverted: field '{field}' decreased between snapshots"
             ),
             SimError::AllocFault => write!(f, "transient device allocation failure (injected)"),
             SimError::TransientTransferFault => {
@@ -280,6 +293,7 @@ mod tests {
         assert!(SimError::TransientTransferFault.is_transient());
         assert!(SimError::KernelLaunchFailed.is_transient());
         assert!(!SimError::InvalidSpec("x".into()).is_transient());
+        assert!(!SimError::CounterDeltaInverted { field: "lookups" }.is_transient());
         assert!(!SimError::OutOfDeviceMemory {
             requested: 1,
             live: 0,

@@ -56,6 +56,7 @@ pub mod fault;
 mod lru;
 pub mod mem;
 pub mod scale;
+pub mod span;
 pub mod spec;
 pub mod tlb;
 pub mod trace;
@@ -70,5 +71,6 @@ pub use exec::{
 pub use fault::{FaultKind, FaultPlan, RetryPolicy, SimError};
 pub use mem::{Buffer, MemLocation};
 pub use scale::Scale;
+pub use span::{phase, PhaseBreakdown, PhaseRecorder, PhaseStats, Span};
 pub use spec::{GpuSpec, InterconnectSpec};
 pub use trace::{HitLevel, Trace, TraceEvent};
