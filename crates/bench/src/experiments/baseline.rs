@@ -18,7 +18,7 @@ use windex_core::prelude::*;
 use windex_sim::phase;
 
 /// Format-version marker for trajectory tooling.
-const SCHEMA_VERSION: u32 = 1;
+pub(crate) const SCHEMA_VERSION: u32 = 1;
 
 /// Fixed probe-side size of the baseline matrix (simulated tuples).
 const S_TUPLES: usize = 1 << 13;
@@ -56,29 +56,29 @@ fn strategies() -> Vec<JoinStrategy> {
 
 /// One (strategy, R size) point of the baseline.
 #[derive(Debug, Clone, Serialize)]
-struct BaselineEntry {
-    strategy: String,
-    r_gib: f64,
-    queries_per_second: f64,
-    translations_per_lookup: f64,
-    share_partition: f64,
-    share_lookup: f64,
-    share_other: f64,
-    windows: usize,
-    result_tuples: usize,
-    tlb_misses: u64,
-    ic_bytes_total: u64,
-    retries: u64,
+pub(crate) struct BaselineEntry {
+    pub(crate) strategy: String,
+    pub(crate) r_gib: f64,
+    pub(crate) queries_per_second: f64,
+    pub(crate) translations_per_lookup: f64,
+    pub(crate) share_partition: f64,
+    pub(crate) share_lookup: f64,
+    pub(crate) share_other: f64,
+    pub(crate) windows: usize,
+    pub(crate) result_tuples: usize,
+    pub(crate) tlb_misses: u64,
+    pub(crate) ic_bytes_total: u64,
+    pub(crate) retries: u64,
 }
 
 /// The whole baseline file.
 #[derive(Debug, Clone, Serialize)]
-struct Baseline {
-    schema: u32,
-    scale_factor: u64,
-    s_tuples: usize,
-    window_tuples: usize,
-    entries: Vec<BaselineEntry>,
+pub(crate) struct Baseline {
+    pub(crate) schema: u32,
+    pub(crate) scale_factor: u64,
+    pub(crate) s_tuples: usize,
+    pub(crate) window_tuples: usize,
+    pub(crate) entries: Vec<BaselineEntry>,
 }
 
 /// Round to 6 decimals so the recorded trajectory is stable against
@@ -87,7 +87,7 @@ fn r6(v: f64) -> f64 {
     (v * 1e6).round() / 1e6
 }
 
-fn compute() -> Baseline {
+pub(crate) fn compute() -> Baseline {
     let scale = Scale::PAPER;
     let spec = GpuSpec::v100_nvlink2(scale);
     let mut entries = Vec::new();

@@ -13,6 +13,8 @@ pub mod fig8;
 pub mod fig9;
 pub mod figs34;
 pub mod figs56;
+pub mod observe;
+pub mod regress;
 pub mod serve;
 pub mod summary;
 pub mod table1;

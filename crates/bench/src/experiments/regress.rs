@@ -1,0 +1,333 @@
+//! The `regress` target: a CI gate that re-runs the baseline seed matrix
+//! and diffs it against the committed `BENCH_baseline.json`.
+//!
+//! The baseline target records the trajectory; this target *enforces* it.
+//! Every (strategy, R size) point is recomputed and compared metric by
+//! metric against the committed file, with per-metric tolerance bands:
+//!
+//! - **exact**: `windows`, `result_tuples`, `retries` — these are discrete
+//!   outcomes of a deterministic simulator; any drift is a behavior change;
+//! - **relative 2%**: `queries_per_second`, `translations_per_lookup`,
+//!   `tlb_misses`, `ic_bytes_total` — deterministic too, but the band
+//!   absorbs benign cost-model refactors and float-rounding churn;
+//! - **absolute 0.02**: phase shares (they are fractions of a total).
+//!
+//! Any violation fails the target (nonzero exit), printing every offending
+//! metric with its committed and fresh values, so a perf regression — or an
+//! *unacknowledged improvement* — cannot land silently. Intentional changes
+//! regenerate the file with `experiments baseline` and commit the diff.
+//!
+//! The committed file is looked up at `BENCH_baseline.json` (the repo
+//! root when run from there), overridable via `WINDEX_BASELINE`.
+
+use crate::config::ExpConfig;
+use crate::experiments::baseline::{self, Baseline, BaselineEntry};
+use crate::output::{num, num6, Experiment};
+use serde_json::{json, Value};
+
+/// Relative tolerance for throughput-like metrics.
+const REL_TOL: f64 = 0.02;
+
+/// Absolute tolerance for phase shares.
+const SHARE_TOL: f64 = 0.02;
+
+/// Where the committed baseline lives unless `WINDEX_BASELINE` overrides.
+const DEFAULT_BASELINE_PATH: &str = "BENCH_baseline.json";
+
+/// One committed baseline entry, decoded from JSON.
+#[derive(Debug)]
+struct CommittedEntry {
+    strategy: String,
+    r_gib: f64,
+    queries_per_second: f64,
+    translations_per_lookup: f64,
+    share_partition: f64,
+    share_lookup: f64,
+    share_other: f64,
+    windows: u64,
+    result_tuples: u64,
+    tlb_misses: u64,
+    ic_bytes_total: u64,
+    retries: u64,
+}
+
+fn field<'v>(entry: &'v Value, key: &str) -> Result<&'v Value, String> {
+    entry
+        .get(key)
+        .ok_or_else(|| format!("baseline entry missing field '{key}'"))
+}
+
+fn f64_field(entry: &Value, key: &str) -> Result<f64, String> {
+    field(entry, key)?
+        .as_f64()
+        .ok_or_else(|| format!("baseline field '{key}' is not a number"))
+}
+
+fn u64_field(entry: &Value, key: &str) -> Result<u64, String> {
+    field(entry, key)?
+        .as_u64()
+        .ok_or_else(|| format!("baseline field '{key}' is not an unsigned integer"))
+}
+
+fn decode_entry(entry: &Value) -> Result<CommittedEntry, String> {
+    Ok(CommittedEntry {
+        strategy: field(entry, "strategy")?
+            .as_str()
+            .ok_or("baseline field 'strategy' is not a string")?
+            .to_string(),
+        r_gib: f64_field(entry, "r_gib")?,
+        queries_per_second: f64_field(entry, "queries_per_second")?,
+        translations_per_lookup: f64_field(entry, "translations_per_lookup")?,
+        share_partition: f64_field(entry, "share_partition")?,
+        share_lookup: f64_field(entry, "share_lookup")?,
+        share_other: f64_field(entry, "share_other")?,
+        windows: u64_field(entry, "windows")?,
+        result_tuples: u64_field(entry, "result_tuples")?,
+        tlb_misses: u64_field(entry, "tlb_misses")?,
+        ic_bytes_total: u64_field(entry, "ic_bytes_total")?,
+        retries: u64_field(entry, "retries")?,
+    })
+}
+
+/// Parse the committed baseline file into decoded entries.
+fn decode_baseline(text: &str) -> Result<Vec<CommittedEntry>, String> {
+    let root = serde_json::from_str(text).map_err(|e| format!("baseline is not JSON: {e}"))?;
+    let schema = u64_field(&root, "schema")?;
+    if schema != u64::from(baseline::SCHEMA_VERSION) {
+        return Err(format!(
+            "baseline schema v{schema} != expected v{}; regenerate with `experiments baseline`",
+            baseline::SCHEMA_VERSION
+        ));
+    }
+    field(&root, "entries")?
+        .as_array()
+        .ok_or("baseline 'entries' is not an array")?
+        .iter()
+        .map(decode_entry)
+        .collect()
+}
+
+/// Whether `fresh` is within `tol` of `committed`, relatively.
+fn rel_close(fresh: f64, committed: f64, tol: f64) -> bool {
+    if committed == 0.0 {
+        fresh == 0.0
+    } else {
+        ((fresh - committed) / committed).abs() <= tol
+    }
+}
+
+/// Compare one fresh entry against its committed counterpart; returns the
+/// violated metrics as human-readable strings.
+fn compare(fresh: &BaselineEntry, committed: &CommittedEntry) -> Vec<String> {
+    let who = format!("{} @ {} GiB", fresh.strategy, fresh.r_gib);
+    let mut out = Vec::new();
+    for (metric, f, c) in [
+        (
+            "queries_per_second",
+            fresh.queries_per_second,
+            committed.queries_per_second,
+        ),
+        (
+            "translations_per_lookup",
+            fresh.translations_per_lookup,
+            committed.translations_per_lookup,
+        ),
+        (
+            "tlb_misses",
+            fresh.tlb_misses as f64,
+            committed.tlb_misses as f64,
+        ),
+        (
+            "ic_bytes_total",
+            fresh.ic_bytes_total as f64,
+            committed.ic_bytes_total as f64,
+        ),
+    ] {
+        if !rel_close(f, c, REL_TOL) {
+            out.push(format!(
+                "{who}: {metric} {c} -> {f} (|Δ| > {:.0}% relative)",
+                REL_TOL * 100.0
+            ));
+        }
+    }
+    for (metric, f, c) in [
+        (
+            "share_partition",
+            fresh.share_partition,
+            committed.share_partition,
+        ),
+        ("share_lookup", fresh.share_lookup, committed.share_lookup),
+        ("share_other", fresh.share_other, committed.share_other),
+    ] {
+        if (f - c).abs() > SHARE_TOL {
+            out.push(format!(
+                "{who}: {metric} {c} -> {f} (|Δ| > {SHARE_TOL} absolute)"
+            ));
+        }
+    }
+    for (metric, f, c) in [
+        ("windows", fresh.windows as u64, committed.windows),
+        (
+            "result_tuples",
+            fresh.result_tuples as u64,
+            committed.result_tuples,
+        ),
+        ("retries", fresh.retries, committed.retries),
+    ] {
+        if f != c {
+            out.push(format!("{who}: {metric} {c} -> {f} (exact-match metric)"));
+        }
+    }
+    out
+}
+
+/// Diff a freshly computed baseline against decoded committed entries.
+/// Returns `(rows, violations)`: one table row per fresh entry, and every
+/// tolerance violation (including matrix mismatches).
+fn diff(fresh: &Baseline, committed: &[CommittedEntry]) -> (Vec<Vec<Value>>, Vec<String>) {
+    let mut rows = Vec::new();
+    let mut violations = Vec::new();
+    for entry in &fresh.entries {
+        let found = committed
+            .iter()
+            .find(|c| c.strategy == entry.strategy && c.r_gib == entry.r_gib);
+        let (status, qps_committed) = match found {
+            None => {
+                violations.push(format!(
+                    "{} @ {} GiB: not in committed baseline (matrix changed? \
+                     regenerate with `experiments baseline`)",
+                    entry.strategy, entry.r_gib
+                ));
+                ("missing".to_string(), 0.0)
+            }
+            Some(c) => {
+                let v = compare(entry, c);
+                let status = if v.is_empty() {
+                    "ok".to_string()
+                } else {
+                    format!("FAIL ({})", v.len())
+                };
+                violations.extend(v);
+                (status, c.queries_per_second)
+            }
+        };
+        rows.push(vec![
+            json!(entry.strategy.clone()),
+            num(entry.r_gib),
+            num6(qps_committed),
+            num6(entry.queries_per_second),
+            json!(status),
+        ]);
+    }
+    if committed.len() != fresh.entries.len() {
+        violations.push(format!(
+            "committed baseline has {} entries, fresh matrix has {} \
+             (regenerate with `experiments baseline`)",
+            committed.len(),
+            fresh.entries.len()
+        ));
+    }
+    (rows, violations)
+}
+
+/// The `regress` target. `Err` (→ nonzero exit) on any tolerance
+/// violation, with every offending metric listed.
+pub fn regress(_cfg: &ExpConfig) -> Result<Experiment, String> {
+    let path =
+        std::env::var("WINDEX_BASELINE").unwrap_or_else(|_| DEFAULT_BASELINE_PATH.to_string());
+    let text = std::fs::read_to_string(&path)
+        .map_err(|e| format!("cannot read committed baseline '{path}': {e}"))?;
+    let committed = decode_baseline(&text)?;
+    let fresh = baseline::compute();
+    let (rows, violations) = diff(&fresh, &committed);
+    if !violations.is_empty() {
+        return Err(format!(
+            "baseline regression against '{path}' ({} violation(s)):\n  {}",
+            violations.len(),
+            violations.join("\n  ")
+        ));
+    }
+    Ok(Experiment {
+        id: "regress".into(),
+        title: format!("Regression gate: fresh seed matrix vs {path}"),
+        columns: vec![
+            "strategy".into(),
+            "r_gib".into(),
+            "qps_committed".into(),
+            "qps_fresh".into(),
+            "status".into(),
+        ],
+        rows,
+        notes: vec![
+            format!(
+                "tolerances: {:.0}% relative (qps, translations, tlb_misses, ic_bytes), \
+                 {SHARE_TOL} absolute (phase shares), exact (windows, result_tuples, retries)",
+                REL_TOL * 100.0
+            ),
+            "all points within tolerance".into(),
+        ],
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::OnceLock;
+
+    /// The seed matrix is expensive; compute it once for the whole module.
+    fn fresh() -> &'static Baseline {
+        static FRESH: OnceLock<Baseline> = OnceLock::new();
+        FRESH.get_or_init(baseline::compute)
+    }
+
+    /// The canonical serialization of the cached matrix (what the
+    /// committed `BENCH_baseline.json` holds).
+    fn committed_text() -> String {
+        let mut text = serde_json::to_string_pretty(fresh()).unwrap();
+        text.push('\n');
+        text
+    }
+
+    #[test]
+    fn fresh_baseline_passes_against_its_own_serialization() {
+        let committed = decode_baseline(&committed_text()).unwrap();
+        let (rows, violations) = diff(fresh(), &committed);
+        assert!(violations.is_empty(), "{violations:?}");
+        assert_eq!(rows.len(), fresh().entries.len());
+        assert!(rows.iter().all(|r| r[4] == json!("ok")));
+    }
+
+    #[test]
+    fn perturbed_metrics_are_caught() {
+        let mut committed = decode_baseline(&committed_text()).unwrap();
+        committed[0].queries_per_second *= 1.5; // outside the 2% band
+        committed[1].windows += 1; // exact-match metric
+        committed[2].share_lookup += 0.5; // outside the absolute band
+        let (_, violations) = diff(fresh(), &committed);
+        assert_eq!(violations.len(), 3, "{violations:?}");
+        assert!(violations[0].contains("queries_per_second"));
+        assert!(violations[1].contains("windows"));
+        assert!(violations[2].contains("share_lookup"));
+    }
+
+    #[test]
+    fn within_band_drift_passes_but_matrix_changes_fail() {
+        let mut committed = decode_baseline(&committed_text()).unwrap();
+        committed[0].queries_per_second *= 1.01; // inside the 2% band
+        let (_, violations) = diff(fresh(), &committed);
+        assert!(violations.is_empty(), "{violations:?}");
+
+        let mut shrunk = decode_baseline(&committed_text()).unwrap();
+        shrunk.pop();
+        let (_, violations) = diff(fresh(), &shrunk);
+        assert_eq!(violations.len(), 2, "{violations:?}"); // missing point + count
+    }
+
+    #[test]
+    fn schema_mismatch_is_rejected() {
+        let text = committed_text().replace("\"schema\": 1", "\"schema\": 999");
+        assert_ne!(text, committed_text(), "replacement must hit");
+        let err = decode_baseline(&text).unwrap_err();
+        assert!(err.contains("schema"), "{err}");
+    }
+}

@@ -13,6 +13,7 @@
 pub mod chart;
 pub mod config;
 pub mod experiments;
+pub mod export;
 pub mod output;
 
 pub use config::ExpConfig;

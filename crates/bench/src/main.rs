@@ -14,6 +14,10 @@
 //!   fig9         V100+NVLink2 vs A100+PCIe4
 //!   serve        latency-throughput: cross-query window batching
 //!   baseline     deterministic perf baseline (writes BENCH_baseline.json)
+//!   regress      CI gate: re-run the baseline matrix, diff against the
+//!                committed BENCH_baseline.json with tolerance bands
+//!   observe      export Perfetto traces, TLB/L2 residency heatmaps, and
+//!                an OpenMetrics snapshot from seeded runs
 //!   whatif-gh200 GH200 NVLink C2C what-if (beyond the paper)
 //!   validate-scale  same paper point at reduction factors 256x-2048x
 //!   summary      §6 discussion claims, measured vs paper
@@ -25,8 +29,8 @@
 
 use std::path::{Path, PathBuf};
 use windex_bench::experiments::{
-    ablations, baseline, fig1, fig7, fig8, fig9, figs34, figs56, serve, summary, table1, validate,
-    whatif,
+    ablations, baseline, fig1, fig7, fig8, fig9, figs34, figs56, observe, regress, serve, summary,
+    table1, validate, whatif,
 };
 use windex_bench::{ExpConfig, Experiment};
 
@@ -74,6 +78,8 @@ fn run_target(target: &str, cfg: &ExpConfig) -> Result<Vec<Experiment>, String> 
         "validate-scale" => vec![validate::validate_scale(cfg)],
         "serve" => vec![serve::serve(cfg)],
         "baseline" => vec![baseline::baseline(cfg)],
+        "observe" => vec![observe::observe(cfg)],
+        "regress" => vec![regress::regress(cfg)?],
         "all" => {
             let mut out = vec![table1::table1(), fig1::fig1(cfg)];
             let unpart = figs34::unpartitioned_sweep(cfg);
@@ -113,7 +119,7 @@ fn main() {
             }
             "--help" | "-h" => {
                 println!("usage: experiments [--quick] [--charts] [--out DIR] <target>...");
-                println!("targets: all table1 fig1 fig3 fig4 fig5 fig6 fig7 fig8 fig9 serve baseline whatif-gh200 validate-scale");
+                println!("targets: all table1 fig1 fig3 fig4 fig5 fig6 fig7 fig8 fig9 serve baseline regress observe whatif-gh200 validate-scale");
                 println!("         summary ablations ablation-{{bits,overlap,pages,node-size,fanout,keydist,warm,spill,subwarp}}");
                 return;
             }

@@ -1,0 +1,198 @@
+//! Exporter-determinism tests: the observability artifacts are pure
+//! functions of the seed. Two fresh same-seed runs must serialize to
+//! byte-identical Chrome trace JSON, OpenMetrics text, and heatmap CSV —
+//! and the exported JSON must actually parse.
+
+use serde_json::Value;
+use windex_bench::export::{chrome_trace_json, query_chrome_trace, server_chrome_trace};
+use windex_core::prelude::*;
+use windex_serve::prelude::{
+    generate_trace, render_openmetrics, BatchPolicy, ServeConfig, Server, ServerReport, TraceConfig,
+};
+use windex_sim::{l2_heatmap, tlb_heatmap, Trace, TraceMode};
+
+/// A small instrumented query run (8 paper-GiB, windowed INLJ) — enough to
+/// exercise phases, windows, and the trace recorder without the full
+/// observe-scale cost.
+fn run_query() -> (QueryReport, Trace, GpuSpec) {
+    let scale = Scale::PAPER;
+    let spec = GpuSpec::v100_nvlink2(scale);
+    let r = Relation::unique_sorted(
+        scale.sim_tuples_for_paper_gib(8.0),
+        KeyDistribution::Dense,
+        42,
+    );
+    let s = Relation::foreign_keys_uniform(&r, 1 << 12, 7);
+    let mut gpu = Gpu::new(spec.clone());
+    gpu.start_bounded_trace();
+    let report = QueryExecutor::new()
+        .run(
+            &mut gpu,
+            &r,
+            &s,
+            JoinStrategy::WindowedInlj {
+                index: IndexKind::RadixSpline,
+                window_tuples: 1 << 11,
+            },
+        )
+        .expect("query must succeed");
+    let trace = gpu.stop_trace();
+    (report, trace, spec)
+}
+
+/// A seeded serving run.
+fn run_server() -> ServerReport {
+    let scale = Scale::PAPER;
+    let r = Relation::unique_sorted(
+        scale.sim_tuples_for_paper_gib(1.0),
+        KeyDistribution::Dense,
+        42,
+    );
+    let trace = generate_trace(
+        &TraceConfig {
+            seed: 7,
+            tenants: 4,
+            requests: 96,
+            min_keys: 4,
+            max_keys: 64,
+            offered_load_rps: 10_000.0,
+            deadline_s: None,
+        },
+        &r,
+    );
+    let mut gpu = Gpu::new(GpuSpec::v100_nvlink2(scale));
+    let mut server = Server::new(
+        &mut gpu,
+        ServeConfig {
+            policy: BatchPolicy::Shared {
+                max_delay_s: 200e-6,
+            },
+            window_tuples: 1024,
+            ..ServeConfig::default()
+        },
+        r,
+    )
+    .expect("server must construct");
+    server
+        .run(&mut gpu, &trace)
+        .expect("trace must complete")
+        .report
+}
+
+#[test]
+fn query_chrome_trace_is_byte_identical_across_runs_and_parses() {
+    let (report_a, trace_a, _) = run_query();
+    let (report_b, trace_b, _) = run_query();
+    let json_a = chrome_trace_json(&query_chrome_trace(&report_a, &trace_a));
+    let json_b = chrome_trace_json(&query_chrome_trace(&report_b, &trace_b));
+    assert_eq!(json_a, json_b, "same seed must export identical bytes");
+
+    // The export must be loadable: well-formed JSON with a traceEvents
+    // array of ph-tagged events.
+    let parsed = serde_json::from_str(&json_a).expect("export must parse");
+    let events = parsed
+        .get("traceEvents")
+        .and_then(Value::as_array)
+        .expect("traceEvents array");
+    assert!(!events.is_empty());
+    for ev in events {
+        let ph = ev.get("ph").and_then(Value::as_str).expect("ph field");
+        assert!(matches!(ph, "X" | "i" | "M"), "unexpected phase {ph}");
+        if ph == "X" {
+            assert!(ev.get("ts").and_then(Value::as_u64).is_some());
+            assert!(ev.get("dur").and_then(Value::as_u64).is_some());
+        }
+    }
+    // A windowed run exports its window timeline and phase spans.
+    let names: Vec<&str> = events
+        .iter()
+        .filter_map(|e| e.get("name").and_then(Value::as_str))
+        .collect();
+    assert!(names.iter().any(|n| n.starts_with("window ")));
+    assert!(names.contains(&"partition") && names.contains(&"lookup"));
+}
+
+#[test]
+fn heatmap_exports_are_byte_identical_and_reconcile() {
+    let (_, trace_a, spec) = run_query();
+    let (_, trace_b, _) = run_query();
+    let tlb_a = tlb_heatmap(&spec, &trace_a, 32);
+    let tlb_b = tlb_heatmap(&spec, &trace_b, 32);
+    assert_eq!(tlb_a.to_csv(), tlb_b.to_csv());
+    assert_eq!(
+        serde_json::to_string_pretty(&tlb_a).unwrap(),
+        serde_json::to_string_pretty(&tlb_b).unwrap()
+    );
+    // Exact reconciliation against the engine's own totals.
+    assert_eq!(tlb_a.total_accesses(), trace_a.recorded().tlb_accesses);
+    assert_eq!(tlb_a.total_misses(), trace_a.recorded().tlb_misses);
+    assert_eq!(tlb_a.offered_accesses, trace_a.offered().tlb_accesses);
+    let l2 = l2_heatmap(&spec, &trace_a, 32);
+    assert_eq!(l2.total_accesses(), trace_a.recorded().l2_accesses);
+    assert_eq!(l2.total_misses(), trace_a.recorded().l2_misses);
+}
+
+#[test]
+fn heatmap_reconciles_exactly_under_sampling() {
+    // Replay one run's recorded events through a sampling trace: the
+    // recorded side thins, the offered side keeps the full-run truth.
+    let (_, full, spec) = run_query();
+    let mut sampled = Trace::new(full.capacity(), TraceMode::SampleEveryNth(5));
+    for &ev in full.events() {
+        sampled.record(ev);
+    }
+    let hm = tlb_heatmap(&spec, &sampled, 16);
+    assert_eq!(hm.total_accesses(), sampled.recorded().tlb_accesses);
+    assert_eq!(hm.total_misses(), sampled.recorded().tlb_misses);
+    assert_eq!(hm.offered_accesses, full.recorded().tlb_accesses);
+    assert_eq!(hm.offered_misses, full.recorded().tlb_misses);
+    assert!(hm.total_accesses() < hm.offered_accesses);
+    assert!(sampled.dropped_events() > 0);
+}
+
+#[test]
+fn openmetrics_snapshot_is_byte_identical_and_well_formed() {
+    let a = render_openmetrics(&run_server());
+    let b = render_openmetrics(&run_server());
+    assert_eq!(a, b, "same seed must expose identical metrics bytes");
+    assert!(a.ends_with("# EOF\n"));
+    // Histogram count must equal the +Inf bucket.
+    let inf = a
+        .lines()
+        .find(|l| l.contains("le=\"+Inf\""))
+        .and_then(|l| l.rsplit(' ').next())
+        .expect("+Inf bucket present");
+    let count = a
+        .lines()
+        .find(|l| l.starts_with("windex_request_latency_seconds_count"))
+        .and_then(|l| l.rsplit(' ').next())
+        .expect("count present");
+    assert_eq!(inf, count);
+    // Per-tenant series exist for every configured tenant.
+    for tenant in 0..4 {
+        assert!(
+            a.contains(&format!("windex_requests_total{{tenant=\"{tenant}\"}}")),
+            "missing tenant {tenant}"
+        );
+    }
+}
+
+#[test]
+fn server_chrome_trace_is_byte_identical_and_places_batches() {
+    let json_a = chrome_trace_json(&server_chrome_trace(&run_server()));
+    let json_b = chrome_trace_json(&server_chrome_trace(&run_server()));
+    assert_eq!(json_a, json_b);
+    let parsed = serde_json::from_str(&json_a).expect("export must parse");
+    let events = parsed.get("traceEvents").and_then(Value::as_array).unwrap();
+    // Batch spans carry real virtual-clock timestamps: monotone ts order.
+    let batch_ts: Vec<u64> = events
+        .iter()
+        .filter(|e| e.get("cat").and_then(Value::as_str) == Some("batch"))
+        .map(|e| e.get("ts").and_then(Value::as_u64).unwrap())
+        .collect();
+    assert!(!batch_ts.is_empty());
+    assert!(
+        batch_ts.windows(2).all(|w| w[0] <= w[1]),
+        "batch dispatch order must be time order: {batch_ts:?}"
+    );
+}

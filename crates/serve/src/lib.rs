@@ -47,6 +47,7 @@
 #![warn(missing_docs)]
 
 pub mod batch;
+pub mod metrics;
 pub mod report;
 pub mod request;
 pub mod sched;
@@ -54,7 +55,8 @@ pub mod server;
 pub mod trace;
 
 pub use batch::MicroBatcher;
-pub use report::{BatchSpan, LatencyStats, ServeEvent, ServerReport};
+pub use metrics::render_openmetrics;
+pub use report::{BatchSpan, LatencyHistogram, LatencyStats, ServeEvent, ServerReport, TenantLoad};
 pub use request::{LookupRequest, LookupResponse, RequestOutcome, TenantId};
 pub use sched::DrrScheduler;
 pub use server::{BatchPolicy, ServeConfig, ServeOutcome, Server};
@@ -63,7 +65,10 @@ pub use trace::{generate_trace, TimedRequest, TraceConfig};
 /// One-stop imports for downstream users.
 pub mod prelude {
     pub use crate::batch::MicroBatcher;
-    pub use crate::report::{BatchSpan, LatencyStats, ServeEvent, ServerReport};
+    pub use crate::metrics::render_openmetrics;
+    pub use crate::report::{
+        BatchSpan, LatencyHistogram, LatencyStats, ServeEvent, ServerReport, TenantLoad,
+    };
     pub use crate::request::{LookupRequest, LookupResponse, RequestOutcome, TenantId};
     pub use crate::sched::DrrScheduler;
     pub use crate::server::{BatchPolicy, ServeConfig, ServeOutcome, Server};

@@ -1,0 +1,401 @@
+//! OpenMetrics text exposition for [`ServerReport`].
+//!
+//! A real serving deployment scrapes its query servers; this module gives
+//! the simulated server the same surface. [`render_openmetrics`] renders a
+//! [`ServerReport`] as an OpenMetrics text snapshot — per-tenant request
+//! counters, a fixed-bucket latency histogram, degradation/shed counters,
+//! and capacity gauges — terminated by the mandatory `# EOF` marker.
+//!
+//! Determinism is part of the contract: families render in a fixed order,
+//! tenants in ascending id order, and every number through Rust's default
+//! (shortest-round-trip) float formatting, so the same seed produces a
+//! byte-identical snapshot. The exporter-determinism tests in windex-bench
+//! pin this.
+
+use crate::report::{ServeEvent, ServerReport};
+use std::fmt::Write as _;
+
+/// Render `report` as an OpenMetrics text snapshot (ending in `# EOF`).
+pub fn render_openmetrics(report: &ServerReport) -> String {
+    let mut o = String::new();
+
+    // Identity: policy and index as an info-style gauge (labels carry the
+    // strings; the value is always 1).
+    family(&mut o, "windex_server", "gauge", "Server identity.");
+    let _ = writeln!(
+        o,
+        "windex_server{{policy=\"{}\",index=\"{:?}\"}} 1",
+        escape(&report.policy),
+        report.index,
+    );
+
+    // Per-tenant request accounting. `per_tenant` is already in ascending
+    // tenant-id order, which fixes the exposition order.
+    family(
+        &mut o,
+        "windex_requests",
+        "counter",
+        "Requests submitted, by tenant.",
+    );
+    for t in &report.per_tenant {
+        let _ = writeln!(
+            o,
+            "windex_requests_total{{tenant=\"{}\"}} {}",
+            t.tenant, t.requests
+        );
+    }
+    family(
+        &mut o,
+        "windex_requests_completed",
+        "counter",
+        "Requests served within deadline, by tenant.",
+    );
+    for t in &report.per_tenant {
+        let _ = writeln!(
+            o,
+            "windex_requests_completed_total{{tenant=\"{}\"}} {}",
+            t.tenant, t.completed
+        );
+    }
+    family(
+        &mut o,
+        "windex_requests_shed",
+        "counter",
+        "Requests shed by admission control or abandoned batches, by tenant.",
+    );
+    for t in &report.per_tenant {
+        let _ = writeln!(
+            o,
+            "windex_requests_shed_total{{tenant=\"{}\"}} {}",
+            t.tenant, t.shed
+        );
+    }
+    family(
+        &mut o,
+        "windex_requests_deadline_missed",
+        "counter",
+        "Requests served past their deadline, by tenant.",
+    );
+    for t in &report.per_tenant {
+        let _ = writeln!(
+            o,
+            "windex_requests_deadline_missed_total{{tenant=\"{}\"}} {}",
+            t.tenant, t.deadline_missed
+        );
+    }
+    family(
+        &mut o,
+        "windex_request_keys",
+        "counter",
+        "Probe keys submitted, by tenant.",
+    );
+    for t in &report.per_tenant {
+        let _ = writeln!(
+            o,
+            "windex_request_keys_total{{tenant=\"{}\"}} {}",
+            t.tenant, t.keys
+        );
+    }
+    family(
+        &mut o,
+        "windex_result_tuples",
+        "counter",
+        "Join matches returned, by tenant.",
+    );
+    for t in &report.per_tenant {
+        let _ = writeln!(
+            o,
+            "windex_result_tuples_total{{tenant=\"{}\"}} {}",
+            t.tenant, t.matches
+        );
+    }
+
+    // Latency histogram over served (non-shed) requests, virtual seconds.
+    family(
+        &mut o,
+        "windex_request_latency_seconds",
+        "histogram",
+        "Request latency over served requests, in virtual seconds.",
+    );
+    let h = &report.latency_hist;
+    let cumulative = h.cumulative();
+    for (bound, cum) in h.bounds_s.iter().zip(&cumulative) {
+        let _ = writeln!(
+            o,
+            "windex_request_latency_seconds_bucket{{le=\"{bound}\"}} {cum}"
+        );
+    }
+    let _ = writeln!(
+        o,
+        "windex_request_latency_seconds_bucket{{le=\"+Inf\"}} {}",
+        h.count
+    );
+    let _ = writeln!(o, "windex_request_latency_seconds_count {}", h.count);
+    let _ = writeln!(o, "windex_request_latency_seconds_sum {}", h.sum_s);
+
+    // Degradation / shed events over the trace.
+    let (mut shrinks, mut spills, mut sheds, mut abandoned) = (0u64, 0u64, 0u64, 0u64);
+    for e in &report.events {
+        match e {
+            ServeEvent::WindowShrunk { .. } => shrinks += 1,
+            ServeEvent::SinkSpilledToCpu => spills += 1,
+            ServeEvent::LoadShed { .. } => sheds += 1,
+            ServeEvent::BatchAbandoned { .. } => abandoned += 1,
+        }
+    }
+    family(
+        &mut o,
+        "windex_window_shrinks",
+        "counter",
+        "Shared-window halvings under device-memory pressure.",
+    );
+    let _ = writeln!(o, "windex_window_shrinks_total {shrinks}");
+    family(
+        &mut o,
+        "windex_sink_spills",
+        "counter",
+        "Result-sink spills to CPU memory.",
+    );
+    let _ = writeln!(o, "windex_sink_spills_total {spills}");
+    family(
+        &mut o,
+        "windex_load_sheds",
+        "counter",
+        "Requests refused at admission by backpressure.",
+    );
+    let _ = writeln!(o, "windex_load_sheds_total {sheds}");
+    family(
+        &mut o,
+        "windex_batches_abandoned",
+        "counter",
+        "Dispatched batches shed after exhausting degradation.",
+    );
+    let _ = writeln!(o, "windex_batches_abandoned_total {abandoned}");
+    family(
+        &mut o,
+        "windex_operator_retries",
+        "counter",
+        "Operator retries priced into virtual time.",
+    );
+    let _ = writeln!(o, "windex_operator_retries_total {}", report.retries);
+    family(
+        &mut o,
+        "windex_windows_dispatched",
+        "counter",
+        "Shared windows pushed through the operator.",
+    );
+    let _ = writeln!(
+        o,
+        "windex_windows_dispatched_total {}",
+        report.window.windows
+    );
+    family(
+        &mut o,
+        "windex_keys_probed",
+        "counter",
+        "Probe keys dispatched through shared windows.",
+    );
+    let _ = writeln!(o, "windex_keys_probed_total {}", report.keys_probed);
+
+    // Capacity and utilization gauges.
+    family(
+        &mut o,
+        "windex_configured_window_tuples",
+        "gauge",
+        "Shared-window capacity as configured.",
+    );
+    let _ = writeln!(
+        o,
+        "windex_configured_window_tuples {}",
+        report.configured_window_tuples
+    );
+    family(
+        &mut o,
+        "windex_effective_window_tuples",
+        "gauge",
+        "Shared-window capacity after degradation, at trace end.",
+    );
+    let _ = writeln!(
+        o,
+        "windex_effective_window_tuples {}",
+        report.effective_window_tuples
+    );
+    family(
+        &mut o,
+        "windex_max_queue_depth_keys",
+        "gauge",
+        "Largest queued-key backlog observed at any admission.",
+    );
+    let _ = writeln!(
+        o,
+        "windex_max_queue_depth_keys {}",
+        report.max_queue_depth_keys
+    );
+    family(
+        &mut o,
+        "windex_mean_batch_keys",
+        "gauge",
+        "Mean keys per dispatched window.",
+    );
+    let _ = writeln!(o, "windex_mean_batch_keys {}", report.mean_batch_keys);
+    family(
+        &mut o,
+        "windex_virtual_makespan_seconds",
+        "gauge",
+        "Virtual time from first arrival to last response.",
+    );
+    let _ = writeln!(
+        o,
+        "windex_virtual_makespan_seconds {}",
+        report.virtual_makespan_s
+    );
+
+    o.push_str("# EOF\n");
+    o
+}
+
+/// Write a family's `# HELP` / `# TYPE` header.
+fn family(o: &mut String, name: &str, kind: &str, help: &str) {
+    let _ = writeln!(o, "# HELP {name} {help}");
+    let _ = writeln!(o, "# TYPE {name} {kind}");
+}
+
+/// Escape a label value per the OpenMetrics text format.
+fn escape(v: &str) -> String {
+    v.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::{LatencyHistogram, LatencyStats, TenantLoad};
+    use windex_core::WindowStats;
+    use windex_index::IndexKind;
+    use windex_sim::Counters;
+
+    fn report() -> ServerReport {
+        ServerReport {
+            policy: "shared(max_delay=200us)".to_string(),
+            index: IndexKind::RadixSpline,
+            tenants: 2,
+            requests: 10,
+            completed: 8,
+            shed: 1,
+            deadline_missed: 1,
+            result_tuples: 42,
+            keys_probed: 640,
+            window: WindowStats {
+                windows: 5,
+                matches: 42,
+            },
+            mean_batch_keys: 128.0,
+            configured_window_tuples: 1024,
+            effective_window_tuples: 512,
+            virtual_makespan_s: 0.25,
+            completed_rps: 32.0,
+            keys_per_second: 2560.0,
+            latency: LatencyStats::from_samples(vec![1e-4, 2e-4, 5e-3]),
+            latency_hist: LatencyHistogram::from_samples(&[1e-4, 2e-4, 5e-3]),
+            per_tenant: vec![
+                TenantLoad {
+                    tenant: 0,
+                    requests: 6,
+                    completed: 5,
+                    shed: 0,
+                    deadline_missed: 1,
+                    keys: 400,
+                    matches: 30,
+                },
+                TenantLoad {
+                    tenant: 1,
+                    requests: 4,
+                    completed: 3,
+                    shed: 1,
+                    deadline_missed: 0,
+                    keys: 240,
+                    matches: 12,
+                },
+            ],
+            max_queue_depth_keys: 300,
+            events: vec![
+                ServeEvent::WindowShrunk {
+                    from: 1024,
+                    to: 512,
+                },
+                ServeEvent::LoadShed {
+                    tenant: 1,
+                    request: 7,
+                    keys: 64,
+                },
+            ],
+            counters: Counters::default(),
+            retries: 3,
+            phases: Default::default(),
+            batches: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn snapshot_is_terminated_and_deterministic() {
+        let r = report();
+        let text = render_openmetrics(&r);
+        assert!(text.ends_with("# EOF\n"));
+        assert_eq!(text, render_openmetrics(&r));
+        // Exactly one EOF marker, at the end.
+        assert_eq!(text.matches("# EOF").count(), 1);
+    }
+
+    #[test]
+    fn tenant_series_are_ascending_and_complete() {
+        let text = render_openmetrics(&report());
+        let t0 = text.find("windex_requests_total{tenant=\"0\"} 6").unwrap();
+        let t1 = text.find("windex_requests_total{tenant=\"1\"} 4").unwrap();
+        assert!(t0 < t1);
+        assert!(text.contains("windex_requests_shed_total{tenant=\"1\"} 1"));
+        assert!(text.contains("windex_result_tuples_total{tenant=\"0\"} 30"));
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative_to_count() {
+        let text = render_openmetrics(&report());
+        assert!(text.contains("windex_request_latency_seconds_bucket{le=\"+Inf\"} 3"));
+        assert!(text.contains("windex_request_latency_seconds_count 3"));
+        // 1e-4 and 2e-4 are both ≤ 1e-3; 5e-3 lands in the 1e-2 bucket.
+        assert!(text.contains("windex_request_latency_seconds_bucket{le=\"0.001\"} 2"));
+        assert!(text.contains("windex_request_latency_seconds_bucket{le=\"0.01\"} 3"));
+    }
+
+    #[test]
+    fn degradation_counters_reflect_events() {
+        let text = render_openmetrics(&report());
+        assert!(text.contains("windex_window_shrinks_total 1"));
+        assert!(text.contains("windex_load_sheds_total 1"));
+        assert!(text.contains("windex_sink_spills_total 0"));
+        assert!(text.contains("windex_operator_retries_total 3"));
+    }
+
+    #[test]
+    fn every_sample_line_has_a_type_header() {
+        let text = render_openmetrics(&report());
+        for line in text.lines() {
+            if line.starts_with('#') {
+                continue;
+            }
+            let name = line.split(['{', ' ']).next().unwrap();
+            // A sample `x_total`/`x_bucket`/`x_count`/`x_sum` belongs to
+            // family `x`; plain gauges are their own family.
+            let fam = name
+                .strip_suffix("_total")
+                .or_else(|| name.strip_suffix("_bucket"))
+                .or_else(|| name.strip_suffix("_count"))
+                .or_else(|| name.strip_suffix("_sum"))
+                .unwrap_or(name);
+            assert!(
+                text.contains(&format!("# TYPE {fam} ")),
+                "no TYPE header for {name}"
+            );
+        }
+    }
+}

@@ -28,6 +28,90 @@ pub struct LatencyStats {
     pub dropped: usize,
 }
 
+/// Fixed latency-histogram bucket upper bounds, in virtual seconds.
+/// Log-spaced from 1 µs to 10 s; an implicit +∞ bucket catches the rest.
+/// Fixed (rather than data-derived) bounds keep the OpenMetrics exposition
+/// comparable across runs and byte-deterministic per seed.
+pub const LATENCY_BUCKET_BOUNDS_S: [f64; 8] = [1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0];
+
+/// Fixed-bucket latency histogram over served requests, the shape the
+/// OpenMetrics exposition needs (`le`-bucketed cumulative counts derive
+/// from it). Counts here are *per-bucket*, not cumulative.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct LatencyHistogram {
+    /// Bucket upper bounds ([`LATENCY_BUCKET_BOUNDS_S`]), ascending.
+    pub bounds_s: Vec<f64>,
+    /// Per-bucket sample counts; one longer than `bounds_s` (the trailing
+    /// entry is the +∞ overflow bucket).
+    pub counts: Vec<u64>,
+    /// Total finite samples observed.
+    pub count: u64,
+    /// Sum of finite samples, in virtual seconds.
+    pub sum_s: f64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram {
+            bounds_s: LATENCY_BUCKET_BOUNDS_S.to_vec(),
+            counts: vec![0; LATENCY_BUCKET_BOUNDS_S.len() + 1],
+            count: 0,
+            sum_s: 0.0,
+        }
+    }
+}
+
+impl LatencyHistogram {
+    /// Bucket the samples against the fixed bounds. Non-finite samples are
+    /// ignored (they are already accounted in [`LatencyStats::dropped`]).
+    pub fn from_samples(samples: &[f64]) -> Self {
+        let mut h = LatencyHistogram::default();
+        for &s in samples.iter().filter(|s| s.is_finite()) {
+            let idx = h
+                .bounds_s
+                .iter()
+                .position(|&b| s <= b)
+                .unwrap_or(h.bounds_s.len());
+            h.counts[idx] += 1;
+            h.count += 1;
+            h.sum_s += s;
+        }
+        h
+    }
+
+    /// Cumulative counts per bound (OpenMetrics `le` semantics); one entry
+    /// per bound plus the trailing `+Inf` total.
+    pub fn cumulative(&self) -> Vec<u64> {
+        self.counts
+            .iter()
+            .scan(0u64, |acc, &c| {
+                *acc += c;
+                Some(*acc)
+            })
+            .collect()
+    }
+}
+
+/// Per-tenant request accounting over one served trace, in ascending
+/// tenant-id order (deterministic exposition order).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize)]
+pub struct TenantLoad {
+    /// The tenant.
+    pub tenant: TenantId,
+    /// Requests this tenant submitted (admitted or shed).
+    pub requests: usize,
+    /// Requests served within deadline (or with none set).
+    pub completed: usize,
+    /// Requests shed at admission or via abandoned batches.
+    pub shed: usize,
+    /// Requests served past their deadline.
+    pub deadline_missed: usize,
+    /// Probe keys across all of this tenant's requests.
+    pub keys: usize,
+    /// Join matches returned to this tenant.
+    pub matches: usize,
+}
+
 impl LatencyStats {
     /// Compute the distribution from raw samples (order-insensitive).
     /// Non-finite samples are dropped and counted in `dropped` rather than
@@ -65,6 +149,9 @@ impl LatencyStats {
 pub struct BatchSpan {
     /// Zero-based dispatch ordinal within the run.
     pub batch: usize,
+    /// Virtual clock at dispatch start, in seconds — places the span on
+    /// the served timeline (trace exporters consume this).
+    pub at_s: f64,
     /// Probe keys the batch carried.
     pub keys: usize,
     /// Windows the successful attempt closed (0 for an abandoned batch).
@@ -152,6 +239,11 @@ pub struct ServerReport {
     pub keys_per_second: f64,
     /// Latency distribution over served (non-shed) requests.
     pub latency: LatencyStats,
+    /// Fixed-bucket latency histogram over the same samples (feeds the
+    /// OpenMetrics exposition).
+    pub latency_hist: LatencyHistogram,
+    /// Per-tenant accounting, ascending tenant id.
+    pub per_tenant: Vec<TenantLoad>,
     /// Largest queued-key backlog observed at any admission.
     pub max_queue_depth_keys: usize,
     /// Degradation / shed events, in order.
@@ -214,6 +306,29 @@ mod tests {
         assert_eq!(l.p50_s, 0.25);
         assert_eq!(l.p99_s, 0.25);
         assert_eq!(l.max_s, 0.25);
+    }
+
+    #[test]
+    fn histogram_buckets_and_cumulative_counts() {
+        let h = LatencyHistogram::from_samples(&[5e-7, 5e-6, 5e-6, 2e-3, 100.0, f64::NAN]);
+        assert_eq!(h.count, 5, "NaN ignored");
+        assert_eq!(h.counts[0], 1); // ≤ 1 µs
+        assert_eq!(h.counts[1], 2); // ≤ 10 µs
+        assert_eq!(h.counts[3], 0); // ≤ 1 ms is empty
+        assert_eq!(h.counts[4], 1); // ≤ 10 ms holds the 2 ms sample
+        assert_eq!(*h.counts.last().unwrap(), 1); // +Inf overflow
+        let cum = h.cumulative();
+        assert_eq!(*cum.last().unwrap(), h.count);
+        assert!(cum.windows(2).all(|w| w[0] <= w[1]), "monotone: {cum:?}");
+    }
+
+    #[test]
+    fn histogram_boundary_is_inclusive() {
+        // OpenMetrics `le` semantics: a sample equal to a bound lands in
+        // that bucket, not the next.
+        let h = LatencyHistogram::from_samples(&[1e-3]);
+        assert_eq!(h.counts[3], 1);
+        assert_eq!(h.counts[4], 0);
     }
 
     #[test]

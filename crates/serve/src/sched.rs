@@ -84,11 +84,22 @@ impl DrrScheduler {
     }
 
     /// Release the next request under DRR order, if any tenant has queued
-    /// work. Returns the request id.
-    pub fn dequeue(&mut self) -> Option<u64> {
+    /// work. Returns the request id, or `Ok(None)` when every queue is
+    /// empty. Internal ring/queue inconsistency — impossible through this
+    /// API, but conceivable after a future refactor — surfaces as a typed
+    /// [`WindexError::InvalidState`] instead of a scheduler panic taking
+    /// the whole server down mid-trace.
+    pub fn dequeue(&mut self) -> Result<Option<u64>, WindexError> {
         loop {
-            let tenant = *self.ring.front()?;
-            let tq = self.tenants.get_mut(&tenant).expect("ring tenant exists");
+            let Some(&tenant) = self.ring.front() else {
+                return Ok(None);
+            };
+            let tq = self
+                .tenants
+                .get_mut(&tenant)
+                .ok_or(WindexError::InvalidState(
+                    "DRR ring names a tenant with no queue",
+                ))?;
             if tq.queue.is_empty() {
                 // Tenant drained since its last visit: drop the credit and
                 // deactivate (it re-enters the ring on its next enqueue).
@@ -100,7 +111,9 @@ impl DrrScheduler {
                 tq.deficit += self.quantum;
                 tq.fresh_visit = false;
             }
-            let head = *tq.queue.front().expect("non-empty queue");
+            let head = *tq.queue.front().ok_or(WindexError::InvalidState(
+                "DRR tenant queue emptied mid-visit",
+            ))?;
             if head.n_keys <= tq.deficit {
                 tq.deficit -= head.n_keys;
                 tq.queue.pop_front();
@@ -109,12 +122,15 @@ impl DrrScheduler {
                     tq.deficit = 0;
                     self.ring.pop_front();
                 }
-                return Some(head.id);
+                return Ok(Some(head.id));
             }
             // Not enough credit: rotate to the next tenant; this tenant's
             // next visit grants another quantum.
             tq.fresh_visit = true;
-            let t = self.ring.pop_front().expect("ring non-empty");
+            let t = self
+                .ring
+                .pop_front()
+                .ok_or(WindexError::InvalidState("DRR ring emptied mid-rotation"))?;
             self.ring.push_back(t);
         }
     }
@@ -140,10 +156,10 @@ mod tests {
         s.enqueue(0, 11, 3);
         s.enqueue(0, 12, 3);
         assert_eq!(s.queued_keys(), 9);
-        assert_eq!(s.dequeue(), Some(10));
-        assert_eq!(s.dequeue(), Some(11));
-        assert_eq!(s.dequeue(), Some(12));
-        assert_eq!(s.dequeue(), None);
+        assert_eq!(s.dequeue(), Ok(Some(10)));
+        assert_eq!(s.dequeue(), Ok(Some(11)));
+        assert_eq!(s.dequeue(), Ok(Some(12)));
+        assert_eq!(s.dequeue(), Ok(None));
         assert!(s.is_empty());
     }
 
@@ -157,7 +173,7 @@ mod tests {
         for i in 0..4 {
             s.enqueue(1, 100 + i, 1);
         }
-        let order: Vec<u64> = std::iter::from_fn(|| s.dequeue()).collect();
+        let order: Vec<u64> = std::iter::from_fn(|| s.dequeue().unwrap()).collect();
         // The heavy tenant needs two visits of credit per request, so the
         // light tenant's requests are all released before the heavy queue
         // finishes.
@@ -175,22 +191,22 @@ mod tests {
         let mut s = DrrScheduler::new(2).unwrap();
         s.enqueue(5, 1, 9); // needs 5 visits of quantum 2
         s.enqueue(6, 2, 1);
-        assert_eq!(s.dequeue(), Some(2), "small request goes first");
-        assert_eq!(s.dequeue(), Some(1), "big request eventually released");
-        assert_eq!(s.dequeue(), None);
+        assert_eq!(s.dequeue(), Ok(Some(2)), "small request goes first");
+        assert_eq!(s.dequeue(), Ok(Some(1)), "big request eventually released");
+        assert_eq!(s.dequeue(), Ok(None));
     }
 
     #[test]
     fn idle_tenants_do_not_hoard_credit() {
         let mut s = DrrScheduler::new(100).unwrap();
         s.enqueue(0, 1, 1);
-        assert_eq!(s.dequeue(), Some(1));
+        assert_eq!(s.dequeue(), Ok(Some(1)));
         // Tenant 0 drained; its deficit must have been reset.
         s.enqueue(0, 2, 150);
         s.enqueue(1, 3, 1);
         // 150 > one quantum: tenant 0 must wait a rotation even though it
         // "saved" 99 credits earlier.
-        assert_eq!(s.dequeue(), Some(3));
-        assert_eq!(s.dequeue(), Some(2));
+        assert_eq!(s.dequeue(), Ok(Some(3)));
+        assert_eq!(s.dequeue(), Ok(Some(2)));
     }
 }

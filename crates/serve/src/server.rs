@@ -31,7 +31,9 @@
 //! or faulty server sheds load instead of failing.
 
 use crate::batch::MicroBatcher;
-use crate::report::{BatchSpan, LatencyStats, ServeEvent, ServerReport};
+use crate::report::{
+    BatchSpan, LatencyHistogram, LatencyStats, ServeEvent, ServerReport, TenantLoad,
+};
 use crate::request::{LookupResponse, RequestOutcome, TenantId};
 use crate::sched::DrrScheduler;
 use crate::trace::TimedRequest;
@@ -279,6 +281,27 @@ impl Server {
                 let id = next_arrival as u64;
                 next_arrival += 1;
                 let n = t.request.keys.len();
+                if n == 0 {
+                    // An empty request has nothing to probe: answer it at
+                    // admission. Parking it in flight would hang the trace —
+                    // no batch ever carries its (nonexistent) last key, so
+                    // nothing would ever complete it.
+                    let latency = clock - t.at_s;
+                    let outcome = match t.request.deadline {
+                        Some(d) if latency > d => RequestOutcome::DeadlineMissed,
+                        _ => RequestOutcome::Completed,
+                    };
+                    responses.push(LookupResponse {
+                        request: id,
+                        tenant: t.request.tenant,
+                        outcome,
+                        matches: Vec::new(),
+                        submitted_s: t.at_s,
+                        completed_s: clock,
+                        latency_s: latency,
+                    });
+                    continue;
+                }
                 let backlog = sched.queued_keys() + batcher.pending();
                 if backlog + n > self.cfg.max_pending_keys {
                     events.push(ServeEvent::LoadShed {
@@ -308,16 +331,16 @@ impl Server {
             match self.cfg.policy {
                 BatchPolicy::Shared { .. } => {
                     while batcher.pending() < self.window_tuples {
-                        match sched.dequeue() {
-                            Some(id) => stage(&mut batcher, &inflight, id, clock),
+                        match sched.dequeue()? {
+                            Some(id) => stage(&mut batcher, &inflight, id, clock)?,
                             None => break,
                         }
                     }
                 }
                 BatchPolicy::PerRequest => {
                     if batcher.pending() == 0 {
-                        if let Some(id) = sched.dequeue() {
-                            stage(&mut batcher, &inflight, id, clock);
+                        if let Some(id) = sched.dequeue()? {
+                            stage(&mut batcher, &inflight, id, clock)?;
                         }
                     }
                 }
@@ -401,13 +424,36 @@ impl Server {
             .iter()
             .filter(|r| r.outcome == RequestOutcome::DeadlineMissed)
             .count();
-        let latency = LatencyStats::from_samples(
-            responses
-                .iter()
-                .filter(|r| r.outcome != RequestOutcome::Shed)
-                .map(|r| r.latency_s)
-                .collect(),
-        );
+        let samples: Vec<f64> = responses
+            .iter()
+            .filter(|r| r.outcome != RequestOutcome::Shed)
+            .map(|r| r.latency_s)
+            .collect();
+        let latency_hist = LatencyHistogram::from_samples(&samples);
+        let latency = LatencyStats::from_samples(samples);
+        // `responses` is sorted by request id (= arrival ordinal), so it
+        // zips 1:1 with the trace; keys come from the trace side because a
+        // shed response no longer carries them.
+        let per_tenant: Vec<TenantLoad> = {
+            let mut by_tenant: BTreeMap<TenantId, TenantLoad> = BTreeMap::new();
+            for (t, resp) in trace.iter().zip(&responses) {
+                let e = by_tenant
+                    .entry(t.request.tenant)
+                    .or_insert_with(|| TenantLoad {
+                        tenant: t.request.tenant,
+                        ..TenantLoad::default()
+                    });
+                e.requests += 1;
+                e.keys += t.request.keys.len();
+                e.matches += resp.matches.len();
+                match resp.outcome {
+                    RequestOutcome::Completed => e.completed += 1,
+                    RequestOutcome::Shed => e.shed += 1,
+                    RequestOutcome::DeadlineMissed => e.deadline_missed += 1,
+                }
+            }
+            by_tenant.into_values().collect()
+        };
         let makespan = clock;
         let report = ServerReport {
             policy: self.cfg.policy.label(),
@@ -447,6 +493,8 @@ impl Server {
                 0.0
             },
             latency,
+            latency_hist,
+            per_tenant,
             max_queue_depth_keys: max_queue_depth,
             events,
             retries: counters.retries,
@@ -481,6 +529,7 @@ impl Server {
         // is still one dispatch).
         let mut span = BatchSpan {
             batch: batches.len(),
+            at_s: *clock,
             keys: batch.len(),
             ..BatchSpan::default()
         };
@@ -509,7 +558,7 @@ impl Server {
                     span.windows = stats.windows;
                     span.completed = true;
                     batches.push(span);
-                    self.complete(batch, batcher, inflight, responses, *clock);
+                    self.complete(batch, batcher, inflight, responses, *clock)?;
                     return Ok(());
                 }
                 Err(e) if e.is_capacity() => {
@@ -568,7 +617,7 @@ impl Server {
         inflight: &mut BTreeMap<u64, InFlight>,
         responses: &mut Vec<LookupResponse>,
         now_s: f64,
-    ) {
+    ) -> Result<(), WindexError> {
         for (rid, pos) in self.sink.host_pairs() {
             let (req, key_idx) = batcher.resolve(rid);
             if let Some(inf) = inflight.get_mut(&req) {
@@ -592,7 +641,9 @@ impl Server {
             }
         }
         for req in done {
-            let inf = inflight.remove(&req).expect("request in flight");
+            let inf = inflight.remove(&req).ok_or(WindexError::InvalidState(
+                "completed request vanished from the in-flight table",
+            ))?;
             let latency = now_s - inf.submitted_s;
             let outcome = match inf.deadline {
                 Some(d) if latency > d => RequestOutcome::DeadlineMissed,
@@ -608,6 +659,7 @@ impl Server {
                 latency_s: latency,
             });
         }
+        Ok(())
     }
 
     /// Shed every request with a key in the failed batch: answer it
@@ -655,8 +707,18 @@ fn shed_response(id: u64, tenant: &TenantId, submitted_s: f64, now_s: f64) -> Lo
     }
 }
 
-/// Stage a released request's keys into the batcher.
-fn stage(batcher: &mut MicroBatcher, inflight: &BTreeMap<u64, InFlight>, id: u64, now_s: f64) {
-    let inf = &inflight[&id];
+/// Stage a released request's keys into the batcher. A scheduler release
+/// for a request not in the in-flight table is an internal inconsistency;
+/// it surfaces as a typed error instead of an index panic.
+fn stage(
+    batcher: &mut MicroBatcher,
+    inflight: &BTreeMap<u64, InFlight>,
+    id: u64,
+    now_s: f64,
+) -> Result<(), WindexError> {
+    let inf = inflight.get(&id).ok_or(WindexError::InvalidState(
+        "scheduler released a request that is not in flight",
+    ))?;
     batcher.stage(id, &inf.keys, now_s);
+    Ok(())
 }

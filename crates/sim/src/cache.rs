@@ -54,6 +54,16 @@ impl Cache {
         self.line_bytes
     }
 
+    /// Number of sets in the underlying tag store.
+    pub fn sets(&self) -> usize {
+        self.store.sets()
+    }
+
+    /// The set the line containing `addr` maps to (pure).
+    pub fn set_of(&self, addr: u64) -> usize {
+        self.store.set_of(addr >> self.line_shift)
+    }
+
     /// Invalidate all lines.
     pub fn flush(&mut self) {
         self.store.flush();

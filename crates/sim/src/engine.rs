@@ -28,7 +28,7 @@ use crate::fault::{FaultKind, FaultPlan, RetryPolicy, SimError};
 use crate::mem::{Buffer, MemLocation};
 use crate::spec::GpuSpec;
 use crate::tlb::Tlb;
-use crate::trace::{HitLevel, Trace, TraceEvent};
+use crate::trace::{HitLevel, Trace, TraceEvent, TraceMode};
 use std::collections::HashMap;
 
 /// Re-miss distance (in line accesses) separating *thrashing* from
@@ -112,15 +112,32 @@ impl Gpu {
         })
     }
 
-    /// Start recording memory-system events (bounded at `capacity`).
-    /// Replaces any previous recording.
+    /// Start recording memory-system events (bounded at `capacity`,
+    /// truncating beyond it). Replaces any previous recording.
     pub fn start_trace(&mut self, capacity: usize) {
-        self.trace = Some(Trace::with_capacity(capacity));
+        self.start_trace_mode(capacity, TraceMode::Truncate);
     }
 
-    /// Stop recording and return the trace (empty if never started).
+    /// Start recording with an explicit capacity and overflow mode.
+    /// Replaces any previous recording.
+    pub fn start_trace_mode(&mut self, capacity: usize, mode: TraceMode) {
+        self.trace = Some(Trace::new(capacity, mode));
+    }
+
+    /// Start recording at the spec's [`trace_capacity`](GpuSpec) bound in
+    /// ring mode — the safe default for runs of unknown length: memory
+    /// stays bounded, the newest events survive, and the drop accounting in
+    /// [`Trace::offered`] stays exact.
+    pub fn start_bounded_trace(&mut self) {
+        self.start_trace_mode(self.spec.trace_capacity, TraceMode::Ring);
+    }
+
+    /// Stop recording and return the trace, normalized to recording order
+    /// (empty if never started).
     pub fn stop_trace(&mut self) -> Trace {
-        self.trace.take().unwrap_or_default()
+        let mut trace = self.trace.take().unwrap_or_default();
+        trace.normalize();
+        trace
     }
 
     /// Record one TLB miss, classifying it as a page-sweep event
@@ -178,6 +195,9 @@ impl Gpu {
         if loc == MemLocation::Gpu {
             if self.draw_fault(FaultKind::Alloc) {
                 self.counters.faults_alloc += 1;
+                self.record_event(TraceEvent::Fault {
+                    kind: FaultKind::Alloc,
+                });
                 return Err(SimError::AllocFault);
             }
             let budget = self.spec.hbm_bytes;
@@ -283,9 +303,20 @@ impl Gpu {
     fn draw_transfer_fault(&mut self) {
         if self.draw_fault(FaultKind::Transfer) {
             self.counters.faults_transfer += 1;
+            self.record_event(TraceEvent::Fault {
+                kind: FaultKind::Transfer,
+            });
             if self.pending_fault.is_none() {
                 self.pending_fault = Some(SimError::TransientTransferFault);
             }
+        }
+    }
+
+    /// Record one event into the active trace, if any.
+    #[inline]
+    fn record_event(&mut self, ev: TraceEvent) {
+        if let Some(trace) = &mut self.trace {
+            trace.record(ev);
         }
     }
 
@@ -309,6 +340,9 @@ impl Gpu {
         self.kernel_launch();
         if self.draw_fault(FaultKind::Launch) {
             self.counters.faults_launch += 1;
+            self.record_event(TraceEvent::Fault {
+                kind: FaultKind::Launch,
+            });
             return Err(SimError::KernelLaunchFailed);
         }
         Ok(())
@@ -318,7 +352,12 @@ impl Gpu {
     /// (0-based) to the counters.
     pub fn record_retry(&mut self, attempt: u32) {
         self.counters.retries += 1;
-        self.counters.retry_backoff_ns += self.retry.backoff_ns(attempt);
+        let backoff_ns = self.retry.backoff_ns(attempt);
+        self.counters.retry_backoff_ns += backoff_ns;
+        self.record_event(TraceEvent::Retry {
+            attempt,
+            backoff_ns,
+        });
     }
 
     /// Record a data-dependent device-side read of `bytes` at `addr`.
@@ -414,6 +453,7 @@ impl Gpu {
         self.l1.flush();
         self.l2.flush();
         self.missed_pages.clear();
+        self.record_event(TraceEvent::TlbFlush);
     }
 
     /// Whether the page holding `addr` currently has a cached translation
@@ -464,16 +504,24 @@ impl Gpu {
     }
 
     /// TLB traffic for a (possibly multi-page) sequential or write access.
+    /// Each page translation is traced as [`TraceEvent::Translate`] so the
+    /// trace carries *every* TLB access the counters see (random reads
+    /// record theirs inside [`TraceEvent::ReadLine`]).
     #[inline]
     fn translate(&mut self, addr: u64, bytes: u64) {
         let first = addr >> self.page_shift;
         let last = (addr + bytes - 1) >> self.page_shift;
         for page in first..=last {
-            if self.tlb.access(page << self.page_shift) {
+            let hit = self.tlb.access(page << self.page_shift);
+            if hit {
                 self.counters.tlb_hits += 1;
             } else {
                 self.record_tlb_miss(page);
             }
+            self.record_event(TraceEvent::Translate {
+                page_addr: page << self.page_shift,
+                hit,
+            });
         }
     }
 

@@ -92,7 +92,7 @@ impl std::error::Error for SimError {}
 
 /// The kinds of faults a [`FaultPlan`] can inject. Each kind draws from an
 /// independent deterministic sequence.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
 pub enum FaultKind {
     /// Device-memory allocation failures.
     Alloc,

@@ -53,6 +53,7 @@ pub mod counters;
 pub mod engine;
 pub mod exec;
 pub mod fault;
+pub mod heatmap;
 mod lru;
 pub mod mem;
 pub mod scale;
@@ -69,8 +70,9 @@ pub use exec::{
     WARP_SIZE,
 };
 pub use fault::{FaultKind, FaultPlan, RetryPolicy, SimError};
+pub use heatmap::{l2_heatmap, tlb_heatmap, Heatmap};
 pub use mem::{Buffer, MemLocation};
 pub use scale::Scale;
 pub use span::{phase, PhaseBreakdown, PhaseRecorder, PhaseStats, Span};
 pub use spec::{GpuSpec, InterconnectSpec};
-pub use trace::{HitLevel, Trace, TraceEvent};
+pub use trace::{HitLevel, Trace, TraceEvent, TraceMode, TraceTotals};

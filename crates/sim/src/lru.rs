@@ -65,6 +65,17 @@ impl SetAssocLru {
         self.tags.len()
     }
 
+    /// Number of sets.
+    pub fn sets(&self) -> usize {
+        self.sets
+    }
+
+    /// The set `tag` maps to (pure; exposed so residency heatmaps can bin
+    /// traced accesses by the same hash the replacement logic uses).
+    pub fn set_of(&self, tag: u64) -> usize {
+        set_of(tag, self.sets)
+    }
+
     /// Look up `tag`, inserting it on a miss (evicting the set's LRU way).
     /// Returns `true` on a hit.
     pub fn access(&mut self, tag: u64) -> bool {

@@ -170,6 +170,11 @@ pub struct GpuSpec {
     pub page_bytes: u64,
     /// Fixed cost of launching one kernel, in nanoseconds.
     pub kernel_launch_ns: f64,
+    /// Default capacity bound (in events) for access-trace recording
+    /// started via [`Gpu::start_bounded_trace`](crate::Gpu); keeps long
+    /// runs from growing an unbounded event vector. Explicit
+    /// `start_trace*` calls may still pick their own bound.
+    pub trace_capacity: usize,
     /// The interconnect attaching this GPU to CPU memory.
     pub interconnect: InterconnectSpec,
     /// The scale at which this spec was instantiated.
@@ -197,6 +202,7 @@ impl GpuSpec {
             tlb_assoc: 32,
             page_bytes: scale.sim_bytes(1 << 30),
             kernel_launch_ns: 5_000.0,
+            trace_capacity: 1 << 20,
             interconnect: InterconnectSpec::nvlink2(),
             scale,
         }
@@ -223,6 +229,7 @@ impl GpuSpec {
             tlb_assoc: 32,
             page_bytes: scale.sim_bytes(1 << 30),
             kernel_launch_ns: 4_000.0,
+            trace_capacity: 1 << 20,
             interconnect: InterconnectSpec::pcie4(),
             scale,
         }
@@ -248,6 +255,7 @@ impl GpuSpec {
             tlb_assoc: 32,
             page_bytes: scale.sim_bytes(1 << 30),
             kernel_launch_ns: 3_000.0,
+            trace_capacity: 1 << 20,
             interconnect: InterconnectSpec::nvlink_c2c(),
             scale,
         }
@@ -283,6 +291,12 @@ impl GpuSpec {
     /// by capacity what-if studies and the fault-tolerance stress tests.
     pub fn with_hbm_bytes(mut self, hbm_bytes: u64) -> Self {
         self.hbm_bytes = hbm_bytes;
+        self
+    }
+
+    /// Override the default access-trace capacity bound (in events).
+    pub fn with_trace_capacity(mut self, trace_capacity: usize) -> Self {
+        self.trace_capacity = trace_capacity;
         self
     }
 

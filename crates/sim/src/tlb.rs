@@ -49,6 +49,16 @@ impl Tlb {
         self.page_bytes
     }
 
+    /// Number of sets in the underlying tag store.
+    pub fn sets(&self) -> usize {
+        self.store.sets()
+    }
+
+    /// The set the page containing `addr` maps to (pure).
+    pub fn set_of(&self, addr: u64) -> usize {
+        self.store.set_of(addr >> self.page_shift)
+    }
+
     /// The address range covered when all entries are resident.
     pub fn range_bytes(&self) -> u64 {
         self.store.entries() as u64 * self.page_bytes

@@ -5,7 +5,21 @@
 //! patterns* (coalescing, locality, sweep order) rather than only on
 //! aggregate counters. Tracing is off by default and costs one branch per
 //! access when disabled.
+//!
+//! ## Bounded recording
+//!
+//! Long runs would otherwise grow an unbounded `Vec<TraceEvent>`, so every
+//! trace is capped at a capacity and a [`TraceMode`] decides what happens
+//! beyond it: [`TraceMode::Truncate`] keeps the oldest events,
+//! [`TraceMode::Ring`] keeps the newest, and [`TraceMode::SampleEveryNth`]
+//! thins the offered stream before the cap applies. Whatever the mode, the
+//! recorder keeps two exact [`TraceTotals`] — everything *offered* and
+//! everything still *recorded* — so downstream consumers (heatmaps,
+//! exporters) can reconcile a thinned trace against the engine's
+//! [`Counters`](crate::counters::Counters) without rescanning events that
+//! no longer exist.
 
+use crate::fault::FaultKind;
 use crate::mem::MemLocation;
 use serde::Serialize;
 
@@ -57,56 +71,322 @@ pub enum TraceEvent {
     },
     /// A kernel launch boundary.
     KernelLaunch,
+    /// One page translation performed for a streaming or write access
+    /// (the random-read path records its translation inside
+    /// [`TraceEvent::ReadLine`] via [`HitLevel::Remote`]).
+    Translate {
+        /// Page-aligned virtual address that was translated.
+        page_addr: u64,
+        /// Whether the translation was cached in the TLB.
+        hit: bool,
+    },
+    /// The TLB was flushed (cold start between queries). Explains miss-rate
+    /// discontinuities in exported timelines.
+    TlbFlush,
+    /// An injected fault fired.
+    Fault {
+        /// Which fault sequence fired.
+        kind: FaultKind,
+    },
+    /// An operator retried after a transient fault.
+    Retry {
+        /// 0-based retry attempt number.
+        attempt: u32,
+        /// Deterministic backoff charged for this retry, in nanoseconds.
+        backoff_ns: u64,
+    },
 }
 
-/// Bounded event recorder. Recording stops silently at `capacity` (the
-/// `truncated` flag reports whether events were dropped).
-#[derive(Debug, Default)]
+/// What the recorder does once the event stream exceeds its capacity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum TraceMode {
+    /// Keep the first `capacity` events, drop the rest (legacy behavior —
+    /// preserves the run's prefix).
+    Truncate,
+    /// Keep the most recent `capacity` events (preserves the run's suffix);
+    /// the steady-state choice for long-running servers.
+    Ring,
+    /// Record every `n`-th offered event (1 = all), then truncate at
+    /// capacity. Thins uniformly across the whole run, which is what
+    /// time-bucketed heatmaps want at paper scale.
+    SampleEveryNth(u64),
+}
+
+/// Invoke a macro once with every [`TraceTotals`] field, so element-wise
+/// operations cannot silently miss one (same pattern as `Counters`).
+macro_rules! for_each_total {
+    ($m:ident) => {
+        $m!(
+            events,
+            read_lines,
+            stream_reads,
+            writes,
+            kernel_launches,
+            translates,
+            tlb_flushes,
+            faults,
+            retries,
+            tlb_accesses,
+            tlb_misses,
+            l2_accesses,
+            l2_misses
+        )
+    };
+}
+
+/// Exact per-category event totals, maintained for both the *offered*
+/// stream (every event the engine emitted) and the *recorded* subset (what
+/// the bounded buffer still holds). `offered - recorded` is the exact
+/// accounting of everything dropped by truncation, ring eviction, or
+/// sampling — the reconciliation contract heatmaps and exporters rely on.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct TraceTotals {
+    /// All events.
+    pub events: u64,
+    /// [`TraceEvent::ReadLine`] events.
+    pub read_lines: u64,
+    /// [`TraceEvent::StreamRead`] events.
+    pub stream_reads: u64,
+    /// [`TraceEvent::Write`] events.
+    pub writes: u64,
+    /// [`TraceEvent::KernelLaunch`] events.
+    pub kernel_launches: u64,
+    /// [`TraceEvent::Translate`] events.
+    pub translates: u64,
+    /// [`TraceEvent::TlbFlush`] events.
+    pub tlb_flushes: u64,
+    /// [`TraceEvent::Fault`] events.
+    pub faults: u64,
+    /// [`TraceEvent::Retry`] events.
+    pub retries: u64,
+    /// TLB lookups carried by events ([`HitLevel::Remote`] read lines plus
+    /// [`TraceEvent::Translate`]); matches `tlb_hits + tlb_misses` in
+    /// [`Counters`](crate::counters::Counters) when nothing was dropped.
+    pub tlb_accesses: u64,
+    /// The missing subset of `tlb_accesses`.
+    pub tlb_misses: u64,
+    /// L2 lookups carried by events (read lines that missed L1).
+    pub l2_accesses: u64,
+    /// The missing subset of `l2_accesses`.
+    pub l2_misses: u64,
+}
+
+impl TraceTotals {
+    /// The totals contributed by one event.
+    pub fn of(ev: &TraceEvent) -> TraceTotals {
+        let mut t = TraceTotals {
+            events: 1,
+            ..TraceTotals::default()
+        };
+        match ev {
+            TraceEvent::ReadLine { hit, .. } => {
+                t.read_lines = 1;
+                match hit {
+                    HitLevel::L1 => {}
+                    HitLevel::L2 => t.l2_accesses = 1,
+                    HitLevel::GpuMem => {
+                        t.l2_accesses = 1;
+                        t.l2_misses = 1;
+                    }
+                    HitLevel::Remote { tlb_hit } => {
+                        t.l2_accesses = 1;
+                        t.l2_misses = 1;
+                        t.tlb_accesses = 1;
+                        t.tlb_misses = u64::from(!tlb_hit);
+                    }
+                }
+            }
+            TraceEvent::StreamRead { .. } => t.stream_reads = 1,
+            TraceEvent::Write { .. } => t.writes = 1,
+            TraceEvent::KernelLaunch => t.kernel_launches = 1,
+            TraceEvent::Translate { hit, .. } => {
+                t.translates = 1;
+                t.tlb_accesses = 1;
+                t.tlb_misses = u64::from(!hit);
+            }
+            TraceEvent::TlbFlush => t.tlb_flushes = 1,
+            TraceEvent::Fault { .. } => t.faults = 1,
+            TraceEvent::Retry { .. } => t.retries = 1,
+        }
+        t
+    }
+
+    fn add(&mut self, ev: &TraceEvent) {
+        let d = TraceTotals::of(ev);
+        macro_rules! add_fields {
+            ($($f:ident),+) => { $(self.$f += d.$f;)+ };
+        }
+        for_each_total!(add_fields);
+    }
+
+    fn sub(&mut self, ev: &TraceEvent) {
+        let d = TraceTotals::of(ev);
+        macro_rules! sub_fields {
+            ($($f:ident),+) => { $(self.$f -= d.$f;)+ };
+        }
+        for_each_total!(sub_fields);
+    }
+}
+
+/// Bounded event recorder. The [`TraceMode`] decides which events survive
+/// beyond `capacity`; [`Trace::offered`] / [`Trace::recorded`] always
+/// account for the full stream exactly.
+#[derive(Debug)]
 pub struct Trace {
-    events: Vec<TraceEvent>,
+    mode: TraceMode,
     capacity: usize,
-    truncated: bool,
+    buf: Vec<TraceEvent>,
+    /// Ring write cursor (next slot to overwrite once wrapped).
+    next: usize,
+    /// Whether the ring has wrapped; cleared by [`Trace::normalize`].
+    wrapped: bool,
+    offered: TraceTotals,
+    recorded: TraceTotals,
+    /// Offered-event ordinal, drives `SampleEveryNth` selection.
+    seq: u64,
+}
+
+impl Default for Trace {
+    fn default() -> Self {
+        Trace::with_capacity(0)
+    }
 }
 
 impl Trace {
-    /// Create a recorder bounded at `capacity` events.
+    /// Create a recorder bounded at `capacity` events in
+    /// [`TraceMode::Truncate`] (the legacy default).
     pub fn with_capacity(capacity: usize) -> Self {
+        Trace::new(capacity, TraceMode::Truncate)
+    }
+
+    /// Create a recorder bounded at `capacity` events with the given
+    /// overflow mode. A `SampleEveryNth(0)` period is treated as 1.
+    pub fn new(capacity: usize, mode: TraceMode) -> Self {
+        let mode = match mode {
+            TraceMode::SampleEveryNth(0) => TraceMode::SampleEveryNth(1),
+            m => m,
+        };
         Trace {
-            events: Vec::new(),
+            mode,
             capacity,
-            truncated: false,
+            buf: Vec::new(),
+            next: 0,
+            wrapped: false,
+            offered: TraceTotals::default(),
+            recorded: TraceTotals::default(),
+            seq: 0,
         }
     }
 
-    /// Record one event (drops and marks truncation beyond capacity).
+    /// Record one event. Always counted in [`Trace::offered`]; whether it
+    /// is retained depends on the mode and capacity.
     #[inline]
     pub fn record(&mut self, ev: TraceEvent) {
-        if self.events.len() < self.capacity {
-            self.events.push(ev);
-        } else {
-            self.truncated = true;
+        self.offered.add(&ev);
+        let ordinal = self.seq;
+        self.seq += 1;
+        match self.mode {
+            TraceMode::Truncate => self.push_truncate(ev),
+            TraceMode::SampleEveryNth(n) => {
+                if ordinal.is_multiple_of(n) {
+                    self.push_truncate(ev);
+                }
+            }
+            TraceMode::Ring => {
+                if self.buf.len() < self.capacity {
+                    self.buf.push(ev);
+                    self.recorded.add(&ev);
+                } else if self.capacity > 0 {
+                    self.recorded.sub(&self.buf[self.next]);
+                    self.buf[self.next] = ev;
+                    self.recorded.add(&ev);
+                    self.next = (self.next + 1) % self.capacity;
+                    self.wrapped = true;
+                }
+            }
         }
     }
 
-    /// The recorded events.
+    #[inline]
+    fn push_truncate(&mut self, ev: TraceEvent) {
+        if self.buf.len() < self.capacity {
+            self.buf.push(ev);
+            self.recorded.add(&ev);
+        }
+    }
+
+    /// Rotate a wrapped ring into recording order. O(capacity), idempotent;
+    /// [`Gpu::stop_trace`](crate::Gpu::stop_trace) calls this so returned
+    /// traces are always in order.
+    pub fn normalize(&mut self) {
+        if self.wrapped {
+            self.buf.rotate_left(self.next);
+            self.next = 0;
+            self.wrapped = false;
+        }
+    }
+
+    /// The recorded events, oldest first. A wrapped ring must be
+    /// [`normalize`](Trace::normalize)d first (traces returned by
+    /// `stop_trace` already are).
     pub fn events(&self) -> &[TraceEvent] {
-        &self.events
+        assert!(
+            !self.wrapped,
+            "ring trace must be normalized before reading events"
+        );
+        &self.buf
     }
 
-    /// Whether events were dropped at the capacity bound.
+    /// The overflow mode.
+    pub fn mode(&self) -> TraceMode {
+        self.mode
+    }
+
+    /// The capacity bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Exact totals of every event offered to the recorder.
+    pub fn offered(&self) -> TraceTotals {
+        self.offered
+    }
+
+    /// Exact totals of the events currently retained.
+    pub fn recorded(&self) -> TraceTotals {
+        self.recorded
+    }
+
+    /// Events offered but no longer retained (truncated, evicted, or
+    /// sampled out).
+    pub fn dropped_events(&self) -> u64 {
+        self.offered.events - self.recorded.events
+    }
+
+    /// Whether any events were dropped at the capacity bound (or thinned
+    /// by sampling).
     pub fn truncated(&self) -> bool {
-        self.truncated
+        self.dropped_events() > 0
     }
 
-    /// Consume the recorder and return the events.
-    pub fn into_events(self) -> Vec<TraceEvent> {
-        self.events
+    /// Consume the recorder and return the events in recording order.
+    pub fn into_events(mut self) -> Vec<TraceEvent> {
+        self.normalize();
+        self.buf
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn read_remote(line_addr: u64, tlb_hit: bool) -> TraceEvent {
+        TraceEvent::ReadLine {
+            loc: MemLocation::Cpu,
+            line_addr,
+            hit: HitLevel::Remote { tlb_hit },
+        }
+    }
 
     #[test]
     fn capacity_bound_marks_truncation() {
@@ -116,5 +396,111 @@ mod tests {
         }
         assert_eq!(t.events().len(), 2);
         assert!(t.truncated());
+        assert_eq!(t.dropped_events(), 1);
+        assert_eq!(t.offered().kernel_launches, 3);
+        assert_eq!(t.recorded().kernel_launches, 2);
+    }
+
+    #[test]
+    fn ring_keeps_the_newest_events_in_order() {
+        let mut t = Trace::new(3, TraceMode::Ring);
+        for i in 0..5 {
+            t.record(read_remote(i * 128, false));
+        }
+        assert_eq!(t.dropped_events(), 2);
+        assert_eq!(t.recorded().events, 3);
+        t.normalize();
+        let addrs: Vec<u64> = t
+            .events()
+            .iter()
+            .map(|ev| match ev {
+                TraceEvent::ReadLine { line_addr, .. } => *line_addr,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(addrs, vec![2 * 128, 3 * 128, 4 * 128]);
+        // Evicted events left the recorded totals exactly.
+        assert_eq!(t.offered().tlb_misses, 5);
+        assert_eq!(t.recorded().tlb_misses, 3);
+    }
+
+    #[test]
+    fn sampling_thins_uniformly_with_exact_accounting() {
+        let mut t = Trace::new(1024, TraceMode::SampleEveryNth(4));
+        for i in 0..100 {
+            t.record(read_remote(i * 128, i % 2 == 0));
+        }
+        assert_eq!(t.events().len(), 25);
+        assert_eq!(t.offered().tlb_accesses, 100);
+        assert_eq!(t.offered().tlb_misses, 50);
+        assert_eq!(t.recorded().tlb_accesses, 25);
+        assert_eq!(t.dropped_events(), 75);
+    }
+
+    #[test]
+    fn totals_classify_every_event_kind() {
+        let mut t = Trace::with_capacity(64);
+        t.record(TraceEvent::ReadLine {
+            loc: MemLocation::Gpu,
+            line_addr: 0,
+            hit: HitLevel::L1,
+        });
+        t.record(TraceEvent::ReadLine {
+            loc: MemLocation::Gpu,
+            line_addr: 128,
+            hit: HitLevel::L2,
+        });
+        t.record(TraceEvent::ReadLine {
+            loc: MemLocation::Gpu,
+            line_addr: 256,
+            hit: HitLevel::GpuMem,
+        });
+        t.record(read_remote(512, true));
+        t.record(TraceEvent::StreamRead {
+            loc: MemLocation::Cpu,
+            addr: 0,
+            bytes: 4096,
+        });
+        t.record(TraceEvent::Write {
+            loc: MemLocation::Cpu,
+            addr: 0,
+            bytes: 64,
+        });
+        t.record(TraceEvent::KernelLaunch);
+        t.record(TraceEvent::Translate {
+            page_addr: 0,
+            hit: false,
+        });
+        t.record(TraceEvent::TlbFlush);
+        t.record(TraceEvent::Fault {
+            kind: FaultKind::Transfer,
+        });
+        t.record(TraceEvent::Retry {
+            attempt: 0,
+            backoff_ns: 10_000,
+        });
+        let o = t.offered();
+        assert_eq!(o.events, 11);
+        assert_eq!(o.read_lines, 4);
+        assert_eq!(o.l2_accesses, 3, "L1 hits never reach L2");
+        assert_eq!(o.l2_misses, 2);
+        assert_eq!(o.tlb_accesses, 2, "remote read + translate");
+        assert_eq!(o.tlb_misses, 1, "only the translate missed");
+        assert_eq!(o.stream_reads, 1);
+        assert_eq!(o.writes, 1);
+        assert_eq!(o.kernel_launches, 1);
+        assert_eq!(o.translates, 1);
+        assert_eq!(o.tlb_flushes, 1);
+        assert_eq!(o.faults, 1);
+        assert_eq!(o.retries, 1);
+        assert_eq!(t.recorded(), o, "nothing dropped below capacity");
+    }
+
+    #[test]
+    fn zero_capacity_ring_drops_everything_safely() {
+        let mut t = Trace::new(0, TraceMode::Ring);
+        t.record(TraceEvent::KernelLaunch);
+        assert_eq!(t.events().len(), 0);
+        assert_eq!(t.dropped_events(), 1);
     }
 }

@@ -1,6 +1,6 @@
 //! Trace-recorder tests: assert on access *patterns*, not just counters.
 
-use windex_sim::{Gpu, GpuSpec, HitLevel, MemLocation, Scale, TraceEvent};
+use windex_sim::{Gpu, GpuSpec, HitLevel, MemLocation, Scale, TraceEvent, TraceMode};
 
 fn gpu() -> Gpu {
     Gpu::new(GpuSpec::v100_nvlink2(Scale::PAPER))
@@ -83,14 +83,68 @@ fn stream_and_write_events_recorded() {
             ..
         }
     ));
+    // The streamed CPU read's page translation is traced too (a cold miss).
     assert!(matches!(
         trace.events()[2],
+        TraceEvent::Translate { hit: false, .. }
+    ));
+    assert!(matches!(
+        trace.events()[3],
         TraceEvent::Write {
             loc: MemLocation::Gpu,
             bytes: 8,
             ..
         }
     ));
+}
+
+#[test]
+fn offered_totals_reconcile_exactly_with_counters() {
+    let mut g = gpu();
+    let buf = g.alloc_host_from_vec((0u64..1 << 14).collect::<Vec<_>>());
+    // A tiny ring that evicts heavily: the recorded buffer shrinks, but
+    // the offered totals must still match the counters event for event.
+    g.start_trace_mode(64, TraceMode::Ring);
+    let before = g.snapshot();
+    g.kernel_launch();
+    for i in (0..1 << 14).step_by(37) {
+        let _ = buf.read(&mut g, i);
+    }
+    let _ = buf.stream_read(&mut g, 0, 1 << 12);
+    g.reset_memory_system();
+    let d = g.snapshot() - before;
+    let trace = g.stop_trace();
+    let o = trace.offered();
+    assert!(trace.dropped_events() > 0, "ring must have evicted");
+    assert_eq!(o.tlb_accesses, d.tlb_hits + d.tlb_misses);
+    assert_eq!(o.tlb_misses, d.tlb_misses);
+    assert_eq!(o.l2_accesses, d.l2_hits + d.l2_misses);
+    assert_eq!(o.l2_misses, d.l2_misses);
+    assert_eq!(o.kernel_launches, d.kernel_launches);
+    assert_eq!(o.tlb_flushes, 1);
+    assert_eq!(trace.events().len(), 64);
+}
+
+#[test]
+fn retries_and_faults_appear_in_the_trace() {
+    use windex_sim::FaultPlan;
+    let mut g = gpu();
+    g.set_fault_plan(FaultPlan::seeded(3).with_transfer_faults(1.0));
+    let buf = g.alloc_host_from_vec(vec![0u64; 64]);
+    g.start_trace(64);
+    let _ = buf.stream_read(&mut g, 0, 64);
+    g.record_retry(0);
+    let trace = g.stop_trace();
+    assert_eq!(trace.offered().faults, 1);
+    assert_eq!(trace.offered().retries, 1);
+    assert!(trace
+        .events()
+        .iter()
+        .any(|e| matches!(e, TraceEvent::Fault { .. })));
+    assert!(trace
+        .events()
+        .iter()
+        .any(|e| matches!(e, TraceEvent::Retry { attempt: 0, .. })));
 }
 
 #[test]

@@ -1,7 +1,8 @@
 //! Offline stand-in for `serde_json`, covering the slice the workspace
 //! uses: [`Value`] / [`Number`], the [`json!`] macro over plain expressions,
-//! [`to_string`] / [`to_string_pretty`], and `Display` rendering that
-//! matches serde_json's output for the value shapes produced here.
+//! [`to_string`] / [`to_string_pretty`], [`from_str`] parsing into a
+//! [`Value`] tree, and `Display` rendering that matches serde_json's output
+//! for the value shapes produced here.
 
 // Shim code mirrors upstream API shapes; keep clippy out of it.
 #![allow(clippy::all)]
@@ -136,6 +137,54 @@ impl Value {
     /// Whether this is `Value::Null`.
     pub fn is_null(&self) -> bool {
         matches!(self, Value::Null)
+    }
+
+    /// Exact unsigned-integer view (`None` for non-integers).
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(n) => n.as_u64(),
+            _ => None,
+        }
+    }
+
+    /// Exact signed-integer view (`None` for non-integers).
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(n) => n.as_i64(),
+            _ => None,
+        }
+    }
+
+    /// Boolean view (`None` for non-booleans).
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Array view (`None` for non-arrays).
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Object view as ordered key → value pairs (`None` for non-objects).
+    pub fn as_object(&self) -> Option<&Vec<(String, Value)>> {
+        match self {
+            Value::Object(entries) => Some(entries),
+            _ => None,
+        }
+    }
+
+    /// Look up `key` in an object (`None` for non-objects / missing keys).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
     }
 }
 
@@ -412,6 +461,223 @@ pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Result<Value, Error> {
     Ok(Value::from(value.to_ser_value()))
 }
 
+/// Parse a JSON document into a [`Value`] tree. Objects preserve key order,
+/// numbers keep their integer-ness (as in serde_json's
+/// `from_str::<Value>`), and trailing garbage after the document is an
+/// error.
+pub fn from_str(s: &str) -> Result<Value, Error> {
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.parse_value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(Error(format!("trailing characters at byte {}", p.pos)));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error(format!(
+                "expected '{}' at byte {}",
+                b as char, self.pos
+            )))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value, Error> {
+        match self.peek() {
+            Some(b'n') => self.parse_keyword("null", Value::Null),
+            Some(b't') => self.parse_keyword("true", Value::Bool(true)),
+            Some(b'f') => self.parse_keyword("false", Value::Bool(false)),
+            Some(b'"') => Ok(Value::String(self.parse_string()?)),
+            Some(b'[') => self.parse_array(),
+            Some(b'{') => self.parse_object(),
+            Some(b'-') | Some(b'0'..=b'9') => self.parse_number(),
+            _ => Err(Error(format!("unexpected input at byte {}", self.pos))),
+        }
+    }
+
+    fn parse_keyword(&mut self, word: &str, value: Value) -> Result<Value, Error> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(Error(format!("invalid literal at byte {}", self.pos)))
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let b = self
+                .peek()
+                .ok_or_else(|| Error("unterminated string".into()))?;
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let esc = self
+                        .peek()
+                        .ok_or_else(|| Error("unterminated escape".into()))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .ok_or_else(|| Error("truncated \\u escape".into()))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| Error("invalid \\u escape".into()))?;
+                            self.pos += 4;
+                            // Surrogate pairs are not produced by the shim's
+                            // writer; reject rather than mis-decode.
+                            let c = char::from_u32(code)
+                                .ok_or_else(|| Error("unsupported \\u escape".into()))?;
+                            out.push(c);
+                        }
+                        _ => return Err(Error(format!("bad escape at byte {}", self.pos))),
+                    }
+                }
+                _ => {
+                    // Re-decode from the byte position to keep multi-byte
+                    // UTF-8 sequences intact.
+                    let start = self.pos - 1;
+                    let s = std::str::from_utf8(&self.bytes[start..])
+                        .map_err(|_| Error("invalid UTF-8 in string".into()))?;
+                    let c = s.chars().next().expect("non-empty by construction");
+                    out.push(c);
+                    self.pos = start + c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| Error("invalid number".into()))?;
+        let repr = if !is_float {
+            if text.starts_with('-') {
+                text.parse::<i64>().map(Repr::I64).ok()
+            } else {
+                text.parse::<u64>().map(Repr::U64).ok()
+            }
+        } else {
+            None
+        };
+        let repr = match repr {
+            Some(r) => r,
+            None => Repr::F64(
+                text.parse::<f64>()
+                    .map_err(|_| Error(format!("invalid number '{text}'")))?,
+            ),
+        };
+        Ok(Value::Number(Number(repr)))
+    }
+
+    fn parse_array(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(Error(format!("expected ',' or ']' at byte {}", self.pos))),
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut entries = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(entries));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.parse_value()?;
+            entries.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(entries));
+                }
+                _ => return Err(Error(format!("expected ',' or '}}' at byte {}", self.pos))),
+            }
+        }
+    }
+}
+
 /// Build a [`Value`] from a plain expression (or `null`). Object/array
 /// literal syntax from the real `json!` macro is intentionally unsupported.
 #[macro_export]
@@ -466,5 +732,51 @@ mod tests {
     #[test]
     fn string_escaping() {
         assert_eq!(json!("a\"b\\c\nd").to_string(), "\"a\\\"b\\\\c\\nd\"");
+    }
+
+    #[test]
+    fn parse_round_trips_writer_output() {
+        let v = Value::Object(vec![
+            ("a".into(), json!(1)),
+            ("b".into(), Value::Array(vec![json!(true), Value::Null])),
+            ("c".into(), json!(-2.5)),
+            ("d".into(), json!("x\n\"y\"")),
+        ]);
+        for text in [to_string(&v).unwrap(), to_string_pretty(&v).unwrap()] {
+            assert_eq!(from_str(&text).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn parse_preserves_integerness_and_key_order() {
+        let v = from_str("{\"z\": 1, \"a\": 2.0, \"n\": -3}").unwrap();
+        let keys: Vec<&str> = v
+            .as_object()
+            .unwrap()
+            .iter()
+            .map(|(k, _)| k.as_str())
+            .collect();
+        assert_eq!(keys, vec!["z", "a", "n"]);
+        assert_eq!(v.get("z").unwrap().as_u64(), Some(1));
+        assert!(v.get("a").unwrap().as_u64().is_none(), "2.0 stays a float");
+        assert_eq!(v.get("n").unwrap().as_i64(), Some(-3));
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(from_str("").is_err());
+        assert!(from_str("{\"a\": }").is_err());
+        assert!(from_str("[1, 2] tail").is_err());
+        assert!(from_str("nul").is_err());
+        assert!(from_str("\"open").is_err());
+    }
+
+    #[test]
+    fn value_accessors() {
+        let v = from_str("{\"arr\": [1], \"b\": true}").unwrap();
+        assert_eq!(v.get("arr").unwrap().as_array().unwrap().len(), 1);
+        assert_eq!(v.get("b").unwrap().as_bool(), Some(true));
+        assert!(v.get("missing").is_none());
+        assert!(json!(1).get("x").is_none());
     }
 }
