@@ -1,0 +1,73 @@
+//! Criterion micro-bench: the engine's per-access hot path.
+//!
+//! Measures raw simulator speed (wall clock per simulated access) for the
+//! immediate scalar path (`Buffer::read`) against the warp-batched issue
+//! path (`read_issued` + `access_lines`), on a hit-heavy stream (a
+//! cache-resident working set — dominated by the MRU way-0 fast hit and
+//! the `last_line` short-circuit) and a miss-heavy stream (one page per
+//! access — dominated by LRU insertion and the page-stamp table).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use windex_sim::{Gpu, GpuSpec, Scale, WARP_SIZE};
+
+/// Accesses per measured iteration.
+const ACCESSES: usize = 4096;
+
+/// Hit-heavy: 8 hot lines, far smaller than L1.
+fn hot_indices(line_elems: usize) -> Vec<usize> {
+    (0..ACCESSES).map(|k| (k % 8) * line_elems).collect()
+}
+
+/// Miss-heavy: stride a page per access across a large buffer.
+fn cold_indices(page_elems: usize, len: usize) -> Vec<usize> {
+    (0..ACCESSES)
+        .map(|k| (k * page_elems * 7 + k) % (len - 1))
+        .collect()
+}
+
+fn bench_engine_access(c: &mut Criterion) {
+    let mut gpu = Gpu::new(GpuSpec::v100_nvlink2(Scale::PAPER));
+    let line_elems = gpu.spec().cacheline_bytes as usize / 8;
+    let page_elems = gpu.spec().page_bytes as usize / 8;
+    let buf = gpu.alloc_host_from_vec(vec![1u64; 1 << 20]);
+
+    let mut group = c.benchmark_group("engine_access");
+    group.throughput(Throughput::Elements(ACCESSES as u64));
+    for (stream, indices) in [
+        ("hit_heavy", hot_indices(line_elems)),
+        ("miss_heavy", cold_indices(page_elems, buf.len())),
+    ] {
+        group.bench_function(format!("scalar/{stream}"), |b| {
+            b.iter(|| {
+                let mut acc = 0u64;
+                for &i in &indices {
+                    acc = acc.wrapping_add(buf.read(&mut gpu, i));
+                }
+                black_box(acc)
+            })
+        });
+        group.bench_function(format!("batched/{stream}"), |b| {
+            b.iter(|| {
+                let mut acc = 0u64;
+                // Issue warp-sized batches, draining once per warp — the
+                // shape `lockstep` produces.
+                for warp in indices.chunks(WARP_SIZE) {
+                    for &i in warp {
+                        acc = acc.wrapping_add(buf.read_issued(&mut gpu, i));
+                    }
+                    gpu.access_lines();
+                }
+                black_box(acc)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_engine_access
+}
+criterion_main!(benches);

@@ -25,6 +25,11 @@ pub struct ExpConfig {
     pub out_dir: PathBuf,
     /// Reduced sweep for CI / `cargo bench`.
     pub quick: bool,
+    /// Worker threads for the seed-matrix targets (`baseline`, `regress`,
+    /// `simperf`). Matrix cells are independent deterministic simulations
+    /// (one fresh `Gpu` each), merged in fixed cell order — so any job
+    /// count produces byte-identical reports.
+    pub jobs: usize,
 }
 
 impl ExpConfig {
@@ -40,6 +45,7 @@ impl ExpConfig {
             fixed_r_gib: 100.0,
             out_dir: PathBuf::from("results"),
             quick: false,
+            jobs: 1,
         }
     }
 
@@ -53,6 +59,7 @@ impl ExpConfig {
             fixed_r_gib: 64.0,
             out_dir: PathBuf::from("results"),
             quick: true,
+            jobs: 1,
         }
     }
 

@@ -87,62 +87,156 @@ fn r6(v: f64) -> f64 {
     (v * 1e6).round() / 1e6
 }
 
-pub(crate) fn compute() -> Baseline {
-    let scale = Scale::PAPER;
-    let spec = GpuSpec::v100_nvlink2(scale);
-    let mut entries = Vec::new();
-    for &gib in &R_GIB {
-        let r = Relation::unique_sorted(
-            scale.sim_tuples_for_paper_gib(gib),
-            KeyDistribution::Dense,
-            42,
-        );
-        let s = Relation::foreign_keys_uniform(&r, S_TUPLES, 7);
-        for st in strategies() {
-            let mut gpu = Gpu::new(spec.clone());
-            let rep = QueryExecutor::new()
-                .run(&mut gpu, &r, &s, st)
-                .expect("baseline query must succeed");
-            entries.push(BaselineEntry {
-                strategy: rep.strategy.clone(),
-                r_gib: gib,
-                queries_per_second: r6(rep.queries_per_second()),
-                translations_per_lookup: r6(rep.translations_per_lookup()),
-                share_partition: r6(rep.phases.share(phase::PARTITION)),
-                share_lookup: r6(rep.phases.share(phase::LOOKUP)),
-                share_other: r6(rep.phases.share(phase::OTHER)),
-                windows: rep.windows,
-                result_tuples: rep.result_tuples,
-                tlb_misses: rep.counters.tlb_misses,
-                ic_bytes_total: rep.counters.ic_bytes_total(),
-                retries: rep.retries,
-            });
-        }
-    }
-    Baseline {
-        schema: SCHEMA_VERSION,
-        scale_factor: scale.factor,
-        s_tuples: S_TUPLES,
-        window_tuples: WINDOW_TUPLES,
-        entries,
-    }
+/// Run one matrix cell on a fresh `Gpu`. Cells are independent
+/// deterministic simulations, which is what makes the parallel harness
+/// safe: any scheduling of cells produces the same per-cell result.
+/// Also returns the cell's simulated memory-system accesses (L1 + TLB
+/// lookups), the work unit the `simperf` target normalizes by.
+fn run_cell(spec: &GpuSpec, r: &Relation, s: &Relation, gib: f64, st: JoinStrategy) -> CellResult {
+    let mut gpu = Gpu::new(spec.clone());
+    let rep = QueryExecutor::new()
+        .run(&mut gpu, r, s, st)
+        .expect("baseline query must succeed");
+    let c = &rep.counters;
+    let accesses = c.l1_hits + c.l1_misses + c.tlb_hits + c.tlb_misses;
+    let entry = BaselineEntry {
+        strategy: rep.strategy.clone(),
+        r_gib: gib,
+        queries_per_second: r6(rep.queries_per_second()),
+        translations_per_lookup: r6(rep.translations_per_lookup()),
+        share_partition: r6(rep.phases.share(phase::PARTITION)),
+        share_lookup: r6(rep.phases.share(phase::LOOKUP)),
+        share_other: r6(rep.phases.share(phase::OTHER)),
+        windows: rep.windows,
+        result_tuples: rep.result_tuples,
+        tlb_misses: rep.counters.tlb_misses,
+        ic_bytes_total: rep.counters.ic_bytes_total(),
+        retries: rep.retries,
+    };
+    (entry, accesses)
 }
 
-/// The canonical baseline serialization — what `BENCH_baseline.json`
-/// contains, byte-for-byte.
-pub fn baseline_json() -> String {
-    let mut text = serde_json::to_string_pretty(&compute()).expect("baseline serializes");
+type CellResult = (BaselineEntry, u64);
+
+/// Scatter the cells over `jobs` scoped worker threads (atomic work
+/// stealing) and merge the results back in fixed cell order. Workers only
+/// decide *when* a cell runs, never *what* it computes, so the merged
+/// vector is identical for every job count.
+fn run_cells_parallel(
+    jobs: usize,
+    spec: &GpuSpec,
+    inputs: &[(f64, Relation, Relation)],
+    cells: &[(usize, JoinStrategy)],
+) -> Vec<CellResult> {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    let next = AtomicUsize::new(0);
+    let mut slots: Vec<Option<CellResult>> = vec![None; cells.len()];
+    std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..jobs)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut mine = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= cells.len() {
+                            break;
+                        }
+                        let (input, st) = cells[i];
+                        let (gib, r, s) = &inputs[input];
+                        mine.push((i, run_cell(spec, r, s, *gib, st)));
+                    }
+                    mine
+                })
+            })
+            .collect();
+        for w in workers {
+            for (i, result) in w.join().expect("baseline worker panicked") {
+                slots[i] = Some(result);
+            }
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| s.expect("every cell was claimed by a worker"))
+        .collect()
+}
+
+/// Compute the seed matrix with `jobs` workers, also returning the total
+/// simulated memory-system accesses (for `simperf`).
+pub(crate) fn compute_counted(jobs: usize) -> (Baseline, u64) {
+    let scale = Scale::PAPER;
+    let spec = GpuSpec::v100_nvlink2(scale);
+    // Relations are deterministic functions of their seeds; build each R
+    // size once and share it read-only across that size's cells.
+    let inputs: Vec<(f64, Relation, Relation)> = R_GIB
+        .iter()
+        .map(|&gib| {
+            let r = Relation::unique_sorted(
+                scale.sim_tuples_for_paper_gib(gib),
+                KeyDistribution::Dense,
+                42,
+            );
+            let s = Relation::foreign_keys_uniform(&r, S_TUPLES, 7);
+            (gib, r, s)
+        })
+        .collect();
+    let cells: Vec<(usize, JoinStrategy)> = (0..inputs.len())
+        .flat_map(|input| strategies().into_iter().map(move |st| (input, st)))
+        .collect();
+    let results = if jobs <= 1 {
+        cells
+            .iter()
+            .map(|&(input, st)| {
+                let (gib, r, s) = &inputs[input];
+                run_cell(&spec, r, s, *gib, st)
+            })
+            .collect()
+    } else {
+        run_cells_parallel(jobs, &spec, &inputs, &cells)
+    };
+    let accesses = results.iter().map(|(_, a)| a).sum();
+    let entries = results.into_iter().map(|(e, _)| e).collect();
+    (
+        Baseline {
+            schema: SCHEMA_VERSION,
+            scale_factor: scale.factor,
+            s_tuples: S_TUPLES,
+            window_tuples: WINDOW_TUPLES,
+            entries,
+        },
+        accesses,
+    )
+}
+
+pub(crate) fn compute() -> Baseline {
+    compute_counted(1).0
+}
+
+/// [`compute`] with a worker count; byte-identical output for any `jobs`.
+pub(crate) fn compute_with_jobs(jobs: usize) -> Baseline {
+    compute_counted(jobs).0
+}
+
+/// The canonical serialization of a computed matrix — what
+/// `BENCH_baseline.json` contains, byte-for-byte.
+fn to_json(data: &Baseline) -> String {
+    let mut text = serde_json::to_string_pretty(data).expect("baseline serializes");
     text.push('\n');
     text
+}
+
+/// The canonical baseline serialization, computed serially.
+pub fn baseline_json() -> String {
+    to_json(&compute())
 }
 
 /// The `baseline` target: renders the matrix as an experiment table and
 /// writes the canonical `BENCH_baseline.json` into `cfg.out_dir`.
 pub fn baseline(cfg: &ExpConfig) -> Experiment {
-    let data = compute();
+    let data = compute_with_jobs(cfg.jobs);
     let path = cfg.out_dir.join("BENCH_baseline.json");
     let write =
-        std::fs::create_dir_all(&cfg.out_dir).and_then(|()| std::fs::write(&path, baseline_json()));
+        std::fs::create_dir_all(&cfg.out_dir).and_then(|()| std::fs::write(&path, to_json(&data)));
     if let Err(e) = write {
         eprintln!("warning: could not write {}: {e}", path.display());
     }
@@ -195,6 +289,30 @@ mod tests {
     #[test]
     fn baseline_is_byte_deterministic() {
         assert_eq!(baseline_json(), baseline_json());
+    }
+
+    #[test]
+    fn parallel_jobs_are_byte_identical_to_serial() {
+        let serial = to_json(&compute_with_jobs(1));
+        let parallel = to_json(&compute_with_jobs(4));
+        assert_eq!(serial, parallel, "--jobs must not change the report");
+    }
+
+    #[test]
+    fn baseline_matches_committed_file() {
+        // The regression gate diffs with tolerance bands; this golden test
+        // holds the canonical artifact to *byte* identity, so any engine
+        // change that moves a counter — even inside the bands — must
+        // regenerate BENCH_baseline.json deliberately.
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_baseline.json");
+        let committed =
+            std::fs::read_to_string(path).expect("committed BENCH_baseline.json at the repo root");
+        assert_eq!(
+            baseline_json(),
+            committed,
+            "fresh baseline differs from committed BENCH_baseline.json; \
+             regenerate with `experiments baseline` if intentional"
+        );
     }
 
     #[test]

@@ -16,6 +16,7 @@ pub mod figs56;
 pub mod observe;
 pub mod regress;
 pub mod serve;
+pub mod simperf;
 pub mod summary;
 pub mod table1;
 pub mod validate;

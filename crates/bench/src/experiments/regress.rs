@@ -232,13 +232,13 @@ fn diff(fresh: &Baseline, committed: &[CommittedEntry]) -> (Vec<Vec<Value>>, Vec
 
 /// The `regress` target. `Err` (→ nonzero exit) on any tolerance
 /// violation, with every offending metric listed.
-pub fn regress(_cfg: &ExpConfig) -> Result<Experiment, String> {
+pub fn regress(cfg: &ExpConfig) -> Result<Experiment, String> {
     let path =
         std::env::var("WINDEX_BASELINE").unwrap_or_else(|_| DEFAULT_BASELINE_PATH.to_string());
     let text = std::fs::read_to_string(&path)
         .map_err(|e| format!("cannot read committed baseline '{path}': {e}"))?;
     let committed = decode_baseline(&text)?;
-    let fresh = baseline::compute();
+    let fresh = baseline::compute_with_jobs(cfg.jobs);
     let (rows, violations) = diff(&fresh, &committed);
     if !violations.is_empty() {
         return Err(format!(

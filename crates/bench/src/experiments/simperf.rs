@@ -1,0 +1,200 @@
+//! The `simperf` target: measures the simulator's raw speed and gates it.
+//!
+//! Every other target reports *simulated* performance; this one reports
+//! how fast the simulator itself chews through simulated work. It runs the
+//! canonical baseline seed matrix a few times, takes the best wall-clock
+//! time (the least noisy estimator on a shared machine), and normalizes by
+//! the total simulated memory-system accesses performed (L1 lookups plus
+//! TLB lookups — the unit of work of the engine's hot path).
+//!
+//! The result is written as `BENCH_simperf.json`. When a committed copy
+//! exists at the repo root (override with `WINDEX_SIMPERF`), the target
+//! *fails* if the fresh accesses-per-second falls more than 20 % below the
+//! committed number — the engine-speed analogue of the `regress` gate. A
+//! missing committed file is a warning, not a failure, so the target stays
+//! usable on machines that never recorded a reference point.
+//!
+//! Unlike `baseline`, the JSON here is machine-dependent by design: it
+//! records wall-clock throughput, not simulated counters.
+
+use crate::config::ExpConfig;
+use crate::experiments::baseline;
+use crate::output::{num, Experiment};
+use serde::Serialize;
+use serde_json::json;
+
+/// Format-version marker.
+pub(crate) const SCHEMA_VERSION: u32 = 1;
+
+/// Matrix repetitions; best-of is reported.
+const REPS: usize = 3;
+
+/// Fail when fresh accesses/sec drops below this fraction of committed.
+const REGRESSION_FLOOR: f64 = 0.80;
+
+/// Where the committed reference lives unless `WINDEX_SIMPERF` overrides.
+const DEFAULT_SIMPERF_PATH: &str = "BENCH_simperf.json";
+
+/// Wall-clock seconds one serial baseline-matrix run took on the engine
+/// before the batched-issue/flat-array rework (same machine class as the
+/// committed reference; recorded for the speedup line in reports).
+const PRE_REWORK_MATRIX_SECONDS: f64 = 0.5972;
+
+/// The `BENCH_simperf.json` payload.
+#[derive(Debug, Clone, Serialize)]
+struct Simperf {
+    schema: u32,
+    jobs: usize,
+    reps: usize,
+    /// Simulated memory-system accesses per matrix run (L1 + TLB lookups);
+    /// deterministic, identical for every job count.
+    accesses: u64,
+    /// Best-of-`reps` wall seconds for one matrix run.
+    best_wall_seconds: f64,
+    /// The gated metric.
+    accesses_per_second: f64,
+    /// Matrix wall seconds of the pre-rework serial engine (reference).
+    pre_rework_matrix_seconds: f64,
+    /// `pre_rework_matrix_seconds / best_wall_seconds`.
+    speedup_vs_pre_rework: f64,
+}
+
+fn measure(jobs: usize) -> Simperf {
+    let mut best = f64::INFINITY;
+    let mut accesses = 0u64;
+    for _ in 0..REPS {
+        let started = std::time::Instant::now();
+        let (_, a) = baseline::compute_counted(jobs);
+        let wall = started.elapsed().as_secs_f64();
+        best = best.min(wall);
+        accesses = a;
+    }
+    Simperf {
+        schema: SCHEMA_VERSION,
+        jobs,
+        reps: REPS,
+        accesses,
+        best_wall_seconds: best,
+        accesses_per_second: accesses as f64 / best,
+        pre_rework_matrix_seconds: PRE_REWORK_MATRIX_SECONDS,
+        speedup_vs_pre_rework: PRE_REWORK_MATRIX_SECONDS / best,
+    }
+}
+
+/// Read the committed reference's accesses-per-second, if a file exists.
+fn committed_accesses_per_second(path: &str) -> Result<Option<f64>, String> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(_) => return Ok(None),
+    };
+    let root: serde_json::Value =
+        serde_json::from_str(&text).map_err(|e| format!("'{path}' is not JSON: {e}"))?;
+    root.get("accesses_per_second")
+        .and_then(|v| v.as_f64())
+        .map(Some)
+        .ok_or_else(|| format!("'{path}' has no numeric 'accesses_per_second'"))
+}
+
+/// The `simperf` target. `Err` (→ nonzero exit) when engine throughput
+/// regressed more than 20 % against the committed reference.
+pub fn simperf(cfg: &ExpConfig) -> Result<Experiment, String> {
+    let fresh = measure(cfg.jobs);
+
+    let path = std::env::var("WINDEX_SIMPERF").unwrap_or_else(|_| DEFAULT_SIMPERF_PATH.to_string());
+    let committed = committed_accesses_per_second(&path)?;
+    let gate_note = match committed {
+        None => format!("no committed reference at '{path}'; gate skipped (recording run)"),
+        Some(c) => {
+            if fresh.accesses_per_second < REGRESSION_FLOOR * c {
+                return Err(format!(
+                    "simulator throughput regression: {:.0} accesses/sec is below {:.0}% of \
+                     the committed {:.0} (from '{path}')",
+                    fresh.accesses_per_second,
+                    REGRESSION_FLOOR * 100.0,
+                    c
+                ));
+            }
+            format!(
+                "gate: fresh {:.2e} accesses/sec vs committed {:.2e} (floor {:.0}%) — ok",
+                fresh.accesses_per_second,
+                c,
+                REGRESSION_FLOOR * 100.0
+            )
+        }
+    };
+
+    let out_path = cfg.out_dir.join("BENCH_simperf.json");
+    let mut text = serde_json::to_string_pretty(&fresh).expect("simperf serializes");
+    text.push('\n');
+    let write =
+        std::fs::create_dir_all(&cfg.out_dir).and_then(|()| std::fs::write(&out_path, text));
+    if let Err(e) = write {
+        eprintln!("warning: could not write {}: {e}", out_path.display());
+    }
+
+    Ok(Experiment {
+        id: "simperf".into(),
+        title: "Simulator throughput: simulated accesses per wall-clock second".into(),
+        columns: vec![
+            "jobs".into(),
+            "accesses".into(),
+            "best_wall_s".into(),
+            "accesses_per_s".into(),
+            "speedup_vs_pre_rework".into(),
+        ],
+        rows: vec![vec![
+            json!(fresh.jobs),
+            json!(fresh.accesses),
+            num(fresh.best_wall_seconds),
+            num(fresh.accesses_per_second),
+            num(fresh.speedup_vs_pre_rework),
+        ]],
+        notes: vec![
+            format!("best of {REPS} runs of the baseline seed matrix; accesses = L1 + TLB lookups"),
+            format!(
+                "pre-rework serial engine ran the matrix in {PRE_REWORK_MATRIX_SECONDS}s \
+                 (reference for the speedup column)"
+            ),
+            gate_note,
+            "also written as BENCH_simperf.json (machine-dependent: wall clock)".into(),
+        ],
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measure_counts_work_and_time() {
+        let m = measure(1);
+        assert!(m.accesses > 0);
+        assert!(m.best_wall_seconds > 0.0);
+        assert!(m.accesses_per_second > 0.0);
+        assert_eq!(m.schema, SCHEMA_VERSION);
+    }
+
+    #[test]
+    fn accesses_are_job_count_independent() {
+        let (_, a1) = baseline::compute_counted(1);
+        let (_, a4) = baseline::compute_counted(4);
+        assert_eq!(a1, a4, "simulated work must not depend on --jobs");
+        assert!(a1 > 0);
+    }
+
+    #[test]
+    fn committed_reference_parses_or_is_absent() {
+        // Missing file → no gate.
+        assert_eq!(
+            committed_accesses_per_second("/nonexistent/simperf.json").unwrap(),
+            None
+        );
+        // Malformed file → hard error, not a silent pass.
+        let dir = std::env::temp_dir().join("windex-simperf-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let bad = dir.join("bad.json");
+        std::fs::write(&bad, "{\"schema\": 1}\n").unwrap();
+        let err = committed_accesses_per_second(bad.to_str().unwrap()).unwrap_err();
+        assert!(err.contains("accesses_per_second"), "{err}");
+    }
+}

@@ -1,7 +1,7 @@
 //! `experiments` — regenerate the paper's tables and figures.
 //!
 //! ```text
-//! experiments [--quick] [--charts] [--out DIR] <target>...
+//! experiments [--quick] [--charts] [--out DIR] [--jobs N] <target>...
 //!
 //! targets:
 //!   all          every table, figure, ablation, and the summary
@@ -16,6 +16,9 @@
 //!   baseline     deterministic perf baseline (writes BENCH_baseline.json)
 //!   regress      CI gate: re-run the baseline matrix, diff against the
 //!                committed BENCH_baseline.json with tolerance bands
+//!   simperf      simulator throughput: simulated accesses per wall-clock
+//!                second over the baseline matrix (writes
+//!                BENCH_simperf.json; gates vs the committed copy)
 //!   observe      export Perfetto traces, TLB/L2 residency heatmaps, and
 //!                an OpenMetrics snapshot from seeded runs
 //!   whatif-gh200 GH200 NVLink C2C what-if (beyond the paper)
@@ -29,8 +32,8 @@
 
 use std::path::{Path, PathBuf};
 use windex_bench::experiments::{
-    ablations, baseline, fig1, fig7, fig8, fig9, figs34, figs56, observe, regress, serve, summary,
-    table1, validate, whatif,
+    ablations, baseline, fig1, fig7, fig8, fig9, figs34, figs56, observe, regress, serve, simperf,
+    summary, table1, validate, whatif,
 };
 use windex_bench::{ExpConfig, Experiment};
 
@@ -80,6 +83,7 @@ fn run_target(target: &str, cfg: &ExpConfig) -> Result<Vec<Experiment>, String> 
         "baseline" => vec![baseline::baseline(cfg)],
         "observe" => vec![observe::observe(cfg)],
         "regress" => vec![regress::regress(cfg)?],
+        "simperf" => vec![simperf::simperf(cfg)?],
         "all" => {
             let mut out = vec![table1::table1(), fig1::fig1(cfg)];
             let unpart = figs34::unpartitioned_sweep(cfg);
@@ -105,6 +109,7 @@ fn main() {
     let mut quick = false;
     let mut charts = false;
     let mut out_dir: Option<PathBuf> = None;
+    let mut jobs: usize = 1;
     let mut targets: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -117,10 +122,23 @@ fn main() {
                     std::process::exit(2);
                 })));
             }
+            "--jobs" => {
+                jobs = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n >= 1)
+                    .unwrap_or_else(|| {
+                        eprintln!("--jobs requires a positive integer");
+                        std::process::exit(2);
+                    });
+            }
             "--help" | "-h" => {
-                println!("usage: experiments [--quick] [--charts] [--out DIR] <target>...");
-                println!("targets: all table1 fig1 fig3 fig4 fig5 fig6 fig7 fig8 fig9 serve baseline regress observe whatif-gh200 validate-scale");
+                println!(
+                    "usage: experiments [--quick] [--charts] [--out DIR] [--jobs N] <target>..."
+                );
+                println!("targets: all table1 fig1 fig3 fig4 fig5 fig6 fig7 fig8 fig9 serve baseline regress simperf observe whatif-gh200 validate-scale");
                 println!("         summary ablations ablation-{{bits,overlap,pages,node-size,fanout,keydist,warm,spill,subwarp}}");
+                println!("--jobs N runs the seed-matrix targets (baseline, regress, simperf) on N worker threads; reports are byte-identical for any N");
                 return;
             }
             t => targets.push(t.to_string()),
@@ -134,6 +152,7 @@ fn main() {
     if let Some(dir) = out_dir {
         cfg.out_dir = dir;
     }
+    cfg.jobs = jobs;
     println!(
         "windex experiments — scale 1:{} ({}), S = 2^{} tuples, sweep {:?} GiB\n",
         cfg.scale.factor,

@@ -25,11 +25,12 @@
 use crate::cache::Cache;
 use crate::counters::Counters;
 use crate::fault::{FaultKind, FaultPlan, RetryPolicy, SimError};
+use crate::lru;
 use crate::mem::{Buffer, MemLocation};
+use crate::pagestamps::PageStampTable;
 use crate::spec::GpuSpec;
 use crate::tlb::Tlb;
 use crate::trace::{HitLevel, Trace, TraceEvent, TraceMode};
-use std::collections::HashMap;
 
 /// Re-miss distance (in line accesses) separating *thrashing* from
 /// *periodic sweep* misses. A page re-missed within this window was evicted
@@ -38,6 +39,15 @@ use std::collections::HashMap;
 /// periodic revisit — e.g. the next tumbling window sweeping the same pages
 /// — whose count is scale-invariant (pages × phases).
 const THRASH_DISTANCE: u64 = 2048;
+
+/// A deferred memory access waiting in the warp issue queue.
+#[derive(Debug, Clone, Copy)]
+struct IssuedAccess {
+    loc: MemLocation,
+    addr: u64,
+    bytes: u64,
+    write: bool,
+}
 
 /// The simulated GPU. Owns the memory-system state and allocates buffers in
 /// a shared virtual address space.
@@ -54,9 +64,19 @@ pub struct Gpu {
     page_shift: u32,
     /// Line-access clock for re-miss distance measurement.
     access_clock: u64,
+    /// The previously accessed line: a repeat access is a guaranteed L1 hit
+    /// (the line is MRU in its set) and short-circuits the whole hierarchy.
+    last_line: u64,
     /// Per-page stamp of the last miss (distinguishes thrashing re-misses
-    /// from compulsory / periodic-sweep misses).
-    missed_pages: HashMap<u64, u64>,
+    /// from compulsory / periodic-sweep misses). Flat and bounded; cleared
+    /// on [`Gpu::reset_memory_system`].
+    missed_pages: PageStampTable,
+    /// Warp-coalesced issue queue: accesses deferred by
+    /// [`Gpu::issue_read`]/[`Gpu::issue_write`], resolved in program order
+    /// by [`Gpu::access_lines`]. Every immediate accounting entry point
+    /// drains this queue first, so the global accounting order always
+    /// equals program order and batching is observationally invisible.
+    issue: Vec<IssuedAccess>,
     /// Optional access-trace recorder.
     trace: Option<Trace>,
     /// Deterministic fault-injection plan (defaults to no faults).
@@ -90,6 +110,7 @@ impl Gpu {
         let line_shift = spec.cacheline_bytes.trailing_zeros();
         let page_shift = spec.page_bytes.trailing_zeros();
         let first_addr = spec.page_bytes;
+        let spec_tlb_pages = spec.tlb_entries;
         Ok(Gpu {
             spec,
             tlb,
@@ -102,7 +123,12 @@ impl Gpu {
             line_shift,
             page_shift,
             access_clock: 0,
-            missed_pages: HashMap::new(),
+            last_line: u64::MAX,
+            // Sized for the pages missable inside one thrash window at this
+            // geometry: the TLB's own coverage plus the sweep front that
+            // evicts it. A few thousand slots even for generous specs.
+            missed_pages: PageStampTable::new(spec_tlb_pages * 8, THRASH_DISTANCE),
+            issue: Vec::with_capacity(crate::exec::MAX_LANES * 4),
             trace: None,
             fault_plan: FaultPlan::none(),
             fault_seq: [0; 3],
@@ -121,6 +147,7 @@ impl Gpu {
     /// Start recording with an explicit capacity and overflow mode.
     /// Replaces any previous recording.
     pub fn start_trace_mode(&mut self, capacity: usize, mode: TraceMode) {
+        self.access_lines();
         self.trace = Some(Trace::new(capacity, mode));
     }
 
@@ -133,8 +160,10 @@ impl Gpu {
     }
 
     /// Stop recording and return the trace, normalized to recording order
-    /// (empty if never started).
+    /// (empty if never started). Any accesses still waiting in the issue
+    /// queue are resolved first so their events land in this trace.
     pub fn stop_trace(&mut self) -> Trace {
+        self.access_lines();
         let mut trace = self.trace.take().unwrap_or_default();
         trace.normalize();
         trace
@@ -149,11 +178,8 @@ impl Gpu {
     #[inline]
     fn record_tlb_miss(&mut self, page_id: u64) {
         self.counters.tlb_misses += 1;
-        let now = self.access_clock;
-        match self.missed_pages.insert(page_id, now) {
-            None => self.counters.tlb_sweep_misses += 1,
-            Some(last) if now - last > THRASH_DISTANCE => self.counters.tlb_sweep_misses += 1,
-            Some(_) => {}
+        if self.missed_pages.note_miss(page_id, self.access_clock) {
+            self.counters.tlb_sweep_misses += 1;
         }
     }
 
@@ -162,8 +188,11 @@ impl Gpu {
         &self.spec
     }
 
-    /// Current cumulative counters.
+    /// Current cumulative counters. Callers observe counters only at points
+    /// where the issue queue has been drained (every immediate accounting
+    /// entry point drains, and `lockstep` drains per round).
     pub fn counters(&self) -> Counters {
+        debug_assert!(self.issue.is_empty(), "issued accesses not yet resolved");
         self.counters
     }
 
@@ -191,6 +220,7 @@ impl Gpu {
         loc: MemLocation,
         data: Vec<T>,
     ) -> Result<Buffer<T>, SimError> {
+        self.access_lines();
         let reserved = self.reservation_bytes::<T>(data.len());
         if loc == MemLocation::Gpu {
             if self.draw_fault(FaultKind::Alloc) {
@@ -261,6 +291,7 @@ impl Gpu {
     /// Install a fault-injection plan (replaces the current plan and resets
     /// the per-kind fault sequences so plans compose reproducibly).
     pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.access_lines();
         self.fault_plan = plan;
         self.fault_seq = [0; 3];
         self.pending_fault = None;
@@ -323,12 +354,16 @@ impl Gpu {
     /// Clear any latched fault (called at fallible kernel entry).
     #[doc(hidden)]
     pub fn clear_pending_fault(&mut self) {
+        self.access_lines();
         self.pending_fault = None;
     }
 
-    /// Take the fault latched during the current kernel body, if any.
+    /// Take the fault latched during the current kernel body, if any. Any
+    /// accesses still in the issue queue are resolved first so their fault
+    /// draws are observed by the surrounding fallible launch.
     #[doc(hidden)]
     pub fn take_pending_fault(&mut self) -> Option<SimError> {
+        self.access_lines();
         self.pending_fault.take()
     }
 
@@ -351,6 +386,7 @@ impl Gpu {
     /// Charge the deterministic backoff for retry number `attempt`
     /// (0-based) to the counters.
     pub fn record_retry(&mut self, attempt: u32) {
+        self.access_lines();
         self.counters.retries += 1;
         let backoff_ns = self.retry.backoff_ns(attempt);
         self.counters.retry_backoff_ns += backoff_ns;
@@ -364,14 +400,97 @@ impl Gpu {
     /// Every covered cacheline is accessed individually.
     #[inline]
     pub fn touch_read(&mut self, loc: MemLocation, addr: u64, bytes: u64) {
+        self.access_lines();
         debug_assert!(bytes > 0);
         if loc == MemLocation::Cpu {
             self.draw_transfer_fault();
         }
+        // Hoist the trace check out of the per-line loop: the untraced
+        // instantiation compiles to a loop with no recorder branches at all.
+        if self.trace.is_some() {
+            self.read_lines::<true>(loc, addr, bytes);
+        } else {
+            self.read_lines::<false>(loc, addr, bytes);
+        }
+    }
+
+    /// Defer a data-dependent read: the access is queued and resolved — in
+    /// program order — by the next [`Gpu::access_lines`] or by any immediate
+    /// accounting call. This is the warp-coalesced issue path: `lockstep`
+    /// collects one round's lane loads and resolves them in one drain,
+    /// touching the memory-system state once per queue instead of once per
+    /// call. Deferral is observationally invisible because data lives in
+    /// host memory (values return immediately) and every observation point
+    /// drains the queue first.
+    #[inline]
+    pub fn issue_read(&mut self, loc: MemLocation, addr: u64, bytes: u64) {
+        debug_assert!(bytes > 0);
+        self.issue.push(IssuedAccess {
+            loc,
+            addr,
+            bytes,
+            write: false,
+        });
+    }
+
+    /// Defer a write (see [`Gpu::issue_read`] for the queue semantics).
+    #[inline]
+    pub fn issue_write(&mut self, loc: MemLocation, addr: u64, bytes: u64) {
+        self.issue.push(IssuedAccess {
+            loc,
+            addr,
+            bytes,
+            write: true,
+        });
+    }
+
+    /// Resolve every queued access in issue (= program) order. Idempotent
+    /// and cheap when the queue is empty.
+    #[inline]
+    pub fn access_lines(&mut self) {
+        if !self.issue.is_empty() {
+            self.drain_issue_queue();
+        }
+    }
+
+    /// The cold path of [`Gpu::access_lines`]: replay the queue through the
+    /// same accounting the immediate entry points use.
+    fn drain_issue_queue(&mut self) {
+        let queue = std::mem::take(&mut self.issue);
+        if self.trace.is_some() {
+            for req in &queue {
+                self.resolve_issued::<true>(req);
+            }
+        } else {
+            for req in &queue {
+                self.resolve_issued::<false>(req);
+            }
+        }
+        // Hand the allocation back so steady-state issue never reallocates.
+        let mut queue = queue;
+        queue.clear();
+        self.issue = queue;
+    }
+
+    #[inline]
+    fn resolve_issued<const TRACED: bool>(&mut self, req: &IssuedAccess) {
+        if req.write {
+            self.write_accounting(req.loc, req.addr, req.bytes);
+        } else {
+            if req.loc == MemLocation::Cpu {
+                self.draw_transfer_fault();
+            }
+            self.read_lines::<TRACED>(req.loc, req.addr, req.bytes);
+        }
+    }
+
+    /// Per-line accounting of one read request.
+    #[inline]
+    fn read_lines<const TRACED: bool>(&mut self, loc: MemLocation, addr: u64, bytes: u64) {
         let first = addr >> self.line_shift;
         let last = (addr + bytes - 1) >> self.line_shift;
         for line in first..=last {
-            self.access_line_read(loc, line << self.line_shift);
+            self.access_line_read::<TRACED>(loc, line << self.line_shift);
         }
     }
 
@@ -381,6 +500,14 @@ impl Gpu {
     /// the same kernel's caches.
     #[inline]
     pub fn touch_write(&mut self, loc: MemLocation, addr: u64, bytes: u64) {
+        self.access_lines();
+        self.write_accounting(loc, addr, bytes);
+    }
+
+    /// The accounting body shared by [`Gpu::touch_write`] and the issued
+    /// write path (which must not re-drain the queue mid-replay).
+    #[inline]
+    fn write_accounting(&mut self, loc: MemLocation, addr: u64, bytes: u64) {
         if let Some(trace) = &mut self.trace {
             trace.record(TraceEvent::Write { loc, addr, bytes });
         }
@@ -400,6 +527,7 @@ impl Gpu {
     /// do not thrash it (§4.3.1).
     #[inline]
     pub fn stream_read(&mut self, loc: MemLocation, addr: u64, bytes: u64) {
+        self.access_lines();
         debug_assert!(bytes > 0);
         if let Some(trace) = &mut self.trace {
             trace.record(TraceEvent::StreamRead { loc, addr, bytes });
@@ -435,6 +563,7 @@ impl Gpu {
     /// Record a kernel launch.
     #[inline]
     pub fn kernel_launch(&mut self) {
+        self.access_lines();
         self.counters.kernel_launches += 1;
         if let Some(trace) = &mut self.trace {
             trace.record(TraceEvent::KernelLaunch);
@@ -443,17 +572,27 @@ impl Gpu {
 
     /// Snapshot the counters (use with `-` for interval deltas).
     pub fn snapshot(&self) -> Counters {
+        debug_assert!(self.issue.is_empty(), "issued accesses not yet resolved");
         self.counters
     }
 
     /// Flush TLB and caches (cold start between queries). Counters are kept;
     /// take snapshots to measure intervals.
     pub fn reset_memory_system(&mut self) {
+        self.access_lines();
         self.tlb.flush();
         self.l1.flush();
         self.l2.flush();
+        self.last_line = u64::MAX;
         self.missed_pages.clear();
         self.record_event(TraceEvent::TlbFlush);
+    }
+
+    /// Slot count of the flat page-stamp table (diagnostic: the bounded
+    /// replacement for the old per-session `HashMap` — tests pin that a
+    /// multi-query session's footprint stays constant).
+    pub fn missed_page_slots(&self) -> usize {
+        self.missed_pages.capacity()
     }
 
     /// Whether the page holding `addr` currently has a cached translation
@@ -463,14 +602,33 @@ impl Gpu {
     }
 
     #[inline]
-    fn access_line_read(&mut self, loc: MemLocation, line_addr: u64) {
+    fn access_line_read<const TRACED: bool>(&mut self, loc: MemLocation, line_addr: u64) {
         self.access_clock += 1;
-        let hit = if self.l1.access(line_addr) {
+        // Consecutive-same-line fast path: the previous access left this
+        // line MRU at way 0 of its L1 set, so it is a guaranteed hit and
+        // the refresh is a no-op — skip the hash and the set walk entirely.
+        // (Addresses are unique across buffers, so a line address implies
+        // its location; no `loc` check is needed.)
+        if line_addr == self.last_line {
+            self.counters.l1_hits += 1;
+            if TRACED {
+                self.record_event(TraceEvent::ReadLine {
+                    loc,
+                    line_addr,
+                    hit: HitLevel::L1,
+                });
+            }
+            return;
+        }
+        self.last_line = line_addr;
+        // L1 and L2 share the line size: hash the tag once for both.
+        let hash = lru::hash_of(line_addr >> self.line_shift);
+        let hit = if self.l1.access_hashed(line_addr, hash) {
             self.counters.l1_hits += 1;
             HitLevel::L1
         } else {
             self.counters.l1_misses += 1;
-            if self.l2.access(line_addr) {
+            if self.l2.access_hashed(line_addr, hash) {
                 self.counters.l2_hits += 1;
                 HitLevel::L2
             } else {
@@ -494,8 +652,8 @@ impl Gpu {
                 }
             }
         };
-        if let Some(trace) = &mut self.trace {
-            trace.record(TraceEvent::ReadLine {
+        if TRACED {
+            self.record_event(TraceEvent::ReadLine {
                 loc,
                 line_addr,
                 hit,

@@ -33,26 +33,43 @@ pub fn warps_of(items: Range<usize>) -> impl Iterator<Item = Range<usize>> {
 /// Drive up to [`MAX_LANES`] lane states in lockstep: every round calls
 /// `step` once per unfinished lane (in lane order, interleaving their memory
 /// accesses) until all lanes report completion. One warp-wide compute op is
-/// charged per round.
+/// charged per round; an empty warp returns immediately and charges nothing.
 ///
 /// `step` returns `true` when its lane has finished. Divergent lanes simply
 /// finish in different rounds, modeling SIMT filter divergence (§3.3.1)
 /// without idle-lane bookkeeping — the cost model charges per executed op.
+///
+/// Unfinished lanes are kept in a compacted active list (stable, so lane
+/// order — and therefore the interleaving that produces TLB thrashing — is
+/// preserved), instead of rescanning all `MAX_LANES` done-flags each round.
+/// After each round the lanes' deferred loads ([`crate::Buffer::read_issued`])
+/// are resolved in lane order via [`Gpu::access_lines`], so a warp's round
+/// becomes one batched pass over the memory system.
 pub fn lockstep<L, F>(gpu: &mut Gpu, lanes: &mut [L], mut step: F)
 where
     F: FnMut(&mut Gpu, &mut L) -> bool,
 {
     assert!(lanes.len() <= MAX_LANES, "warp wider than MAX_LANES");
-    let mut done = [false; MAX_LANES];
+    if lanes.is_empty() {
+        return;
+    }
+    let mut active = [0u8; MAX_LANES];
+    for (i, slot) in active.iter_mut().enumerate().take(lanes.len()) {
+        *slot = i as u8;
+    }
     let mut remaining = lanes.len();
     while remaining > 0 {
         gpu.op(1);
-        for (i, lane) in lanes.iter_mut().enumerate() {
-            if !done[i] && step(gpu, lane) {
-                done[i] = true;
-                remaining -= 1;
+        let mut kept = 0;
+        for r in 0..remaining {
+            let i = active[r] as usize;
+            if !step(gpu, &mut lanes[i]) {
+                active[kept] = i as u8;
+                kept += 1;
             }
         }
+        remaining = kept;
+        gpu.access_lines();
     }
 }
 
@@ -168,6 +185,44 @@ mod tests {
         // First round visits all lanes in order (interleaving).
         assert_eq!(&trace[..8], &[0, 1, 2, 3, 4, 5, 6, 7]);
         assert!(gpu.counters().compute_ops >= 8);
+    }
+
+    #[test]
+    fn empty_warp_charges_nothing() {
+        let mut gpu = Gpu::new(GpuSpec::v100_nvlink2(Scale::PAPER));
+        let before = gpu.snapshot();
+        let mut lanes: Vec<u32> = Vec::new();
+        lockstep(&mut gpu, &mut lanes, |_, _| true);
+        let d = gpu.snapshot() - before;
+        assert_eq!(d.compute_ops, 0, "empty warps must not charge ops");
+    }
+
+    #[test]
+    fn issued_reads_resolve_in_lane_order_each_round() {
+        let mut gpu = Gpu::new(GpuSpec::v100_nvlink2(Scale::PAPER));
+        let line = gpu.spec().cacheline_bytes as usize / 8;
+        let buf = gpu.alloc_host_from_vec(vec![0u64; 64 * line]);
+        gpu.start_trace(1 << 12);
+        // Each lane reads its own line once; with deferred issue the drain
+        // must replay them in lane order.
+        let mut lanes: Vec<usize> = (0..8).collect();
+        lockstep(&mut gpu, &mut lanes, |gpu, lane| {
+            let _ = buf.read_issued(gpu, *lane * line);
+            true
+        });
+        let trace = gpu.stop_trace();
+        let addrs: Vec<u64> = trace
+            .events()
+            .iter()
+            .filter_map(|e| match e {
+                crate::trace::TraceEvent::ReadLine { line_addr, .. } => Some(*line_addr),
+                _ => None,
+            })
+            .collect();
+        let expected: Vec<u64> = (0..8)
+            .map(|l| buf.addr_of(l * line) & !(gpu.spec().cacheline_bytes - 1))
+            .collect();
+        assert_eq!(addrs, expected);
     }
 
     #[test]

@@ -56,6 +56,7 @@ pub mod fault;
 pub mod heatmap;
 mod lru;
 pub mod mem;
+mod pagestamps;
 pub mod scale;
 pub mod span;
 pub mod spec;

@@ -2,36 +2,56 @@
 //! models.
 //!
 //! Entries are keyed by an opaque tag (page number for the TLB, line number
-//! for caches). Sets are selected by the tag's low bits; within a set,
-//! replacement is exact LRU implemented with a monotonically increasing
-//! access stamp. Associativity equal to the entry count yields a fully
-//! associative structure (used for the small GPU TLB).
+//! for caches). Sets are selected by a Fibonacci hash of the tag; within a
+//! set, replacement is exact LRU implemented with *move-to-front ordering*:
+//! way 0 of a set is always the most recently used tag and the last way is
+//! always the victim. This is observationally identical to the classic
+//! stamp-based LRU (same hit/miss answer for every access sequence) but
+//! makes the common cases cheap — a repeat access to the hottest tag is a
+//! single compare against way 0, and a miss is one `copy_within` shift with
+//! no stamp bookkeeping or victim scan. Associativity equal to the entry
+//! count yields a fully associative structure (used for the small GPU TLB).
 
 /// Set-associative LRU tag store.
 #[derive(Debug, Clone)]
 pub struct SetAssocLru {
-    /// Flat `sets × assoc` array of tags; `u64::MAX` marks an empty way.
+    /// Flat `sets × assoc` array of tags; each set's slice is kept in
+    /// recency order (way 0 = MRU, last way = LRU victim). `u64::MAX`
+    /// marks an empty way; empties sink to the tail, so they are always
+    /// consumed before a live tag is evicted.
     tags: Vec<u64>,
-    /// Last-access stamp per way, parallel to `tags`.
-    stamps: Vec<u64>,
     sets: usize,
     assoc: usize,
-    clock: u64,
+    /// Lemire fastmod constant `⌈2^64 / sets⌉` (0 when `sets == 1`): lets
+    /// set selection avoid a hardware divide while computing *exactly*
+    /// `hash % sets` (the hashed dividend fits in 32 bits).
+    fastmod_m: u64,
 }
 
 /// Sentinel tag for an empty way. Real tags are page/line numbers, which
 /// never reach `u64::MAX` in practice (that would be an address near 2^64).
 const EMPTY: u64 = u64::MAX;
 
-/// Fibonacci-hash the tag before set selection. Hardware TLBs and caches
-/// hash their index bits for the same reason: without it, power-of-two
-/// page/line strides alias onto a few sets and fake conflict misses.
+/// The Fibonacci multiplicative hash feeding set selection. Hardware TLBs
+/// and caches hash their index bits for the same reason: without it,
+/// power-of-two page/line strides alias onto a few sets and fake conflict
+/// misses. The result fits in 32 bits, which is what makes the fastmod
+/// reduction in [`SetAssocLru::set_of`] exact.
 #[inline]
+pub(crate) fn hash_of(tag: u64) -> u64 {
+    tag.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32
+}
+
+/// Fibonacci-hash the tag before set selection (reference definition; the
+/// instance path computes the same value divide-free via fastmod, and the
+/// tests assert both paths agree).
+#[inline]
+#[cfg_attr(not(test), allow(dead_code))]
 fn set_of(tag: u64, sets: usize) -> usize {
     if sets == 1 {
         0
     } else {
-        (tag.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize % sets
+        hash_of(tag) as usize % sets
     }
 }
 
@@ -53,10 +73,13 @@ impl SetAssocLru {
         let sets = entries / assoc;
         SetAssocLru {
             tags: vec![EMPTY; entries],
-            stamps: vec![0; entries],
             sets,
             assoc,
-            clock: 0,
+            fastmod_m: if sets > 1 {
+                u64::MAX / sets as u64 + 1
+            } else {
+                0
+            },
         }
     }
 
@@ -73,53 +96,64 @@ impl SetAssocLru {
     /// The set `tag` maps to (pure; exposed so residency heatmaps can bin
     /// traced accesses by the same hash the replacement logic uses).
     pub fn set_of(&self, tag: u64) -> usize {
-        set_of(tag, self.sets)
+        self.set_from_hash(hash_of(tag))
+    }
+
+    /// Set selection from a precomputed [`hash_of`] value, so one hash can
+    /// be shared between L1 and L2 on the engine's per-line hot path.
+    #[inline]
+    fn set_from_hash(&self, hash: u64) -> usize {
+        if self.sets == 1 {
+            0
+        } else {
+            // Lemire's fastmod: exact `hash % sets` because `hash < 2^32`.
+            let low = self.fastmod_m.wrapping_mul(hash);
+            ((low as u128 * self.sets as u128) >> 64) as usize
+        }
     }
 
     /// Look up `tag`, inserting it on a miss (evicting the set's LRU way).
     /// Returns `true` on a hit.
+    #[inline]
     pub fn access(&mut self, tag: u64) -> bool {
-        debug_assert_ne!(tag, EMPTY, "tag collides with the empty sentinel");
-        self.clock += 1;
-        let set = set_of(tag, self.sets);
-        let base = set * self.assoc;
-        let ways = base..base + self.assoc;
+        self.access_hashed(tag, hash_of(tag))
+    }
 
-        // Hit path: refresh the stamp.
-        for i in ways.clone() {
-            if self.tags[i] == tag {
-                self.stamps[i] = self.clock;
+    /// [`access`](Self::access) with the tag hash precomputed by the caller.
+    #[inline]
+    pub fn access_hashed(&mut self, tag: u64, hash: u64) -> bool {
+        debug_assert_ne!(tag, EMPTY, "tag collides with the empty sentinel");
+        debug_assert_eq!(hash, hash_of(tag), "hash must be hash_of(tag)");
+        let base = self.set_from_hash(hash) * self.assoc;
+        let ways = &mut self.tags[base..base + self.assoc];
+        // MRU fast hit: the hottest tag costs one compare and no movement.
+        if ways[0] == tag {
+            return true;
+        }
+        for i in 1..ways.len() {
+            if ways[i] == tag {
+                // Hit at depth i: rotate [0, i) right and refile as MRU.
+                ways.copy_within(0..i, 1);
+                ways[0] = tag;
                 return true;
             }
         }
-
-        // Miss path: evict the LRU way (empty ways have stamp 0, so they are
-        // chosen first).
-        let mut victim = base;
-        let mut oldest = u64::MAX;
-        for i in ways {
-            if self.stamps[i] < oldest {
-                oldest = self.stamps[i];
-                victim = i;
-            }
-        }
-        self.tags[victim] = tag;
-        self.stamps[victim] = self.clock;
+        // Miss: the victim (LRU or an empty way that sank to the tail)
+        // falls off the end; everything else ages one position.
+        ways.copy_within(0..ways.len() - 1, 1);
+        ways[0] = tag;
         false
     }
 
     /// Check residency without updating recency or inserting.
     pub fn probe(&self, tag: u64) -> bool {
-        let set = set_of(tag, self.sets);
-        let base = set * self.assoc;
+        let base = self.set_of(tag) * self.assoc;
         self.tags[base..base + self.assoc].contains(&tag)
     }
 
     /// Invalidate everything (e.g. between queries).
     pub fn flush(&mut self) {
         self.tags.fill(EMPTY);
-        self.stamps.fill(0);
-        self.clock = 0;
     }
 }
 
@@ -167,6 +201,23 @@ mod tests {
     }
 
     #[test]
+    fn fastmod_set_selection_matches_reference_modulo() {
+        // The instance path uses Lemire's fastmod; it must agree with the
+        // plain `hash % sets` definition for every set count, including
+        // non-powers of two (scaled L2 geometries produce e.g. 3 sets).
+        for sets in [1usize, 2, 3, 5, 7, 8, 12, 31] {
+            let l = SetAssocLru::new(sets * 2, 2);
+            for tag in (0..10_000u64).chain([u64::MAX - 1, 1 << 40, (1 << 52) + 17]) {
+                assert_eq!(
+                    l.set_of(tag),
+                    super::set_of(tag, sets),
+                    "sets={sets} tag={tag}"
+                );
+            }
+        }
+    }
+
+    #[test]
     fn flush_clears() {
         let mut l = SetAssocLru::new(4, 4);
         l.access(42);
@@ -201,5 +252,63 @@ mod tests {
             }
         }
         assert_eq!(misses, 4 * 33);
+    }
+
+    /// Differential check: move-to-front must answer exactly like the
+    /// classic stamp-based LRU for arbitrary access sequences.
+    #[test]
+    fn matches_stamp_lru_reference() {
+        struct StampLru {
+            tags: Vec<u64>,
+            stamps: Vec<u64>,
+            sets: usize,
+            assoc: usize,
+            clock: u64,
+        }
+        impl StampLru {
+            fn access(&mut self, tag: u64) -> bool {
+                self.clock += 1;
+                let base = super::set_of(tag, self.sets) * self.assoc;
+                for i in base..base + self.assoc {
+                    if self.tags[i] == tag {
+                        self.stamps[i] = self.clock;
+                        return true;
+                    }
+                }
+                let (mut victim, mut oldest) = (base, u64::MAX);
+                for i in base..base + self.assoc {
+                    if self.stamps[i] < oldest {
+                        oldest = self.stamps[i];
+                        victim = i;
+                    }
+                }
+                self.tags[victim] = tag;
+                self.stamps[victim] = self.clock;
+                false
+            }
+        }
+        for (entries, assoc) in [(8usize, 2usize), (8, 4), (16, 16), (6, 2)] {
+            let mut fast = SetAssocLru::new(entries, assoc);
+            let mut reference = StampLru {
+                tags: vec![EMPTY; entries],
+                stamps: vec![0; entries],
+                sets: entries / assoc,
+                assoc,
+                clock: 0,
+            };
+            // Deterministic pseudo-random tag stream with reuse.
+            let mut x = 0x243F_6A88_85A3_08D3u64;
+            for _ in 0..4_000 {
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                let tag = (x >> 33) % 24;
+                assert_eq!(
+                    fast.access(tag),
+                    reference.access(tag),
+                    "entries={entries} assoc={assoc} tag={tag}"
+                );
+            }
+        }
     }
 }

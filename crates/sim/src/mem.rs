@@ -86,6 +86,24 @@ impl<T: Copy> Buffer<T> {
         &self.data[i..i + count]
     }
 
+    /// Device-side read of element `i` on the warp-coalesced issue path:
+    /// the value returns immediately (data is host-resident) while the
+    /// memory-system accounting is queued for the next
+    /// [`Gpu::access_lines`] drain — in program order, so counters, traces,
+    /// and fault draws are byte-identical to [`Buffer::read`].
+    #[inline]
+    pub fn read_issued(&self, gpu: &mut Gpu, i: usize) -> T {
+        gpu.issue_read(self.loc, self.addr_of(i), size_of::<T>() as u64);
+        self.data[i]
+    }
+
+    /// Coalesced-range variant of [`Buffer::read_issued`].
+    #[inline]
+    pub fn read_range_issued(&self, gpu: &mut Gpu, i: usize, count: usize) -> &[T] {
+        gpu.issue_read(self.loc, self.addr_of(i), (count * size_of::<T>()) as u64);
+        &self.data[i..i + count]
+    }
+
     /// Device-side write of element `i`: counted by the memory system.
     #[inline]
     pub fn write(&mut self, gpu: &mut Gpu, i: usize, value: T) {
@@ -98,6 +116,15 @@ impl<T: Copy> Buffer<T> {
     #[inline]
     pub fn write_range(&mut self, gpu: &mut Gpu, i: usize, values: &[T]) {
         gpu.touch_write(self.loc, self.addr_of(i), size_of_val(values) as u64);
+        self.data[i..i + values.len()].copy_from_slice(values);
+    }
+
+    /// Coalesced write on the issue path: data lands immediately, the
+    /// accounting is deferred to the next [`Gpu::access_lines`] drain (see
+    /// [`Buffer::read_issued`]).
+    #[inline]
+    pub fn write_range_issued(&mut self, gpu: &mut Gpu, i: usize, values: &[T]) {
+        gpu.issue_write(self.loc, self.addr_of(i), size_of_val(values) as u64);
         self.data[i..i + values.len()].copy_from_slice(values);
     }
 

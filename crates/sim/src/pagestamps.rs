@@ -1,0 +1,234 @@
+//! A flat open-addressed page→stamp table backing TLB-miss classification.
+//!
+//! The engine classifies every TLB miss as either a *periodic sweep* miss
+//! (first touch, or a revisit after more than the thrash distance) or a
+//! *thrashing* re-miss (evicted by concurrent lookups and re-missed soon
+//! after). The original implementation kept a `HashMap<page, last_stamp>`
+//! that retained one entry for every page ever missed in the session —
+//! unbounded growth — and paid a SipHash probe on the hottest miss path.
+//!
+//! This table exploits the classification's structure: an entry whose stamp
+//! is older than the thrash distance classifies a re-miss *exactly* like an
+//! absent entry (both answer "sweep", and both are then overwritten with
+//! the current stamp). Stale slots are therefore reusable tombstones, which
+//! bounds the table at the number of pages missed within one thrash window
+//! — a property of the configured geometry, not of session length. Probing
+//! is a multiplicative hash plus a linear scan over a flat array; when the
+//! table does fill with fresh entries it rebuilds (dropping stale slots,
+//! doubling if needed), which is observationally invisible: classification
+//! depends only on the stored (page, stamp) facts, never on slot layout.
+
+use crate::lru::hash_of;
+
+/// Sentinel for an empty slot; page ids are `addr >> page_shift` and never
+/// reach `u64::MAX`.
+const EMPTY_PAGE: u64 = u64::MAX;
+
+#[derive(Debug, Clone, Copy)]
+struct Slot {
+    page: u64,
+    stamp: u64,
+}
+
+const EMPTY_SLOT: Slot = Slot {
+    page: EMPTY_PAGE,
+    stamp: 0,
+};
+
+/// Flat open-addressed table of last-miss stamps per page.
+#[derive(Debug, Clone)]
+pub(crate) struct PageStampTable {
+    slots: Vec<Slot>,
+    mask: u64,
+    /// Occupied slots (fresh or stale); drives the rebuild threshold.
+    live: usize,
+    /// Re-miss distance separating thrashing from sweep classification.
+    thrash_distance: u64,
+}
+
+impl PageStampTable {
+    /// Create a table with at least `capacity_hint` slots (rounded up to a
+    /// power of two, minimum 1024).
+    pub(crate) fn new(capacity_hint: usize, thrash_distance: u64) -> Self {
+        let cap = capacity_hint.next_power_of_two().max(1024);
+        PageStampTable {
+            slots: vec![EMPTY_SLOT; cap],
+            mask: (cap - 1) as u64,
+            live: 0,
+            thrash_distance,
+        }
+    }
+
+    /// Current slot count (diagnostic; bounded-footprint tests watch this).
+    pub(crate) fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Forget everything (memory-system flush between queries).
+    pub(crate) fn clear(&mut self) {
+        self.slots.fill(EMPTY_SLOT);
+        self.live = 0;
+    }
+
+    /// Record a miss of `page` at line-access time `now`; returns `true`
+    /// when the miss classifies as a periodic sweep (first touch or a
+    /// revisit beyond the thrash distance), `false` for a thrashing
+    /// re-miss. Exactly equivalent to the `HashMap::insert` classification:
+    /// absent → sweep, stale stamp → sweep, fresh stamp → thrash.
+    pub(crate) fn note_miss(&mut self, page: u64, now: u64) -> bool {
+        debug_assert_ne!(page, EMPTY_PAGE);
+        let mut idx = hash_of(page) & self.mask;
+        let mut reusable: Option<u64> = None;
+        for _ in 0..self.slots.len() {
+            let slot = self.slots[idx as usize];
+            if slot.page == page {
+                let sweep = now - slot.stamp > self.thrash_distance;
+                self.slots[idx as usize].stamp = now;
+                return sweep;
+            }
+            if slot.page == EMPTY_PAGE {
+                // Not present: a first touch (or a long-forgotten page whose
+                // stale slot was reused) — a sweep miss either way.
+                let at = reusable.unwrap_or(idx);
+                if reusable.is_none() {
+                    self.live += 1;
+                }
+                self.slots[at as usize] = Slot { page, stamp: now };
+                if self.live * 4 >= self.slots.len() * 3 {
+                    self.rebuild(now);
+                }
+                return true;
+            }
+            if reusable.is_none() && now - slot.stamp > self.thrash_distance {
+                // Stale slot: classification-equivalent to absent, so it can
+                // host a new page without changing any future answer.
+                reusable = Some(idx);
+            }
+            idx = (idx + 1) & self.mask;
+        }
+        // Full wrap without finding the page or an empty slot.
+        if let Some(at) = reusable {
+            self.slots[at as usize] = Slot { page, stamp: now };
+        } else {
+            // Every slot is fresh: grow, then insert (guaranteed room).
+            self.rebuild(now);
+            return self.note_miss(page, now);
+        }
+        true
+    }
+
+    /// Drop stale slots and rehash the fresh ones, doubling the capacity
+    /// until the surviving load is at most one half. Capacity never
+    /// shrinks, so a steady-state workload sees a constant footprint.
+    fn rebuild(&mut self, now: u64) {
+        let fresh: Vec<Slot> = self
+            .slots
+            .iter()
+            .filter(|s| s.page != EMPTY_PAGE && now - s.stamp <= self.thrash_distance)
+            .copied()
+            .collect();
+        let mut cap = self.slots.len();
+        while fresh.len() * 2 >= cap {
+            cap *= 2;
+        }
+        self.slots.clear();
+        self.slots.resize(cap, EMPTY_SLOT);
+        self.mask = (cap - 1) as u64;
+        self.live = fresh.len();
+        for slot in fresh {
+            let mut idx = hash_of(slot.page) & self.mask;
+            while self.slots[idx as usize].page != EMPTY_PAGE {
+                idx = (idx + 1) & self.mask;
+            }
+            self.slots[idx as usize] = slot;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    /// The original unbounded classifier, for differential testing.
+    struct Reference {
+        missed: HashMap<u64, u64>,
+        thrash_distance: u64,
+    }
+
+    impl Reference {
+        fn note_miss(&mut self, page: u64, now: u64) -> bool {
+            match self.missed.insert(page, now) {
+                None => true,
+                Some(last) => now - last > self.thrash_distance,
+            }
+        }
+    }
+
+    #[test]
+    fn classification_matches_hashmap_reference() {
+        for thrash in [4u64, 64, 2048] {
+            let mut table = PageStampTable::new(1, thrash);
+            let mut reference = Reference {
+                missed: HashMap::new(),
+                thrash_distance: thrash,
+            };
+            let mut now = 0u64;
+            let mut x = 0x9E37_79B9u64;
+            for step in 0..50_000u64 {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(step);
+                // A mix of hot reuse (small ids) and a drifting sweep front.
+                let page = if x & 3 == 0 {
+                    x >> 60
+                } else {
+                    (x >> 33) % 4096
+                };
+                now += (x >> 13) & 7;
+                assert_eq!(
+                    table.note_miss(page, now),
+                    reference.note_miss(page, now),
+                    "thrash={thrash} page={page} now={now}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn clear_forgets_everything() {
+        let mut t = PageStampTable::new(1, 2048);
+        assert!(t.note_miss(7, 1));
+        assert!(!t.note_miss(7, 2));
+        t.clear();
+        assert!(t.note_miss(7, 3), "cleared table must classify as sweep");
+    }
+
+    #[test]
+    fn steady_state_capacity_is_constant() {
+        let mut t = PageStampTable::new(1, 2048);
+        // Many "queries", each missing the same bounded page set, with a
+        // flush in between — the session footprint must not grow.
+        let mut now = 0u64;
+        t.note_miss(0, now);
+        let cap_after_first = t.capacity();
+        for _ in 0..200 {
+            for page in 0..500u64 {
+                now += 1;
+                t.note_miss(page, now);
+            }
+            t.clear();
+        }
+        assert_eq!(t.capacity(), cap_after_first);
+    }
+
+    #[test]
+    fn grows_only_when_fresh_set_demands_it() {
+        let mut t = PageStampTable::new(1, u64::MAX >> 1); // nothing goes stale
+        let initial = t.capacity();
+        for page in 0..10_000u64 {
+            t.note_miss(page, page);
+        }
+        assert!(t.capacity() > initial, "all-fresh load must trigger growth");
+        // All pages remain present and fresh.
+        assert!(!t.note_miss(3, 10_001));
+    }
+}

@@ -1,0 +1,146 @@
+//! Differential equivalence suite for the deferred (batched) issue path.
+//!
+//! The engine has two ways to account a data-dependent access: the
+//! immediate entry points (`touch_read` / `touch_write`) and the issue
+//! queue (`issue_read` / `issue_write` + `access_lines`) that `lockstep`
+//! and the warp-cooperative index loops use. The whole point of the queue
+//! is to be *observationally invisible*: because every immediate
+//! accounting call drains the queue first, global accounting order equals
+//! program order exactly — so counters, trace events, and fault draws must
+//! come out byte-identical however the same access stream is split between
+//! the two paths.
+//!
+//! These tests drive random interleavings of reads, writes, streams,
+//! drains, and memory-system resets through one GPU on the immediate path
+//! and a twin GPU on the issued path, and assert the twins never diverge.
+
+use proptest::collection::vec as pvec;
+use proptest::prelude::*;
+use windex_sim::{Gpu, GpuSpec, MemLocation, Scale};
+
+/// Elements of the shared probe buffer.
+const N: usize = 1 << 14;
+
+/// Trace capacity comfortably above the maximum events a case can emit.
+const TRACE_CAP: usize = 1 << 14;
+
+fn twin() -> (Gpu, u64) {
+    let mut gpu = Gpu::new(GpuSpec::v100_nvlink2(Scale::PAPER));
+    let buf = gpu.alloc_host_from_vec(vec![0u64; N]);
+    (gpu, buf.base_addr())
+}
+
+/// Replay `ops` on both engines. `(sel, i, bytes)` decodes to an access at
+/// element `i`: reads (immediate vs issued), writes (immediate vs issued),
+/// streaming reads (immediate on both — they drain the twin's queue),
+/// explicit drain points, and full memory-system resets.
+fn replay(traced: bool, ops: &[(u8, usize, u64)]) {
+    let (mut imm, base_a) = twin();
+    let (mut iss, base_b) = twin();
+    assert_eq!(base_a, base_b, "twin allocators must agree on addresses");
+    if traced {
+        imm.start_trace(TRACE_CAP);
+        iss.start_trace(TRACE_CAP);
+    }
+    for &(sel, i, bytes) in ops {
+        let addr = base_a + (i * 8) as u64;
+        match sel {
+            0..=69 => {
+                imm.touch_read(MemLocation::Cpu, addr, bytes);
+                iss.issue_read(MemLocation::Cpu, addr, bytes);
+            }
+            70..=79 => {
+                imm.touch_write(MemLocation::Cpu, addr, bytes);
+                iss.issue_write(MemLocation::Cpu, addr, bytes);
+            }
+            80..=86 => {
+                imm.stream_read(MemLocation::Cpu, addr, bytes);
+                iss.stream_read(MemLocation::Cpu, addr, bytes);
+            }
+            87..=94 => {
+                iss.access_lines(); // immediate path has nothing queued
+            }
+            _ => {
+                imm.reset_memory_system();
+                iss.reset_memory_system();
+            }
+        }
+    }
+    iss.access_lines();
+    assert_eq!(
+        imm.counters(),
+        iss.counters(),
+        "issued path diverged from the immediate path"
+    );
+    if traced {
+        let ta = imm.stop_trace();
+        let tb = iss.stop_trace();
+        assert_eq!(ta.offered(), tb.offered());
+        assert_eq!(ta.events(), tb.events(), "trace event streams differ");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Random interleavings of reads/writes/streams/drains/resets must
+    /// produce identical counters on the immediate and issued paths.
+    #[test]
+    fn batched_issue_matches_immediate_untraced(
+        ops in pvec((0u8..100, 0usize..(N - 8), 1u64..=64), 1..300),
+    ) {
+        replay(false, &ops);
+    }
+
+    /// Same, with the trace recorder installed: the event streams (kinds,
+    /// addresses, hit levels, order) must be identical too.
+    #[test]
+    fn batched_issue_matches_immediate_traced(
+        ops in pvec((0u8..100, 0usize..(N - 8), 1u64..=64), 1..300),
+    ) {
+        replay(true, &ops);
+    }
+}
+
+/// A hit-heavy and a miss-heavy deterministic stream, as fixed regression
+/// anchors alongside the randomized cases.
+#[test]
+fn fixed_streams_match() {
+    // Hit-heavy: hammer one line.
+    let hot: Vec<(u8, usize, u64)> = (0..500).map(|_| (0u8, 3usize, 8u64)).collect();
+    replay(true, &hot);
+    // Miss-heavy: stride one page per access, wider than TLB + caches.
+    let cold: Vec<(u8, usize, u64)> = (0..500).map(|k| (0u8, (k * 512) % (N - 8), 8u64)).collect();
+    replay(true, &cold);
+}
+
+/// The flat page-stamp table must keep a multi-query session's footprint
+/// constant: after warm-up, running more queries over the same working set
+/// cannot grow the table (the old `HashMap` grew without bound until the
+/// session ended).
+#[test]
+fn multi_query_session_footprint_stays_constant() {
+    let mut gpu = Gpu::new(GpuSpec::v100_nvlink2(Scale::PAPER));
+    let page = gpu.spec().page_bytes as usize;
+    let buf = gpu.alloc_host_from_vec(vec![0u64; 512 * page / 8]);
+    let mut warmed = 0usize;
+    for query in 0..40 {
+        // Each "query" touches 512 distinct pages, then resets (the
+        // between-queries cold start every executor performs).
+        for p in 0..512 {
+            let _ = buf.read(&mut gpu, p * page / 8);
+        }
+        gpu.reset_memory_system();
+        if query == 4 {
+            warmed = gpu.missed_page_slots();
+        }
+        if query > 4 {
+            assert_eq!(
+                gpu.missed_page_slots(),
+                warmed,
+                "page-stamp table grew after warm-up (query {query})"
+            );
+        }
+    }
+    assert!(warmed > 0);
+}
