@@ -1,0 +1,513 @@
+//! The `chaos` target: resilience KPIs under time-correlated fault
+//! windows, with a CI tolerance gate.
+//!
+//! Every other serving number assumes a healthy device. This target runs
+//! the same seeded serving trace under each named [`ChaosScenario`] —
+//! calm, a link flap, an interconnect brownout, an ECC storm, a whole
+//! device loss, and all of them overlapping — and reports what the
+//! resilience layer preserved: availability (answered / submitted),
+//! recoveries and total MTTR on the virtual clock, retry volume, breaker
+//! trips, goodput, p99, and goodput retained vs the calm run.
+//!
+//! Everything is a pure function of (seed, scenario): the chaos windows
+//! sit on the serving clock, the backoff jitter is counter-indexed, and
+//! scenario points are independent simulations merged in fixed sweep
+//! order — so the report and `BENCH_chaos.json` are byte-identical across
+//! runs and for any `--jobs` count.
+//!
+//! When a committed `BENCH_chaos.json` exists (override the path with
+//! `WINDEX_CHAOS`), the fresh KPIs are gated against it: discrete
+//! outcomes (completed, shed, recoveries, retries, breaker trips,
+//! availability) must match exactly; continuous ones (goodput, p99,
+//! MTTR, retained share) get a 2% relative band for benign cost-model
+//! churn. A missing committed file is a warning — the recording run.
+//! Independently of any committed file, the device-loss scenario must
+//! answer every request (availability 1.0) with at least one finite
+//! recovery, or the target fails.
+
+use crate::config::ExpConfig;
+use crate::output::{num, num6, Experiment};
+use serde::Serialize;
+use serde_json::{json, Value};
+use windex_serve::prelude::*;
+use windex_sim::ChaosScenario;
+
+/// Format-version marker for `BENCH_chaos.json`.
+pub(crate) const SCHEMA_VERSION: u32 = 1;
+
+/// Seed for every scenario's chaos schedule.
+const CHAOS_SEED: u64 = 99;
+
+/// Requests per scenario trace. Fixed (not `--quick`-dependent): at
+/// 2000 req/s the trace spans ~128 ms of virtual time, comfortably
+/// covering every scenario's fault windows (all inside the first 60 ms).
+const TRACE_REQUESTS: usize = 256;
+
+/// Relative tolerance for continuous KPIs against the committed file.
+const REL_TOL: f64 = 0.02;
+
+/// Where the committed reference lives unless `WINDEX_CHAOS` overrides.
+const DEFAULT_CHAOS_PATH: &str = "BENCH_chaos.json";
+
+/// One scenario's resilience KPIs.
+#[derive(Debug, Clone, Serialize)]
+struct ChaosPoint {
+    scenario: &'static str,
+    /// Fraction of submitted requests answered (not shed).
+    availability: f64,
+    completed: usize,
+    shed: usize,
+    /// Device-loss recoveries performed mid-trace.
+    recoveries: u64,
+    /// Total virtual MTTR across those recoveries, seconds.
+    mttr_total_s: f64,
+    /// Serve-level dispatch retries (jittered backoff).
+    retries: u64,
+    /// Circuit-breaker trips to open.
+    breaker_opens: u64,
+    /// Requests answered within the deadline budget per virtual second.
+    goodput_rps: f64,
+    /// p99 latency over answered requests, virtual seconds.
+    p99_s: f64,
+    /// `goodput_rps / calm goodput_rps` (1.0 for the calm row).
+    goodput_retained: f64,
+}
+
+/// The `BENCH_chaos.json` payload.
+#[derive(Debug, Clone, Serialize)]
+struct ChaosBench {
+    schema: u32,
+    chaos_seed: u64,
+    trace_requests: usize,
+    scenarios: Vec<ChaosPoint>,
+}
+
+/// Round to 6 decimals: canonical on-disk float form, keeps the gate from
+/// chasing last-bit jitter from benign refactors.
+fn r6(v: f64) -> f64 {
+    (v * 1e6).round() / 1e6
+}
+
+/// The serving relation: 1 paper-GiB of dense sorted keys at paper scale
+/// (fixed, like the baseline matrix, so the JSON is mode-independent).
+fn chaos_relation() -> Relation {
+    Relation::unique_sorted(
+        Scale::PAPER.sim_tuples_for_paper_gib(1.0),
+        KeyDistribution::Dense,
+        42,
+    )
+}
+
+/// The seeded trace every scenario replays.
+fn chaos_trace(r: &Relation) -> Vec<TimedRequest> {
+    generate_trace(
+        &TraceConfig {
+            seed: 7,
+            tenants: 4,
+            requests: TRACE_REQUESTS,
+            min_keys: 4,
+            max_keys: 64,
+            offered_load_rps: 2_000.0,
+            deadline_s: None,
+        },
+        r,
+    )
+}
+
+/// Run one scenario on a fresh device; `goodput_retained` is filled in
+/// after the calm row is known.
+fn run_scenario(r: &Relation, trace: &[TimedRequest], scenario: ChaosScenario) -> ChaosPoint {
+    let mut gpu = Gpu::new(GpuSpec::v100_nvlink2(Scale::PAPER));
+    let mut server = Server::new(&mut gpu, ServeConfig::default(), r.clone())
+        .expect("chaos experiment server must construct");
+    gpu.set_chaos_schedule(scenario.schedule(CHAOS_SEED))
+        .expect("scenario schedules are valid");
+    let report = server
+        .run(&mut gpu, trace)
+        .expect("chaos trace must complete without a server-level error")
+        .report;
+
+    let mut recoveries = 0u64;
+    let mut mttr_total_s = 0.0f64;
+    let mut retries = 0u64;
+    for e in &report.events {
+        match e {
+            ServeEvent::DeviceLossRecovered { mttr_s } => {
+                recoveries += 1;
+                mttr_total_s += mttr_s;
+            }
+            ServeEvent::DispatchRetried { .. } => retries += 1,
+            _ => {}
+        }
+    }
+    ChaosPoint {
+        scenario: scenario.name(),
+        availability: r6(report.slo.availability),
+        completed: report.completed,
+        shed: report.shed,
+        recoveries,
+        mttr_total_s: r6(mttr_total_s),
+        retries,
+        breaker_opens: report.breaker.opens,
+        goodput_rps: r6(report.slo.goodput_rps),
+        p99_s: r6(report.slo.p99_s),
+        goodput_retained: 0.0,
+    }
+}
+
+/// Compute all scenario points with `jobs` workers, merged in
+/// [`ChaosScenario::ALL`] order. Workers only decide *when* a scenario
+/// runs, never *what* it computes, so any job count merges identically.
+fn compute(jobs: usize) -> ChaosBench {
+    let r = chaos_relation();
+    let trace = chaos_trace(&r);
+    let scenarios = ChaosScenario::ALL;
+    let mut points: Vec<Option<ChaosPoint>> = if jobs <= 1 {
+        scenarios
+            .iter()
+            .map(|&sc| Some(run_scenario(&r, &trace, sc)))
+            .collect()
+    } else {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let next = AtomicUsize::new(0);
+        let mut slots: Vec<Option<ChaosPoint>> = vec![None; scenarios.len()];
+        std::thread::scope(|scope| {
+            let workers: Vec<_> = (0..jobs)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut mine = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= scenarios.len() {
+                                break;
+                            }
+                            mine.push((i, run_scenario(&r, &trace, scenarios[i])));
+                        }
+                        mine
+                    })
+                })
+                .collect();
+            for w in workers {
+                for (i, p) in w.join().expect("chaos worker panicked") {
+                    slots[i] = Some(p);
+                }
+            }
+        });
+        slots
+    };
+    let calm_goodput = points[0].as_ref().expect("calm scenario ran").goodput_rps;
+    for p in points.iter_mut().flatten() {
+        p.goodput_retained = if calm_goodput > 0.0 {
+            r6(p.goodput_rps / calm_goodput)
+        } else {
+            0.0
+        };
+    }
+    ChaosBench {
+        schema: SCHEMA_VERSION,
+        chaos_seed: CHAOS_SEED,
+        trace_requests: TRACE_REQUESTS,
+        scenarios: points
+            .into_iter()
+            .map(|p| p.expect("scenario ran"))
+            .collect(),
+    }
+}
+
+/// Invariants that hold regardless of any committed reference: the
+/// device-bearing scenarios must recover, not refuse.
+fn check_invariants(bench: &ChaosBench) -> Result<(), String> {
+    for p in &bench.scenarios {
+        if p.scenario == "device_loss" {
+            if p.availability != 1.0 || p.shed != 0 {
+                return Err(format!(
+                    "device-loss scenario must answer every request: \
+                     availability {} with {} shed",
+                    p.availability, p.shed
+                ));
+            }
+            if p.recoveries == 0 || !p.mttr_total_s.is_finite() || p.mttr_total_s <= 0.0 {
+                return Err(format!(
+                    "device-loss scenario must record a finite recovery: \
+                     {} recoveries, total MTTR {}s",
+                    p.recoveries, p.mttr_total_s
+                ));
+            }
+        }
+        if !p.goodput_rps.is_finite() || !p.p99_s.is_finite() {
+            return Err(format!(
+                "scenario '{}' produced non-finite KPIs",
+                p.scenario
+            ));
+        }
+    }
+    Ok(())
+}
+
+fn field<'v>(entry: &'v Value, key: &str) -> Result<&'v Value, String> {
+    entry
+        .get(key)
+        .ok_or_else(|| format!("chaos entry missing field '{key}'"))
+}
+
+fn f64_field(entry: &Value, key: &str) -> Result<f64, String> {
+    field(entry, key)?
+        .as_f64()
+        .ok_or_else(|| format!("chaos field '{key}' is not a number"))
+}
+
+fn u64_field(entry: &Value, key: &str) -> Result<u64, String> {
+    field(entry, key)?
+        .as_u64()
+        .ok_or_else(|| format!("chaos field '{key}' is not an unsigned integer"))
+}
+
+/// Whether `fresh` is within `tol` of `committed`, relatively.
+fn rel_close(fresh: f64, committed: f64, tol: f64) -> bool {
+    if committed == 0.0 {
+        fresh == 0.0
+    } else {
+        ((fresh - committed) / committed).abs() <= tol
+    }
+}
+
+/// Diff one fresh point against its committed counterpart; returns the
+/// violated metrics as human-readable strings.
+fn diff_point(fresh: &ChaosPoint, committed: &Value) -> Result<Vec<String>, String> {
+    let mut out = Vec::new();
+    let mut exact_u64 = |key: &str, have: u64| -> Result<(), String> {
+        let want = u64_field(committed, key)?;
+        if have != want {
+            out.push(format!("{key}: committed {want}, fresh {have}"));
+        }
+        Ok(())
+    };
+    exact_u64("completed", fresh.completed as u64)?;
+    exact_u64("shed", fresh.shed as u64)?;
+    exact_u64("recoveries", fresh.recoveries)?;
+    exact_u64("retries", fresh.retries)?;
+    exact_u64("breaker_opens", fresh.breaker_opens)?;
+    let availability = f64_field(committed, "availability")?;
+    if fresh.availability != availability {
+        out.push(format!(
+            "availability: committed {availability}, fresh {}",
+            fresh.availability
+        ));
+    }
+    for (key, have) in [
+        ("mttr_total_s", fresh.mttr_total_s),
+        ("goodput_rps", fresh.goodput_rps),
+        ("p99_s", fresh.p99_s),
+        ("goodput_retained", fresh.goodput_retained),
+    ] {
+        let want = f64_field(committed, key)?;
+        if !rel_close(have, want, REL_TOL) {
+            out.push(format!(
+                "{key}: committed {want}, fresh {have} (>{:.0}% off)",
+                REL_TOL * 100.0
+            ));
+        }
+    }
+    Ok(out)
+}
+
+/// Gate the fresh bench against a committed file, if one exists.
+fn gate(fresh: &ChaosBench, path: &str) -> Result<String, String> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(_) => {
+            return Ok(format!(
+                "no committed reference at '{path}'; gate skipped (recording run)"
+            ))
+        }
+    };
+    let root: Value =
+        serde_json::from_str(&text).map_err(|e| format!("'{path}' is not JSON: {e}"))?;
+    let schema = u64_field(&root, "schema")?;
+    if schema != u64::from(SCHEMA_VERSION) {
+        return Err(format!(
+            "chaos schema v{schema} != expected v{SCHEMA_VERSION}; \
+             regenerate with `experiments chaos`"
+        ));
+    }
+    let committed = field(&root, "scenarios")?
+        .as_array()
+        .ok_or("chaos 'scenarios' is not an array")?;
+    if committed.len() != fresh.scenarios.len() {
+        return Err(format!(
+            "committed file has {} scenarios, fresh run has {}",
+            committed.len(),
+            fresh.scenarios.len()
+        ));
+    }
+    let mut violations = Vec::new();
+    for (f, c) in fresh.scenarios.iter().zip(committed) {
+        let name = field(c, "scenario")?
+            .as_str()
+            .ok_or("chaos field 'scenario' is not a string")?;
+        if name != f.scenario {
+            return Err(format!(
+                "scenario order mismatch: committed '{name}', fresh '{}'",
+                f.scenario
+            ));
+        }
+        for v in diff_point(f, c)? {
+            violations.push(format!("[{}] {v}", f.scenario));
+        }
+    }
+    if violations.is_empty() {
+        Ok(format!(
+            "gate: {} scenarios within tolerance of '{path}' — ok",
+            fresh.scenarios.len()
+        ))
+    } else {
+        Err(format!(
+            "chaos KPI drift vs '{path}':\n  {}",
+            violations.join("\n  ")
+        ))
+    }
+}
+
+/// The `chaos` target. `Err` (→ nonzero exit) on invariant or gate
+/// violations.
+pub fn chaos(cfg: &ExpConfig) -> Result<Experiment, String> {
+    let bench = compute(cfg.jobs);
+    check_invariants(&bench)?;
+
+    let path = std::env::var("WINDEX_CHAOS").unwrap_or_else(|_| DEFAULT_CHAOS_PATH.to_string());
+    let gate_note = gate(&bench, &path)?;
+
+    let out_path = cfg.out_dir.join("BENCH_chaos.json");
+    let mut text = serde_json::to_string_pretty(&bench).expect("chaos bench serializes");
+    text.push('\n');
+    let write =
+        std::fs::create_dir_all(&cfg.out_dir).and_then(|()| std::fs::write(&out_path, text));
+    if let Err(e) = write {
+        eprintln!("warning: could not write {}: {e}", out_path.display());
+    }
+
+    let rows = bench
+        .scenarios
+        .iter()
+        .map(|p| {
+            vec![
+                json!(p.scenario),
+                num6(p.availability),
+                json!(p.completed),
+                json!(p.shed),
+                json!(p.recoveries),
+                num6(p.mttr_total_s * 1e3),
+                json!(p.retries),
+                json!(p.breaker_opens),
+                num(p.goodput_rps),
+                num6(p.p99_s * 1e3),
+                num6(p.goodput_retained),
+            ]
+        })
+        .collect();
+    Ok(Experiment {
+        id: "chaos".into(),
+        title: "Chaos: serving resilience KPIs under fault windows".into(),
+        columns: vec![
+            "scenario".into(),
+            "availability".into(),
+            "completed".into(),
+            "shed".into(),
+            "recoveries".into(),
+            "mttr_ms".into(),
+            "retries".into(),
+            "breaker_opens".into(),
+            "goodput_rps".into(),
+            "p99_ms".into(),
+            "goodput_retained".into(),
+        ],
+        rows,
+        notes: vec![
+            format!(
+                "{TRACE_REQUESTS}-request seeded trace replayed under each scenario \
+                 (chaos seed {CHAOS_SEED}); virtual-clock KPIs, byte-identical across \
+                 runs and --jobs counts"
+            ),
+            "device loss is recovered by rebuilding device state from host-resident \
+             data: availability stays 1.0 and MTTR is the outage wait plus the priced \
+             rebuild"
+                .into(),
+            gate_note,
+            "also written as BENCH_chaos.json (gated against the committed copy)".into(),
+        ],
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bench() -> ChaosBench {
+        compute(1)
+    }
+
+    #[test]
+    fn scenarios_sweep_in_fixed_order_and_hold_invariants() {
+        let b = bench();
+        assert_eq!(b.scenarios.len(), ChaosScenario::ALL.len());
+        let names: Vec<&str> = b.scenarios.iter().map(|p| p.scenario).collect();
+        assert_eq!(
+            names,
+            vec![
+                "calm",
+                "flap",
+                "brownout",
+                "ecc_storm",
+                "device_loss",
+                "combined"
+            ]
+        );
+        check_invariants(&b).expect("invariants hold");
+        // The calm row anchors the retained column.
+        assert_eq!(b.scenarios[0].goodput_retained, 1.0);
+        assert_eq!(b.scenarios[0].recoveries, 0);
+        assert_eq!(b.scenarios[0].retries, 0);
+    }
+
+    #[test]
+    fn device_loss_point_recovers_with_full_availability() {
+        let b = bench();
+        let p = b
+            .scenarios
+            .iter()
+            .find(|p| p.scenario == "device_loss")
+            .unwrap();
+        assert_eq!(p.availability, 1.0);
+        assert_eq!(p.shed, 0);
+        assert!(p.recoveries >= 1);
+        assert!(p.mttr_total_s > 0.0 && p.mttr_total_s.is_finite());
+    }
+
+    #[test]
+    fn jobs_counts_merge_byte_identically() {
+        let a = serde_json::to_string(&compute(1)).unwrap();
+        let b = serde_json::to_string(&compute(4)).unwrap();
+        assert_eq!(a, b, "--jobs must not change BENCH_chaos.json");
+    }
+
+    #[test]
+    fn gate_flags_drift_and_accepts_self() {
+        let b = bench();
+        let dir = std::env::temp_dir().join("windex-chaos-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("chaos.json");
+        let text = serde_json::to_string_pretty(&b).unwrap();
+        std::fs::write(&path, &text).unwrap();
+        // Self-comparison passes.
+        gate(&b, path.to_str().unwrap()).expect("self gate passes");
+        // A perturbed discrete KPI fails.
+        let mut drifted = b.clone();
+        drifted.scenarios[0].completed += 1;
+        std::fs::write(&path, serde_json::to_string_pretty(&drifted).unwrap()).unwrap();
+        let err = gate(&b, path.to_str().unwrap()).unwrap_err();
+        assert!(err.contains("completed"), "{err}");
+        // Missing file is a recording run, not a failure.
+        let note = gate(&b, "/nonexistent/chaos.json").unwrap();
+        assert!(note.contains("recording run"));
+    }
+}

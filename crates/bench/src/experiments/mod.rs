@@ -7,6 +7,7 @@
 
 pub mod ablations;
 pub mod baseline;
+pub mod chaos;
 pub mod fig1;
 pub mod fig7;
 pub mod fig8;

@@ -230,6 +230,7 @@ pub fn query_chrome_trace(report: &QueryReport, trace: &Trace) -> Value {
             DegradationEvent::ResultsSpilledToCpu => "results_spilled",
             DegradationEvent::HashBuildChunked { .. } => "hash_build_chunked",
             DegradationEvent::FellBackToHashJoin => "fell_back_to_hash_join",
+            DegradationEvent::DeviceLossRecovered { .. } => "device_loss_recovered",
         };
         ct.instant(
             3,
@@ -294,6 +295,12 @@ pub fn server_chrome_trace(report: &ServerReport) -> Value {
             ServeEvent::SinkSpilledToCpu => "sink_spilled",
             ServeEvent::LoadShed { .. } => "load_shed",
             ServeEvent::BatchAbandoned { .. } => "batch_abandoned",
+            ServeEvent::CircuitShed { .. } => "circuit_shed",
+            ServeEvent::CircuitOpened { .. } => "circuit_opened",
+            ServeEvent::CircuitClosed { .. } => "circuit_closed",
+            ServeEvent::DispatchRetried { .. } => "dispatch_retried",
+            ServeEvent::RetriesExhausted { .. } => "retries_exhausted",
+            ServeEvent::DeviceLossRecovered { .. } => "device_loss_recovered",
         };
         ct.instant(
             2,

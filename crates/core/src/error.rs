@@ -48,6 +48,17 @@ impl WindexError {
                 | WindexError::Join(JoinError::Sim(SimError::OutOfDeviceMemory { .. }))
         )
     }
+
+    /// Whether this is a whole-device loss (a chaos device-loss window is
+    /// active) — the trigger for the session's checkpoint-recovery path
+    /// rather than the degradation ladder.
+    pub fn is_device_loss(&self) -> bool {
+        matches!(
+            self,
+            WindexError::Sim(SimError::DeviceLost)
+                | WindexError::Join(JoinError::Sim(SimError::DeviceLost))
+        )
+    }
 }
 
 impl From<SimError> for WindexError {
@@ -102,6 +113,21 @@ mod tests {
         let e: WindexError = QueryError::ForeignKeyViolation.into();
         assert_eq!(e, WindexError::Query(QueryError::ForeignKeyViolation));
         assert!(!e.is_transient() && !e.is_capacity());
+    }
+
+    #[test]
+    fn device_loss_is_detected_through_both_wrappers() {
+        let direct: WindexError = SimError::DeviceLost.into();
+        assert!(direct.is_device_loss());
+        assert!(
+            !direct.is_transient(),
+            "device loss must not be retried raw"
+        );
+        assert!(!direct.is_capacity());
+        let wrapped: WindexError = JoinError::Sim(SimError::DeviceLost).into();
+        assert!(wrapped.is_device_loss());
+        let other: WindexError = SimError::AllocFault.into();
+        assert!(!other.is_device_loss());
     }
 
     #[test]

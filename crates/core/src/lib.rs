@@ -40,7 +40,7 @@ pub mod window;
 
 pub use error::WindexError;
 pub use query::{DegradationEvent, QueryError, QueryExecutor, QueryReport};
-pub use session::QuerySession;
+pub use session::{IndexCheckpoint, QuerySession, MAX_DEVICE_LOSS_RECOVERIES};
 pub use strategy::{BuiltIndex, IndexConfigs, JoinStrategy};
 pub use streams::StreamingWindowJoin;
 pub use window::{
@@ -51,7 +51,7 @@ pub use window::{
 pub mod prelude {
     pub use crate::error::WindexError;
     pub use crate::query::{DegradationEvent, QueryError, QueryExecutor, QueryReport};
-    pub use crate::session::QuerySession;
+    pub use crate::session::{IndexCheckpoint, QuerySession, MAX_DEVICE_LOSS_RECOVERIES};
     pub use crate::strategy::{BuiltIndex, IndexConfigs, JoinStrategy};
     pub use crate::streams::StreamingWindowJoin;
     pub use crate::window::{
@@ -61,8 +61,8 @@ pub mod prelude {
     pub use windex_index::{IndexKind, OutOfCoreIndex};
     pub use windex_join::PartitionBits;
     pub use windex_sim::{
-        phase, Counters, Gpu, GpuSpec, InterconnectSpec, MemLocation, PhaseBreakdown,
-        PhaseRecorder, Scale,
+        phase, ChaosScenario, ChaosSchedule, Counters, Gpu, GpuSpec, InterconnectSpec, MemLocation,
+        PhaseBreakdown, PhaseRecorder, Scale,
     };
     pub use windex_workload::{join_selectivity, KeyDistribution, Relation};
 }

@@ -70,6 +70,16 @@ pub enum DegradationEvent {
     /// No index-join plan fit the device-memory budget; the engine fell
     /// back to the (self-chunking) no-partitioning hash join.
     FellBackToHashJoin,
+    /// The device was lost mid-query (chaos device-loss window). The
+    /// session waited out the outage on the virtual clock, rebuilt every
+    /// staged index from the host-resident relation, and replayed the
+    /// query from the top.
+    DeviceLossRecovered {
+        /// Mean-time-to-recovery on the virtual clock, in nanoseconds:
+        /// outage wait (loss detection to window clearance) plus the
+        /// cost-model estimate of the index rebuild.
+        mttr_ns: u64,
+    },
 }
 
 /// Everything measured about one query run.

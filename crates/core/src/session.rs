@@ -47,6 +47,40 @@ use windex_workload::{join_selectivity, Relation};
 /// the next rung (one warp of probe tuples).
 pub const MIN_WINDOW_TUPLES: usize = 32;
 
+/// Device losses one [`QuerySession::run`] call will recover from before
+/// giving up and surfacing [`SimError::DeviceLost`](windex_sim::SimError).
+/// Chaos schedules place a bounded number of loss windows, so repeated
+/// losses within one query indicate a misconfigured scenario rather than
+/// recoverable weather.
+pub const MAX_DEVICE_LOSS_RECOVERIES: usize = 4;
+
+/// Host-resident recipe for rebuilding every device-dependent structure a
+/// session has staged — the state needed to bring a *replacement* device to
+/// parity after a whole-device loss.
+///
+/// The staged relations already live in CPU memory, so the checkpoint only
+/// needs to remember *which* indexes were built; the column data rebuilds
+/// them deterministically. Captured by [`QuerySession::checkpoint`] and
+/// consumed by [`QuerySession::restore`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IndexCheckpoint {
+    /// Index kinds that were built, in deterministic
+    /// ([`IndexKind::all`]) order.
+    kinds: Vec<IndexKind>,
+}
+
+impl IndexCheckpoint {
+    /// Index kinds the checkpoint will rebuild, in deterministic order.
+    pub fn kinds(&self) -> &[IndexKind] {
+        &self.kinds
+    }
+
+    /// Whether the checkpoint rebuilds nothing (no indexes were staged).
+    pub fn is_empty(&self) -> bool {
+        self.kinds.is_empty()
+    }
+}
+
 /// Staged relations plus lazily-built indexes for repeated querying.
 #[derive(Debug)]
 pub struct QuerySession {
@@ -120,6 +154,55 @@ impl QuerySession {
         self.built
             .entry(kind)
             .or_insert_with(|| BuiltIndex::build(gpu, kind, &self.r_col, &configs))
+    }
+
+    /// Capture a host-resident checkpoint of the session's device-dependent
+    /// state: the set of built indexes, in deterministic order.
+    pub fn checkpoint(&self) -> IndexCheckpoint {
+        let kinds = IndexKind::all()
+            .into_iter()
+            .filter(|k| self.built.contains_key(k))
+            .collect();
+        IndexCheckpoint { kinds }
+    }
+
+    /// Rebuild every index named by `ckpt` from the host-resident staged
+    /// column. Existing builds of the same kinds are dropped first, so the
+    /// restored structures are fresh (new addresses, nothing cached).
+    pub fn restore(&mut self, gpu: &mut Gpu, ckpt: &IndexCheckpoint) {
+        for &kind in ckpt.kinds() {
+            self.built.remove(&kind);
+            self.index(gpu, kind);
+        }
+    }
+
+    /// Recover from a whole-device loss: discard every built index (the
+    /// replacement device starts empty), flush the memory system, wait out
+    /// the loss window on the virtual clock, and rebuild from the
+    /// checkpoint. Returns the recovery event carrying the MTTR — outage
+    /// wait plus the cost-model estimate of the rebuild.
+    fn recover_from_device_loss(&mut self, gpu: &mut Gpu) -> DegradationEvent {
+        let lost_at_s = gpu.virtual_now_s();
+        let ckpt = self.checkpoint();
+        self.built.clear();
+        // The replacement device has cold caches and a cold TLB; nothing
+        // the lost device cached survives.
+        gpu.reset_memory_system();
+        // Wait out the loss window (and any chained ones) on the virtual
+        // clock before touching the device again.
+        let clearance_s = gpu.chaos_clearance_s().max(lost_at_s);
+        gpu.set_virtual_time(clearance_s);
+        // Rebuild from the host-resident relation, pricing the rebuild
+        // through the cost model so MTTR reflects the work done.
+        let before = gpu.snapshot();
+        self.restore(gpu, &ckpt);
+        let delta = gpu.snapshot() - before;
+        let rebuild_s = CostModel::new(gpu.spec()).estimate(&delta, false).total_s;
+        gpu.advance_virtual_time(rebuild_s);
+        let mttr_s = (clearance_s - lost_at_s) + rebuild_s;
+        DegradationEvent::DeviceLossRecovered {
+            mttr_ns: (mttr_s * 1e9).round() as u64,
+        }
     }
 
     fn page_round(page: u64, bytes: u64) -> u64 {
@@ -225,8 +308,15 @@ impl QuerySession {
         let mut degradations = Vec::new();
         let mut plan = strategy;
         let mut sink_loc = self.executor.result_location;
+        let mut loss_recoveries = 0usize;
 
         let (result_tuples, windows, build_passes, delta, sink, phases, window_timeline) = loop {
+            // A query admitted while a device-loss window is already open
+            // would fail its first allocation; recover up front instead.
+            if gpu.device_lost() && loss_recoveries < MAX_DEVICE_LOSS_RECOVERIES {
+                loss_recoveries += 1;
+                degradations.push(self.recover_from_device_loss(gpu));
+            }
             // Admission check: degrade until the staging footprint fits the
             // device-memory headroom (or the ladder bottoms out at the
             // CPU-sink hash join, whose footprint is zero).
@@ -323,6 +413,11 @@ impl QuerySession {
                 }
                 Err(e) => {
                     sink.free(gpu);
+                    if e.is_device_loss() && loss_recoveries < MAX_DEVICE_LOSS_RECOVERIES {
+                        loss_recoveries += 1;
+                        degradations.push(self.recover_from_device_loss(gpu));
+                        continue;
+                    }
                     if e.is_capacity()
                         && Self::degrade(&mut plan, &mut sink_loc, n, &mut degradations)
                     {
@@ -613,6 +708,98 @@ mod tests {
             rep.degradations
         );
         assert_eq!(g.live_gpu_bytes(), 0);
+    }
+
+    #[test]
+    fn device_loss_is_recovered_with_finite_mttr() {
+        use windex_sim::{ChaosKind, ChaosSchedule};
+        let mut g = gpu();
+        let mut sess = session(&mut g);
+        let st = JoinStrategy::WindowedInlj {
+            index: IndexKind::RadixSpline,
+            window_tuples: 256,
+        };
+        let calm = sess.run(&mut g, st).unwrap();
+        // The device is lost for 10 ms starting now (virtual t = 0).
+        g.set_chaos_schedule(ChaosSchedule::seeded(9).with_window(
+            ChaosKind::DeviceLoss,
+            0.0,
+            0.010,
+        ))
+        .unwrap();
+        assert!(g.device_lost());
+        let rep = sess.run(&mut g, st).unwrap();
+        // The query completed with the same result, recorded the recovery,
+        // and measured a finite MTTR of at least the outage wait.
+        assert_eq!(rep.result_tuples, calm.result_tuples);
+        let mttr = rep
+            .degradations
+            .iter()
+            .find_map(|e| match e {
+                DegradationEvent::DeviceLossRecovered { mttr_ns } => Some(*mttr_ns),
+                _ => None,
+            })
+            .expect("recovery must be recorded");
+        assert!(mttr >= 10_000_000, "MTTR {mttr} ns < 10 ms outage");
+        assert!(g.virtual_now_s() >= 0.010, "clock must pass the window");
+        assert!(!g.device_lost());
+        assert_eq!(g.live_gpu_bytes(), 0, "recovery must not leak");
+    }
+
+    #[test]
+    fn checkpoint_restore_round_trips_built_indexes() {
+        let mut g = gpu();
+        let mut sess = session(&mut g);
+        sess.index(&mut g, IndexKind::BPlusTree);
+        sess.index(&mut g, IndexKind::RadixSpline);
+        let ckpt = sess.checkpoint();
+        assert_eq!(
+            ckpt.kinds(),
+            &[IndexKind::BPlusTree, IndexKind::RadixSpline],
+            "checkpoint order must be deterministic"
+        );
+        assert!(!ckpt.is_empty());
+        sess.built.clear();
+        sess.restore(&mut g, &ckpt);
+        assert_eq!(sess.built.len(), 2);
+        // Restored indexes answer lookups like the originals.
+        let key = sess.r.keys()[100];
+        assert_eq!(
+            sess.built[&IndexKind::BPlusTree]
+                .as_dyn()
+                .lookup(&mut g, key),
+            Some(100)
+        );
+        // An empty session checkpoints to an empty recipe.
+        let mut g2 = gpu();
+        let fresh = session(&mut g2);
+        assert!(fresh.checkpoint().is_empty());
+    }
+
+    #[test]
+    fn recovered_runs_stay_deterministic() {
+        use windex_sim::{ChaosKind, ChaosSchedule};
+        let run_once = || {
+            let mut g = gpu();
+            g.set_chaos_schedule(ChaosSchedule::seeded(9).with_window(
+                ChaosKind::DeviceLoss,
+                0.0,
+                0.010,
+            ))
+            .unwrap();
+            let mut sess = session(&mut g);
+            let st = JoinStrategy::WindowedInlj {
+                index: IndexKind::RadixSpline,
+                window_tuples: 256,
+            };
+            let rep = sess.run(&mut g, st).unwrap();
+            (rep.result_tuples, rep.counters, rep.degradations)
+        };
+        let a = run_once();
+        let b = run_once();
+        assert_eq!(a.0, b.0);
+        assert_eq!(a.1, b.1, "recovered runs must measure identically");
+        assert_eq!(a.2, b.2, "recovery events must be identical");
     }
 
     #[test]

@@ -445,7 +445,8 @@ mod tests {
             max_retries: 1,
             base_backoff_ns: 10,
         });
-        g.set_fault_plan(FaultPlan::seeded(11).with_transfer_faults(1.0));
+        g.set_fault_plan(FaultPlan::seeded(11).with_transfer_faults(1.0))
+            .expect("valid fault plan");
         let bad: Vec<(u64, u64)> = r.keys()[16..32].iter().map(|&k| (k, k)).collect();
         let err = op.push(&mut g, idx.as_dyn(), &bad, &mut sink).unwrap_err();
         assert!(err.is_transient(), "fault survives retries: {err}");
@@ -457,7 +458,8 @@ mod tests {
         assert_eq!(op.stats().windows, 1, "the failed window did not close");
 
         // Lifting the fault plan lets the stream continue cleanly.
-        g.set_fault_plan(FaultPlan::none());
+        g.set_fault_plan(FaultPlan::none())
+            .expect("valid fault plan");
         op.reset();
         op.push(&mut g, idx.as_dyn(), &bad, &mut sink).unwrap();
         let stats = op.finish(&mut g, idx.as_dyn(), &mut sink).unwrap();

@@ -105,7 +105,8 @@ mod tests {
     #[test]
     fn retries_recover_from_transient_alloc_faults() {
         let mut gpu = Gpu::new(GpuSpec::v100_nvlink2(Scale::PAPER));
-        gpu.set_fault_plan(FaultPlan::seeded(7).with_alloc_failures(0.5));
+        gpu.set_fault_plan(FaultPlan::seeded(7).with_alloc_failures(0.5))
+            .expect("valid fault plan");
         // With a 50 % alloc-fault rate and 3 retries, some attempt in the
         // deterministic sequence succeeds.
         let buf = with_join_retries(&mut gpu, |g| {

@@ -50,6 +50,7 @@ pub mod batch;
 pub mod metrics;
 pub mod report;
 pub mod request;
+pub mod resilience;
 pub mod sched;
 pub mod server;
 pub mod trace;
@@ -58,6 +59,11 @@ pub use batch::MicroBatcher;
 pub use metrics::render_openmetrics;
 pub use report::{BatchSpan, LatencyHistogram, LatencyStats, ServeEvent, ServerReport, TenantLoad};
 pub use request::{LookupRequest, LookupResponse, RequestOutcome, TenantId};
+pub use resilience::{
+    jittered_backoff_s, BreakerConfig, BreakerReport, BreakerState, CircuitBreaker,
+    ResilienceConfig, RetryBudget, RetryConfig, RetryReport, SloConfig, SloReport, SloTracker,
+    TenantBreaker,
+};
 pub use sched::DrrScheduler;
 pub use server::{BatchPolicy, ServeConfig, ServeOutcome, Server};
 pub use trace::{generate_trace, TimedRequest, TraceConfig};
@@ -70,6 +76,10 @@ pub mod prelude {
         BatchSpan, LatencyHistogram, LatencyStats, ServeEvent, ServerReport, TenantLoad,
     };
     pub use crate::request::{LookupRequest, LookupResponse, RequestOutcome, TenantId};
+    pub use crate::resilience::{
+        BreakerConfig, BreakerReport, BreakerState, ResilienceConfig, RetryConfig, RetryReport,
+        SloConfig, SloReport,
+    };
     pub use crate::sched::DrrScheduler;
     pub use crate::server::{BatchPolicy, ServeConfig, ServeOutcome, Server};
     pub use crate::trace::{generate_trace, TimedRequest, TraceConfig};

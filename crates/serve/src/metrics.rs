@@ -135,12 +135,23 @@ pub fn render_openmetrics(report: &ServerReport) -> String {
 
     // Degradation / shed events over the trace.
     let (mut shrinks, mut spills, mut sheds, mut abandoned) = (0u64, 0u64, 0u64, 0u64);
+    let (mut circuit_sheds, mut dispatch_retries, mut retries_exhausted) = (0u64, 0u64, 0u64);
+    let mut loss_recoveries = 0u64;
+    let mut mttr_sum_s = 0.0f64;
     for e in &report.events {
         match e {
             ServeEvent::WindowShrunk { .. } => shrinks += 1,
             ServeEvent::SinkSpilledToCpu => spills += 1,
             ServeEvent::LoadShed { .. } => sheds += 1,
             ServeEvent::BatchAbandoned { .. } => abandoned += 1,
+            ServeEvent::CircuitShed { .. } => circuit_sheds += 1,
+            ServeEvent::CircuitOpened { .. } | ServeEvent::CircuitClosed { .. } => {}
+            ServeEvent::DispatchRetried { .. } => dispatch_retries += 1,
+            ServeEvent::RetriesExhausted { .. } => retries_exhausted += 1,
+            ServeEvent::DeviceLossRecovered { mttr_s } => {
+                loss_recoveries += 1;
+                mttr_sum_s += mttr_s;
+            }
         }
     }
     family(
@@ -196,6 +207,110 @@ pub fn render_openmetrics(report: &ServerReport) -> String {
         "Probe keys dispatched through shared windows.",
     );
     let _ = writeln!(o, "windex_keys_probed_total {}", report.keys_probed);
+
+    // Resilience: circuit breakers, retry budget, device-loss recovery, SLOs.
+    family(
+        &mut o,
+        "windex_circuit_state",
+        "gauge",
+        "Circuit-breaker state at trace end, by tenant (0=closed, 1=half-open, 2=open).",
+    );
+    for t in &report.breaker.tenants {
+        let _ = writeln!(
+            o,
+            "windex_circuit_state{{tenant=\"{}\"}} {}",
+            t.tenant,
+            t.state.as_gauge()
+        );
+    }
+    family(
+        &mut o,
+        "windex_circuit_opens",
+        "counter",
+        "Circuit-breaker trips from closed or half-open to open.",
+    );
+    let _ = writeln!(o, "windex_circuit_opens_total {}", report.breaker.opens);
+    family(
+        &mut o,
+        "windex_circuit_fast_rejects",
+        "counter",
+        "Requests rejected at admission by an open circuit breaker.",
+    );
+    let _ = writeln!(
+        o,
+        "windex_circuit_fast_rejects_total {}",
+        report.breaker.fast_rejects
+    );
+    family(
+        &mut o,
+        "windex_circuit_sheds",
+        "counter",
+        "Requests shed by circuit breakers over this trace.",
+    );
+    let _ = writeln!(o, "windex_circuit_sheds_total {circuit_sheds}");
+    family(
+        &mut o,
+        "windex_dispatch_retries",
+        "counter",
+        "Transient dispatch failures retried with jittered backoff.",
+    );
+    let _ = writeln!(o, "windex_dispatch_retries_total {dispatch_retries}");
+    family(
+        &mut o,
+        "windex_retries_exhausted",
+        "counter",
+        "Batches abandoned after the retry budget or attempt cap ran out.",
+    );
+    let _ = writeln!(o, "windex_retries_exhausted_total {retries_exhausted}");
+    family(
+        &mut o,
+        "windex_retry_tokens",
+        "gauge",
+        "Retry-budget tokens remaining at trace end.",
+    );
+    let _ = writeln!(o, "windex_retry_tokens {}", report.retry.tokens_remaining);
+    family(
+        &mut o,
+        "windex_retry_backoff_seconds",
+        "gauge",
+        "Total virtual time spent in retry backoff over this trace.",
+    );
+    let _ = writeln!(o, "windex_retry_backoff_seconds {}", report.retry.backoff_s);
+    family(
+        &mut o,
+        "windex_device_loss_recoveries",
+        "counter",
+        "Device-loss events recovered by rebuilding device state.",
+    );
+    let _ = writeln!(o, "windex_device_loss_recoveries_total {loss_recoveries}");
+    family(
+        &mut o,
+        "windex_device_loss_mttr_seconds",
+        "gauge",
+        "Total virtual mean-time-to-recovery across device losses.",
+    );
+    let _ = writeln!(o, "windex_device_loss_mttr_seconds {mttr_sum_s}");
+    family(
+        &mut o,
+        "windex_slo_availability",
+        "gauge",
+        "Fraction of submitted requests answered (not shed).",
+    );
+    let _ = writeln!(o, "windex_slo_availability {}", report.slo.availability);
+    family(
+        &mut o,
+        "windex_slo_goodput_rps",
+        "gauge",
+        "Requests answered within the deadline budget per virtual second.",
+    );
+    let _ = writeln!(o, "windex_slo_goodput_rps {}", report.slo.goodput_rps);
+    family(
+        &mut o,
+        "windex_slo_p99_seconds",
+        "gauge",
+        "p99 latency over answered requests, in virtual seconds.",
+    );
+    let _ = writeln!(o, "windex_slo_p99_seconds {}", report.slo.p99_s);
 
     // Capacity and utilization gauges.
     family(
@@ -271,6 +386,7 @@ fn escape(v: &str) -> String {
 mod tests {
     use super::*;
     use crate::report::{LatencyHistogram, LatencyStats, TenantLoad};
+    use crate::resilience::{BreakerReport, BreakerState, RetryReport, SloReport, TenantBreaker};
     use windex_core::WindowStats;
     use windex_index::IndexKind;
     use windex_sim::Counters;
@@ -334,6 +450,40 @@ mod tests {
             retries: 3,
             phases: Default::default(),
             batches: Vec::new(),
+            slo: SloReport {
+                deadline_budget_s: 5e-3,
+                answered: 9,
+                within_budget: 8,
+                availability: 0.9,
+                goodput_rps: 32.0,
+                good_share: 8.0 / 9.0,
+                p99_s: 5e-3,
+            },
+            breaker: BreakerReport {
+                opens: 1,
+                fast_rejects: 2,
+                half_open_probes: 1,
+                tenants: vec![
+                    TenantBreaker {
+                        tenant: 0,
+                        state: BreakerState::Closed,
+                        opens: 0,
+                        fast_rejects: 0,
+                    },
+                    TenantBreaker {
+                        tenant: 1,
+                        state: BreakerState::Open,
+                        opens: 1,
+                        fast_rejects: 2,
+                    },
+                ],
+            },
+            retry: RetryReport {
+                attempts: 2,
+                denied: 0,
+                tokens_remaining: 62.5,
+                backoff_s: 4.5e-4,
+            },
         }
     }
 
@@ -374,6 +524,41 @@ mod tests {
         assert!(text.contains("windex_load_sheds_total 1"));
         assert!(text.contains("windex_sink_spills_total 0"));
         assert!(text.contains("windex_operator_retries_total 3"));
+    }
+
+    #[test]
+    fn resilience_families_render_from_report_and_events() {
+        let mut r = report();
+        r.events.push(ServeEvent::DispatchRetried {
+            attempt: 1,
+            backoff_s: 1.5e-4,
+        });
+        r.events.push(ServeEvent::DispatchRetried {
+            attempt: 2,
+            backoff_s: 3e-4,
+        });
+        r.events.push(ServeEvent::CircuitShed {
+            tenant: 1,
+            request: 9,
+        });
+        r.events
+            .push(ServeEvent::DeviceLossRecovered { mttr_s: 0.015 });
+        let text = render_openmetrics(&r);
+        assert!(text.contains("windex_circuit_state{tenant=\"0\"} 0"));
+        assert!(text.contains("windex_circuit_state{tenant=\"1\"} 2"));
+        assert!(text.contains("windex_circuit_opens_total 1"));
+        assert!(text.contains("windex_circuit_fast_rejects_total 2"));
+        assert!(text.contains("windex_circuit_sheds_total 1"));
+        assert!(text.contains("windex_dispatch_retries_total 2"));
+        assert!(text.contains("windex_retries_exhausted_total 0"));
+        assert!(text.contains("windex_retry_tokens 62.5"));
+        assert!(text.contains("windex_device_loss_recoveries_total 1"));
+        assert!(text.contains("windex_device_loss_mttr_seconds 0.015"));
+        assert!(text.contains("windex_slo_availability 0.9"));
+        assert!(text.contains("windex_slo_p99_seconds 0.005"));
+        // Still deterministic and well-terminated with the new families.
+        assert_eq!(text, render_openmetrics(&r));
+        assert!(text.ends_with("# EOF\n"));
     }
 
     #[test]

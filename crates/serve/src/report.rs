@@ -196,6 +196,48 @@ pub enum ServeEvent {
         /// Requests shed with it.
         requests: usize,
     },
+    /// An open (or probing) circuit breaker fast-rejected a request at
+    /// admission.
+    CircuitShed {
+        /// The rejected tenant.
+        tenant: TenantId,
+        /// Server-assigned id of the rejected request.
+        request: u64,
+    },
+    /// A tenant's breaker tripped open after consecutive hard failures (or
+    /// a failed half-open probe).
+    CircuitOpened {
+        /// The tenant whose breaker opened.
+        tenant: TenantId,
+        /// Virtual instant until which the breaker fast-rejects.
+        until_s: f64,
+    },
+    /// A half-open probe succeeded and closed the tenant's breaker.
+    CircuitClosed {
+        /// The tenant whose breaker closed.
+        tenant: TenantId,
+    },
+    /// A transient dispatch failure was redriven after deterministic
+    /// jittered backoff on the virtual clock.
+    DispatchRetried {
+        /// 1-based retry ordinal within the dispatch.
+        attempt: u32,
+        /// Backoff charged to the virtual clock, in seconds.
+        backoff_s: f64,
+    },
+    /// A batch exhausted its retry attempts (or the retry budget) on a
+    /// transient fault and was shed.
+    RetriesExhausted {
+        /// Keys in the shed batch.
+        keys: usize,
+    },
+    /// The device was lost and recovered: index, operator, and sink were
+    /// rebuilt on the virtual clock after the outage cleared.
+    DeviceLossRecovered {
+        /// Mean-time-to-recovery in virtual seconds: outage wait plus the
+        /// cost-model estimate of the rebuild.
+        mttr_s: f64,
+    },
 }
 
 /// Everything measured about one served trace. Serialized through the same
@@ -259,6 +301,15 @@ pub struct ServerReport {
     /// Per-dispatch timeline: one entry per batch pushed through the
     /// shared operator, in dispatch order.
     pub batches: Vec<BatchSpan>,
+    /// SLO attainment over the trace: availability, goodput, and tail
+    /// latency against the configured budget.
+    pub slo: crate::resilience::SloReport,
+    /// Circuit-breaker summary: trips, fast-rejects, and per-tenant
+    /// end-of-trace state.
+    pub breaker: crate::resilience::BreakerReport,
+    /// Retry-budget summary: retries granted/denied this trace and tokens
+    /// remaining.
+    pub retry: crate::resilience::RetryReport,
 }
 
 #[cfg(test)]

@@ -35,19 +35,23 @@ use crate::report::{
     BatchSpan, LatencyHistogram, LatencyStats, ServeEvent, ServerReport, TenantLoad,
 };
 use crate::request::{LookupResponse, RequestOutcome, TenantId};
+use crate::resilience::{
+    jittered_backoff_s, BreakerReport, CircuitBreaker, ResilienceConfig, RetryBudget, RetryReport,
+    SloTracker, TenantBreaker,
+};
 use crate::sched::DrrScheduler;
 use crate::trace::TimedRequest;
 use std::collections::BTreeMap;
 use std::rc::Rc;
 use windex_core::query::QueryError;
-use windex_core::session::MIN_WINDOW_TUPLES;
+use windex_core::session::{MAX_DEVICE_LOSS_RECOVERIES, MIN_WINDOW_TUPLES};
 use windex_core::strategy::{BuiltIndex, IndexConfigs};
 use windex_core::streams::StreamingWindowJoin;
 use windex_core::window::WindowConfig;
 use windex_core::{WindexError, WindowStats};
 use windex_index::IndexKind;
 use windex_join::{PartitionBits, ResultSink};
-use windex_sim::{CostModel, Gpu, MemLocation, PhaseRecorder};
+use windex_sim::{Buffer, CostModel, Gpu, MemLocation, PhaseRecorder};
 use windex_workload::Relation;
 
 /// When staged keys are dispatched through the shared operator.
@@ -100,6 +104,9 @@ pub struct ServeConfig {
     pub result_location: MemLocation,
     /// Partition bit range; `None` applies the §4.2 selection rule.
     pub partition_bits: Option<PartitionBits>,
+    /// Resilience knobs: retry budget, per-tenant circuit breaker, SLO
+    /// latency budget.
+    pub resilience: ResilienceConfig,
 }
 
 impl Default for ServeConfig {
@@ -114,6 +121,7 @@ impl Default for ServeConfig {
             max_pending_keys: 1 << 16,
             result_location: MemLocation::Gpu,
             partition_bits: None,
+            resilience: ResilienceConfig::default(),
         }
     }
 }
@@ -145,6 +153,9 @@ struct InFlight {
 pub struct Server {
     cfg: ServeConfig,
     r: Relation,
+    /// The staged host-resident column — the checkpoint the index is
+    /// rebuilt from after a device loss.
+    col: Rc<Buffer<u64>>,
     index: BuiltIndex,
     bits: PartitionBits,
     min_key: u64,
@@ -158,6 +169,16 @@ pub struct Server {
     /// Degradation applied during construction (e.g. the sink never fit on
     /// the device), replayed at the head of every report.
     setup_events: Vec<ServeEvent>,
+    /// Dispatch-level retry token pool (persists across traces, like the
+    /// window degradation).
+    retry_budget: RetryBudget,
+    /// Per-tenant circuit breakers, keyed by tenant id.
+    breakers: BTreeMap<TenantId, CircuitBreaker>,
+    /// Ordinal of the next backoff-jitter draw (resets per trace so runs
+    /// replay identically).
+    retry_seq: u64,
+    /// Backoff charged to the virtual clock this trace, in seconds.
+    run_backoff_s: f64,
 }
 
 impl Server {
@@ -218,8 +239,10 @@ impl Server {
         let cost = CostModel::new(gpu.spec());
         Ok(Server {
             window_tuples: cfg.window_tuples,
+            retry_budget: RetryBudget::new(&cfg.resilience.retry),
             cfg,
             r,
+            col,
             index,
             bits,
             min_key,
@@ -228,6 +251,9 @@ impl Server {
             sink_loc,
             cost,
             setup_events,
+            breakers: BTreeMap::new(),
+            retry_seq: 0,
+            run_backoff_s: 0.0,
         })
     }
 
@@ -271,8 +297,23 @@ impl Server {
         let mut keys_probed = 0usize;
         let mut windows_closed = 0usize;
         let mut matches_total = 0usize;
+        let mut device_losses = 0usize;
+        let retry_spent0 = self.retry_budget.spent();
+        let retry_denied0 = self.retry_budget.denied();
+        self.retry_seq = 0;
+        self.run_backoff_s = 0.0;
+        let breaker_cfg = self.cfg.resilience.breaker;
+        // Each run restarts the virtual clock, so breaker timers from a
+        // previous trace belong to a stale epoch; close them (counters
+        // stay cumulative across the server's lifetime).
+        for brk in self.breakers.values_mut() {
+            brk.reset_for_epoch();
+        }
         self.op.reset();
         self.sink.clear();
+        // The serving clock IS the chaos clock: every trace starts at
+        // virtual t = 0 so fault windows land on serving time.
+        gpu.set_virtual_time(0.0);
 
         loop {
             // 1. Admit every arrival due now.
@@ -302,8 +343,27 @@ impl Server {
                     });
                     continue;
                 }
+                // Per-tenant circuit breaker: an open breaker fast-rejects
+                // the arrival before backpressure is even consulted.
+                let brk = self
+                    .breakers
+                    .entry(t.request.tenant)
+                    .or_insert_with(|| CircuitBreaker::new(breaker_cfg));
+                if !brk.allow(clock) {
+                    events.push(ServeEvent::CircuitShed {
+                        tenant: t.request.tenant,
+                        request: id,
+                    });
+                    responses.push(shed_response(id, &t.request.tenant, t.at_s, clock));
+                    continue;
+                }
                 let backlog = sched.queued_keys() + batcher.pending();
                 if backlog + n > self.cfg.max_pending_keys {
+                    // The request passed the breaker but never reached the
+                    // device; a half-open probe slot must not stay taken.
+                    if let Some(brk) = self.breakers.get_mut(&t.request.tenant) {
+                        brk.release_probe();
+                    }
                     events.push(ServeEvent::LoadShed {
                         tenant: t.request.tenant,
                         request: id,
@@ -375,6 +435,7 @@ impl Server {
                     &mut windows_closed,
                     &mut matches_total,
                     &mut batches,
+                    &mut device_losses,
                 )?;
                 continue;
             }
@@ -402,6 +463,9 @@ impl Server {
                     break;
                 }
             }
+            // Keep the chaos clock in lockstep with the serving clock so
+            // fault windows open and close on serving time.
+            gpu.set_virtual_time(clock);
         }
         debug_assert!(inflight.is_empty(), "all admitted requests answered");
 
@@ -455,6 +519,42 @@ impl Server {
             by_tenant.into_values().collect()
         };
         let makespan = clock;
+        let mut slo_tracker = SloTracker::new(&self.cfg.resilience.slo);
+        for r in &responses {
+            slo_tracker.observe(r.outcome != RequestOutcome::Shed, r.latency_s);
+        }
+        let slo = slo_tracker.finish(makespan);
+        let breaker = BreakerReport {
+            opens: self.breakers.values().map(CircuitBreaker::opens).sum(),
+            fast_rejects: self
+                .breakers
+                .values()
+                .map(CircuitBreaker::fast_rejects)
+                .sum(),
+            half_open_probes: self
+                .breakers
+                .values()
+                .map(CircuitBreaker::half_open_probes)
+                .sum(),
+            // BTreeMap iteration is ascending by tenant id, fixing the
+            // exposition order.
+            tenants: self
+                .breakers
+                .iter()
+                .map(|(t, b)| TenantBreaker {
+                    tenant: *t,
+                    state: b.state(),
+                    opens: b.opens(),
+                    fast_rejects: b.fast_rejects(),
+                })
+                .collect(),
+        };
+        let retry = RetryReport {
+            attempts: self.retry_budget.spent() - retry_spent0,
+            denied: self.retry_budget.denied() - retry_denied0,
+            tokens_remaining: self.retry_budget.tokens(),
+            backoff_s: self.run_backoff_s,
+        };
         let report = ServerReport {
             policy: self.cfg.policy.label(),
             index: self.cfg.index,
@@ -501,15 +601,20 @@ impl Server {
             counters,
             phases,
             batches,
+            slo,
+            breaker,
+            retry,
         };
         Ok(ServeOutcome { responses, report })
     }
 
     /// Push one batch through the shared operator, advancing virtual time
     /// by the cost model's estimate of the dispatch. Capacity pressure
-    /// degrades (shrink window → spill sink → shed the batch); any error
-    /// that survives degradation sheds the batch's requests rather than
-    /// failing the server.
+    /// degrades (shrink window → spill sink → shed the batch); a transient
+    /// fault retries under the budget with jittered backoff on the virtual
+    /// clock; a device loss rebuilds index, operator, and sink after the
+    /// outage clears; any error that survives all of that sheds the
+    /// batch's requests rather than failing the server.
     #[allow(clippy::too_many_arguments)]
     fn dispatch(
         &mut self,
@@ -523,6 +628,7 @@ impl Server {
         windows_closed: &mut usize,
         matches_total: &mut usize,
         batches: &mut Vec<BatchSpan>,
+        device_losses: &mut usize,
     ) -> Result<(), WindexError> {
         // One timeline entry per dispatch, accumulating every attempt's
         // counter delta and virtual time (a batch retried after degradation
@@ -533,6 +639,7 @@ impl Server {
             keys: batch.len(),
             ..BatchSpan::default()
         };
+        let mut attempts = 0u32;
         loop {
             // A failed attempt leaves staged keys in the operator; start
             // each attempt from a clean window (the sink was already rolled
@@ -548,6 +655,7 @@ impl Server {
             // Failed attempts consumed real device time too; virtual time
             // moves forward either way, keeping the clock monotone.
             *clock += est_s;
+            gpu.set_virtual_time(*clock);
             span.counters = span.counters + delta;
             span.est_s += est_s;
             match attempt {
@@ -558,7 +666,19 @@ impl Server {
                     span.windows = stats.windows;
                     span.completed = true;
                     batches.push(span);
-                    self.complete(batch, batcher, inflight, responses, *clock)?;
+                    self.retry_budget.on_success();
+                    self.complete(batch, batcher, inflight, responses, events, *clock)?;
+                    return Ok(());
+                }
+                Err(e) if e.is_device_loss() => {
+                    if *device_losses < MAX_DEVICE_LOSS_RECOVERIES {
+                        *device_losses += 1;
+                        let mttr_s = self.recover_device_loss(gpu, clock)?;
+                        events.push(ServeEvent::DeviceLossRecovered { mttr_s });
+                        continue;
+                    }
+                    batches.push(span);
+                    self.abandon(batch, batcher, inflight, responses, events, *clock);
                     return Ok(());
                 }
                 Err(e) if e.is_capacity() => {
@@ -597,9 +717,37 @@ impl Server {
                     self.abandon(batch, batcher, inflight, responses, events, *clock);
                     return Ok(());
                 }
-                Err(_) => {
-                    // Fault outlasted its retries (or another terminal
-                    // operator error): shed the batch, keep serving.
+                Err(e)
+                    if e.is_transient()
+                        && attempts < self.cfg.resilience.retry.max_attempts_per_dispatch
+                        && self.retry_budget.try_spend() =>
+                {
+                    // A transient fault outlasted the operator's own
+                    // retries (e.g. a link-flap window): back off on the
+                    // virtual clock and redrive the whole dispatch. The
+                    // backoff doubles per attempt with deterministic
+                    // jitter, so sustained flapping walks the clock past
+                    // the fault window instead of hammering it.
+                    let backoff_s =
+                        jittered_backoff_s(&self.cfg.resilience.retry, attempts, self.retry_seq);
+                    self.retry_seq += 1;
+                    attempts += 1;
+                    *clock += backoff_s;
+                    gpu.set_virtual_time(*clock);
+                    self.run_backoff_s += backoff_s;
+                    events.push(ServeEvent::DispatchRetried {
+                        attempt: attempts,
+                        backoff_s,
+                    });
+                    continue;
+                }
+                Err(e) => {
+                    // Fault outlasted its retries and budget (or another
+                    // terminal operator error): shed the batch, keep
+                    // serving.
+                    if e.is_transient() {
+                        events.push(ServeEvent::RetriesExhausted { keys: batch.len() });
+                    }
                     batches.push(span);
                     self.abandon(batch, batcher, inflight, responses, events, *clock);
                     return Ok(());
@@ -608,14 +756,53 @@ impl Server {
         }
     }
 
+    /// Rebuild the device-dependent state after a whole-device loss: wait
+    /// out the loss window on the virtual clock, flush the memory system
+    /// (the replacement device starts cold), and rebuild index, operator,
+    /// and sink from the host-resident column. Returns the MTTR in virtual
+    /// seconds: outage wait plus the cost-model estimate of the rebuild.
+    fn recover_device_loss(&mut self, gpu: &mut Gpu, clock: &mut f64) -> Result<f64, WindexError> {
+        let lost_at_s = *clock;
+        // Carry the phase recorder across the rebuild so the trace's
+        // breakdown stays whole.
+        let rec = self.op.take_phase_recorder();
+        gpu.reset_memory_system();
+        let clearance_s = gpu.chaos_clearance_s().max(lost_at_s);
+        *clock = clearance_s;
+        gpu.set_virtual_time(*clock);
+        let before = gpu.snapshot();
+        self.index = BuiltIndex::build(gpu, self.cfg.index, &self.col, &IndexConfigs::default());
+        self.op = StreamingWindowJoin::new(
+            gpu,
+            WindowConfig {
+                window_tuples: self.window_tuples,
+                bits: self.bits,
+                min_key: self.min_key,
+            },
+        )?;
+        self.op.set_phase_recorder(rec);
+        let old = std::mem::replace(
+            &mut self.sink,
+            ResultSink::with_capacity(gpu, self.window_tuples, self.sink_loc)?,
+        );
+        old.free(gpu);
+        let delta = gpu.snapshot() - before;
+        let rebuild_s = self.cost.estimate(&delta, false).total_s;
+        *clock += rebuild_s;
+        gpu.set_virtual_time(*clock);
+        Ok((clearance_s - lost_at_s) + rebuild_s)
+    }
+
     /// Demultiplex the sink's matches back to their requests and answer
     /// every request whose last key was just probed.
+    #[allow(clippy::too_many_arguments)]
     fn complete(
         &mut self,
         batch: &[(u64, u64)],
         batcher: &mut MicroBatcher,
         inflight: &mut BTreeMap<u64, InFlight>,
         responses: &mut Vec<LookupResponse>,
+        events: &mut Vec<ServeEvent>,
         now_s: f64,
     ) -> Result<(), WindexError> {
         for (rid, pos) in self.sink.host_pairs() {
@@ -644,6 +831,14 @@ impl Server {
             let inf = inflight.remove(&req).ok_or(WindexError::InvalidState(
                 "completed request vanished from the in-flight table",
             ))?;
+            // An answered request is a breaker success for its tenant —
+            // even past its deadline, the device did answer (deadline
+            // attainment is the SLO tracker's concern, not the breaker's).
+            if let Some(brk) = self.breakers.get_mut(&inf.tenant) {
+                if brk.on_success() {
+                    events.push(ServeEvent::CircuitClosed { tenant: inf.tenant });
+                }
+            }
             let latency = now_s - inf.submitted_s;
             let outcome = match inf.deadline {
                 Some(d) if latency > d => RequestOutcome::DeadlineMissed,
@@ -688,6 +883,16 @@ impl Server {
         for req in victims {
             if let Some(inf) = inflight.remove(&req) {
                 batcher.drop_request(req);
+                // An abandoned batch is a hard failure for every tenant it
+                // carried; enough of them in a row open the breaker.
+                if let Some(brk) = self.breakers.get_mut(&inf.tenant) {
+                    if brk.on_failure(now_s) {
+                        events.push(ServeEvent::CircuitOpened {
+                            tenant: inf.tenant,
+                            until_s: brk.open_until_s(),
+                        });
+                    }
+                }
                 responses.push(shed_response(req, &inf.tenant, inf.submitted_s, now_s));
             }
         }

@@ -317,7 +317,8 @@ fn unrecoverable_faults_shed_batches_not_the_server() {
         max_retries: 1,
         base_backoff_ns: 10,
     });
-    g.set_fault_plan(FaultPlan::seeded(3).with_transfer_faults(1.0));
+    g.set_fault_plan(FaultPlan::seeded(3).with_transfer_faults(1.0))
+        .expect("valid fault plan");
     let outcome = server.run(&mut g, &trace).unwrap();
     assert_eq!(
         outcome.report.shed,
@@ -332,7 +333,8 @@ fn unrecoverable_faults_shed_batches_not_the_server() {
     assert!(outcome.report.retries > 0, "retries were attempted first");
 
     // Lifting the fault plan restores normal service on the same server.
-    g.set_fault_plan(FaultPlan::none());
+    g.set_fault_plan(FaultPlan::none())
+        .expect("valid fault plan");
     let outcome = server.run(&mut g, &trace).unwrap();
     assert_eq!(outcome.report.shed, 0);
     assert_eq!(outcome.report.completed, trace.len());
@@ -437,4 +439,167 @@ fn dispatch_protocol_round_trips_through_the_operator() {
         }
         sink.clear();
     }
+}
+
+// ---------------------------------------------------------------------------
+// Chaos: time-correlated fault windows on the serving clock.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn device_loss_trace_completes_every_request() {
+    let r = relation();
+    let trace = generate_trace(&TraceConfig::default(), &r);
+    let mut g = gpu();
+    let mut server = Server::new(&mut g, ServeConfig::default(), r.clone()).unwrap();
+    // The DeviceLoss scenario kills the device at 20 ms of serving time;
+    // the default trace still has arrivals in flight then.
+    g.set_chaos_schedule(windex_sim::ChaosScenario::DeviceLoss.schedule(99))
+        .expect("valid schedule");
+    let outcome = server.run(&mut g, &trace).unwrap();
+
+    // Every request is answered: recovery, not refusal.
+    assert_eq!(outcome.responses.len(), trace.len());
+    assert_eq!(outcome.report.shed, 0, "device loss must not shed requests");
+    assert_eq!(outcome.report.slo.availability, 1.0);
+    let mttrs: Vec<f64> = outcome
+        .report
+        .events
+        .iter()
+        .filter_map(|e| match e {
+            ServeEvent::DeviceLossRecovered { mttr_s } => Some(*mttr_s),
+            _ => None,
+        })
+        .collect();
+    assert!(!mttrs.is_empty(), "a recovery must be recorded");
+    for m in &mttrs {
+        assert!(
+            m.is_finite() && *m > 0.0,
+            "MTTR must be finite and positive"
+        );
+    }
+    assert!(
+        !g.device_lost(),
+        "replacement device is healthy at trace end"
+    );
+
+    // Results after recovery equal a calm offline run: the rebuilt index
+    // answers exactly like the lost one.
+    let mut g2 = gpu();
+    let expected = offline_matches(&mut g2, &r, &trace, IndexKind::RadixSpline);
+    for resp in &outcome.responses {
+        let mut got = resp.matches.clone();
+        let mut want = expected[resp.request as usize].clone();
+        got.sort_unstable();
+        want.sort_unstable();
+        assert_eq!(got, want, "request {} differs post-recovery", resp.request);
+    }
+}
+
+#[test]
+fn link_flap_is_ridden_out_by_backoff_retries() {
+    let r = relation();
+    let trace = generate_trace(&TraceConfig::default(), &r);
+    let mut g = gpu();
+    let mut server = Server::new(&mut g, ServeConfig::default(), r).unwrap();
+    // 20 ms of hard-failing transfers starting at t = 20 ms: doubling
+    // backoff walks the clock past the window within the attempt budget.
+    g.set_chaos_schedule(windex_sim::ChaosScenario::LinkFlap.schedule(99))
+        .expect("valid schedule");
+    let outcome = server.run(&mut g, &trace).unwrap();
+    assert_eq!(outcome.report.shed, 0, "flap is transient; nothing is shed");
+    assert_eq!(outcome.report.completed, trace.len());
+    assert!(
+        outcome
+            .report
+            .events
+            .iter()
+            .any(|e| matches!(e, ServeEvent::DispatchRetried { .. })),
+        "the flap must surface as dispatch retries"
+    );
+    assert!(outcome.report.retry.attempts > 0);
+    assert!(outcome.report.retry.backoff_s > 0.0);
+    assert_eq!(outcome.report.breaker.opens, 0, "retries absorb the flap");
+}
+
+#[test]
+fn chaos_serving_is_deterministic() {
+    let r = relation();
+    let trace = generate_trace(&TraceConfig::default(), &r);
+    let run = || {
+        let mut g = gpu();
+        let mut server = Server::new(&mut g, ServeConfig::default(), r.clone()).unwrap();
+        g.set_chaos_schedule(windex_sim::ChaosScenario::Combined.schedule(99))
+            .expect("valid schedule");
+        let outcome = server.run(&mut g, &trace).unwrap();
+        (
+            serde_json::to_string(&outcome.report).unwrap(),
+            render_openmetrics(&outcome.report),
+        )
+    };
+    let (report_a, metrics_a) = run();
+    let (report_b, metrics_b) = run();
+    assert_eq!(
+        report_a, report_b,
+        "chaos runs must replay byte-identically"
+    );
+    assert_eq!(metrics_a, metrics_b);
+}
+
+#[test]
+fn persistent_faults_trip_the_breaker_and_fast_reject() {
+    let r = relation();
+    let trace = generate_trace(
+        &TraceConfig {
+            requests: 96,
+            tenants: 1,
+            ..TraceConfig::default()
+        },
+        &r,
+    );
+    let mut g = gpu();
+    // Disable serve-level retries so each faulting dispatch abandons
+    // immediately — the breaker then trips while arrivals are still
+    // flowing, which is what exercises the fast-reject path.
+    let cfg = ServeConfig {
+        resilience: ResilienceConfig {
+            retry: RetryConfig {
+                max_attempts_per_dispatch: 0,
+                ..RetryConfig::default()
+            },
+            ..ResilienceConfig::default()
+        },
+        ..ServeConfig::default()
+    };
+    let mut server = Server::new(&mut g, cfg, r).unwrap();
+    g.set_retry_policy(RetryPolicy {
+        max_retries: 1,
+        base_backoff_ns: 10,
+    });
+    // Every transfer faults, forever: retries exhaust, batches abandon,
+    // and the tenant's breaker must open and start fast-rejecting.
+    g.set_fault_plan(FaultPlan::seeded(3).with_transfer_faults(1.0))
+        .expect("valid fault plan");
+    let outcome = server.run(&mut g, &trace).unwrap();
+    assert!(outcome.report.breaker.opens > 0, "breaker must trip open");
+    assert!(
+        outcome.report.breaker.fast_rejects > 0,
+        "an open breaker sheds load without touching the device"
+    );
+    assert!(outcome
+        .report
+        .events
+        .iter()
+        .any(|e| matches!(e, ServeEvent::CircuitOpened { .. })));
+    assert!(outcome
+        .report
+        .events
+        .iter()
+        .any(|e| matches!(e, ServeEvent::CircuitShed { .. })));
+    assert!(outcome
+        .report
+        .events
+        .iter()
+        .any(|e| matches!(e, ServeEvent::RetriesExhausted { .. })));
+    assert_eq!(outcome.report.shed, trace.len(), "no request completes");
+    assert!((outcome.report.slo.availability - 0.0).abs() < f64::EPSILON);
 }

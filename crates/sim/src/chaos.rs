@@ -1,0 +1,446 @@
+//! Chaos schedules: deterministic, time-correlated fault windows.
+//!
+//! The Bernoulli fault plan ([`FaultPlan`](crate::fault::FaultPlan)) models
+//! *independent* per-draw faults; real deployments fail in *correlated*
+//! ways — an interconnect brownout degrades every transfer for seconds, a
+//! link flap hard-fails them, an ECC storm quarantines device pages, and a
+//! whole device can drop off the bus. A [`ChaosSchedule`] places named fault
+//! *windows* `[t0, t1)` on the engine's virtual clock; the engine applies
+//! whichever windows contain the current virtual time. Everything is a pure
+//! function of `(seed, scenario)` — same schedule and workload mean
+//! byte-identical traces and counters.
+//!
+//! The window kinds and their engine-side effects:
+//!
+//! - [`ChaosKind::Brownout`] — the interconnect runs at a fraction of its
+//!   nominal bandwidth; the lost bandwidth accrues as `chaos_stall_ns`
+//!   (priced unscaled by the cost model, like retry backoff);
+//! - [`ChaosKind::LinkFlap`] — every transfer operation hard-fails with a
+//!   transient fault for the duration of the window;
+//! - [`ChaosKind::EccStorm`] — a seeded subset of device pages is
+//!   quarantined; lines on those pages cannot be served from HBM and are
+//!   re-fetched over the interconnect (`ecc_refetch_lines`);
+//! - [`ChaosKind::DeviceLoss`] — the device is gone: allocations, kernel
+//!   launches, and transfers fail with the non-transient
+//!   [`SimError::DeviceLost`] until the window closes. Recovery (index
+//!   rebuild, replay) is the caller's job; [`ChaosSchedule::clearance_s`]
+//!   reports when the device returns.
+
+use crate::fault::{splitmix64, SimError};
+use serde::Serialize;
+
+/// Salt folded into the page-quarantine hash (distinct from the
+/// [`FaultKind`](crate::fault::FaultKind) salts).
+const SALT_ECC_PAGE: u64 = 0x6563635f70616765;
+
+/// The kind of correlated failure a [`ChaosWindow`] injects.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub enum ChaosKind {
+    /// Interconnect brownout: the link runs at `bandwidth_scale` × nominal
+    /// bandwidth (`0 < scale ≤ 1`) while the window is active.
+    Brownout {
+        /// Fraction of nominal bandwidth still available.
+        bandwidth_scale: f64,
+    },
+    /// Link flap: every interconnect transfer operation hard-fails with a
+    /// transient fault while the window is active.
+    LinkFlap,
+    /// ECC storm: each device page is quarantined with probability
+    /// `page_rate` (drawn from the schedule seed); quarantined lines are
+    /// re-fetched over the interconnect instead of HBM.
+    EccStorm {
+        /// Probability a device page is quarantined, in `[0, 1]`.
+        page_rate: f64,
+    },
+    /// Whole-device loss: allocations, launches, and transfers fail with
+    /// the non-transient [`SimError::DeviceLost`] for the window.
+    DeviceLoss,
+}
+
+impl ChaosKind {
+    /// Short stable name for reports and metrics.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ChaosKind::Brownout { .. } => "brownout",
+            ChaosKind::LinkFlap => "link_flap",
+            ChaosKind::EccStorm { .. } => "ecc_storm",
+            ChaosKind::DeviceLoss => "device_loss",
+        }
+    }
+}
+
+/// One fault window `[t0_s, t1_s)` on the virtual clock.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct ChaosWindow {
+    /// What fails while the window is active.
+    pub kind: ChaosKind,
+    /// Window start (inclusive), in virtual seconds.
+    pub t0_s: f64,
+    /// Window end (exclusive), in virtual seconds.
+    pub t1_s: f64,
+}
+
+impl ChaosWindow {
+    /// Whether the window is active at virtual time `t_s`.
+    #[inline]
+    pub fn contains(&self, t_s: f64) -> bool {
+        t_s >= self.t0_s && t_s < self.t1_s
+    }
+
+    fn validate(&self) -> Result<(), SimError> {
+        if !self.t0_s.is_finite() || !self.t1_s.is_finite() {
+            return Err(SimError::InvalidConfig(format!(
+                "chaos window [{}, {}) must have finite bounds",
+                self.t0_s, self.t1_s
+            )));
+        }
+        if self.t0_s < 0.0 || self.t1_s <= self.t0_s {
+            return Err(SimError::InvalidConfig(format!(
+                "chaos window [{}, {}) must satisfy 0 <= t0 < t1",
+                self.t0_s, self.t1_s
+            )));
+        }
+        match self.kind {
+            ChaosKind::Brownout { bandwidth_scale } => {
+                if !(bandwidth_scale > 0.0 && bandwidth_scale <= 1.0) {
+                    return Err(SimError::InvalidConfig(format!(
+                        "brownout bandwidth_scale must be in (0, 1], got {bandwidth_scale}"
+                    )));
+                }
+            }
+            ChaosKind::EccStorm { page_rate } => {
+                if !(0.0..=1.0).contains(&page_rate) {
+                    return Err(SimError::InvalidConfig(format!(
+                        "ecc_storm page_rate must be in [0, 1], got {page_rate}"
+                    )));
+                }
+            }
+            ChaosKind::LinkFlap | ChaosKind::DeviceLoss => {}
+        }
+        Ok(())
+    }
+}
+
+/// The combined chaos effects active at one virtual instant, folded over
+/// every window containing that instant.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChaosActivity {
+    /// Effective interconnect bandwidth fraction (minimum over active
+    /// brownouts; 1.0 when none are active).
+    pub bandwidth_scale: f64,
+    /// Whether a link-flap window is active.
+    pub link_flap: bool,
+    /// Page-quarantine probability (maximum over active ECC storms; 0.0
+    /// when none are active).
+    pub ecc_page_rate: f64,
+    /// Whether a device-loss window is active.
+    pub device_lost: bool,
+}
+
+impl Default for ChaosActivity {
+    fn default() -> Self {
+        ChaosActivity {
+            bandwidth_scale: 1.0,
+            link_flap: false,
+            ecc_page_rate: 0.0,
+            device_lost: false,
+        }
+    }
+}
+
+impl ChaosActivity {
+    /// Whether no chaos effect is active.
+    pub fn is_calm(&self) -> bool {
+        *self == ChaosActivity::default()
+    }
+}
+
+/// A deterministic set of named fault windows on the virtual clock.
+/// The default schedule is empty (calm).
+#[derive(Debug, Clone, Default, PartialEq, Serialize)]
+pub struct ChaosSchedule {
+    /// Seed of the page-quarantine draws (and any future stochastic
+    /// window effects).
+    pub seed: u64,
+    /// The fault windows. Order is irrelevant; overlaps compose (scales
+    /// take the minimum, rates the maximum, flags OR).
+    pub windows: Vec<ChaosWindow>,
+}
+
+impl ChaosSchedule {
+    /// An empty (calm) schedule.
+    pub fn none() -> Self {
+        ChaosSchedule::default()
+    }
+
+    /// An empty schedule carrying `seed` (combine with
+    /// [`with_window`](ChaosSchedule::with_window)).
+    pub fn seeded(seed: u64) -> Self {
+        ChaosSchedule {
+            seed,
+            windows: Vec::new(),
+        }
+    }
+
+    /// Append a window `[t0_s, t1_s)` of the given kind.
+    pub fn with_window(mut self, kind: ChaosKind, t0_s: f64, t1_s: f64) -> Self {
+        self.windows.push(ChaosWindow { kind, t0_s, t1_s });
+        self
+    }
+
+    /// Whether the schedule has no windows.
+    pub fn is_empty(&self) -> bool {
+        self.windows.is_empty()
+    }
+
+    /// Validate every window (finite ordered bounds, rates in range).
+    pub fn validate(&self) -> Result<(), SimError> {
+        for w in &self.windows {
+            w.validate()?;
+        }
+        Ok(())
+    }
+
+    /// The combined effects active at virtual time `t_s`.
+    pub fn activity_at(&self, t_s: f64) -> ChaosActivity {
+        let mut a = ChaosActivity::default();
+        for w in &self.windows {
+            if !w.contains(t_s) {
+                continue;
+            }
+            match w.kind {
+                ChaosKind::Brownout { bandwidth_scale } => {
+                    a.bandwidth_scale = a.bandwidth_scale.min(bandwidth_scale);
+                }
+                ChaosKind::LinkFlap => a.link_flap = true,
+                ChaosKind::EccStorm { page_rate } => {
+                    a.ecc_page_rate = a.ecc_page_rate.max(page_rate);
+                }
+                ChaosKind::DeviceLoss => a.device_lost = true,
+            }
+        }
+        a
+    }
+
+    /// Earliest virtual time `>= t_s` at which no device-loss window is
+    /// active — when a lost device comes back. Windows are finite, so this
+    /// always terminates.
+    pub fn clearance_s(&self, t_s: f64) -> f64 {
+        let mut t = t_s;
+        loop {
+            let mut moved = false;
+            for w in &self.windows {
+                if matches!(w.kind, ChaosKind::DeviceLoss) && w.contains(t) && w.t1_s > t {
+                    t = w.t1_s;
+                    moved = true;
+                }
+            }
+            if !moved {
+                return t;
+            }
+        }
+    }
+
+    /// The end of the last window (0.0 for an empty schedule) — after this
+    /// instant the schedule is permanently calm.
+    pub fn end_s(&self) -> f64 {
+        self.windows.iter().fold(0.0, |acc, w| acc.max(w.t1_s))
+    }
+
+    /// Whether device page `page_id` is quarantined at quarantine
+    /// probability `rate`. Pure function of `(seed, page_id)` — the same
+    /// page stays quarantined for the whole storm.
+    #[inline]
+    pub fn page_quarantined(&self, page_id: u64, rate: f64) -> bool {
+        if rate <= 0.0 {
+            return false;
+        }
+        if rate >= 1.0 {
+            return true;
+        }
+        let h = splitmix64(self.seed ^ SALT_ECC_PAGE.wrapping_mul(0x9e3779b97f4a7c15) ^ page_id);
+        ((h >> 11) as f64) < rate * (1u64 << 53) as f64
+    }
+}
+
+/// The named chaos scenarios the bench sweep and resilience tests share.
+/// Each resolves to a fixed [`ChaosSchedule`] whose windows sit inside the
+/// first ~60 ms of virtual time (the span of the seeded serving traces).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum ChaosScenario {
+    /// No chaos at all — the baseline every other scenario is compared to.
+    Calm,
+    /// A 20 ms link flap: transfers hard-fail mid-run.
+    LinkFlap,
+    /// A 40 ms brownout at 35% of nominal interconnect bandwidth.
+    Brownout,
+    /// A 35 ms ECC storm quarantining ~20% of device pages.
+    EccStorm,
+    /// A 15 ms whole-device outage.
+    DeviceLoss,
+    /// Brownout, flap, ECC storm, and device loss overlapping.
+    Combined,
+}
+
+impl ChaosScenario {
+    /// Every scenario, in sweep order.
+    pub const ALL: [ChaosScenario; 6] = [
+        ChaosScenario::Calm,
+        ChaosScenario::LinkFlap,
+        ChaosScenario::Brownout,
+        ChaosScenario::EccStorm,
+        ChaosScenario::DeviceLoss,
+        ChaosScenario::Combined,
+    ];
+
+    /// Short stable name for reports and file columns.
+    pub fn name(self) -> &'static str {
+        match self {
+            ChaosScenario::Calm => "calm",
+            ChaosScenario::LinkFlap => "flap",
+            ChaosScenario::Brownout => "brownout",
+            ChaosScenario::EccStorm => "ecc_storm",
+            ChaosScenario::DeviceLoss => "device_loss",
+            ChaosScenario::Combined => "combined",
+        }
+    }
+
+    /// The scenario's schedule under `seed`. Pure: same `(seed, scenario)`
+    /// always yields the same windows.
+    pub fn schedule(self, seed: u64) -> ChaosSchedule {
+        let s = ChaosSchedule::seeded(seed);
+        match self {
+            ChaosScenario::Calm => s,
+            ChaosScenario::LinkFlap => s.with_window(ChaosKind::LinkFlap, 0.020, 0.040),
+            ChaosScenario::Brownout => s.with_window(
+                ChaosKind::Brownout {
+                    bandwidth_scale: 0.35,
+                },
+                0.010,
+                0.050,
+            ),
+            ChaosScenario::EccStorm => {
+                s.with_window(ChaosKind::EccStorm { page_rate: 0.20 }, 0.015, 0.050)
+            }
+            ChaosScenario::DeviceLoss => s.with_window(ChaosKind::DeviceLoss, 0.020, 0.035),
+            ChaosScenario::Combined => s
+                .with_window(
+                    ChaosKind::Brownout {
+                        bandwidth_scale: 0.5,
+                    },
+                    0.005,
+                    0.030,
+                )
+                .with_window(ChaosKind::LinkFlap, 0.015, 0.025)
+                .with_window(ChaosKind::EccStorm { page_rate: 0.10 }, 0.020, 0.050)
+                .with_window(ChaosKind::DeviceLoss, 0.035, 0.045),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_schedule_is_calm_everywhere() {
+        let s = ChaosSchedule::none();
+        assert!(s.validate().is_ok());
+        assert!(s.activity_at(0.0).is_calm());
+        assert!(s.activity_at(123.0).is_calm());
+        assert_eq!(s.clearance_s(3.0), 3.0);
+        assert_eq!(s.end_s(), 0.0);
+    }
+
+    #[test]
+    fn windows_are_half_open_and_compose() {
+        let s = ChaosSchedule::seeded(1)
+            .with_window(
+                ChaosKind::Brownout {
+                    bandwidth_scale: 0.5,
+                },
+                1.0,
+                2.0,
+            )
+            .with_window(
+                ChaosKind::Brownout {
+                    bandwidth_scale: 0.25,
+                },
+                1.5,
+                3.0,
+            )
+            .with_window(ChaosKind::LinkFlap, 1.0, 1.5);
+        assert!(s.validate().is_ok());
+        assert!(s.activity_at(0.999).is_calm());
+        let a = s.activity_at(1.0);
+        assert_eq!(a.bandwidth_scale, 0.5);
+        assert!(a.link_flap);
+        let b = s.activity_at(1.75);
+        assert_eq!(b.bandwidth_scale, 0.25, "overlap takes the minimum scale");
+        assert!(!b.link_flap, "flap window is half-open at t1");
+        assert!(s.activity_at(3.0).is_calm());
+    }
+
+    #[test]
+    fn clearance_skips_chained_loss_windows() {
+        let s = ChaosSchedule::seeded(0)
+            .with_window(ChaosKind::DeviceLoss, 1.0, 2.0)
+            .with_window(ChaosKind::DeviceLoss, 2.0, 2.5);
+        assert_eq!(s.clearance_s(0.5), 0.5);
+        assert_eq!(s.clearance_s(1.2), 2.5, "back-to-back windows chain");
+        assert_eq!(s.clearance_s(2.5), 2.5);
+    }
+
+    #[test]
+    fn invalid_windows_are_rejected() {
+        let bad_order = ChaosSchedule::seeded(0).with_window(ChaosKind::LinkFlap, 2.0, 1.0);
+        assert!(matches!(
+            bad_order.validate(),
+            Err(SimError::InvalidConfig(_))
+        ));
+        let nan = ChaosSchedule::seeded(0).with_window(ChaosKind::LinkFlap, f64::NAN, 1.0);
+        assert!(nan.validate().is_err());
+        let bad_scale = ChaosSchedule::seeded(0).with_window(
+            ChaosKind::Brownout {
+                bandwidth_scale: 0.0,
+            },
+            0.0,
+            1.0,
+        );
+        assert!(bad_scale.validate().is_err());
+        let bad_rate =
+            ChaosSchedule::seeded(0).with_window(ChaosKind::EccStorm { page_rate: 1.5 }, 0.0, 1.0);
+        assert!(bad_rate.validate().is_err());
+    }
+
+    #[test]
+    fn page_quarantine_is_deterministic_and_rate_shaped() {
+        let s = ChaosSchedule::seeded(9);
+        let hits = (0..4096u64)
+            .filter(|&p| s.page_quarantined(p, 0.25))
+            .count();
+        assert!((700..=1350).contains(&hits), "got {hits}");
+        for p in 0..256u64 {
+            assert_eq!(s.page_quarantined(p, 0.25), s.page_quarantined(p, 0.25));
+            assert!(!s.page_quarantined(p, 0.0));
+            assert!(s.page_quarantined(p, 1.0));
+        }
+        // A different seed quarantines a different page set.
+        let other = ChaosSchedule::seeded(10);
+        let a: Vec<bool> = (0..512).map(|p| s.page_quarantined(p, 0.5)).collect();
+        let b: Vec<bool> = (0..512).map(|p| other.page_quarantined(p, 0.5)).collect();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn scenarios_are_pure_and_valid() {
+        for sc in ChaosScenario::ALL {
+            let a = sc.schedule(7);
+            let b = sc.schedule(7);
+            assert_eq!(a, b, "{} must be pure", sc.name());
+            assert!(a.validate().is_ok(), "{} must validate", sc.name());
+        }
+        assert!(ChaosScenario::Calm.schedule(7).is_empty());
+        assert!(!ChaosScenario::Combined.schedule(7).is_empty());
+    }
+}

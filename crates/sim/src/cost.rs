@@ -89,7 +89,10 @@ impl CostModel {
         let rand_bw = eff_bw * ic.fine_grained_efficiency;
 
         let streamed_s = (delta.ic_bytes_streamed + delta.ic_bytes_written) as f64 * scale / eff_bw;
-        let random_s = delta.ic_bytes_random as f64 * scale / rand_bw;
+        // ECC-quarantined device lines are re-fetched over the interconnect
+        // at cacheline granularity, so they price like random remote reads.
+        let ecc_bytes = delta.ecc_refetch_lines * s.cacheline_bytes;
+        let random_s = (delta.ic_bytes_random + ecc_bytes) as f64 * scale / rand_bw;
         // Page-sweep misses count pages × phases (already paper-scale:
         // pages are not shrunk per tuple); thrashing re-misses count
         // lookups (scaled).
@@ -105,9 +108,10 @@ impl CostModel {
         let compute_s = delta.compute_ops as f64 * scale / issue_rate;
         // Launch counts are scale-invariant (see module docs).
         let launch_s = delta.kernel_launches as f64 * s.kernel_launch_ns * 1e-9;
-        // Retry backoff is wall-clock stall time, already in real
-        // nanoseconds (like launches: retry counts are scale-invariant).
-        let fault_s = delta.retry_backoff_ns as f64 * 1e-9;
+        // Retry backoff and chaos brownout stalls are wall-clock stall
+        // time, already in real nanoseconds (like launches: their counts
+        // are scale-invariant).
+        let fault_s = (delta.retry_backoff_ns as f64 + delta.chaos_stall_ns as f64) * 1e-9;
 
         let mut bd = TimeBreakdown {
             streamed_s,

@@ -33,6 +33,10 @@ macro_rules! for_each_counter {
             faults_alloc,
             faults_transfer,
             faults_launch,
+            faults_link_flap,
+            faults_device_lost,
+            ecc_refetch_lines,
+            chaos_stall_ns,
             retries,
             retry_backoff_ns
         )
@@ -92,6 +96,20 @@ pub struct Counters {
     pub faults_transfer: u64,
     /// Injected kernel-launch failures observed.
     pub faults_launch: u64,
+    /// The subset of `faults_transfer` fired by a chaos link-flap window
+    /// (time-correlated hard failures rather than independent draws).
+    pub faults_link_flap: u64,
+    /// Operations refused because a chaos device-loss window was active.
+    /// Not counted in `faults_total` — device loss is a correlated outage,
+    /// not an independent injected fault.
+    pub faults_device_lost: u64,
+    /// Device cachelines re-fetched over the interconnect because their
+    /// page was quarantined by a chaos ECC storm.
+    pub ecc_refetch_lines: u64,
+    /// Stall time accrued by chaos brownout windows (the bandwidth the
+    /// degraded link could not deliver), in paper-scale nanoseconds. Priced
+    /// unscaled by the cost model, like `retry_backoff_ns`.
+    pub chaos_stall_ns: u64,
     /// Operator retries performed in response to transient faults.
     pub retries: u64,
     /// Deterministic retry backoff accumulated, in nanoseconds. Priced by

@@ -23,6 +23,7 @@
 //! hash table is immune to the TLB cliff.
 
 use crate::cache::Cache;
+use crate::chaos::{ChaosActivity, ChaosSchedule};
 use crate::counters::Counters;
 use crate::fault::{FaultKind, FaultPlan, RetryPolicy, SimError};
 use crate::lru;
@@ -47,6 +48,37 @@ struct IssuedAccess {
     addr: u64,
     bytes: u64,
     write: bool,
+}
+
+/// The chaos effects in force at the current virtual time, precomputed so
+/// the per-access hot paths pay flag checks instead of window scans.
+/// Recomputed only when the virtual clock or the schedule changes.
+#[derive(Debug, Clone, Copy)]
+struct ChaosEffects {
+    /// Transfers hard-fail while a link-flap window is active.
+    link_flap: bool,
+    /// Device operations fail with [`SimError::DeviceLost`].
+    device_lost: bool,
+    /// Page-quarantine probability of the active ECC storm (0.0 = none).
+    ecc_page_rate: f64,
+    /// Brownout stall accrued per streamed/written interconnect byte, in
+    /// paper-scale nanoseconds (0.0 = no brownout).
+    streamed_stall_ns_per_byte: f64,
+    /// Brownout stall accrued per random interconnect byte (derated by the
+    /// fine-grained-read efficiency, so random bytes stall longer).
+    random_stall_ns_per_byte: f64,
+}
+
+impl Default for ChaosEffects {
+    fn default() -> Self {
+        ChaosEffects {
+            link_flap: false,
+            device_lost: false,
+            ecc_page_rate: 0.0,
+            streamed_stall_ns_per_byte: 0.0,
+            random_stall_ns_per_byte: 0.0,
+        }
+    }
 }
 
 /// The simulated GPU. Owns the memory-system state and allocates buffers in
@@ -90,6 +122,14 @@ pub struct Gpu {
     retry: RetryPolicy,
     /// Device bytes currently allocated (page-rounded reservations).
     gpu_live_bytes: u64,
+    /// Deterministic chaos windows on the virtual clock (defaults to calm).
+    chaos_schedule: ChaosSchedule,
+    /// The virtual time the engine currently sits at, in seconds. Advanced
+    /// only by the caller ([`Gpu::set_virtual_time`]); the trace-driven
+    /// engine has no clock of its own.
+    virtual_now_s: f64,
+    /// Chaos effects active at `virtual_now_s`, precomputed for hot paths.
+    chaos: ChaosEffects,
 }
 
 impl Gpu {
@@ -135,6 +175,9 @@ impl Gpu {
             pending_fault: None,
             retry: RetryPolicy::default(),
             gpu_live_bytes: 0,
+            chaos_schedule: ChaosSchedule::none(),
+            virtual_now_s: 0.0,
+            chaos: ChaosEffects::default(),
         })
     }
 
@@ -223,6 +266,10 @@ impl Gpu {
         self.access_lines();
         let reserved = self.reservation_bytes::<T>(data.len());
         if loc == MemLocation::Gpu {
+            if self.chaos.device_lost {
+                self.note_device_lost();
+                return Err(SimError::DeviceLost);
+            }
             if self.draw_fault(FaultKind::Alloc) {
                 self.counters.faults_alloc += 1;
                 self.record_event(TraceEvent::Fault {
@@ -289,12 +336,133 @@ impl Gpu {
     }
 
     /// Install a fault-injection plan (replaces the current plan and resets
-    /// the per-kind fault sequences so plans compose reproducibly).
-    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+    /// the per-kind fault sequences so plans compose reproducibly). The
+    /// plan is validated first: NaN or out-of-`[0, 1]` rates are rejected
+    /// with [`SimError::InvalidConfig`] instead of silently skewing draws.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) -> Result<(), SimError> {
+        plan.validate()?;
         self.access_lines();
         self.fault_plan = plan;
         self.fault_seq = [0; 3];
         self.pending_fault = None;
+        Ok(())
+    }
+
+    /// Install a chaos schedule (validated; replaces the current schedule)
+    /// and recompute the effects active at the current virtual time.
+    pub fn set_chaos_schedule(&mut self, schedule: ChaosSchedule) -> Result<(), SimError> {
+        schedule.validate()?;
+        self.access_lines();
+        self.chaos_schedule = schedule;
+        self.recompute_chaos();
+        Ok(())
+    }
+
+    /// The active chaos schedule.
+    pub fn chaos_schedule(&self) -> &ChaosSchedule {
+        &self.chaos_schedule
+    }
+
+    /// Move the virtual clock to `t_s` seconds and apply whichever chaos
+    /// windows contain that instant. Queued accesses are resolved first so
+    /// they are accounted under the old time's effects.
+    pub fn set_virtual_time(&mut self, t_s: f64) {
+        self.access_lines();
+        self.virtual_now_s = t_s;
+        if !self.chaos_schedule.is_empty() {
+            self.recompute_chaos();
+        }
+    }
+
+    /// Advance the virtual clock by `dt_s` seconds (see
+    /// [`Gpu::set_virtual_time`]).
+    pub fn advance_virtual_time(&mut self, dt_s: f64) {
+        self.set_virtual_time(self.virtual_now_s + dt_s);
+    }
+
+    /// The current virtual time, in seconds.
+    pub fn virtual_now_s(&self) -> f64 {
+        self.virtual_now_s
+    }
+
+    /// The combined chaos effects active at the current virtual time.
+    pub fn chaos_activity(&self) -> ChaosActivity {
+        self.chaos_schedule.activity_at(self.virtual_now_s)
+    }
+
+    /// Whether a device-loss window is active right now.
+    pub fn device_lost(&self) -> bool {
+        self.chaos.device_lost
+    }
+
+    /// Earliest virtual time `>=` now at which no device-loss window is
+    /// active — when recovery can rebuild device state.
+    pub fn chaos_clearance_s(&self) -> f64 {
+        self.chaos_schedule.clearance_s(self.virtual_now_s)
+    }
+
+    /// Recompute the cached [`ChaosEffects`] for the current virtual time,
+    /// recording a [`TraceEvent::ChaosTransition`] when the active set
+    /// changed.
+    fn recompute_chaos(&mut self) {
+        let a = self.chaos_schedule.activity_at(self.virtual_now_s);
+        let (streamed, random) = if a.bandwidth_scale < 1.0 {
+            // The degraded link delivers bytes at `scale` × nominal
+            // bandwidth; the difference to nominal is stall time, accrued
+            // at paper scale (simulated bytes × reproduction factor).
+            let ic = &self.spec.interconnect;
+            let eff_bw = ic.effective_bandwidth_gbps * 1e9;
+            let rand_bw = eff_bw * ic.fine_grained_efficiency;
+            let slow = 1.0 / a.bandwidth_scale - 1.0;
+            let scale = self.spec.scale.factor as f64;
+            (scale * slow * 1e9 / eff_bw, scale * slow * 1e9 / rand_bw)
+        } else {
+            (0.0, 0.0)
+        };
+        let next = ChaosEffects {
+            link_flap: a.link_flap,
+            device_lost: a.device_lost,
+            ecc_page_rate: a.ecc_page_rate,
+            streamed_stall_ns_per_byte: streamed,
+            random_stall_ns_per_byte: random,
+        };
+        let flags = |e: &ChaosEffects| {
+            (
+                e.streamed_stall_ns_per_byte > 0.0,
+                e.link_flap,
+                e.ecc_page_rate > 0.0,
+                e.device_lost,
+            )
+        };
+        let changed = flags(&next) != flags(&self.chaos);
+        self.chaos = next;
+        if changed {
+            let (brownout, link_flap, ecc_storm, device_lost) = flags(&self.chaos);
+            self.record_event(TraceEvent::ChaosTransition {
+                brownout,
+                link_flap,
+                ecc_storm,
+                device_lost,
+            });
+        }
+    }
+
+    /// Accrue brownout stall for `bytes` moved over the degraded link.
+    #[inline]
+    fn chaos_stall(&mut self, bytes: u64, per_byte_ns: f64) {
+        if per_byte_ns > 0.0 {
+            self.counters.chaos_stall_ns += (bytes as f64 * per_byte_ns) as u64;
+        }
+    }
+
+    /// Count and latch a device-loss refusal (at most one per latched
+    /// fault, so a kernel body touching many lines reports one loss).
+    fn note_device_lost(&mut self) {
+        if !matches!(self.pending_fault, Some(SimError::DeviceLost)) {
+            self.counters.faults_device_lost += 1;
+            self.record_event(TraceEvent::DeviceLost);
+            self.pending_fault = Some(SimError::DeviceLost);
+        }
     }
 
     /// The active fault-injection plan.
@@ -330,8 +498,25 @@ impl Gpu {
 
     /// Draw a transfer fault for one interconnect operation; records the
     /// fault and latches it for the surrounding fallible kernel launch.
+    /// Chaos windows take precedence over the Bernoulli draws: device loss
+    /// refuses the operation outright, a link flap hard-fails it.
     #[inline]
     fn draw_transfer_fault(&mut self) {
+        if self.chaos.device_lost {
+            self.note_device_lost();
+            return;
+        }
+        if self.chaos.link_flap {
+            self.counters.faults_transfer += 1;
+            self.counters.faults_link_flap += 1;
+            self.record_event(TraceEvent::Fault {
+                kind: FaultKind::Transfer,
+            });
+            if self.pending_fault.is_none() {
+                self.pending_fault = Some(SimError::TransientTransferFault);
+            }
+            return;
+        }
         if self.draw_fault(FaultKind::Transfer) {
             self.counters.faults_transfer += 1;
             self.record_event(TraceEvent::Fault {
@@ -373,6 +558,10 @@ impl Gpu {
     #[doc(hidden)]
     pub fn try_begin_launch(&mut self) -> Result<(), SimError> {
         self.kernel_launch();
+        if self.chaos.device_lost {
+            self.note_device_lost();
+            return Err(SimError::DeviceLost);
+        }
         if self.draw_fault(FaultKind::Launch) {
             self.counters.faults_launch += 1;
             self.record_event(TraceEvent::Fault {
@@ -516,6 +705,8 @@ impl Gpu {
             MemLocation::Cpu => {
                 self.draw_transfer_fault();
                 self.counters.ic_bytes_written += bytes;
+                let per_byte = self.chaos.streamed_stall_ns_per_byte;
+                self.chaos_stall(bytes, per_byte);
                 // Writes to CPU memory still need translations.
                 self.translate(addr, bytes);
             }
@@ -537,6 +728,8 @@ impl Gpu {
             MemLocation::Cpu => {
                 self.draw_transfer_fault();
                 self.counters.ic_bytes_streamed += bytes;
+                let per_byte = self.chaos.streamed_stall_ns_per_byte;
+                self.chaos_stall(bytes, per_byte);
                 self.translate(addr, bytes);
             }
         }
@@ -635,7 +828,25 @@ impl Gpu {
                 self.counters.l2_misses += 1;
                 match loc {
                     MemLocation::Gpu => {
-                        self.counters.gpu_bytes_read += self.spec.cacheline_bytes;
+                        if self.chaos.ecc_page_rate > 0.0
+                            && self.chaos_schedule.page_quarantined(
+                                line_addr >> self.page_shift,
+                                self.chaos.ecc_page_rate,
+                            )
+                        {
+                            // ECC storm: the page's HBM copy is quarantined;
+                            // the line is re-fetched over the interconnect
+                            // (priced at the fine-grained-read bandwidth by
+                            // the cost model) instead of read from device
+                            // memory. The caches still fill, so the penalty
+                            // is paid once per (re-)fetch.
+                            self.counters.ecc_refetch_lines += 1;
+                            if TRACED {
+                                self.record_event(TraceEvent::EccRefetch { line_addr });
+                            }
+                        } else {
+                            self.counters.gpu_bytes_read += self.spec.cacheline_bytes;
+                        }
                         HitLevel::GpuMem
                     }
                     MemLocation::Cpu => {
@@ -647,6 +858,8 @@ impl Gpu {
                         }
                         self.counters.ic_lines_random += 1;
                         self.counters.ic_bytes_random += self.spec.cacheline_bytes;
+                        let per_byte = self.chaos.random_stall_ns_per_byte;
+                        self.chaos_stall(self.spec.cacheline_bytes, per_byte);
                         HitLevel::Remote { tlb_hit }
                     }
                 }
@@ -807,6 +1020,183 @@ mod tests {
         let _ = buf.read_range(&mut g, 0, 512);
         let d = g.snapshot() - before;
         assert_eq!(d.ic_lines_random, 32);
+    }
+
+    #[test]
+    fn brownout_accrues_stall_only_inside_the_window() {
+        use crate::chaos::{ChaosKind, ChaosSchedule};
+        let mut g = gpu();
+        g.set_chaos_schedule(ChaosSchedule::seeded(1).with_window(
+            ChaosKind::Brownout {
+                bandwidth_scale: 0.5,
+            },
+            1.0,
+            2.0,
+        ))
+        .unwrap();
+        let buf = g.alloc_host_from_vec(vec![0u64; 4096]);
+        // Before the window: no stall.
+        let before = g.snapshot();
+        buf.stream_read(&mut g, 0, 4096);
+        let _ = buf.read(&mut g, 0);
+        assert_eq!((g.snapshot() - before).chaos_stall_ns, 0);
+        // Inside: streamed and random remote bytes both accrue stall.
+        g.set_virtual_time(1.5);
+        let before = g.snapshot();
+        buf.stream_read(&mut g, 0, 4096);
+        let streamed_stall = (g.snapshot() - before).chaos_stall_ns;
+        assert!(streamed_stall > 0, "streamed bytes must stall");
+        g.reset_memory_system();
+        let before = g.snapshot();
+        let _ = buf.read(&mut g, 512);
+        let random_stall = (g.snapshot() - before).chaos_stall_ns;
+        assert!(random_stall > 0, "random remote lines must stall");
+        // After: calm again.
+        g.set_virtual_time(2.0);
+        let before = g.snapshot();
+        buf.stream_read(&mut g, 0, 4096);
+        assert_eq!((g.snapshot() - before).chaos_stall_ns, 0);
+    }
+
+    #[test]
+    fn link_flap_hard_fails_transfers_during_the_window() {
+        use crate::chaos::{ChaosKind, ChaosSchedule};
+        use crate::exec::try_launch_kernel;
+        let mut g = gpu();
+        g.set_chaos_schedule(ChaosSchedule::seeded(1).with_window(ChaosKind::LinkFlap, 0.0, 1.0))
+            .unwrap();
+        let buf = g.alloc_host_from_vec(vec![0u64; 64]);
+        let err = try_launch_kernel(&mut g, |g| {
+            let _ = buf.read(g, 0);
+        })
+        .unwrap_err();
+        assert_eq!(err, SimError::TransientTransferFault);
+        let c = g.counters();
+        assert!(c.faults_link_flap > 0);
+        assert_eq!(c.faults_link_flap, c.faults_transfer);
+        // Past the window the same kernel succeeds.
+        g.set_virtual_time(1.0);
+        assert!(try_launch_kernel(&mut g, |g| {
+            let _ = buf.read(g, 1);
+        })
+        .is_ok());
+    }
+
+    #[test]
+    fn device_loss_refuses_allocs_launches_and_transfers() {
+        use crate::chaos::{ChaosKind, ChaosSchedule};
+        use crate::exec::try_launch_kernel;
+        let mut g = gpu();
+        g.set_chaos_schedule(ChaosSchedule::seeded(1).with_window(ChaosKind::DeviceLoss, 1.0, 2.5))
+            .unwrap();
+        let host = g.alloc_host_from_vec(vec![0u64; 64]);
+        // Before the window the device works.
+        assert!(g.alloc_from_vec(MemLocation::Gpu, vec![0u64; 16]).is_ok());
+        g.set_virtual_time(1.0);
+        assert!(g.device_lost());
+        assert_eq!(
+            g.alloc_from_vec(MemLocation::Gpu, vec![0u64; 16])
+                .unwrap_err(),
+            SimError::DeviceLost
+        );
+        let err = try_launch_kernel(&mut g, |_| ()).unwrap_err();
+        assert_eq!(err, SimError::DeviceLost);
+        let err = try_launch_kernel(&mut g, |g| {
+            let _ = host.read(g, 0);
+        })
+        .unwrap_err();
+        assert_eq!(err, SimError::DeviceLost, "transfers also refuse");
+        assert!(!SimError::DeviceLost.is_transient());
+        assert!(g.counters().faults_device_lost > 0);
+        assert_eq!(g.chaos_clearance_s(), 2.5);
+        g.set_virtual_time(g.chaos_clearance_s());
+        assert!(!g.device_lost());
+        assert!(g.alloc_from_vec(MemLocation::Gpu, vec![0u64; 16]).is_ok());
+    }
+
+    #[test]
+    fn ecc_storm_refetches_quarantined_lines_over_the_interconnect() {
+        use crate::chaos::{ChaosKind, ChaosSchedule};
+        let mut g = gpu();
+        g.set_chaos_schedule(ChaosSchedule::seeded(3).with_window(
+            ChaosKind::EccStorm { page_rate: 1.0 },
+            0.0,
+            1.0,
+        ))
+        .unwrap();
+        let pages = 4 * g.spec().page_bytes;
+        let n = (pages / 8) as usize;
+        let buf = g.alloc_from_vec(MemLocation::Gpu, vec![0u64; n]).unwrap();
+        let step = (g.spec().cacheline_bytes / 8) as usize;
+        let before = g.snapshot();
+        for i in (0..n).step_by(step) {
+            let _ = buf.read(&mut g, i);
+        }
+        let d = g.snapshot() - before;
+        assert!(d.ecc_refetch_lines > 0, "rate 1.0 quarantines every page");
+        assert_eq!(d.gpu_bytes_read, 0, "no line was served from HBM");
+        // Refetched lines still fill the caches: an immediate repeat access
+        // to the same line hits on-chip without another refetch.
+        let _ = buf.read(&mut g, 0);
+        let before = g.snapshot();
+        let _ = buf.read(&mut g, 0);
+        let d2 = g.snapshot() - before;
+        assert_eq!(d2.ecc_refetch_lines, 0);
+        assert_eq!(d2.l1_hits, 1);
+        // Past the storm, device memory serves normally again.
+        g.set_virtual_time(1.0);
+        g.reset_memory_system();
+        let before = g.snapshot();
+        let _ = buf.read(&mut g, 0);
+        let d3 = g.snapshot() - before;
+        assert_eq!(d3.ecc_refetch_lines, 0);
+        assert!(d3.gpu_bytes_read > 0);
+    }
+
+    #[test]
+    fn chaos_transitions_are_traced_and_deterministic() {
+        use crate::chaos::ChaosScenario;
+        use crate::trace::TraceEvent;
+        let run = || {
+            let mut g = gpu();
+            g.set_chaos_schedule(ChaosScenario::Combined.schedule(7))
+                .unwrap();
+            g.start_trace(1 << 10);
+            let buf = g.alloc_host_from_vec(vec![0u64; 1024]);
+            for step in 0..12 {
+                g.set_virtual_time(step as f64 * 0.005);
+                buf.stream_read(&mut g, 0, 64);
+            }
+            (g.stop_trace().into_events(), g.counters())
+        };
+        let (ev_a, c_a) = run();
+        let (ev_b, c_b) = run();
+        assert_eq!(ev_a, ev_b, "chaos runs must be byte-deterministic");
+        assert_eq!(c_a, c_b);
+        let transitions = ev_a
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::ChaosTransition { .. }))
+            .count();
+        assert!(transitions >= 2, "windows must open and close in the trace");
+    }
+
+    #[test]
+    fn invalid_plans_and_schedules_are_rejected_at_install() {
+        use crate::chaos::{ChaosKind, ChaosSchedule};
+        let mut g = gpu();
+        let err = g
+            .set_fault_plan(FaultPlan::seeded(1).with_transfer_faults(f64::NAN))
+            .unwrap_err();
+        assert!(matches!(err, SimError::InvalidConfig(_)));
+        assert!(
+            !g.fault_plan().is_active(),
+            "rejected plan is not installed"
+        );
+        let err = g
+            .set_chaos_schedule(ChaosSchedule::seeded(1).with_window(ChaosKind::LinkFlap, 5.0, 1.0))
+            .unwrap_err();
+        assert!(matches!(err, SimError::InvalidConfig(_)));
+        assert!(g.chaos_schedule().is_empty());
     }
 
     #[test]

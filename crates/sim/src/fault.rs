@@ -47,6 +47,12 @@ pub enum SimError {
     TransientTransferFault,
     /// An injected kernel-launch failure.
     KernelLaunchFailed,
+    /// The device is gone: a chaos device-loss window is active. Unlike the
+    /// injected transient faults this is *not* retryable in place — the
+    /// caller must wait out the window (see
+    /// [`ChaosSchedule::clearance_s`](crate::chaos::ChaosSchedule::clearance_s))
+    /// and rebuild any device-resident state.
+    DeviceLost,
 }
 
 impl SimError {
@@ -84,6 +90,7 @@ impl fmt::Display for SimError {
                 write!(f, "transient interconnect transfer fault (injected)")
             }
             SimError::KernelLaunchFailed => write!(f, "kernel launch failed (injected)"),
+            SimError::DeviceLost => write!(f, "device lost (chaos device-loss window active)"),
         }
     }
 }
@@ -178,6 +185,24 @@ impl FaultPlan {
             || self.launch_failure_rate > 0.0
     }
 
+    /// Validate every rate: each must be a number in `[0, 1]`. NaN or
+    /// out-of-range rates would silently skew the deterministic draws, so
+    /// the engine rejects them at plan install.
+    pub fn validate(&self) -> Result<(), SimError> {
+        for (name, rate) in [
+            ("alloc_failure_rate", self.alloc_failure_rate),
+            ("transfer_fault_rate", self.transfer_fault_rate),
+            ("launch_failure_rate", self.launch_failure_rate),
+        ] {
+            if !(0.0..=1.0).contains(&rate) {
+                return Err(SimError::InvalidConfig(format!(
+                    "fault plan {name} must be in [0, 1], got {rate}"
+                )));
+            }
+        }
+        Ok(())
+    }
+
     /// Whether the `seq`-th draw of `kind` faults. Pure function of
     /// `(seed, kind, seq)` — the engine supplies a monotone per-kind
     /// sequence number so fault positions are reproducible.
@@ -221,13 +246,16 @@ impl Default for RetryPolicy {
 
 impl RetryPolicy {
     /// Backoff charged before retry number `attempt` (0-based), in ns.
+    /// Saturates at `u64::MAX` instead of overflowing for large bases
+    /// (`base << 20` already overflows a u64 base above 2^44).
     pub fn backoff_ns(&self, attempt: u32) -> u64 {
-        self.base_backoff_ns << attempt.min(20)
+        let shift = attempt.min(20);
+        self.base_backoff_ns.saturating_mul(1u64 << shift)
     }
 }
 
 #[inline]
-fn splitmix64(seed: u64) -> u64 {
+pub(crate) fn splitmix64(seed: u64) -> u64 {
     let mut z = seed.wrapping_add(0x9e3779b97f4a7c15);
     z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
@@ -293,6 +321,10 @@ mod tests {
         assert!(SimError::TransientTransferFault.is_transient());
         assert!(SimError::KernelLaunchFailed.is_transient());
         assert!(!SimError::InvalidSpec("x".into()).is_transient());
+        assert!(
+            !SimError::DeviceLost.is_transient(),
+            "device loss needs recovery, not an in-place retry"
+        );
         assert!(!SimError::CounterDeltaInverted { field: "lookups" }.is_transient());
         assert!(!SimError::OutOfDeviceMemory {
             requested: 1,
@@ -308,5 +340,45 @@ mod tests {
         assert_eq!(p.backoff_ns(0), 10_000);
         assert_eq!(p.backoff_ns(1), 20_000);
         assert_eq!(p.backoff_ns(2), 40_000);
+    }
+
+    #[test]
+    fn backoff_saturates_instead_of_overflowing() {
+        // Regression: `base << 20` overflowed u64 for bases above 2^44.
+        let p = RetryPolicy {
+            max_retries: 3,
+            base_backoff_ns: u64::MAX / 2,
+        };
+        assert_eq!(p.backoff_ns(0), u64::MAX / 2);
+        assert_eq!(p.backoff_ns(2), u64::MAX, "two doublings saturate");
+        assert_eq!(p.backoff_ns(64), u64::MAX, "large attempts stay clamped");
+        // Monotonicity survives saturation.
+        let q = RetryPolicy {
+            max_retries: 3,
+            base_backoff_ns: 1 << 50,
+        };
+        let mut last = 0;
+        for attempt in 0..32 {
+            let b = q.backoff_ns(attempt);
+            assert!(b >= last);
+            last = b;
+        }
+        assert_eq!(last, u64::MAX);
+    }
+
+    #[test]
+    fn plan_validation_rejects_bad_rates() {
+        assert!(FaultPlan::none().validate().is_ok());
+        assert!(FaultPlan::seeded(1)
+            .with_transfer_faults(1.0)
+            .validate()
+            .is_ok());
+        let nan = FaultPlan::seeded(1).with_alloc_failures(f64::NAN);
+        assert!(matches!(nan.validate(), Err(SimError::InvalidConfig(_))));
+        let negative = FaultPlan::seeded(1).with_launch_failures(-0.5);
+        assert!(negative.validate().is_err());
+        let too_big = FaultPlan::seeded(1).with_transfer_faults(1.5);
+        let msg = too_big.validate().unwrap_err().to_string();
+        assert!(msg.contains("transfer_fault_rate"), "{msg}");
     }
 }

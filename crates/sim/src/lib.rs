@@ -48,6 +48,7 @@
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod chaos;
 pub mod cost;
 pub mod counters;
 pub mod engine;
@@ -63,6 +64,7 @@ pub mod spec;
 pub mod tlb;
 pub mod trace;
 
+pub use chaos::{ChaosActivity, ChaosKind, ChaosScenario, ChaosSchedule, ChaosWindow};
 pub use cost::{CostModel, TimeBreakdown};
 pub use counters::Counters;
 pub use engine::Gpu;

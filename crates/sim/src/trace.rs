@@ -95,6 +95,28 @@ pub enum TraceEvent {
         /// Deterministic backoff charged for this retry, in nanoseconds.
         backoff_ns: u64,
     },
+    /// The set of active chaos effects changed at a virtual-time update
+    /// (windows opened or closed). Explains fault bursts and stall
+    /// discontinuities in exported timelines.
+    ChaosTransition {
+        /// Whether a brownout window is now active.
+        brownout: bool,
+        /// Whether a link-flap window is now active.
+        link_flap: bool,
+        /// Whether an ECC-storm window is now active.
+        ecc_storm: bool,
+        /// Whether a device-loss window is now active.
+        device_lost: bool,
+    },
+    /// A device cacheline was re-fetched over the interconnect because its
+    /// page is quarantined by a chaos ECC storm.
+    EccRefetch {
+        /// Line-aligned virtual address of the quarantined line.
+        line_addr: u64,
+    },
+    /// An operation was refused because a chaos device-loss window is
+    /// active.
+    DeviceLost,
 }
 
 /// What the recorder does once the event stream exceeds its capacity.
@@ -126,6 +148,9 @@ macro_rules! for_each_total {
             tlb_flushes,
             faults,
             retries,
+            chaos_transitions,
+            ecc_refetches,
+            device_losses,
             tlb_accesses,
             tlb_misses,
             l2_accesses,
@@ -159,6 +184,12 @@ pub struct TraceTotals {
     pub faults: u64,
     /// [`TraceEvent::Retry`] events.
     pub retries: u64,
+    /// [`TraceEvent::ChaosTransition`] events.
+    pub chaos_transitions: u64,
+    /// [`TraceEvent::EccRefetch`] events.
+    pub ecc_refetches: u64,
+    /// [`TraceEvent::DeviceLost`] events.
+    pub device_losses: u64,
     /// TLB lookups carried by events ([`HitLevel::Remote`] read lines plus
     /// [`TraceEvent::Translate`]); matches `tlb_hits + tlb_misses` in
     /// [`Counters`](crate::counters::Counters) when nothing was dropped.
@@ -207,6 +238,9 @@ impl TraceTotals {
             TraceEvent::TlbFlush => t.tlb_flushes = 1,
             TraceEvent::Fault { .. } => t.faults = 1,
             TraceEvent::Retry { .. } => t.retries = 1,
+            TraceEvent::ChaosTransition { .. } => t.chaos_transitions = 1,
+            TraceEvent::EccRefetch { .. } => t.ecc_refetches = 1,
+            TraceEvent::DeviceLost => t.device_losses = 1,
         }
         t
     }
@@ -479,8 +513,16 @@ mod tests {
             attempt: 0,
             backoff_ns: 10_000,
         });
+        t.record(TraceEvent::ChaosTransition {
+            brownout: true,
+            link_flap: false,
+            ecc_storm: false,
+            device_lost: false,
+        });
+        t.record(TraceEvent::EccRefetch { line_addr: 640 });
+        t.record(TraceEvent::DeviceLost);
         let o = t.offered();
-        assert_eq!(o.events, 11);
+        assert_eq!(o.events, 14);
         assert_eq!(o.read_lines, 4);
         assert_eq!(o.l2_accesses, 3, "L1 hits never reach L2");
         assert_eq!(o.l2_misses, 2);
@@ -493,6 +535,9 @@ mod tests {
         assert_eq!(o.tlb_flushes, 1);
         assert_eq!(o.faults, 1);
         assert_eq!(o.retries, 1);
+        assert_eq!(o.chaos_transitions, 1);
+        assert_eq!(o.ecc_refetches, 1);
+        assert_eq!(o.device_losses, 1);
         assert_eq!(t.recorded(), o, "nothing dropped below capacity");
     }
 

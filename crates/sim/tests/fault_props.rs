@@ -1,0 +1,88 @@
+//! Property tests for the deterministic fault plan: the empirical fault
+//! rate over many draws must converge to the configured rate for every
+//! [`FaultKind`], and the per-kind sequences must be independent (setting
+//! one kind's rate never changes another kind's draws).
+
+use proptest::prelude::*;
+use windex_sim::{FaultKind, FaultPlan};
+
+/// Draws per empirical-rate measurement. At 1e5 draws the binomial standard
+/// deviation of the empirical rate is at most ~0.16%, so the 1.5% absolute
+/// tolerance below is ~10 sigma — a failure means bias, not bad luck.
+const DRAWS: u64 = 100_000;
+
+const KINDS: [FaultKind; 3] = [FaultKind::Alloc, FaultKind::Transfer, FaultKind::Launch];
+
+fn plan_with_rate(seed: u64, kind: FaultKind, rate: f64) -> FaultPlan {
+    let p = FaultPlan::seeded(seed);
+    match kind {
+        FaultKind::Alloc => p.with_alloc_failures(rate),
+        FaultKind::Transfer => p.with_transfer_faults(rate),
+        FaultKind::Launch => p.with_launch_failures(rate),
+    }
+}
+
+fn empirical_rate(plan: &FaultPlan, kind: FaultKind) -> f64 {
+    let hits = (0..DRAWS).filter(|&s| plan.should_fault(kind, s)).count();
+    hits as f64 / DRAWS as f64
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Each kind's empirical rate over 1e5 draws converges to the
+    /// configured rate.
+    #[test]
+    fn empirical_rate_converges_per_kind(
+        seed in any::<u64>(),
+        rate in 0.02f64..0.8,
+    ) {
+        for kind in KINDS {
+            let plan = plan_with_rate(seed, kind, rate);
+            let got = empirical_rate(&plan, kind);
+            prop_assert!(
+                (got - rate).abs() < 0.015,
+                "kind {:?}: configured {} but measured {} over {} draws",
+                kind, rate, got, DRAWS
+            );
+            // The plan only faults the configured kind.
+            for other in KINDS {
+                if other != kind {
+                    prop_assert!((0..256).all(|s| !plan.should_fault(other, s)));
+                }
+            }
+        }
+    }
+
+    /// Kinds draw from independent sequences: changing one kind's rate
+    /// leaves every other kind's draw sequence byte-identical, and two
+    /// kinds at the same rate still disagree on individual draws.
+    #[test]
+    fn kinds_draw_independent_sequences(
+        seed in any::<u64>(),
+        rate in 0.1f64..0.9,
+    ) {
+        let all = FaultPlan::seeded(seed)
+            .with_alloc_failures(rate)
+            .with_transfer_faults(rate)
+            .with_launch_failures(rate);
+        for kind in KINDS {
+            let solo = plan_with_rate(seed, kind, rate);
+            let from_all: Vec<bool> =
+                (0..4096).map(|s| all.should_fault(kind, s)).collect();
+            let from_solo: Vec<bool> =
+                (0..4096).map(|s| solo.should_fault(kind, s)).collect();
+            prop_assert_eq!(
+                from_all, from_solo,
+                "other kinds' rates must not perturb {:?}'s sequence", kind
+            );
+        }
+        // Same seed and rate, different kinds => different positions.
+        let a: Vec<bool> = (0..4096).map(|s| all.should_fault(FaultKind::Alloc, s)).collect();
+        let t: Vec<bool> = (0..4096).map(|s| all.should_fault(FaultKind::Transfer, s)).collect();
+        let l: Vec<bool> = (0..4096).map(|s| all.should_fault(FaultKind::Launch, s)).collect();
+        prop_assert_ne!(&a, &t);
+        prop_assert_ne!(&t, &l);
+        prop_assert_ne!(&a, &l);
+    }
+}

@@ -129,7 +129,8 @@ fn offered_totals_reconcile_exactly_with_counters() {
 fn retries_and_faults_appear_in_the_trace() {
     use windex_sim::FaultPlan;
     let mut g = gpu();
-    g.set_fault_plan(FaultPlan::seeded(3).with_transfer_faults(1.0));
+    g.set_fault_plan(FaultPlan::seeded(3).with_transfer_faults(1.0))
+        .expect("valid fault plan");
     let buf = g.alloc_host_from_vec(vec![0u64; 64]);
     g.start_trace(64);
     let _ = buf.stream_read(&mut g, 0, 64);

@@ -41,7 +41,7 @@ fn reference_pairs(r: &Relation, s: &Relation) -> Vec<(u64, u64)> {
 
 fn windowed_pairs_under(plan: FaultPlan, r: &Relation, s: &Relation) -> Vec<(u64, u64)> {
     let mut g = Gpu::new(GpuSpec::v100_nvlink2(Scale::PAPER));
-    g.set_fault_plan(plan);
+    g.set_fault_plan(plan).expect("valid fault plan");
     let r_col = Rc::new(g.alloc_host_from_vec(r.keys().to_vec()));
     let s_col = g.alloc_host_from_vec(s.keys().to_vec());
     let idx = windex_index::BinarySearchIndex::new(r_col);
@@ -95,7 +95,7 @@ fn faults_are_retried_and_counted() {
     let (r, s) = workload();
     let plan = FaultPlan::seeded(7).with_launch_failures(0.10);
     let mut g = Gpu::new(GpuSpec::v100_nvlink2(Scale::PAPER));
-    g.set_fault_plan(plan);
+    g.set_fault_plan(plan).expect("valid fault plan");
     let mut sess = QuerySession::new(&mut g, QueryExecutor::new(), r, s).unwrap();
     let report = sess
         .run(
@@ -123,7 +123,8 @@ fn same_fault_seed_gives_byte_identical_reports() {
                 .with_alloc_failures(0.02)
                 .with_transfer_faults(1e-4)
                 .with_launch_failures(0.03),
-        );
+        )
+        .expect("valid fault plan");
         let mut sess = QuerySession::new(&mut g, QueryExecutor::new(), r, s).unwrap();
         let report = sess
             .run(
@@ -147,7 +148,8 @@ fn same_fault_seed_gives_byte_identical_reports() {
             .with_alloc_failures(0.02)
             .with_transfer_faults(1e-4)
             .with_launch_failures(0.03),
-    );
+    )
+    .expect("valid fault plan");
     let mut sess = QuerySession::new(&mut g, QueryExecutor::new(), r, s).unwrap();
     let other = sess
         .run(
@@ -200,7 +202,8 @@ fn stress_sweep_completes_or_errors_typed() {
                         .with_alloc_failures(rate)
                         .with_transfer_faults(rate)
                         .with_launch_failures(rate),
-                );
+                )
+                .expect("valid fault plan");
                 let mut sess =
                     QuerySession::new(&mut g, QueryExecutor::new(), r.clone(), s.clone()).unwrap();
                 match sess.run(&mut g, strategy) {

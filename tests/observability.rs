@@ -143,7 +143,8 @@ fn span_sum_invariant_holds_under_faults_and_retries() {
         FaultPlan::seeded(77)
             .with_launch_failures(0.10)
             .with_transfer_faults(5e-5),
-    );
+    )
+    .expect("valid fault plan");
     let mut sess = QuerySession::new(&mut g, QueryExecutor::new(), r, s).unwrap();
     let report = sess
         .run(
@@ -207,7 +208,8 @@ fn span_sum_invariant_holds_under_degradation() {
 fn streaming_join_observability_under_faults() {
     let (r, s) = workload();
     let mut g = gpu();
-    g.set_fault_plan(FaultPlan::seeded(9).with_launch_failures(0.05));
+    g.set_fault_plan(FaultPlan::seeded(9).with_launch_failures(0.05))
+        .expect("valid fault plan");
     let r_col = Rc::new(g.alloc_host_from_vec(r.keys().to_vec()));
     let idx = windex_index::BinarySearchIndex::new(r_col);
     let cfg = WindowConfig {
@@ -298,7 +300,8 @@ fn phase_breakdowns_are_deterministic() {
     let run = || {
         let (r, s) = workload();
         let mut g = gpu();
-        g.set_fault_plan(FaultPlan::seeded(5).with_launch_failures(0.05));
+        g.set_fault_plan(FaultPlan::seeded(5).with_launch_failures(0.05))
+            .expect("valid fault plan");
         let mut sess = QuerySession::new(&mut g, QueryExecutor::new(), r, s).unwrap();
         let report = sess
             .run(
@@ -315,4 +318,40 @@ fn phase_breakdowns_are_deterministic() {
         )
     };
     assert_eq!(run(), run());
+}
+
+/// The span-sum and counter-reconciliation invariants must survive every
+/// chaos scenario: brownout repricing, flap-driven serve retries, ECC
+/// refetches, and the device-loss recovery path (which rebuilds the index
+/// and operator mid-trace) all have to stay attributed — nothing
+/// double-counted, nothing lost.
+#[test]
+fn span_sum_invariant_holds_under_every_chaos_scenario() {
+    use windex_sim::ChaosScenario;
+    let r = Relation::unique_sorted(1 << 13, KeyDistribution::SparseUniform, 1);
+    let trace = generate_trace(&TraceConfig::default(), &r);
+    for scenario in ChaosScenario::ALL {
+        let mut g = gpu();
+        let mut server = Server::new(&mut g, ServeConfig::default(), r.clone()).unwrap();
+        g.set_chaos_schedule(scenario.schedule(99)).unwrap();
+        let outcome = server
+            .run(&mut g, &trace)
+            .unwrap_or_else(|e| panic!("{scenario:?} must serve: {e}"));
+        let rep = &outcome.report;
+        assert_eq!(
+            rep.phases.counter_sum(),
+            rep.counters,
+            "{scenario:?}: phase deltas must partition the run's counters"
+        );
+        assert_eq!(
+            rep.phases.total, rep.counters,
+            "{scenario:?}: recorded total must equal the run delta"
+        );
+        assert_eq!(
+            rep.batches.iter().map(|b| b.keys).sum::<usize>(),
+            rep.keys_probed,
+            "{scenario:?}: batch timeline must cover every probed key"
+        );
+        assert_eq!(rep.latency.dropped, 0, "{scenario:?}: finite latencies");
+    }
 }
