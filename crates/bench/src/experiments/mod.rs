@@ -8,6 +8,7 @@
 pub mod ablations;
 pub mod baseline;
 pub mod chaos;
+pub mod cluster;
 pub mod fig1;
 pub mod fig7;
 pub mod fig8;

@@ -15,6 +15,9 @@
 //!   serve        latency-throughput: cross-query window batching
 //!   chaos        serving resilience KPIs under fault windows (writes
 //!                BENCH_chaos.json; gates vs the committed copy)
+//!   cluster      multi-GPU sharded serving: 1→8 GPU scaling over priced
+//!                interconnects plus targeted device-loss recovery (writes
+//!                BENCH_cluster.json; gates vs the committed copy)
 //!   baseline     deterministic perf baseline (writes BENCH_baseline.json)
 //!   regress      CI gate: re-run the baseline matrix, diff against the
 //!                committed BENCH_baseline.json with tolerance bands
@@ -34,8 +37,8 @@
 
 use std::path::{Path, PathBuf};
 use windex_bench::experiments::{
-    ablations, baseline, chaos, fig1, fig7, fig8, fig9, figs34, figs56, observe, regress, serve,
-    simperf, summary, table1, validate, whatif,
+    ablations, baseline, chaos, cluster, fig1, fig7, fig8, fig9, figs34, figs56, observe, regress,
+    serve, simperf, summary, table1, validate, whatif,
 };
 use windex_bench::{ExpConfig, Experiment};
 
@@ -87,6 +90,7 @@ fn run_target(target: &str, cfg: &ExpConfig) -> Result<Vec<Experiment>, String> 
         "regress" => vec![regress::regress(cfg)?],
         "simperf" => vec![simperf::simperf(cfg)?],
         "chaos" => vec![chaos::chaos(cfg)?],
+        "cluster" => vec![cluster::cluster(cfg)?],
         "all" => {
             let mut out = vec![table1::table1(), fig1::fig1(cfg)];
             let unpart = figs34::unpartitioned_sweep(cfg);
@@ -139,7 +143,7 @@ fn main() {
                 println!(
                     "usage: experiments [--quick] [--charts] [--out DIR] [--jobs N] <target>..."
                 );
-                println!("targets: all table1 fig1 fig3 fig4 fig5 fig6 fig7 fig8 fig9 serve chaos baseline regress simperf observe whatif-gh200 validate-scale");
+                println!("targets: all table1 fig1 fig3 fig4 fig5 fig6 fig7 fig8 fig9 serve chaos cluster baseline regress simperf observe whatif-gh200 validate-scale");
                 println!("         summary ablations ablation-{{bits,overlap,pages,node-size,fanout,keydist,warm,spill,subwarp}}");
                 println!("--jobs N runs the seed-matrix targets (baseline, regress, simperf) on N worker threads; reports are byte-identical for any N");
                 return;

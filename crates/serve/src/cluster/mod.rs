@@ -1,0 +1,40 @@
+//! # Multi-GPU sharded serving
+//!
+//! The paper scales one GPU's index to larger-than-HBM data over a fast
+//! interconnect; this module scales *out* instead: N simulated GPUs behind
+//! one shard-aware router. The inner relation R is radix-sharded by
+//! top-of-domain partition bits — each GPU owns a contiguous run of
+//! partitions, i.e. a contiguous slice of sorted R — or fully replicated
+//! when R fits comfortably in one device's memory budget
+//! ([`Placement::auto_for`]).
+//!
+//! - [`ClusterSpec`] — topology: instance count, per-device
+//!   [`GpuSpec`](windex_sim::GpuSpec), placement, and the peer
+//!   [`InterconnectSpec`](windex_sim::InterconnectSpec) that prices every
+//!   inter-GPU edge (NVLink peer vs. host-staged PCI-e bounce);
+//! - [`ShardRouter`] — key → radix partition → owning GPU, with a mutable
+//!   ownership table so re-sharding is a table repoint;
+//! - [`ClusterServer`] — the deterministic event loop: per-GPU DRR
+//!   schedulers and micro-batchers behind the router, fan-out/merge of
+//!   cross-shard requests on the virtual clock, and the cluster rungs of
+//!   the degradation ladder (fail over to a replica, or re-shard a lost
+//!   GPU's partitions onto an adjacent survivor);
+//! - [`ClusterReport`] — aggregate Q/s, cross-shard traffic fractions and
+//!   bytes, per-shard load, and recovery KPIs (failovers, re-shards,
+//!   MTTR).
+//!
+//! Like the single-GPU server, everything is a pure function of
+//! (seed, configuration): same trace, same cluster ⇒ byte-identical
+//! responses and reports.
+
+mod report;
+mod router;
+mod server;
+mod spec;
+
+pub use report::{ClusterEvent, ClusterReport, ShardLoad};
+pub use router::ShardRouter;
+pub use server::{ClusterConfig, ClusterOutcome, ClusterServer};
+pub use spec::{
+    ClusterSpec, Placement, BYTES_PER_TUPLE_ESTIMATE, MAX_CLUSTER_GPUS, REPLICATION_HBM_FRACTION,
+};

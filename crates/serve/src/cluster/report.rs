@@ -1,0 +1,219 @@
+//! Cluster-level serving metrics: per-shard load, cross-shard traffic, and
+//! the failover/re-shard event stream.
+
+use crate::report::{LatencyHistogram, LatencyStats};
+use crate::request::TenantId;
+use crate::resilience::SloReport;
+use serde::Serialize;
+use windex_index::IndexKind;
+
+/// One notable cluster event during a served trace, in occurrence order.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub enum ClusterEvent {
+    /// A lost GPU's traffic was redirected to a surviving replica
+    /// (replicated placement, first cluster rung of the ladder).
+    FailedOver {
+        /// The lost GPU.
+        gpu: usize,
+        /// The replica that absorbed its queue.
+        to: usize,
+        /// Sub-requests moved off the lost device.
+        subs_moved: usize,
+        /// Virtual time from loss to the replica accepting work.
+        mttr_s: f64,
+    },
+    /// A lost GPU's partitions were re-sharded onto an adjacent survivor
+    /// (sharded placement, second cluster rung): the survivor's slice grew
+    /// and its index was rebuilt on the virtual clock.
+    ReSharded {
+        /// The lost GPU.
+        gpu: usize,
+        /// The adjacent survivor that now owns its partitions.
+        to: usize,
+        /// Partitions that moved.
+        partitions: usize,
+        /// Tuples merged into the survivor's slice.
+        tuples: usize,
+        /// Virtual time from loss until the partitions were servable
+        /// again (index rebuild on the survivor).
+        mttr_s: f64,
+    },
+    /// A single-GPU cluster rebuilt its only device in place (the PR 6
+    /// recovery path: wait out the outage, rebuild index/operator/sink).
+    DeviceRecovered {
+        /// The recovered GPU.
+        gpu: usize,
+        /// Outage wait plus rebuild estimate, in virtual seconds.
+        mttr_s: f64,
+    },
+    /// A shard's shared window was halved under device-memory pressure.
+    ShardWindowShrunk {
+        /// The degraded GPU.
+        gpu: usize,
+        /// Window capacity before the shrink.
+        from: usize,
+        /// Window capacity after.
+        to: usize,
+    },
+    /// A shard's result sink moved to CPU memory.
+    ShardSinkSpilled {
+        /// The degraded GPU.
+        gpu: usize,
+    },
+    /// A request was refused at admission: a target shard's backlog would
+    /// have crossed the backpressure bound.
+    LoadShed {
+        /// The refused tenant.
+        tenant: TenantId,
+        /// Trace ordinal of the refused request.
+        request: u64,
+        /// Keys the request carried.
+        keys: usize,
+    },
+    /// A shard's dispatched batch could not complete even after
+    /// degradation; every request with a key in it was shed.
+    BatchAbandoned {
+        /// The shedding GPU.
+        gpu: usize,
+        /// Keys in the abandoned batch.
+        keys: usize,
+        /// Requests shed with it.
+        requests: usize,
+    },
+    /// A transient dispatch failure was redriven after jittered backoff.
+    DispatchRetried {
+        /// The retrying GPU.
+        gpu: usize,
+        /// 1-based retry ordinal within the dispatch.
+        attempt: u32,
+        /// Backoff charged to the shard's clock, in seconds.
+        backoff_s: f64,
+    },
+    /// A batch exhausted its retry attempts or the cluster retry budget.
+    RetriesExhausted {
+        /// The GPU that gave up.
+        gpu: usize,
+        /// Keys in the shed batch.
+        keys: usize,
+    },
+}
+
+/// Per-GPU load accounting over one served trace.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize)]
+pub struct ShardLoad {
+    /// The GPU instance.
+    pub gpu: usize,
+    /// Whether the device was still alive at trace end.
+    pub alive: bool,
+    /// Radix partitions owned at trace end (0 after its partitions were
+    /// re-sharded away; the full radix under replication).
+    pub partitions: usize,
+    /// Tuples resident in the shard's slice at trace end.
+    pub tuples: usize,
+    /// Sub-requests routed to this shard.
+    pub subrequests: usize,
+    /// Probe keys dispatched through this shard's windows.
+    pub keys_probed: usize,
+    /// Windows this shard dispatched.
+    pub dispatches: usize,
+    /// Join matches this shard produced.
+    pub matches: usize,
+    /// Largest queued-key backlog observed at any admission.
+    pub max_queue_depth_keys: usize,
+    /// Virtual time this shard spent busy (dispatching or rebuilding).
+    pub busy_s: f64,
+    /// Peer-link bytes this shard exchanged for remote-coordinator work
+    /// (fan-out keys in, merged matches out).
+    pub cross_bytes: u64,
+}
+
+/// Everything measured about one cluster-served trace. Serialized through
+/// the workspace JSON path; same seed ⇒ byte-identical serialization.
+#[derive(Debug, Clone, Serialize)]
+pub struct ClusterReport {
+    /// GPU instances the cluster was built with.
+    pub gpus: usize,
+    /// Instances still alive at trace end.
+    pub alive_gpus: usize,
+    /// Placement label (`"sharded"` / `"replicated"`).
+    pub placement: String,
+    /// Peer-link name the inter-GPU edges were priced with.
+    pub link: String,
+    /// Dispatch-policy label.
+    pub policy: String,
+    /// Index kind probed on every shard.
+    pub index: IndexKind,
+    /// Distinct tenants that submitted requests.
+    pub tenants: usize,
+    /// Requests in the trace.
+    pub requests: usize,
+    /// Requests fully served within their deadline (or with none set).
+    pub completed: usize,
+    /// Requests shed by admission control or abandoned dispatches.
+    pub shed: usize,
+    /// Requests served but past their deadline.
+    pub deadline_missed: usize,
+    /// Total matches returned across all responses.
+    pub result_tuples: usize,
+    /// Probe keys dispatched through shard windows, cluster-wide.
+    pub keys_probed: usize,
+    /// Routed requests whose keys all landed on one shard.
+    pub single_shard_requests: usize,
+    /// Routed requests that fanned out across ≥ 2 shards.
+    pub cross_shard_requests: usize,
+    /// `cross_shard_requests / routed requests` (0 when none routed).
+    pub cross_shard_fraction: f64,
+    /// Total peer-link bytes moved (fan-out keys plus merged matches).
+    pub cross_shard_bytes: u64,
+    /// Virtual time from first arrival to last response delivery
+    /// (including merge transfers on the peer link).
+    pub virtual_makespan_s: f64,
+    /// Completed requests per virtual second, aggregate over the cluster.
+    pub completed_rps: f64,
+    /// Probed keys per virtual second, aggregate.
+    pub keys_per_second: f64,
+    /// Latency distribution over served (non-shed) requests.
+    pub latency: LatencyStats,
+    /// Fixed-bucket latency histogram over the same samples.
+    pub latency_hist: LatencyHistogram,
+    /// Per-GPU accounting, ascending GPU id.
+    pub per_shard: Vec<ShardLoad>,
+    /// Cluster events, in order.
+    pub events: Vec<ClusterEvent>,
+    /// Device losses absorbed by failing over to a replica.
+    pub failovers: usize,
+    /// Device losses absorbed by re-sharding onto a survivor.
+    pub reshards: usize,
+    /// Device losses absorbed by in-place rebuild (single-GPU rung).
+    pub recoveries: usize,
+    /// Summed MTTR across all recovery events, in virtual seconds.
+    pub mttr_total_s: f64,
+    /// SLO attainment (availability, goodput, tail latency).
+    pub slo: SloReport,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_serialize_with_fields() {
+        let e = ClusterEvent::ReSharded {
+            gpu: 1,
+            to: 0,
+            partitions: 16,
+            tuples: 32768,
+            mttr_s: 0.004,
+        };
+        let json = serde_json::to_string(&e).unwrap();
+        assert!(json.contains("ReSharded"), "{json}");
+        assert!(json.contains("\"partitions\":16"), "{json}");
+        let f = ClusterEvent::FailedOver {
+            gpu: 2,
+            to: 3,
+            subs_moved: 5,
+            mttr_s: 5e-7,
+        };
+        assert!(serde_json::to_string(&f).unwrap().contains("FailedOver"));
+    }
+}

@@ -1,0 +1,154 @@
+//! Shard-aware routing: key → radix partition → owning GPU.
+//!
+//! The router sits in front of the per-GPU DRR schedulers. Ownership is a
+//! `partition → shard` table, initialized to balanced contiguous runs (the
+//! first `partitions/shards` partitions to shard 0, and so on). Because
+//! sharding uses top-of-domain bits, the partition index is monotone in the
+//! key, so a contiguous partition run is a contiguous slice of sorted R —
+//! which is what makes local→global position translation a single base-add
+//! and re-sharding onto an adjacent survivor a contiguous merge.
+
+use windex_core::WindexError;
+use windex_join::PartitionBits;
+
+/// Maps probe keys to the shard owning their radix partition.
+#[derive(Debug, Clone)]
+pub struct ShardRouter {
+    bits: PartitionBits,
+    min_key: u64,
+    /// Partition → owning shard.
+    owners: Vec<usize>,
+    shards: usize,
+}
+
+impl ShardRouter {
+    /// Balanced contiguous ownership: partition `p` of `P` belongs to shard
+    /// `p · shards / P`. Every shard owns at least one partition (requires
+    /// `P ≥ shards`).
+    pub fn contiguous(
+        bits: PartitionBits,
+        min_key: u64,
+        shards: usize,
+    ) -> Result<Self, WindexError> {
+        if shards == 0 {
+            return Err(WindexError::InvalidConfig(
+                "router needs at least one shard",
+            ));
+        }
+        let parts = bits.partitions();
+        if parts < shards {
+            return Err(WindexError::InvalidConfig(
+                "fewer radix partitions than shards",
+            ));
+        }
+        let owners = (0..parts).map(|p| p * shards / parts).collect();
+        Ok(ShardRouter {
+            bits,
+            min_key,
+            owners,
+            shards,
+        })
+    }
+
+    /// The radix in use.
+    pub fn bits(&self) -> PartitionBits {
+        self.bits
+    }
+
+    /// Minimum key of the routed domain.
+    pub fn min_key(&self) -> u64 {
+        self.min_key
+    }
+
+    /// Number of shards routed over (including dead ones; ownership of a
+    /// dead shard's partitions is moved by [`reassign_all`](Self::reassign_all)).
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// Radix partition of `key`.
+    #[inline]
+    pub fn partition_of(&self, key: u64) -> usize {
+        self.bits.partition_of(key, self.min_key)
+    }
+
+    /// Owner of partition `p`.
+    #[inline]
+    pub fn owner_of(&self, p: usize) -> usize {
+        self.owners[p]
+    }
+
+    /// The shard that owns `key`'s partition.
+    #[inline]
+    pub fn shard_of(&self, key: u64) -> usize {
+        self.owners[self.partition_of(key)]
+    }
+
+    /// Partitions currently owned by `shard`.
+    pub fn partitions_owned(&self, shard: usize) -> usize {
+        self.owners.iter().filter(|&&o| o == shard).count()
+    }
+
+    /// Move every partition owned by `from` to `to` (the re-shard rung of
+    /// the degradation ladder). Returns how many partitions moved.
+    pub fn reassign_all(&mut self, from: usize, to: usize) -> usize {
+        let mut moved = 0;
+        for o in &mut self.owners {
+            if *o == from {
+                *o = to;
+                moved += 1;
+            }
+        }
+        moved
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bits() -> PartitionBits {
+        // 64 partitions over a 2^17 domain.
+        PartitionBits { shift: 11, bits: 6 }
+    }
+
+    #[test]
+    fn contiguous_ownership_is_balanced_and_ordered() {
+        let r = ShardRouter::contiguous(bits(), 0, 4).unwrap();
+        assert_eq!(r.partitions_owned(0), 16);
+        assert_eq!(r.partitions_owned(3), 16);
+        // Ownership is monotone in the partition index.
+        let owners: Vec<usize> = (0..64).map(|p| r.owner_of(p)).collect();
+        assert!(owners.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(owners[0], 0);
+        assert_eq!(owners[63], 3);
+    }
+
+    #[test]
+    fn key_routes_to_partition_owner() {
+        let r = ShardRouter::contiguous(bits(), 100, 4).unwrap();
+        for key in (100u64..100 + (1 << 17)).step_by(997) {
+            assert_eq!(r.shard_of(key), r.owner_of(r.partition_of(key)));
+        }
+    }
+
+    #[test]
+    fn reassign_moves_every_partition() {
+        let mut r = ShardRouter::contiguous(bits(), 0, 4).unwrap();
+        let moved = r.reassign_all(2, 1);
+        assert_eq!(moved, 16);
+        assert_eq!(r.partitions_owned(2), 0);
+        assert_eq!(r.partitions_owned(1), 32);
+        // Keys that used to route to shard 2 now route to shard 1.
+        for p in 0..64 {
+            assert_ne!(r.owner_of(p), 2);
+        }
+    }
+
+    #[test]
+    fn rejects_more_shards_than_partitions() {
+        let tiny = PartitionBits { shift: 0, bits: 1 };
+        assert!(ShardRouter::contiguous(tiny, 0, 4).is_err());
+        assert!(ShardRouter::contiguous(bits(), 0, 0).is_err());
+    }
+}

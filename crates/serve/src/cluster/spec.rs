@@ -1,0 +1,235 @@
+//! Cluster topology: how many GPUs, how R is placed on them, and how the
+//! inter-GPU edges are priced.
+//!
+//! A [`ClusterSpec`] describes N simulated GPU instances — each its own
+//! [`Gpu`](windex_sim::Gpu) with the full HBM budget, TLB, and cache
+//! hierarchy of its [`GpuSpec`] — wired by a peer
+//! [`InterconnectSpec`](windex_sim::InterconnectSpec). Two placements are
+//! supported:
+//!
+//! - [`Placement::Sharded`] — the inner relation R is radix-sharded by the
+//!   top-of-domain partition bits; each GPU owns a contiguous run of
+//!   partitions (a contiguous slice of sorted R), so local index positions
+//!   translate to global positions by adding the shard's base offset;
+//! - [`Placement::Replicated`] — every GPU holds all of R; requests route
+//!   whole to one device and never fan out.
+//!
+//! [`Placement::auto_for`] encodes the decision rule: replicate while R
+//! (plus index overhead) fits comfortably inside a single device's memory
+//! budget, shard once it does not.
+
+use windex_core::WindexError;
+use windex_join::PartitionBits;
+use windex_sim::{GpuSpec, InterconnectSpec};
+use windex_workload::Relation;
+
+/// Upper bound on simulated cluster size. Generous — the experiments sweep
+/// 1→8 — but bounded so a typo cannot allocate thousands of engines.
+pub const MAX_CLUSTER_GPUS: usize = 64;
+
+/// Fraction of one device's HBM budget that R (with index overhead) may
+/// occupy before [`Placement::auto_for`] switches from replication to
+/// sharding. Replicas need headroom for the operator, sink, and index
+/// scratch, so "fits comfortably" means well under half the budget.
+pub const REPLICATION_HBM_FRACTION: f64 = 0.5;
+
+/// Estimated bytes of device state per indexed tuple: the 8-byte key column
+/// plus roughly an equal share of index nodes and build scratch.
+pub const BYTES_PER_TUPLE_ESTIMATE: u64 = 16;
+
+/// How the inner relation R is laid out across the cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Placement {
+    /// R is radix-sharded: each GPU owns a contiguous run of partitions.
+    /// Cross-shard requests fan out and merge over the peer link; a lost
+    /// device re-shards its partitions onto an adjacent survivor.
+    Sharded,
+    /// Every GPU holds all of R. Requests route whole to one device; a
+    /// lost device fails over to any surviving replica.
+    Replicated,
+}
+
+impl Placement {
+    /// Stable label for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Placement::Sharded => "sharded",
+            Placement::Replicated => "replicated",
+        }
+    }
+
+    /// The sharding-vs-replication decision rule: replicate while R plus
+    /// index overhead ([`BYTES_PER_TUPLE_ESTIMATE`] per tuple) fits within
+    /// [`REPLICATION_HBM_FRACTION`] of one device's HBM budget; shard
+    /// otherwise. A single-GPU cluster always replicates (sharding across
+    /// one device is a no-op).
+    pub fn auto_for(r: &Relation, gpu: &GpuSpec, gpus: usize) -> Placement {
+        if gpus <= 1 {
+            return Placement::Replicated;
+        }
+        let footprint = r.len() as u64 * BYTES_PER_TUPLE_ESTIMATE;
+        if (footprint as f64) <= gpu.hbm_bytes as f64 * REPLICATION_HBM_FRACTION {
+            Placement::Replicated
+        } else {
+            Placement::Sharded
+        }
+    }
+}
+
+/// A cluster of N simulated GPUs and the fabric between them.
+#[derive(Debug, Clone)]
+pub struct ClusterSpec {
+    /// Number of GPU instances (1..=[`MAX_CLUSTER_GPUS`]).
+    pub gpus: usize,
+    /// The device model every instance is built from.
+    pub gpu: GpuSpec,
+    /// The inter-GPU edge: fan-out key shipments and result merges are
+    /// priced through this link (e.g.
+    /// [`InterconnectSpec::nvlink4_peer`] for a peer fabric,
+    /// [`InterconnectSpec::pcie4_host_staged`] for a host-bounced one).
+    pub peer_link: InterconnectSpec,
+    /// How R is placed across the instances.
+    pub placement: Placement,
+}
+
+impl ClusterSpec {
+    /// A sharded cluster of `gpus` devices wired by `peer_link`.
+    pub fn sharded(gpus: usize, gpu: GpuSpec, peer_link: InterconnectSpec) -> Self {
+        ClusterSpec {
+            gpus,
+            gpu,
+            peer_link,
+            placement: Placement::Sharded,
+        }
+    }
+
+    /// A replicated cluster of `gpus` devices wired by `peer_link`.
+    pub fn replicated(gpus: usize, gpu: GpuSpec, peer_link: InterconnectSpec) -> Self {
+        ClusterSpec {
+            gpus,
+            gpu,
+            peer_link,
+            placement: Placement::Replicated,
+        }
+    }
+
+    /// Validate the topology: a sane instance count, a valid device spec,
+    /// and a peer link whose pricing cannot go infinite or NaN.
+    pub fn validate(&self) -> Result<(), WindexError> {
+        if self.gpus == 0 {
+            return Err(WindexError::InvalidConfig(
+                "a cluster needs at least one GPU",
+            ));
+        }
+        if self.gpus > MAX_CLUSTER_GPUS {
+            return Err(WindexError::InvalidConfig(
+                "cluster size exceeds MAX_CLUSTER_GPUS",
+            ));
+        }
+        self.gpu.validate()?;
+        self.peer_link.validate()?;
+        Ok(())
+    }
+
+    /// Choose the radix for sharding `r` across this cluster: enough
+    /// top-of-domain bits that every GPU owns several partitions (so a
+    /// re-shard moves partition runs, not whole shards), clamped to the
+    /// paper's 11-bit ceiling. The bits always reach the domain's top bit,
+    /// which keeps the partition index monotone in the key — each shard's
+    /// partitions form a contiguous slice of sorted R.
+    pub fn shard_bits(&self, r: &Relation) -> Result<PartitionBits, WindexError> {
+        let (Some(min), Some(max)) = (r.min_key(), r.max_key()) else {
+            return Err(WindexError::InvalidConfig("cannot shard an empty relation"));
+        };
+        let domain = max - min;
+        if domain == 0 {
+            return Err(WindexError::InvalidConfig(
+                "cannot shard a single-key domain",
+            ));
+        }
+        let domain_bits = 64 - domain.leading_zeros();
+        let gpu_bits = usize::BITS - (self.gpus - 1).leading_zeros();
+        // At least 4 partitions per GPU where the domain allows it.
+        let want = (gpu_bits + 2).clamp(4, 11);
+        let bits = want.min(domain_bits);
+        let shift = domain_bits - bits;
+        let bits = PartitionBits { shift, bits };
+        if bits.partitions() < self.gpus {
+            return Err(WindexError::InvalidConfig(
+                "key domain too small to give every GPU a partition",
+            ));
+        }
+        Ok(bits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use windex_sim::Scale;
+    use windex_workload::KeyDistribution;
+
+    fn v100() -> GpuSpec {
+        GpuSpec::v100_nvlink2(Scale::PAPER)
+    }
+
+    #[test]
+    fn validate_catches_bad_topologies() {
+        let ok = ClusterSpec::sharded(4, v100(), InterconnectSpec::nvlink4_peer());
+        assert!(ok.validate().is_ok());
+        let zero = ClusterSpec::sharded(0, v100(), InterconnectSpec::nvlink4_peer());
+        assert!(zero.validate().is_err());
+        let huge = ClusterSpec::sharded(
+            MAX_CLUSTER_GPUS + 1,
+            v100(),
+            InterconnectSpec::nvlink4_peer(),
+        );
+        assert!(huge.validate().is_err());
+        let mut bad_link = ok.clone();
+        bad_link.peer_link.effective_bandwidth_gbps = f64::NAN;
+        assert!(bad_link.validate().is_err(), "NaN link bandwidth rejected");
+    }
+
+    #[test]
+    fn shard_bits_reach_domain_top_and_cover_gpus() {
+        let r = Relation::unique_sorted(1 << 17, KeyDistribution::Dense, 42);
+        for gpus in [1usize, 2, 4, 8] {
+            let spec = ClusterSpec::sharded(gpus, v100(), InterconnectSpec::nvlink4_peer());
+            let bits = spec.shard_bits(&r).unwrap();
+            let domain = r.max_key().unwrap() - r.min_key().unwrap();
+            let domain_bits = 64 - domain.leading_zeros();
+            assert_eq!(bits.shift + bits.bits, domain_bits, "top-of-domain bits");
+            assert!(bits.partitions() >= gpus * 4 || bits.bits == 11);
+        }
+    }
+
+    #[test]
+    fn shard_bits_reject_degenerate_domains() {
+        let spec = ClusterSpec::sharded(4, v100(), InterconnectSpec::nvlink4_peer());
+        assert!(spec.shard_bits(&Relation::from_keys(vec![], true)).is_err());
+        assert!(spec
+            .shard_bits(&Relation::from_keys(vec![7], true))
+            .is_err());
+    }
+
+    #[test]
+    fn auto_placement_switches_on_footprint() {
+        let gpu = v100();
+        let small = Relation::unique_sorted(1 << 10, KeyDistribution::Dense, 1);
+        assert_eq!(
+            Placement::auto_for(&small, &gpu, 4),
+            Placement::Replicated,
+            "small R replicates"
+        );
+        let tuples_over_budget = (gpu.hbm_bytes as f64 * REPLICATION_HBM_FRACTION
+            / BYTES_PER_TUPLE_ESTIMATE as f64) as usize
+            + 1024;
+        let big = Relation::unique_sorted(tuples_over_budget, KeyDistribution::Dense, 1);
+        assert_eq!(Placement::auto_for(&big, &gpu, 4), Placement::Sharded);
+        assert_eq!(
+            Placement::auto_for(&big, &gpu, 1),
+            Placement::Replicated,
+            "one GPU cannot shard"
+        );
+    }
+}

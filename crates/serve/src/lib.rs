@@ -27,7 +27,11 @@
 //! - [`Server`] — the event loop: admission control, batching policies,
 //!   the degradation ladder under memory pressure, and the
 //!   [`ServerReport`] with virtual-time tail latencies ([`server`],
-//!   [`report`]).
+//!   [`report`]);
+//! - [`ClusterServer`] — the multi-GPU layer: [`ClusterSpec`] topologies,
+//!   radix-sharded or replicated placement of R, shard-aware routing with
+//!   deterministic fan-out/merge over a priced inter-GPU link, and
+//!   failover/re-shard recovery from device loss ([`cluster`]).
 //!
 //! ```
 //! use windex_serve::prelude::*;
@@ -47,6 +51,7 @@
 #![warn(missing_docs)]
 
 pub mod batch;
+pub mod cluster;
 pub mod metrics;
 pub mod report;
 pub mod request;
@@ -56,7 +61,11 @@ pub mod server;
 pub mod trace;
 
 pub use batch::MicroBatcher;
-pub use metrics::render_openmetrics;
+pub use cluster::{
+    ClusterConfig, ClusterEvent, ClusterOutcome, ClusterReport, ClusterServer, ClusterSpec,
+    Placement, ShardLoad, ShardRouter,
+};
+pub use metrics::{render_cluster_openmetrics, render_openmetrics};
 pub use report::{BatchSpan, LatencyHistogram, LatencyStats, ServeEvent, ServerReport, TenantLoad};
 pub use request::{LookupRequest, LookupResponse, RequestOutcome, TenantId};
 pub use resilience::{
@@ -71,7 +80,11 @@ pub use trace::{generate_trace, TimedRequest, TraceConfig};
 /// One-stop imports for downstream users.
 pub mod prelude {
     pub use crate::batch::MicroBatcher;
-    pub use crate::metrics::render_openmetrics;
+    pub use crate::cluster::{
+        ClusterConfig, ClusterEvent, ClusterOutcome, ClusterReport, ClusterServer, ClusterSpec,
+        Placement, ShardLoad, ShardRouter,
+    };
+    pub use crate::metrics::{render_cluster_openmetrics, render_openmetrics};
     pub use crate::report::{
         BatchSpan, LatencyHistogram, LatencyStats, ServeEvent, ServerReport, TenantLoad,
     };
@@ -84,6 +97,6 @@ pub mod prelude {
     pub use crate::server::{BatchPolicy, ServeConfig, ServeOutcome, Server};
     pub use crate::trace::{generate_trace, TimedRequest, TraceConfig};
     pub use windex_index::IndexKind;
-    pub use windex_sim::{Gpu, GpuSpec, MemLocation, Scale};
+    pub use windex_sim::{ChaosSchedule, Gpu, GpuSpec, InterconnectSpec, MemLocation, Scale};
     pub use windex_workload::{KeyDistribution, Relation};
 }

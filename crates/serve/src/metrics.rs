@@ -12,6 +12,7 @@
 //! byte-identical snapshot. The exporter-determinism tests in windex-bench
 //! pin this.
 
+use crate::cluster::ClusterReport;
 use crate::report::{ServeEvent, ServerReport};
 use std::fmt::Write as _;
 
@@ -369,6 +370,335 @@ pub fn render_openmetrics(report: &ServerReport) -> String {
     o
 }
 
+/// Render a [`ClusterReport`] as an OpenMetrics text snapshot (ending in
+/// `# EOF`). Per-GPU series carry a `gpu` label and render in ascending
+/// GPU-id order; like [`render_openmetrics`], the same report always
+/// renders byte-identically.
+pub fn render_cluster_openmetrics(report: &ClusterReport) -> String {
+    let mut o = String::new();
+
+    // Identity: topology, placement, link, and policy as an info gauge.
+    family(&mut o, "windex_cluster", "gauge", "Cluster identity.");
+    let _ = writeln!(
+        o,
+        "windex_cluster{{placement=\"{}\",link=\"{}\",policy=\"{}\",index=\"{:?}\"}} 1",
+        escape(&report.placement),
+        escape(&report.link),
+        escape(&report.policy),
+        report.index,
+    );
+    family(
+        &mut o,
+        "windex_cluster_gpus",
+        "gauge",
+        "GPU instances the cluster was built with.",
+    );
+    let _ = writeln!(o, "windex_cluster_gpus {}", report.gpus);
+    family(
+        &mut o,
+        "windex_cluster_alive_gpus",
+        "gauge",
+        "GPU instances still alive at trace end.",
+    );
+    let _ = writeln!(o, "windex_cluster_alive_gpus {}", report.alive_gpus);
+
+    // Per-GPU shard load. `per_shard` is in ascending GPU-id order.
+    family(
+        &mut o,
+        "windex_shard_alive",
+        "gauge",
+        "Whether the shard's device was alive at trace end.",
+    );
+    for s in &report.per_shard {
+        let _ = writeln!(
+            o,
+            "windex_shard_alive{{gpu=\"{}\"}} {}",
+            s.gpu,
+            u8::from(s.alive)
+        );
+    }
+    family(
+        &mut o,
+        "windex_shard_partitions",
+        "gauge",
+        "Radix partitions owned by the shard at trace end.",
+    );
+    for s in &report.per_shard {
+        let _ = writeln!(
+            o,
+            "windex_shard_partitions{{gpu=\"{}\"}} {}",
+            s.gpu, s.partitions
+        );
+    }
+    family(
+        &mut o,
+        "windex_shard_tuples",
+        "gauge",
+        "Tuples resident in the shard's slice at trace end.",
+    );
+    for s in &report.per_shard {
+        let _ = writeln!(o, "windex_shard_tuples{{gpu=\"{}\"}} {}", s.gpu, s.tuples);
+    }
+    family(
+        &mut o,
+        "windex_shard_subrequests",
+        "counter",
+        "Sub-requests routed to the shard.",
+    );
+    for s in &report.per_shard {
+        let _ = writeln!(
+            o,
+            "windex_shard_subrequests_total{{gpu=\"{}\"}} {}",
+            s.gpu, s.subrequests
+        );
+    }
+    family(
+        &mut o,
+        "windex_shard_keys_probed",
+        "counter",
+        "Probe keys dispatched through the shard's windows.",
+    );
+    for s in &report.per_shard {
+        let _ = writeln!(
+            o,
+            "windex_shard_keys_probed_total{{gpu=\"{}\"}} {}",
+            s.gpu, s.keys_probed
+        );
+    }
+    family(
+        &mut o,
+        "windex_shard_dispatches",
+        "counter",
+        "Windows the shard dispatched.",
+    );
+    for s in &report.per_shard {
+        let _ = writeln!(
+            o,
+            "windex_shard_dispatches_total{{gpu=\"{}\"}} {}",
+            s.gpu, s.dispatches
+        );
+    }
+    family(
+        &mut o,
+        "windex_shard_matches",
+        "counter",
+        "Join matches the shard produced.",
+    );
+    for s in &report.per_shard {
+        let _ = writeln!(
+            o,
+            "windex_shard_matches_total{{gpu=\"{}\"}} {}",
+            s.gpu, s.matches
+        );
+    }
+    family(
+        &mut o,
+        "windex_shard_queue_depth_keys",
+        "gauge",
+        "Largest queued-key backlog observed on the shard at any admission.",
+    );
+    for s in &report.per_shard {
+        let _ = writeln!(
+            o,
+            "windex_shard_queue_depth_keys{{gpu=\"{}\"}} {}",
+            s.gpu, s.max_queue_depth_keys
+        );
+    }
+    family(
+        &mut o,
+        "windex_shard_busy_seconds",
+        "counter",
+        "Virtual time the shard spent dispatching or rebuilding.",
+    );
+    for s in &report.per_shard {
+        let _ = writeln!(
+            o,
+            "windex_shard_busy_seconds_total{{gpu=\"{}\"}} {}",
+            s.gpu, s.busy_s
+        );
+    }
+    family(
+        &mut o,
+        "windex_shard_cross_bytes",
+        "counter",
+        "Peer-link bytes the shard exchanged for remote-coordinator work.",
+    );
+    for s in &report.per_shard {
+        let _ = writeln!(
+            o,
+            "windex_shard_cross_bytes_total{{gpu=\"{}\"}} {}",
+            s.gpu, s.cross_bytes
+        );
+    }
+
+    // Cluster-level routing and traffic.
+    family(
+        &mut o,
+        "windex_cluster_requests",
+        "counter",
+        "Requests submitted to the cluster.",
+    );
+    let _ = writeln!(o, "windex_cluster_requests_total {}", report.requests);
+    family(
+        &mut o,
+        "windex_cluster_requests_completed",
+        "counter",
+        "Requests served within deadline cluster-wide.",
+    );
+    let _ = writeln!(
+        o,
+        "windex_cluster_requests_completed_total {}",
+        report.completed
+    );
+    family(
+        &mut o,
+        "windex_cluster_requests_shed",
+        "counter",
+        "Requests shed by admission control or abandoned dispatches.",
+    );
+    let _ = writeln!(o, "windex_cluster_requests_shed_total {}", report.shed);
+    family(
+        &mut o,
+        "windex_single_shard_requests",
+        "counter",
+        "Routed requests whose keys all landed on one shard.",
+    );
+    let _ = writeln!(
+        o,
+        "windex_single_shard_requests_total {}",
+        report.single_shard_requests
+    );
+    family(
+        &mut o,
+        "windex_cross_shard_requests",
+        "counter",
+        "Routed requests that fanned out across two or more shards.",
+    );
+    let _ = writeln!(
+        o,
+        "windex_cross_shard_requests_total {}",
+        report.cross_shard_requests
+    );
+    family(
+        &mut o,
+        "windex_cross_shard_fraction",
+        "gauge",
+        "Fraction of routed requests that fanned out.",
+    );
+    let _ = writeln!(
+        o,
+        "windex_cross_shard_fraction {}",
+        report.cross_shard_fraction
+    );
+    family(
+        &mut o,
+        "windex_cross_shard_bytes",
+        "counter",
+        "Peer-link bytes moved cluster-wide (fan-out keys plus merges).",
+    );
+    let _ = writeln!(
+        o,
+        "windex_cross_shard_bytes_total {}",
+        report.cross_shard_bytes
+    );
+
+    // Recovery KPIs: the cluster rungs of the degradation ladder.
+    family(
+        &mut o,
+        "windex_cluster_failovers",
+        "counter",
+        "Device losses absorbed by failing over to a replica.",
+    );
+    let _ = writeln!(o, "windex_cluster_failovers_total {}", report.failovers);
+    family(
+        &mut o,
+        "windex_cluster_reshards",
+        "counter",
+        "Device losses absorbed by re-sharding onto a survivor.",
+    );
+    let _ = writeln!(o, "windex_cluster_reshards_total {}", report.reshards);
+    family(
+        &mut o,
+        "windex_cluster_recoveries",
+        "counter",
+        "Device losses absorbed by in-place rebuild (single-GPU rung).",
+    );
+    let _ = writeln!(o, "windex_cluster_recoveries_total {}", report.recoveries);
+    family(
+        &mut o,
+        "windex_cluster_mttr_seconds",
+        "gauge",
+        "Summed virtual mean-time-to-recovery across recovery events.",
+    );
+    let _ = writeln!(o, "windex_cluster_mttr_seconds {}", report.mttr_total_s);
+
+    // Aggregate throughput, latency, and SLO attainment.
+    family(
+        &mut o,
+        "windex_cluster_completed_rps",
+        "gauge",
+        "Completed requests per virtual second, aggregate over the cluster.",
+    );
+    let _ = writeln!(o, "windex_cluster_completed_rps {}", report.completed_rps);
+    family(
+        &mut o,
+        "windex_cluster_keys_per_second",
+        "gauge",
+        "Probed keys per virtual second, aggregate over the cluster.",
+    );
+    let _ = writeln!(
+        o,
+        "windex_cluster_keys_per_second {}",
+        report.keys_per_second
+    );
+    family(
+        &mut o,
+        "windex_cluster_latency_seconds",
+        "histogram",
+        "Request latency over served requests, in virtual seconds.",
+    );
+    let h = &report.latency_hist;
+    let cumulative = h.cumulative();
+    for (bound, cum) in h.bounds_s.iter().zip(&cumulative) {
+        let _ = writeln!(
+            o,
+            "windex_cluster_latency_seconds_bucket{{le=\"{bound}\"}} {cum}"
+        );
+    }
+    let _ = writeln!(
+        o,
+        "windex_cluster_latency_seconds_bucket{{le=\"+Inf\"}} {}",
+        h.count
+    );
+    let _ = writeln!(o, "windex_cluster_latency_seconds_count {}", h.count);
+    let _ = writeln!(o, "windex_cluster_latency_seconds_sum {}", h.sum_s);
+    family(
+        &mut o,
+        "windex_cluster_slo_availability",
+        "gauge",
+        "Fraction of submitted requests answered (not shed), cluster-wide.",
+    );
+    let _ = writeln!(
+        o,
+        "windex_cluster_slo_availability {}",
+        report.slo.availability
+    );
+    family(
+        &mut o,
+        "windex_cluster_virtual_makespan_seconds",
+        "gauge",
+        "Virtual time from first arrival to last response delivery.",
+    );
+    let _ = writeln!(
+        o,
+        "windex_cluster_virtual_makespan_seconds {}",
+        report.virtual_makespan_s
+    );
+
+    o.push_str("# EOF\n");
+    o
+}
+
 /// Write a family's `# HELP` / `# TYPE` header.
 fn family(o: &mut String, name: &str, kind: &str, help: &str) {
     let _ = writeln!(o, "# HELP {name} {help}");
@@ -559,6 +889,130 @@ mod tests {
         // Still deterministic and well-terminated with the new families.
         assert_eq!(text, render_openmetrics(&r));
         assert!(text.ends_with("# EOF\n"));
+    }
+
+    fn cluster_report() -> ClusterReport {
+        use crate::cluster::{ClusterEvent, ShardLoad};
+        ClusterReport {
+            gpus: 2,
+            alive_gpus: 1,
+            placement: "sharded".to_string(),
+            link: "NVLink 4 peer".to_string(),
+            policy: "shared(max_delay=200us)".to_string(),
+            index: IndexKind::RadixSpline,
+            tenants: 2,
+            requests: 10,
+            completed: 9,
+            shed: 1,
+            deadline_missed: 0,
+            result_tuples: 40,
+            keys_probed: 600,
+            single_shard_requests: 6,
+            cross_shard_requests: 3,
+            cross_shard_fraction: 3.0 / 9.0,
+            cross_shard_bytes: 1024,
+            virtual_makespan_s: 0.125,
+            completed_rps: 72.0,
+            keys_per_second: 4800.0,
+            latency: LatencyStats::from_samples(vec![1e-4, 2e-4]),
+            latency_hist: LatencyHistogram::from_samples(&[1e-4, 2e-4]),
+            per_shard: vec![
+                ShardLoad {
+                    gpu: 0,
+                    alive: true,
+                    partitions: 32,
+                    tuples: 4096,
+                    subrequests: 8,
+                    keys_probed: 500,
+                    dispatches: 4,
+                    matches: 30,
+                    max_queue_depth_keys: 200,
+                    busy_s: 0.01,
+                    cross_bytes: 768,
+                },
+                ShardLoad {
+                    gpu: 1,
+                    alive: false,
+                    partitions: 0,
+                    tuples: 0,
+                    subrequests: 3,
+                    keys_probed: 100,
+                    dispatches: 1,
+                    matches: 10,
+                    max_queue_depth_keys: 64,
+                    busy_s: 0.002,
+                    cross_bytes: 256,
+                },
+            ],
+            events: vec![ClusterEvent::ReSharded {
+                gpu: 1,
+                to: 0,
+                partitions: 16,
+                tuples: 2048,
+                mttr_s: 0.004,
+            }],
+            failovers: 0,
+            reshards: 1,
+            recoveries: 0,
+            mttr_total_s: 0.004,
+            slo: SloReport {
+                deadline_budget_s: 5e-3,
+                answered: 9,
+                within_budget: 9,
+                availability: 0.9,
+                goodput_rps: 72.0,
+                good_share: 1.0,
+                p99_s: 2e-4,
+            },
+        }
+    }
+
+    #[test]
+    fn cluster_snapshot_is_terminated_and_deterministic() {
+        let r = cluster_report();
+        let text = render_cluster_openmetrics(&r);
+        assert!(text.ends_with("# EOF\n"));
+        assert_eq!(text.matches("# EOF").count(), 1);
+        assert_eq!(text, render_cluster_openmetrics(&r));
+    }
+
+    #[test]
+    fn cluster_per_gpu_series_render_in_gpu_order() {
+        let text = render_cluster_openmetrics(&cluster_report());
+        let q0 = text
+            .find("windex_shard_queue_depth_keys{gpu=\"0\"} 200")
+            .unwrap();
+        let q1 = text
+            .find("windex_shard_queue_depth_keys{gpu=\"1\"} 64")
+            .unwrap();
+        assert!(q0 < q1);
+        assert!(text.contains("windex_shard_alive{gpu=\"1\"} 0"));
+        assert!(text.contains("windex_shard_cross_bytes_total{gpu=\"0\"} 768"));
+        assert!(text.contains("windex_cross_shard_bytes_total 1024"));
+        assert!(text.contains("windex_cluster_failovers_total 0"));
+        assert!(text.contains("windex_cluster_reshards_total 1"));
+        assert!(text.contains("windex_cluster_mttr_seconds 0.004"));
+    }
+
+    #[test]
+    fn cluster_sample_lines_all_have_type_headers() {
+        let text = render_cluster_openmetrics(&cluster_report());
+        for line in text.lines() {
+            if line.starts_with('#') {
+                continue;
+            }
+            let name = line.split(['{', ' ']).next().unwrap();
+            let fam = name
+                .strip_suffix("_total")
+                .or_else(|| name.strip_suffix("_bucket"))
+                .or_else(|| name.strip_suffix("_count"))
+                .or_else(|| name.strip_suffix("_sum"))
+                .unwrap_or(name);
+            assert!(
+                text.contains(&format!("# TYPE {fam} ")),
+                "no TYPE header for {name}"
+            );
+        }
     }
 
     #[test]

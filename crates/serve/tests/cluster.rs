@@ -1,0 +1,302 @@
+//! Cluster acceptance tests: routing correctness (property-tested),
+//! fan-out/merge equivalence with the single-GPU server, device-loss
+//! survival with availability 1.0 and finite MTTR, and byte-determinism of
+//! the serialized cluster report.
+
+use proptest::prelude::*;
+use windex_join::PartitionBits;
+use windex_serve::prelude::*;
+use windex_sim::ChaosScenario;
+
+fn v100() -> GpuSpec {
+    GpuSpec::v100_nvlink2(Scale::PAPER)
+}
+
+fn relation(seed: u64) -> Relation {
+    Relation::unique_sorted(1 << 14, KeyDistribution::SparseUniform, seed)
+}
+
+fn cluster_cfg(gpus: usize, placement_sharded: bool) -> ClusterConfig {
+    let link = InterconnectSpec::nvlink4_peer();
+    let cluster = if placement_sharded {
+        ClusterSpec::sharded(gpus, v100(), link)
+    } else {
+        ClusterSpec::replicated(gpus, v100(), link)
+    };
+    ClusterConfig {
+        serve: ServeConfig::default(),
+        cluster,
+    }
+}
+
+fn trace_for(r: &Relation, requests: usize, seed: u64) -> Vec<TimedRequest> {
+    generate_trace(
+        &TraceConfig {
+            seed,
+            requests,
+            deadline_s: None,
+            ..TraceConfig::default()
+        },
+        r,
+    )
+}
+
+/// Canonical form of a response's matches: sorted `(key, position)` pairs.
+/// Cluster merges arrive per shard, so only the set is defined — but it
+/// must be exactly the single-GPU set, positions included.
+fn canonical(matches: &[(u64, u64)]) -> Vec<(u64, u64)> {
+    let mut m = matches.to_vec();
+    m.sort_unstable();
+    m
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Every key routes to the shard that owns its radix partition, and
+    /// contiguous ownership is monotone in the key — the invariant that
+    /// makes shard slices contiguous runs of sorted R.
+    #[test]
+    fn every_key_routes_to_its_partition_owner(
+        bits in 2u32..10,
+        shift in 0u32..40,
+        shards in 1usize..8,
+        min_key in 0u64..1_000_000,
+        keys in prop_vec(any::<u64>(), 1..64),
+    ) {
+        let pb = PartitionBits { shift, bits };
+        let shards = shards.min(pb.partitions());
+        let router = ShardRouter::contiguous(pb, min_key, shards).unwrap();
+        for k in keys {
+            let key = min_key.saturating_add(k % (1u64 << (shift + bits).min(63)));
+            let p = router.partition_of(key);
+            prop_assert_eq!(router.shard_of(key), router.owner_of(p));
+            prop_assert!(router.shard_of(key) < shards);
+        }
+        // Ownership is monotone over the partition index (contiguous runs).
+        let owners: Vec<usize> = (0..pb.partitions()).map(|p| router.owner_of(p)).collect();
+        prop_assert!(owners.windows(2).all(|w| w[0] <= w[1]));
+        prop_assert_eq!(*owners.first().unwrap(), 0);
+        prop_assert_eq!(*owners.last().unwrap(), shards - 1);
+    }
+}
+
+/// Sharded keys land on the shard whose resident slice contains them: the
+/// router and the constructor's slice boundaries agree on every key of R.
+#[test]
+fn router_agrees_with_resident_slices() {
+    let r = relation(11);
+    let cluster = ClusterServer::new(cluster_cfg(4, true), r.clone()).unwrap();
+    let router = cluster.router();
+    let keys = r.keys();
+    let mut boundaries = vec![0usize];
+    for shard in 0..4 {
+        boundaries.push(keys.partition_point(|&k| router.shard_of(k) <= shard));
+    }
+    assert_eq!(boundaries[4], keys.len(), "every key owned by some shard");
+    for (i, &k) in keys.iter().enumerate() {
+        let s = router.shard_of(k);
+        assert!(boundaries[s] <= i && i < boundaries[s + 1]);
+    }
+}
+
+/// Fan-out/merge over the cluster returns exactly the single-GPU results:
+/// same outcomes, same match sets, same global positions — for both a
+/// sharded and a replicated 4-GPU cluster.
+#[test]
+fn cluster_matches_single_gpu_server() {
+    let r = relation(3);
+    let trace = trace_for(&r, 192, 17);
+
+    // Force identical partition bits so probe semantics match exactly.
+    let cfg4 = cluster_cfg(4, true);
+    let bits = cfg4.cluster.shard_bits(&r).unwrap();
+    let serve = ServeConfig {
+        partition_bits: Some(bits),
+        ..ServeConfig::default()
+    };
+
+    let mut gpu = Gpu::new(v100());
+    let mut single = Server::new(&mut gpu, serve, r.clone()).unwrap();
+    let baseline = single.run(&mut gpu, &trace).unwrap();
+    assert_eq!(baseline.report.shed, 0, "baseline must shed nothing");
+
+    for sharded in [true, false] {
+        let mut cfg = cluster_cfg(4, sharded);
+        cfg.serve = serve;
+        let mut cluster = ClusterServer::new(cfg, r.clone()).unwrap();
+        let outcome = cluster.run(&trace).unwrap();
+        assert_eq!(outcome.responses.len(), baseline.responses.len());
+        for (c, b) in outcome.responses.iter().zip(&baseline.responses) {
+            assert_eq!(c.request, b.request);
+            assert_eq!(c.outcome, b.outcome, "request {} outcome", c.request);
+            assert_eq!(
+                canonical(&c.matches),
+                canonical(&b.matches),
+                "request {} match set (sharded={sharded})",
+                c.request
+            );
+        }
+        assert_eq!(
+            outcome.report.result_tuples, baseline.report.result_tuples,
+            "total matches preserved (sharded={sharded})"
+        );
+        if sharded {
+            assert!(
+                outcome.report.cross_shard_requests > 0,
+                "multi-key requests over 4 shards must fan out"
+            );
+        } else {
+            assert_eq!(outcome.report.cross_shard_requests, 0);
+        }
+    }
+}
+
+/// Losing one specific GPU mid-trace under sharded placement: the cluster
+/// re-shards the lost partitions onto an adjacent survivor, answers every
+/// request (availability 1.0), and reports a finite positive MTTR.
+#[test]
+fn sharded_cluster_survives_targeted_device_loss() {
+    let r = relation(5);
+    // Enough offered load that dispatches are in flight inside the
+    // DeviceLoss window [0.020 s, 0.035 s).
+    let trace = generate_trace(
+        &TraceConfig {
+            seed: 23,
+            requests: 512,
+            offered_load_rps: 8_000.0,
+            deadline_s: None,
+            ..TraceConfig::default()
+        },
+        &r,
+    );
+    let mut cluster = ClusterServer::new(cluster_cfg(4, true), r).unwrap();
+    cluster
+        .set_chaos_schedules(ChaosScenario::DeviceLoss.cluster_schedules(40, 4, 1))
+        .unwrap();
+    let outcome = cluster.run(&trace).unwrap();
+    let rep = &outcome.report;
+    assert_eq!(rep.alive_gpus, 3, "exactly GPU 1 lost");
+    assert!(!rep.per_shard[1].alive);
+    assert!(rep.reshards >= 1, "device loss absorbed by re-sharding");
+    assert_eq!(rep.failovers, 0, "sharded placement never fails over");
+    assert!(
+        rep.mttr_total_s.is_finite() && rep.mttr_total_s > 0.0,
+        "finite positive MTTR, got {}",
+        rep.mttr_total_s
+    );
+    assert_eq!(rep.shed, 0, "no request shed");
+    assert_eq!(
+        rep.slo.availability, 1.0,
+        "availability 1.0 through the loss"
+    );
+    assert_eq!(rep.completed + rep.deadline_missed, rep.requests);
+    // The survivor that absorbed the partitions now owns the lost slice.
+    let absorbed: usize = rep
+        .per_shard
+        .iter()
+        .filter(|s| s.alive)
+        .map(|s| s.tuples)
+        .sum();
+    assert_eq!(absorbed, cluster.relation().len(), "R fully servable");
+}
+
+/// The same targeted loss under replicated placement fails over to a
+/// surviving replica instead of re-sharding.
+#[test]
+fn replicated_cluster_fails_over_on_device_loss() {
+    let r = relation(5);
+    let trace = generate_trace(
+        &TraceConfig {
+            seed: 29,
+            requests: 512,
+            offered_load_rps: 8_000.0,
+            deadline_s: None,
+            ..TraceConfig::default()
+        },
+        &r,
+    );
+    let mut cluster = ClusterServer::new(cluster_cfg(4, false), r).unwrap();
+    cluster
+        .set_chaos_schedules(ChaosScenario::DeviceLoss.cluster_schedules(41, 4, 2))
+        .unwrap();
+    let outcome = cluster.run(&trace).unwrap();
+    let rep = &outcome.report;
+    assert_eq!(rep.alive_gpus, 3);
+    assert!(rep.failovers >= 1, "replica absorbed the lost GPU's queue");
+    assert_eq!(rep.reshards, 0, "replication never re-shards");
+    assert!(rep.mttr_total_s.is_finite() && rep.mttr_total_s > 0.0);
+    assert_eq!(rep.shed, 0);
+    assert_eq!(rep.slo.availability, 1.0);
+    assert!(rep
+        .events
+        .iter()
+        .any(|e| matches!(e, ClusterEvent::FailedOver { gpu: 2, .. })));
+}
+
+/// Same seed ⇒ byte-identical serialized report and identical responses,
+/// across freshly built clusters — including under chaos.
+#[test]
+fn cluster_reports_are_byte_deterministic() {
+    let r = relation(7);
+    let trace = trace_for(&r, 256, 31);
+    let run = |chaos: bool| {
+        let mut cluster = ClusterServer::new(cluster_cfg(4, true), r.clone()).unwrap();
+        if chaos {
+            cluster
+                .set_chaos_schedules(ChaosScenario::DeviceLoss.cluster_schedules(40, 4, 1))
+                .unwrap();
+        }
+        let outcome = cluster.run(&trace).unwrap();
+        (
+            serde_json::to_string(&outcome.report).unwrap(),
+            render_cluster_openmetrics(&outcome.report),
+            outcome.responses,
+        )
+    };
+    for chaos in [false, true] {
+        let (a_json, a_text, a_resp) = run(chaos);
+        let (b_json, b_text, b_resp) = run(chaos);
+        assert_eq!(a_json, b_json, "report bytes (chaos={chaos})");
+        assert_eq!(a_text, b_text, "metrics bytes (chaos={chaos})");
+        assert_eq!(a_resp.len(), b_resp.len());
+        for (x, y) in a_resp.iter().zip(&b_resp) {
+            assert_eq!(x.matches, y.matches);
+            assert_eq!(x.completed_s, y.completed_s);
+        }
+    }
+}
+
+/// Aggregate throughput scales: more GPUs never slow the cluster down, and
+/// 8 GPUs beat 1 by a real margin under saturating load.
+#[test]
+fn aggregate_throughput_scales_with_gpus() {
+    let r = relation(13);
+    let trace = generate_trace(
+        &TraceConfig {
+            seed: 37,
+            requests: 384,
+            offered_load_rps: 50_000.0,
+            deadline_s: None,
+            ..TraceConfig::default()
+        },
+        &r,
+    );
+    let mut rps = Vec::new();
+    for gpus in [1usize, 2, 4, 8] {
+        let mut cluster = ClusterServer::new(cluster_cfg(gpus, true), r.clone()).unwrap();
+        let outcome = cluster.run(&trace).unwrap();
+        assert_eq!(outcome.report.shed, 0);
+        rps.push(outcome.report.completed_rps);
+    }
+    for w in rps.windows(2) {
+        assert!(
+            w[1] >= w[0] * 0.99,
+            "throughput must not regress with more GPUs: {rps:?}"
+        );
+    }
+    assert!(
+        rps[3] > rps[0] * 1.5,
+        "8 GPUs should clearly beat 1 under saturating load: {rps:?}"
+    );
+}

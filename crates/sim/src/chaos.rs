@@ -336,6 +336,37 @@ impl ChaosScenario {
                 .with_window(ChaosKind::DeviceLoss, 0.035, 0.045),
         }
     }
+
+    /// Per-GPU schedules for a cluster of `n_gpus` devices where only
+    /// `target_gpu` experiences this scenario's fault windows; every other
+    /// device stays calm. Each device gets a distinct derived seed so
+    /// stochastic window effects (ECC page quarantines) never correlate
+    /// across devices. With `n_gpus == 1` and `target_gpu == 0` this
+    /// degenerates to the single-GPU [`schedule`](ChaosScenario::schedule).
+    ///
+    /// # Panics
+    /// Panics if `target_gpu >= n_gpus`.
+    pub fn cluster_schedules(
+        self,
+        seed: u64,
+        n_gpus: usize,
+        target_gpu: usize,
+    ) -> Vec<ChaosSchedule> {
+        assert!(
+            target_gpu < n_gpus,
+            "target GPU {target_gpu} out of range for a {n_gpus}-GPU cluster"
+        );
+        (0..n_gpus)
+            .map(|gpu| {
+                let gpu_seed = seed.wrapping_add(gpu as u64);
+                if gpu == target_gpu {
+                    self.schedule(gpu_seed)
+                } else {
+                    ChaosSchedule::seeded(gpu_seed)
+                }
+            })
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -430,6 +461,32 @@ mod tests {
         let a: Vec<bool> = (0..512).map(|p| s.page_quarantined(p, 0.5)).collect();
         let b: Vec<bool> = (0..512).map(|p| other.page_quarantined(p, 0.5)).collect();
         assert_ne!(a, b);
+    }
+
+    #[test]
+    fn cluster_schedules_target_one_gpu() {
+        let sched = ChaosScenario::DeviceLoss.cluster_schedules(99, 4, 2);
+        assert_eq!(sched.len(), 4);
+        for (gpu, s) in sched.iter().enumerate() {
+            assert!(s.validate().is_ok());
+            if gpu == 2 {
+                assert!(!s.is_empty(), "target GPU must get the fault windows");
+                assert!(s.activity_at(0.025).device_lost);
+            } else {
+                assert!(s.is_empty(), "GPU {gpu} must stay calm");
+            }
+        }
+        // Seeds are distinct per device so page quarantines decorrelate.
+        assert_ne!(sched[0].seed, sched[1].seed);
+        // Single-GPU cluster degenerates to the plain schedule.
+        let single = ChaosScenario::DeviceLoss.cluster_schedules(99, 1, 0);
+        assert_eq!(single[0], ChaosScenario::DeviceLoss.schedule(99));
+    }
+
+    #[test]
+    #[should_panic]
+    fn cluster_schedules_reject_out_of_range_target() {
+        let _ = ChaosScenario::Calm.cluster_schedules(0, 2, 2);
     }
 
     #[test]

@@ -110,6 +110,42 @@ impl InterconnectSpec {
         }
     }
 
+    /// NVLink 4 GPU↔GPU peer link (Hopper-class NVSwitch fabric): direct
+    /// device-to-device transfers at ~450 GB/s per direction with sub-µs
+    /// latency. This is an *inter-GPU edge* model for clusters, not a
+    /// CPU↔GPU attachment; peer transfers skip the host entirely.
+    pub fn nvlink4_peer() -> Self {
+        InterconnectSpec {
+            name: "NVLink 4 peer",
+            peak_bandwidth_gbps: 450.0,
+            effective_bandwidth_gbps: 400.0,
+            fine_grained_efficiency: 0.85,
+            latency_ns: 500.0,
+            translation_latency_ns: 1_500.0,
+            max_inflight_translations: 64,
+            cacheline_granularity: true,
+        }
+    }
+
+    /// Host-staged GPU↔GPU bounce over PCI-e 4.0: without peer links, an
+    /// inter-GPU transfer crosses the link twice (device → host buffer →
+    /// device), halving the usable bandwidth and more than doubling the
+    /// latency (two DMA setups plus a host-side copy). This is the
+    /// pessimistic inter-GPU edge the cluster experiment compares against
+    /// NVLink peer wiring.
+    pub fn pcie4_host_staged() -> Self {
+        InterconnectSpec {
+            name: "PCI-e 4.0 host-staged",
+            peak_bandwidth_gbps: 16.0,
+            effective_bandwidth_gbps: 11.0,
+            fine_grained_efficiency: 0.35,
+            latency_ns: 3_400.0,
+            translation_latency_ns: 3_000.0,
+            max_inflight_translations: 16,
+            cacheline_granularity: false,
+        }
+    }
+
     /// All Table 1 rows, in the paper's order.
     pub fn table1() -> Vec<(&'static str, InterconnectSpec)> {
         vec![
@@ -119,6 +155,61 @@ impl InterconnectSpec {
             ("NVIDIA V100", Self::nvlink2()),
             ("NVIDIA GH200", Self::nvlink_c2c()),
         ]
+    }
+
+    /// Validate the numeric invariants pricing depends on. Rejects the
+    /// degenerate configurations (zero or NaN bandwidths, efficiencies
+    /// outside `(0, 1]`, negative latencies, zero translation slots) that
+    /// would otherwise silently produce infinite or NaN transfer times.
+    pub fn validate(&self) -> Result<(), crate::fault::SimError> {
+        use crate::fault::SimError;
+        let finite_pos = |v: f64| v.is_finite() && v > 0.0;
+        if !finite_pos(self.peak_bandwidth_gbps) || !finite_pos(self.effective_bandwidth_gbps) {
+            return Err(SimError::InvalidConfig(format!(
+                "{}: bandwidths must be finite and positive \
+                 (peak {} GB/s, effective {} GB/s)",
+                self.name, self.peak_bandwidth_gbps, self.effective_bandwidth_gbps
+            )));
+        }
+        if self.effective_bandwidth_gbps > self.peak_bandwidth_gbps {
+            return Err(SimError::InvalidConfig(format!(
+                "{}: effective bandwidth {} GB/s exceeds peak {} GB/s",
+                self.name, self.effective_bandwidth_gbps, self.peak_bandwidth_gbps
+            )));
+        }
+        if !(self.fine_grained_efficiency.is_finite()
+            && self.fine_grained_efficiency > 0.0
+            && self.fine_grained_efficiency <= 1.0)
+        {
+            return Err(SimError::InvalidConfig(format!(
+                "{}: fine_grained_efficiency must be in (0, 1], got {}",
+                self.name, self.fine_grained_efficiency
+            )));
+        }
+        let lat_ok = |v: f64| v.is_finite() && v >= 0.0;
+        if !lat_ok(self.latency_ns) || !lat_ok(self.translation_latency_ns) {
+            return Err(SimError::InvalidConfig(format!(
+                "{}: latencies must be finite and non-negative \
+                 (latency {} ns, translation {} ns)",
+                self.name, self.latency_ns, self.translation_latency_ns
+            )));
+        }
+        if self.max_inflight_translations == 0 {
+            return Err(SimError::InvalidConfig(format!(
+                "{}: max_inflight_translations must be at least 1",
+                self.name
+            )));
+        }
+        Ok(())
+    }
+
+    /// Price one transfer of `bytes` across this link: one-way latency plus
+    /// streaming time at the effective bandwidth. Used for inter-GPU edges
+    /// (shard fan-out and result merges) where transfers are sequential
+    /// streams, not cacheline-granularity dependent reads.
+    #[inline]
+    pub fn transfer_s(&self, bytes: u64) -> f64 {
+        self.latency_ns * 1e-9 + bytes as f64 / (self.effective_bandwidth_gbps * 1e9)
     }
 }
 
@@ -336,6 +427,7 @@ impl GpuSpec {
                 self.hbm_bytes, self.page_bytes
             )));
         }
+        self.interconnect.validate()?;
         Ok(())
     }
 }
@@ -366,6 +458,84 @@ mod tests {
                                               // Coverage is preserved: more, smaller pages.
         assert_eq!(spec.tlb_range_bytes(), 32 << 20);
         assert_eq!(spec.tlb_entries, 16384);
+    }
+
+    #[test]
+    fn interconnect_presets_validate() {
+        for (_, ic) in InterconnectSpec::table1() {
+            assert!(ic.validate().is_ok(), "{} must validate", ic.name);
+        }
+        assert!(InterconnectSpec::nvlink4_peer().validate().is_ok());
+        assert!(InterconnectSpec::pcie4_host_staged().validate().is_ok());
+        // The peer link is strictly the faster inter-GPU edge.
+        let peer = InterconnectSpec::nvlink4_peer();
+        let staged = InterconnectSpec::pcie4_host_staged();
+        assert!(peer.effective_bandwidth_gbps > staged.effective_bandwidth_gbps);
+        assert!(peer.latency_ns < staged.latency_ns);
+        assert!(peer.transfer_s(1 << 20) < staged.transfer_s(1 << 20));
+    }
+
+    #[test]
+    fn interconnect_validate_rejects_degenerate_configs() {
+        use crate::fault::SimError;
+        let ok = InterconnectSpec::nvlink4_peer();
+        let cases: Vec<InterconnectSpec> = vec![
+            InterconnectSpec {
+                effective_bandwidth_gbps: 0.0,
+                ..ok.clone()
+            },
+            InterconnectSpec {
+                peak_bandwidth_gbps: f64::NAN,
+                ..ok.clone()
+            },
+            InterconnectSpec {
+                effective_bandwidth_gbps: f64::INFINITY,
+                ..ok.clone()
+            },
+            InterconnectSpec {
+                effective_bandwidth_gbps: ok.peak_bandwidth_gbps * 2.0,
+                ..ok.clone()
+            },
+            InterconnectSpec {
+                fine_grained_efficiency: 0.0,
+                ..ok.clone()
+            },
+            InterconnectSpec {
+                fine_grained_efficiency: 1.5,
+                ..ok.clone()
+            },
+            InterconnectSpec {
+                latency_ns: -1.0,
+                ..ok.clone()
+            },
+            InterconnectSpec {
+                translation_latency_ns: f64::NAN,
+                ..ok.clone()
+            },
+            InterconnectSpec {
+                max_inflight_translations: 0,
+                ..ok.clone()
+            },
+        ];
+        for bad in cases {
+            assert!(
+                matches!(bad.validate(), Err(SimError::InvalidConfig(_))),
+                "expected InvalidConfig"
+            );
+        }
+        // GpuSpec::validate surfaces interconnect problems too.
+        let mut spec = GpuSpec::v100_nvlink2(Scale::PAPER);
+        spec.interconnect.effective_bandwidth_gbps = f64::NAN;
+        assert!(spec.validate().is_err());
+    }
+
+    #[test]
+    fn transfer_pricing_is_latency_plus_stream() {
+        let ic = InterconnectSpec::nvlink4_peer();
+        let zero = ic.transfer_s(0);
+        assert!((zero - ic.latency_ns * 1e-9).abs() < 1e-15);
+        let one_mib = ic.transfer_s(1 << 20);
+        assert!(one_mib > zero);
     }
 
     #[test]

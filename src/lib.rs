@@ -15,7 +15,10 @@
 //! - [`core`] — the paper's contribution: windowed partitioning, plus the
 //!   query engine that runs and measures join strategies;
 //! - [`serve`] — a deterministic multi-tenant serving layer that batches
-//!   concurrent lookup requests into shared partitioning windows.
+//!   concurrent lookup requests into shared partitioning windows, and scales
+//!   it out: a multi-GPU cluster with radix-sharded or replicated placement,
+//!   shard-aware routing over priced inter-GPU links, and device-loss
+//!   failover/re-sharding.
 //!
 //! ## Quickstart
 //!
@@ -59,8 +62,9 @@ pub mod prelude {
     };
     pub use windex_join::{HashJoinConfig, MultiValueHashTable, RadixPartitioner};
     pub use windex_serve::{
-        generate_trace, BatchPolicy, LookupRequest, LookupResponse, RequestOutcome, ServeConfig,
-        Server, ServerReport, TraceConfig,
+        generate_trace, BatchPolicy, ClusterConfig, ClusterReport, ClusterServer, ClusterSpec,
+        LookupRequest, LookupResponse, Placement, RequestOutcome, ServeConfig, Server,
+        ServerReport, TraceConfig,
     };
     pub use windex_sim::{Counters, Gpu, GpuSpec, InterconnectSpec, MemLocation, Scale};
     pub use windex_workload::{KeyDistribution, Relation, ZipfSampler};
