@@ -84,6 +84,23 @@ impl ShardRouter {
         self.owners[self.partition_of(key)]
     }
 
+    /// Clamp `key` into the routed domain `[min_key, min_key + 2^(shift+bits))`.
+    /// `partition_of` masks `(key - min_key) >> shift`, so a key past the
+    /// top partition would alias to an arbitrary shard (and a key below
+    /// `min_key` would underflow the subtraction). Match sets are
+    /// unaffected — out-of-range keys are absent everywhere — but routing
+    /// and cross-shard accounting stay pinned to the edge shards.
+    #[inline]
+    pub fn clamp(&self, key: u64) -> u64 {
+        let span = self.bits.shift + self.bits.bits;
+        let top = if span >= 64 {
+            u64::MAX
+        } else {
+            self.min_key.saturating_add((1u64 << span) - 1)
+        };
+        key.clamp(self.min_key, top)
+    }
+
     /// Partitions currently owned by `shard`.
     pub fn partitions_owned(&self, shard: usize) -> usize {
         self.owners.iter().filter(|&&o| o == shard).count()
@@ -143,6 +160,25 @@ mod tests {
         for p in 0..64 {
             assert_ne!(r.owner_of(p), 2);
         }
+    }
+
+    #[test]
+    fn clamp_pins_out_of_range_keys_to_edge_shards() {
+        let r = ShardRouter::contiguous(bits(), 100, 4).unwrap();
+        let top = 100 + (1u64 << 17) - 1;
+        assert_eq!(r.clamp(0), 100, "below-domain keys clamp to min_key");
+        assert_eq!(r.clamp(u64::MAX), top, "above-domain keys clamp to top");
+        assert_eq!(r.clamp(top), top, "in-domain keys pass through");
+        assert_eq!(r.clamp(500), 500);
+        assert_eq!(r.shard_of(r.clamp(u64::MAX)), 3);
+        assert_eq!(r.shard_of(r.clamp(0)), 0);
+        // Without the clamp the radix mask wraps: one past the top aliases
+        // back to partition 0 — the inconsistency clamp() exists to avoid.
+        assert_eq!(r.shard_of(top + 1), 0);
+        // A full-width radix clamps only on the low side.
+        let wide = ShardRouter::contiguous(PartitionBits { shift: 58, bits: 6 }, 7, 2).unwrap();
+        assert_eq!(wide.clamp(u64::MAX), u64::MAX);
+        assert_eq!(wide.clamp(0), 7);
     }
 
     #[test]

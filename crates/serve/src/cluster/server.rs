@@ -64,8 +64,10 @@ const MATCH_BYTES: u64 = 16;
 pub struct ClusterConfig {
     /// Per-shard serving knobs (window, policy, DRR quantum, backpressure
     /// bound, sink placement, resilience). `partition_bits` of `None`
-    /// applies [`ClusterSpec::shard_bits`]; explicit bits must reach the
-    /// domain's top bit so shard slices stay contiguous.
+    /// applies [`ClusterSpec::shard_bits`] (sharded) or
+    /// [`ClusterSpec::replica_bits`] (replicated); explicit bits under
+    /// sharding must reach the domain's top bit so shard slices stay
+    /// contiguous.
     pub serve: ServeConfig,
     /// The cluster topology and inter-GPU link.
     pub cluster: ClusterSpec,
@@ -111,6 +113,12 @@ struct Parent {
 #[derive(Debug)]
 struct PendingDispatch {
     done_s: f64,
+    /// The shard's base offset `lo` captured at dispatch time. A re-shard
+    /// can grow the shard's slice downward while this dispatch is in
+    /// flight (losing GPU 0 drops the absorbing survivor's `lo`), and the
+    /// pairs below were computed against the old slice — translating them
+    /// with the post-re-shard `lo` would shift every global position.
+    base: u64,
     /// The `(key, rid)` batch, rids local to the shard's batcher.
     batch: Vec<(u64, u64)>,
     /// Sink output captured at dispatch: `(rid, local position)`.
@@ -220,8 +228,10 @@ impl ClusterServer {
                 "cluster serving needs a non-empty relation",
             ));
         }
+        let replicated = cfg.cluster.placement == Placement::Replicated;
         let bits = match serve.partition_bits {
             Some(b) => b,
+            None if replicated => cfg.cluster.replica_bits(&r)?,
             None => cfg.cluster.shard_bits(&r)?,
         };
         let min_key = r.min_key().unwrap_or(0);
@@ -232,14 +242,18 @@ impl ClusterServer {
         } else {
             64 - domain.leading_zeros()
         };
-        if bits.shift + bits.bits < domain_bits {
+        if !replicated && bits.shift + bits.bits < domain_bits {
             return Err(WindexError::InvalidConfig(
                 "partition bits must reach the domain's top bit for contiguous shards",
             ));
         }
         let n_gpus = cfg.cluster.gpus;
-        let router = ShardRouter::contiguous(bits, min_key, n_gpus)?;
-        let replicated = cfg.cluster.placement == Placement::Replicated;
+        // Replication never routes by partition, so it needs no
+        // partitions-per-GPU floor: a single-owner table keeps the radix
+        // and min_key available for window configs and reports while
+        // letting replicated clusters form over arbitrarily small domains.
+        let router_shards = if replicated { 1 } else { n_gpus };
+        let router = ShardRouter::contiguous(bits, min_key, router_shards)?;
         let mut shards = Vec::with_capacity(n_gpus);
         for s in 0..n_gpus {
             let (lo, hi) = if replicated {
@@ -482,11 +496,10 @@ impl ClusterServer {
         let coordinator = match self.cfg.cluster.placement {
             Placement::Sharded => {
                 for &key in &t.request.keys {
-                    let shard = self.router.shard_of(key.max(self.router.min_key()));
+                    let shard = self.router.shard_of(self.router.clamp(key));
                     legs.entry(shard).or_default().push(key);
                 }
-                self.router
-                    .shard_of(t.request.keys[0].max(self.router.min_key()))
+                self.router.shard_of(self.router.clamp(t.request.keys[0]))
             }
             Placement::Replicated => {
                 let alive: Vec<usize> = (0..self.shards.len())
@@ -665,6 +678,7 @@ impl ClusterServer {
                     shard.busy_until_s = done_s;
                     shard.inflight = Some(PendingDispatch {
                         done_s,
+                        base: shard.lo as u64,
                         batch,
                         pairs,
                     });
@@ -784,7 +798,7 @@ impl ClusterServer {
             }
             *keys_of.entry(parent_id).or_insert(0) += 1;
         }
-        let base = self.shards[s].lo as u64;
+        let base = pd.base;
         for &(rid, pos) in &pd.pairs {
             let (sub_id, _) = self.shards[s].batcher.resolve(rid);
             let parent_id = st.subs[sub_id as usize].parent;
@@ -1017,6 +1031,11 @@ impl ClusterServer {
             if let Some(p) = st.parents.remove(&parent_id) {
                 for &sub_id in &p.subs {
                     let home = st.sub_home[sub_id as usize];
+                    // Purge the leg wherever it sits: still queued under
+                    // DRR (so queued_keys stops counting it toward the
+                    // admission backlog) or already staged in the batcher.
+                    let tenant = st.subs[sub_id as usize].tenant;
+                    self.shards[home].sched.cancel(tenant, sub_id);
                     self.shards[home].batcher.drop_request(sub_id);
                 }
                 st.responses.push(shed_response(

@@ -161,6 +161,30 @@ impl ClusterSpec {
         }
         Ok(bits)
     }
+
+    /// Choose the radix for a replicated cluster: the same top-of-domain
+    /// selection as [`shard_bits`](Self::shard_bits) but with no
+    /// partition-count floor — replication never routes by partition, so
+    /// the bits only size each replica's window join. Degenerate domains
+    /// (down to a single key) therefore get the minimal radix instead of
+    /// an error.
+    pub fn replica_bits(&self, r: &Relation) -> Result<PartitionBits, WindexError> {
+        let (Some(min), Some(max)) = (r.min_key(), r.max_key()) else {
+            return Err(WindexError::InvalidConfig(
+                "cannot replicate an empty relation",
+            ));
+        };
+        let domain = max - min;
+        if domain == 0 {
+            return Ok(PartitionBits { shift: 0, bits: 1 });
+        }
+        let domain_bits = 64 - domain.leading_zeros();
+        let bits = domain_bits.min(4);
+        Ok(PartitionBits {
+            shift: domain_bits - bits,
+            bits,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -209,6 +233,28 @@ mod tests {
         assert!(spec.shard_bits(&Relation::from_keys(vec![], true)).is_err());
         assert!(spec
             .shard_bits(&Relation::from_keys(vec![7], true))
+            .is_err());
+    }
+
+    #[test]
+    fn replica_bits_accept_domains_too_small_to_shard() {
+        let spec = ClusterSpec::replicated(4, v100(), InterconnectSpec::nvlink4_peer());
+        // Domains shard_bits rejects (single key, fewer partitions than
+        // GPUs) still yield a valid window radix under replication.
+        let single = Relation::from_keys(vec![7], true);
+        assert!(spec.shard_bits(&single).is_err());
+        let bits = spec.replica_bits(&single).unwrap();
+        assert_eq!((bits.shift, bits.bits), (0, 1));
+        let tiny = Relation::from_keys(vec![7, 8, 9], true);
+        let bits = spec.replica_bits(&tiny).unwrap();
+        assert_eq!(bits.shift + bits.bits, 2, "reaches the domain's top bit");
+        // Wide domains match the shard selection's top-of-domain shape.
+        let r = Relation::unique_sorted(1 << 14, KeyDistribution::SparseUniform, 3);
+        let bits = spec.replica_bits(&r).unwrap();
+        let domain = r.max_key().unwrap() - r.min_key().unwrap();
+        assert_eq!(bits.shift + bits.bits, 64 - domain.leading_zeros());
+        assert!(spec
+            .replica_bits(&Relation::from_keys(vec![], true))
             .is_err());
     }
 

@@ -83,6 +83,25 @@ impl DrrScheduler {
         self.queued_keys += n_keys;
     }
 
+    /// Remove queued request `id` of `tenant`, returning whether anything
+    /// was removed. Keeps `queued_keys` exact when a request is shed after
+    /// admission: without this, dead legs inflate the backlog that
+    /// admission backpressure reads until they reach the head of their
+    /// queue and are skipped. A tenant whose queue drains here is lazily
+    /// deactivated on its next `dequeue` visit, exactly as when it drains
+    /// normally.
+    pub fn cancel(&mut self, tenant: TenantId, id: u64) -> bool {
+        let Some(tq) = self.tenants.get_mut(&tenant) else {
+            return false;
+        };
+        let Some(pos) = tq.queue.iter().position(|q| q.id == id) else {
+            return false;
+        };
+        let q = tq.queue.remove(pos).expect("position just located");
+        self.queued_keys -= q.n_keys;
+        true
+    }
+
     /// Release the next request under DRR order, if any tenant has queued
     /// work. Returns the request id, or `Ok(None)` when every queue is
     /// empty. Internal ring/queue inconsistency — impossible through this
@@ -194,6 +213,32 @@ mod tests {
         assert_eq!(s.dequeue(), Ok(Some(2)), "small request goes first");
         assert_eq!(s.dequeue(), Ok(Some(1)), "big request eventually released");
         assert_eq!(s.dequeue(), Ok(None));
+    }
+
+    #[test]
+    fn cancel_removes_queued_keys_immediately() {
+        let mut s = DrrScheduler::new(8).unwrap();
+        s.enqueue(0, 10, 3);
+        s.enqueue(0, 11, 5);
+        s.enqueue(1, 20, 2);
+        assert_eq!(s.queued_keys(), 10);
+        // Cancel mid-queue: the backlog drops at once, not at dequeue time.
+        assert!(s.cancel(0, 11));
+        assert_eq!(s.queued_keys(), 5);
+        // Unknown ids and wrong tenants are no-ops.
+        assert!(!s.cancel(0, 11), "already cancelled");
+        assert!(!s.cancel(1, 10), "wrong tenant");
+        assert!(!s.cancel(9, 99), "unknown tenant");
+        assert_eq!(s.dequeue(), Ok(Some(10)));
+        assert_eq!(s.dequeue(), Ok(Some(20)));
+        assert_eq!(s.dequeue(), Ok(None));
+        assert!(s.is_empty());
+        // Cancelling a tenant's whole queue leaves the scheduler sane.
+        s.enqueue(2, 30, 4);
+        assert!(s.cancel(2, 30));
+        assert_eq!(s.queued_keys(), 0);
+        assert_eq!(s.dequeue(), Ok(None));
+        assert!(s.is_empty());
     }
 
     #[test]

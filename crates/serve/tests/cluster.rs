@@ -201,6 +201,99 @@ fn sharded_cluster_survives_targeted_device_loss() {
     assert_eq!(absorbed, cluster.relation().len(), "R fully servable");
 }
 
+/// Losing GPU 0 is the hard re-shard direction: the absorbing survivor's
+/// slice grows *downward* (its base offset `lo` drops to 0), and a dispatch
+/// already in flight on that survivor was computed against the old slice.
+/// Delivered global match positions must still be exactly the single-GPU
+/// server's — the base must be the dispatch-time offset, not the post-
+/// re-shard one.
+#[test]
+fn losing_gpu_zero_keeps_global_match_positions() {
+    let r = relation(5);
+    let trace = generate_trace(
+        &TraceConfig {
+            seed: 23,
+            requests: 512,
+            offered_load_rps: 8_000.0,
+            deadline_s: None,
+            ..TraceConfig::default()
+        },
+        &r,
+    );
+    let cfg = cluster_cfg(4, true);
+    let bits = cfg.cluster.shard_bits(&r).unwrap();
+    let serve = ServeConfig {
+        partition_bits: Some(bits),
+        ..ServeConfig::default()
+    };
+
+    let mut gpu = Gpu::new(v100());
+    let mut single = Server::new(&mut gpu, serve, r.clone()).unwrap();
+    let baseline = single.run(&mut gpu, &trace).unwrap();
+    assert_eq!(baseline.report.shed, 0, "baseline must shed nothing");
+
+    let mut cfg = cluster_cfg(4, true);
+    cfg.serve = serve;
+    let mut cluster = ClusterServer::new(cfg, r).unwrap();
+    cluster
+        .set_chaos_schedules(ChaosScenario::DeviceLoss.cluster_schedules(40, 4, 0))
+        .unwrap();
+    let outcome = cluster.run(&trace).unwrap();
+    let rep = &outcome.report;
+    assert!(!rep.per_shard[0].alive, "GPU 0 lost");
+    assert!(rep.reshards >= 1, "loss absorbed by re-sharding");
+    assert_eq!(rep.shed, 0);
+    assert_eq!(rep.slo.availability, 1.0);
+    for (c, b) in outcome.responses.iter().zip(&baseline.responses) {
+        assert_eq!(c.request, b.request);
+        assert_eq!(
+            canonical(&c.matches),
+            canonical(&b.matches),
+            "request {} global match positions after losing GPU 0",
+            c.request
+        );
+    }
+}
+
+/// Replication never shards, so a replicated cluster must construct and
+/// serve relations whose key domain is too small to give every GPU a
+/// partition — down to a single key — while sharded placement keeps
+/// rejecting them.
+#[test]
+fn replicated_cluster_serves_tiny_domains() {
+    for keys in [vec![42u64], vec![7, 8, 9]] {
+        let r = Relation::from_keys(keys.clone(), true);
+        if keys.len() == 1 {
+            // A single-key domain cannot give every GPU a partition.
+            assert!(
+                ClusterServer::new(cluster_cfg(4, true), r.clone()).is_err(),
+                "sharding still rejects a single-key domain"
+            );
+        }
+        let mut cluster = ClusterServer::new(cluster_cfg(4, false), r).unwrap();
+        let trace: Vec<TimedRequest> = keys
+            .iter()
+            .enumerate()
+            .map(|(i, &k)| TimedRequest {
+                at_s: i as f64 * 1e-3,
+                request: LookupRequest {
+                    tenant: 0,
+                    // One hit and one miss per request.
+                    keys: vec![k, k + 1_000],
+                    deadline: None,
+                },
+            })
+            .collect();
+        let outcome = cluster.run(&trace).unwrap();
+        assert_eq!(outcome.report.shed, 0);
+        assert_eq!(outcome.report.completed, keys.len());
+        for (resp, &k) in outcome.responses.iter().zip(&keys) {
+            let hits: Vec<u64> = resp.matches.iter().map(|&(key, _)| key).collect();
+            assert_eq!(hits, vec![k], "exactly the resident key matches");
+        }
+    }
+}
+
 /// The same targeted loss under replicated placement fails over to a
 /// surviving replica instead of re-sharding.
 #[test]
