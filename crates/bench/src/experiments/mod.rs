@@ -21,6 +21,7 @@ pub mod serve;
 pub mod simperf;
 pub mod summary;
 pub mod table1;
+pub mod tuner;
 pub mod validate;
 pub mod whatif;
 

@@ -36,6 +36,7 @@ pub mod query;
 pub mod session;
 pub mod strategy;
 pub mod streams;
+pub mod tuner;
 pub mod window;
 
 pub use error::WindexError;
@@ -43,6 +44,10 @@ pub use query::{DegradationEvent, QueryError, QueryExecutor, QueryReport};
 pub use session::{IndexCheckpoint, QuerySession, MAX_DEVICE_LOSS_RECOVERIES};
 pub use strategy::{BuiltIndex, IndexConfigs, JoinStrategy};
 pub use streams::StreamingWindowJoin;
+pub use tuner::{
+    candidate_prior_s_per_key, default_candidates, CandidatePlan, KpiSample, OnlineTuner,
+    TuneEvent, TuneReason, TunerConfig,
+};
 pub use window::{
     windowed_inlj, windowed_inlj_observed, WindowConfig, WindowObserver, WindowSpan, WindowStats,
 };
@@ -54,6 +59,10 @@ pub mod prelude {
     pub use crate::session::{IndexCheckpoint, QuerySession, MAX_DEVICE_LOSS_RECOVERIES};
     pub use crate::strategy::{BuiltIndex, IndexConfigs, JoinStrategy};
     pub use crate::streams::StreamingWindowJoin;
+    pub use crate::tuner::{
+        candidate_prior_s_per_key, default_candidates, CandidatePlan, KpiSample, OnlineTuner,
+        TuneEvent, TuneReason, TunerConfig,
+    };
     pub use crate::window::{
         windowed_inlj, windowed_inlj_observed, WindowConfig, WindowObserver, WindowSpan,
         WindowStats,

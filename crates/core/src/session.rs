@@ -41,7 +41,7 @@ use windex_join::{
     hash_join, inlj_pairs, inlj_stream, PartitionBits, RadixPartitioner, ResultSink,
 };
 use windex_sim::{phase, Buffer, CostModel, Gpu, MemLocation, PhaseRecorder};
-use windex_workload::{join_selectivity, Relation};
+use windex_workload::Relation;
 
 /// Smallest window the degradation ladder will shrink to before moving to
 /// the next rung (one warp of probe tuples).
@@ -88,7 +88,7 @@ pub struct QuerySession {
     r: Relation,
     s: Relation,
     r_col: Rc<Buffer<u64>>,
-    s_col: Buffer<u64>,
+    s_col: Rc<Buffer<u64>>,
     built: HashMap<IndexKind, BuiltIndex>,
     bits: PartitionBits,
 }
@@ -125,7 +125,7 @@ impl QuerySession {
             }
         }
         let r_col = Rc::new(gpu.alloc_host_from_vec(r.keys().to_vec()));
-        let s_col = gpu.alloc_host_from_vec(s.keys().to_vec());
+        let s_col = Rc::new(gpu.alloc_host_from_vec(s.keys().to_vec()));
         let bits = executor.resolve_bits(gpu, &r);
         Ok(QuerySession {
             executor,
@@ -154,6 +154,48 @@ impl QuerySession {
         self.built
             .entry(kind)
             .or_insert_with(|| BuiltIndex::build(gpu, kind, &self.r_col, &configs))
+    }
+
+    /// Ensure everything `strategy` needs outside the measured region is in
+    /// place (today: the index build), returning the cost-model estimate of
+    /// the work done in seconds — `0.0` when the strategy needs no index or
+    /// it was already built.
+    ///
+    /// This is the strategy-switch path for the online tuner: switching a
+    /// tenant to a new index family pays the build exactly once, priced so
+    /// the serving clock can charge it, and reuses the PR 6 checkpoint
+    /// machinery on device loss (a rebuilt session restores whatever set of
+    /// indexes switches had accumulated).
+    pub fn prepare_strategy(
+        &mut self,
+        gpu: &mut Gpu,
+        strategy: JoinStrategy,
+    ) -> Result<f64, WindexError> {
+        let Some(kind) = strategy.index_kind() else {
+            return Ok(0.0);
+        };
+        if !self.r.is_sorted_unique() {
+            return Err(QueryError::IndexedRelationNotSorted.into());
+        }
+        if self.built.contains_key(&kind) {
+            return Ok(0.0);
+        }
+        let before = gpu.snapshot();
+        self.index(gpu, kind);
+        let delta = gpu.snapshot() - before;
+        Ok(CostModel::new(gpu.spec()).estimate(&delta, false).total_s)
+    }
+
+    /// Override the partition-bit selection made at staging time (the §4.2
+    /// rule with the executor's cap). The tuner re-resolves bits when a
+    /// candidate plan carries a different bit budget.
+    pub fn set_partition_bits(&mut self, bits: PartitionBits) {
+        self.bits = bits;
+    }
+
+    /// The partition bits the next run will use.
+    pub fn partition_bits(&self) -> PartitionBits {
+        self.bits
     }
 
     /// Capture a host-resident checkpoint of the session's device-dependent
@@ -214,9 +256,15 @@ impl QuerySession {
     /// one window (or the whole probe side), plus the result sink if it
     /// lives in GPU memory. Reservations are page-rounded exactly like the
     /// allocator rounds them.
-    fn staging_footprint(&self, gpu: &Gpu, plan: JoinStrategy, sink_loc: MemLocation) -> u64 {
+    fn staging_footprint(
+        &self,
+        gpu: &Gpu,
+        plan: JoinStrategy,
+        sink_loc: MemLocation,
+        probe_tuples: usize,
+    ) -> u64 {
         let page = gpu.spec().page_bytes;
-        let n = self.s_col.len().max(1) as u64;
+        let n = probe_tuples.max(1) as u64;
         let pair_bufs = |tuples: u64| 2 * Self::page_round(page, tuples * 16);
         let stage = match plan {
             // The hash join plans its own build chunking against the live
@@ -296,6 +344,56 @@ impl QuerySession {
         gpu: &mut Gpu,
         strategy: JoinStrategy,
     ) -> Result<QueryReport, WindexError> {
+        let probe = Rc::clone(&self.s_col);
+        let n = probe.len();
+        self.run_probe(gpu, strategy, &probe, n)
+    }
+
+    /// Run one query probing the staged indexed relation with an ad-hoc key
+    /// batch instead of the staged probe relation — the serving dispatch
+    /// path, where each batch aggregates queued per-tenant request keys.
+    ///
+    /// The keys are staged into CPU memory for the duration of the run and
+    /// released before returning. Under
+    /// [`QueryExecutor::validate_foreign_keys`] the batch must lie inside
+    /// the indexed relation's key domain, exactly like staging a probe
+    /// relation would require.
+    pub fn run_batch(
+        &mut self,
+        gpu: &mut Gpu,
+        strategy: JoinStrategy,
+        keys: &[u64],
+    ) -> Result<QueryReport, WindexError> {
+        if self.executor.validate_foreign_keys {
+            match (self.r.min_key(), self.r.max_key()) {
+                (Some(lo), Some(hi)) => {
+                    if keys.iter().any(|&k| k < lo || k > hi) {
+                        return Err(QueryError::ForeignKeyViolation.into());
+                    }
+                }
+                _ => {
+                    if !keys.is_empty() {
+                        return Err(QueryError::ForeignKeyViolation.into());
+                    }
+                }
+            }
+        }
+        let probe = Rc::new(gpu.alloc_host_from_vec(keys.to_vec()));
+        let n = probe.len();
+        let out = self.run_probe(gpu, strategy, &probe, n);
+        if let Ok(col) = Rc::try_unwrap(probe) {
+            gpu.free(col);
+        }
+        out
+    }
+
+    fn run_probe(
+        &mut self,
+        gpu: &mut Gpu,
+        strategy: JoinStrategy,
+        probe: &Rc<Buffer<u64>>,
+        n: usize,
+    ) -> Result<QueryReport, WindexError> {
         if let Some(kind) = strategy.index_kind() {
             if !self.r.is_sorted_unique() {
                 return Err(QueryError::IndexedRelationNotSorted.into());
@@ -304,7 +402,6 @@ impl QuerySession {
         }
         let min_key = self.r.min_key().unwrap_or(0);
         let bits = self.bits;
-        let n = self.s_col.len();
         let mut degradations = Vec::new();
         let mut plan = strategy;
         let mut sink_loc = self.executor.result_location;
@@ -320,12 +417,12 @@ impl QuerySession {
             // Admission check: degrade until the staging footprint fits the
             // device-memory headroom (or the ladder bottoms out at the
             // CPU-sink hash join, whose footprint is zero).
-            while self.staging_footprint(gpu, plan, sink_loc) > gpu.gpu_headroom() {
+            while self.staging_footprint(gpu, plan, sink_loc, n) > gpu.gpu_headroom() {
                 if !Self::degrade(&mut plan, &mut sink_loc, n, &mut degradations) {
                     break;
                 }
             }
-            let mut sink = ResultSink::with_capacity(gpu, self.s.len().max(1), sink_loc)?;
+            let mut sink = ResultSink::with_capacity(gpu, n.max(1), sink_loc)?;
 
             // ---- measured region ----
             if self.executor.cold_start {
@@ -340,15 +437,15 @@ impl QuerySession {
             let mut build_passes = 1;
             let outcome: Result<usize, WindexError> = match plan {
                 JoinStrategy::HashJoin => {
-                    let (build, probe) = if self.s_col.len() <= self.r_col.len() {
-                        (&self.s_col, &*self.r_col)
+                    let (build, probe_col) = if probe.len() <= self.r_col.len() {
+                        (&**probe, &*self.r_col)
                     } else {
-                        (&*self.r_col, &self.s_col)
+                        (&*self.r_col, &**probe)
                     };
                     // Build and probe are fused in one operator call; the
                     // whole join is attributed to the lookup phase.
                     rec.begin(gpu, phase::LOOKUP);
-                    hash_join(gpu, build, probe, self.executor.hash_join, &mut sink)
+                    hash_join(gpu, build, probe_col, self.executor.hash_join, &mut sink)
                         .map(|stats| {
                             build_passes = stats.build_passes;
                             stats.matches
@@ -358,13 +455,13 @@ impl QuerySession {
                 JoinStrategy::Inlj { index } => {
                     let idx = self.built[&index].as_dyn();
                     rec.begin(gpu, phase::LOOKUP);
-                    inlj_stream(gpu, idx, &self.s_col, 0..n, &mut sink).map_err(WindexError::from)
+                    inlj_stream(gpu, idx, probe, 0..n, &mut sink).map_err(WindexError::from)
                 }
                 JoinStrategy::PartitionedInlj { index } => {
                     let idx = self.built[&index].as_dyn();
                     let part = RadixPartitioner::new(bits, min_key);
                     rec.begin(gpu, phase::PARTITION);
-                    match part.partition_stream(gpu, &self.s_col, 0..n) {
+                    match part.partition_stream(gpu, probe, 0..n) {
                         Ok(all) => {
                             rec.begin(gpu, phase::LOOKUP);
                             let probed = inlj_pairs(gpu, idx, &all.pairs, 0..all.len(), &mut sink);
@@ -388,7 +485,7 @@ impl QuerySession {
                         phases: Some(&mut rec),
                         timeline: Some(&mut timeline),
                     };
-                    windowed_inlj_observed(gpu, idx, &self.s_col, 0..n, cfg, &mut sink, obs).map(
+                    windowed_inlj_observed(gpu, idx, probe, 0..n, cfg, &mut sink, obs).map(
                         |stats| {
                             windows = stats.windows;
                             stats.matches
@@ -459,9 +556,13 @@ impl QuerySession {
             strategy: plan.label(),
             index: plan.index_kind(),
             r_tuples: self.r.len(),
-            s_tuples: self.s.len(),
+            s_tuples: n,
             paper_r_gib: gpu.spec().scale.paper_gib_for_sim_tuples(self.r.len()),
-            selectivity: join_selectivity(&self.r, &self.s),
+            selectivity: if self.r.is_empty() {
+                0.0
+            } else {
+                n as f64 / self.r.len() as f64
+            },
             result_tuples,
             windows,
             counters: delta,
@@ -800,6 +901,59 @@ mod tests {
         assert_eq!(a.0, b.0);
         assert_eq!(a.1, b.1, "recovered runs must measure identically");
         assert_eq!(a.2, b.2, "recovery events must be identical");
+    }
+
+    #[test]
+    fn run_batch_matches_staged_probe_run() {
+        let mut g = gpu();
+        let r = Relation::unique_sorted(1 << 13, KeyDistribution::Dense, 1);
+        let s = Relation::foreign_keys_uniform(&r, 1 << 10, 2);
+        let keys = s.keys().to_vec();
+        let mut sess = QuerySession::new(&mut g, QueryExecutor::new(), r.clone(), s).unwrap();
+        let st = JoinStrategy::WindowedInlj {
+            index: IndexKind::RadixSpline,
+            window_tuples: 256,
+        };
+        let staged = sess.run(&mut g, st).unwrap();
+        // The same keys dispatched as an ad-hoc batch join identically.
+        let batch = sess.run_batch(&mut g, st, &keys).unwrap();
+        assert_eq!(batch.result_tuples, staged.result_tuples);
+        assert_eq!(batch.s_tuples, staged.s_tuples);
+        assert!((batch.selectivity - staged.selectivity).abs() < 1e-12);
+        // Batch staging is released (only the session's columns remain).
+        let live = g.live_gpu_bytes();
+        sess.run_batch(&mut g, st, &keys).unwrap();
+        assert_eq!(g.live_gpu_bytes(), live);
+        // FK validation applies to batches too.
+        let out_of_domain = [r.max_key().unwrap() + 1];
+        assert_eq!(
+            sess.run_batch(&mut g, st, &out_of_domain).unwrap_err(),
+            WindexError::Query(QueryError::ForeignKeyViolation)
+        );
+    }
+
+    #[test]
+    fn prepare_strategy_builds_once_and_prices_the_build() {
+        let mut g = gpu();
+        let mut sess = session(&mut g);
+        let st = JoinStrategy::WindowedInlj {
+            index: IndexKind::BPlusTree,
+            window_tuples: 256,
+        };
+        // Index construction is host-side (§3.2: "the index already
+        // exists"), so the priced cost is finite and non-negative — today
+        // 0.0 — and the build lands in the session cache.
+        let first = sess.prepare_strategy(&mut g, st).unwrap();
+        assert!(first.is_finite() && first >= 0.0);
+        assert_eq!(sess.built.len(), 1);
+        let again = sess.prepare_strategy(&mut g, st).unwrap();
+        assert_eq!(again, 0.0, "cached index must be free");
+        assert_eq!(sess.built.len(), 1);
+        assert_eq!(
+            sess.prepare_strategy(&mut g, JoinStrategy::HashJoin)
+                .unwrap(),
+            0.0
+        );
     }
 
     #[test]

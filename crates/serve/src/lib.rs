@@ -59,13 +59,14 @@ pub mod resilience;
 pub mod sched;
 pub mod server;
 pub mod trace;
+pub mod tuned;
 
 pub use batch::MicroBatcher;
 pub use cluster::{
     ClusterConfig, ClusterEvent, ClusterOutcome, ClusterReport, ClusterServer, ClusterSpec,
     Placement, ShardLoad, ShardRouter,
 };
-pub use metrics::{render_cluster_openmetrics, render_openmetrics};
+pub use metrics::{render_cluster_openmetrics, render_openmetrics, render_tuner_openmetrics};
 pub use report::{BatchSpan, LatencyHistogram, LatencyStats, ServeEvent, ServerReport, TenantLoad};
 pub use request::{LookupRequest, LookupResponse, RequestOutcome, TenantId};
 pub use resilience::{
@@ -75,7 +76,8 @@ pub use resilience::{
 };
 pub use sched::DrrScheduler;
 pub use server::{BatchPolicy, ServeConfig, ServeOutcome, Server};
-pub use trace::{generate_trace, TimedRequest, TraceConfig};
+pub use trace::{generate_tenant_trace, generate_trace, merge_traces, TimedRequest, TraceConfig};
+pub use tuned::{TunedConfig, TunedReport, TunedServeEvent, TunedServer, TunedTenantReport};
 
 /// One-stop imports for downstream users.
 pub mod prelude {
@@ -84,7 +86,9 @@ pub mod prelude {
         ClusterConfig, ClusterEvent, ClusterOutcome, ClusterReport, ClusterServer, ClusterSpec,
         Placement, ShardLoad, ShardRouter,
     };
-    pub use crate::metrics::{render_cluster_openmetrics, render_openmetrics};
+    pub use crate::metrics::{
+        render_cluster_openmetrics, render_openmetrics, render_tuner_openmetrics,
+    };
     pub use crate::report::{
         BatchSpan, LatencyHistogram, LatencyStats, ServeEvent, ServerReport, TenantLoad,
     };
@@ -95,7 +99,12 @@ pub mod prelude {
     };
     pub use crate::sched::DrrScheduler;
     pub use crate::server::{BatchPolicy, ServeConfig, ServeOutcome, Server};
-    pub use crate::trace::{generate_trace, TimedRequest, TraceConfig};
+    pub use crate::trace::{
+        generate_tenant_trace, generate_trace, merge_traces, TimedRequest, TraceConfig,
+    };
+    pub use crate::tuned::{
+        TunedConfig, TunedReport, TunedServeEvent, TunedServer, TunedTenantReport,
+    };
     pub use windex_index::IndexKind;
     pub use windex_sim::{ChaosSchedule, Gpu, GpuSpec, InterconnectSpec, MemLocation, Scale};
     pub use windex_workload::{KeyDistribution, Relation};

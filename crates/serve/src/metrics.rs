@@ -699,6 +699,217 @@ pub fn render_cluster_openmetrics(report: &ClusterReport) -> String {
     o
 }
 
+/// Render a [`TunedReport`] as an OpenMetrics text snapshot (ending in
+/// `# EOF`). Per-tenant series render in ascending tenant-id order; like
+/// the other exporters, the same report always renders byte-identically.
+pub fn render_tuner_openmetrics(report: &crate::tuned::TunedReport) -> String {
+    use windex_core::TuneReason;
+
+    let mut o = String::new();
+
+    family(&mut o, "windex_tuned", "gauge", "Tuned-server identity.");
+    let _ = writeln!(o, "windex_tuned{{policy=\"{}\"}} 1", escape(&report.policy));
+
+    // Per-tenant plan state at trace end.
+    family(
+        &mut o,
+        "windex_tuner_strategy_info",
+        "gauge",
+        "Current plan per tenant (labels carry the plan; value is 1).",
+    );
+    for t in &report.per_tenant {
+        let _ = writeln!(
+            o,
+            "windex_tuner_strategy_info{{tenant=\"{}\",plan=\"{}\"}} 1",
+            t.tenant,
+            escape(&t.final_plan)
+        );
+    }
+    family(
+        &mut o,
+        "windex_tuner_window_tuples",
+        "gauge",
+        "Window capacity of the tenant's current plan (0 for non-windowed plans).",
+    );
+    for t in &report.per_tenant {
+        // The window size is embedded in the plan label as `w=<n>`; parse
+        // it back out so dashboards get a numeric gauge.
+        let w = t
+            .final_plan
+            .split("w=")
+            .nth(1)
+            .and_then(|s| {
+                s.split(|c: char| !c.is_ascii_digit())
+                    .next()?
+                    .parse::<u64>()
+                    .ok()
+            })
+            .unwrap_or(0);
+        let _ = writeln!(
+            o,
+            "windex_tuner_window_tuples{{tenant=\"{}\"}} {w}",
+            t.tenant
+        );
+    }
+    family(
+        &mut o,
+        "windex_tuner_switches",
+        "counter",
+        "Argmin strategy switches, by tenant.",
+    );
+    for t in &report.per_tenant {
+        let _ = writeln!(
+            o,
+            "windex_tuner_switches_total{{tenant=\"{}\"}} {}",
+            t.tenant, t.switches
+        );
+    }
+    family(
+        &mut o,
+        "windex_tuner_explorations",
+        "counter",
+        "Epsilon-greedy exploration batches, by tenant.",
+    );
+    for t in &report.per_tenant {
+        let _ = writeln!(
+            o,
+            "windex_tuner_explorations_total{{tenant=\"{}\"}} {}",
+            t.tenant, t.explorations
+        );
+    }
+    family(
+        &mut o,
+        "windex_tuner_pinned_batches",
+        "counter",
+        "Batches decided while degradation-pinned, by tenant.",
+    );
+    for t in &report.per_tenant {
+        let _ = writeln!(
+            o,
+            "windex_tuner_pinned_batches_total{{tenant=\"{}\"}} {}",
+            t.tenant, t.pinned_batches
+        );
+    }
+    family(
+        &mut o,
+        "windex_tuner_cost_error_ratio",
+        "gauge",
+        "Mean relative |estimated - realized| per-key cost error, by tenant.",
+    );
+    for t in &report.per_tenant {
+        let _ = writeln!(
+            o,
+            "windex_tuner_cost_error_ratio{{tenant=\"{}\"}} {}",
+            t.tenant, t.est_cost_error
+        );
+    }
+    family(
+        &mut o,
+        "windex_tuner_tenant_busy_seconds",
+        "counter",
+        "Virtual device time spent on the tenant's dispatches.",
+    );
+    for t in &report.per_tenant {
+        let _ = writeln!(
+            o,
+            "windex_tuner_tenant_busy_seconds_total{{tenant=\"{}\"}} {}",
+            t.tenant, t.busy_s
+        );
+    }
+
+    // Decision-stream counters (pin/unpin are events, not per-tenant state).
+    let pins = report
+        .tune_events
+        .iter()
+        .filter(|e| e.event.reason == TuneReason::Pinned)
+        .count();
+    family(
+        &mut o,
+        "windex_tuner_pins",
+        "counter",
+        "Degradation pins applied across all tenants.",
+    );
+    let _ = writeln!(o, "windex_tuner_pins_total {pins}");
+
+    // Aggregates.
+    family(
+        &mut o,
+        "windex_tuner_requests_completed",
+        "counter",
+        "Requests completed across all tenants.",
+    );
+    let _ = writeln!(
+        o,
+        "windex_tuner_requests_completed_total {}",
+        report.completed
+    );
+    family(
+        &mut o,
+        "windex_tuner_batches",
+        "counter",
+        "Batches dispatched across all tenants.",
+    );
+    let _ = writeln!(o, "windex_tuner_batches_total {}", report.batches);
+    family(
+        &mut o,
+        "windex_tuner_aggregate_qps",
+        "gauge",
+        "Completed requests per busy virtual second.",
+    );
+    let _ = writeln!(o, "windex_tuner_aggregate_qps {}", report.aggregate_qps);
+    family(
+        &mut o,
+        "windex_tuner_keys_per_second",
+        "gauge",
+        "Probed keys per busy virtual second.",
+    );
+    let _ = writeln!(o, "windex_tuner_keys_per_second {}", report.keys_per_second);
+    family(
+        &mut o,
+        "windex_tuner_busy_seconds",
+        "gauge",
+        "Virtual device time spent executing dispatches.",
+    );
+    let _ = writeln!(o, "windex_tuner_busy_seconds {}", report.busy_s);
+    family(
+        &mut o,
+        "windex_tuner_virtual_makespan_seconds",
+        "gauge",
+        "Virtual time from trace start to the last completion.",
+    );
+    let _ = writeln!(
+        o,
+        "windex_tuner_virtual_makespan_seconds {}",
+        report.virtual_makespan_s
+    );
+
+    // Latency histogram over completed requests.
+    family(
+        &mut o,
+        "windex_tuner_latency_seconds",
+        "histogram",
+        "Request latency over completed requests, in virtual seconds.",
+    );
+    let h = &report.latency_hist;
+    let cumulative = h.cumulative();
+    for (bound, cum) in h.bounds_s.iter().zip(&cumulative) {
+        let _ = writeln!(
+            o,
+            "windex_tuner_latency_seconds_bucket{{le=\"{bound}\"}} {cum}"
+        );
+    }
+    let _ = writeln!(
+        o,
+        "windex_tuner_latency_seconds_bucket{{le=\"+Inf\"}} {}",
+        h.count
+    );
+    let _ = writeln!(o, "windex_tuner_latency_seconds_count {}", h.count);
+    let _ = writeln!(o, "windex_tuner_latency_seconds_sum {}", h.sum_s);
+
+    o.push_str("# EOF\n");
+    o
+}
+
 /// Write a family's `# HELP` / `# TYPE` header.
 fn family(o: &mut String, name: &str, kind: &str, help: &str) {
     let _ = writeln!(o, "# HELP {name} {help}");
@@ -997,6 +1208,61 @@ mod tests {
     #[test]
     fn cluster_sample_lines_all_have_type_headers() {
         let text = render_cluster_openmetrics(&cluster_report());
+        for line in text.lines() {
+            if line.starts_with('#') {
+                continue;
+            }
+            let name = line.split(['{', ' ']).next().unwrap();
+            let fam = name
+                .strip_suffix("_total")
+                .or_else(|| name.strip_suffix("_bucket"))
+                .or_else(|| name.strip_suffix("_count"))
+                .or_else(|| name.strip_suffix("_sum"))
+                .unwrap_or(name);
+            assert!(
+                text.contains(&format!("# TYPE {fam} ")),
+                "no TYPE header for {name}"
+            );
+        }
+    }
+
+    #[test]
+    fn tuner_snapshot_renders_families_deterministically() {
+        use crate::trace::{generate_tenant_trace, TraceConfig};
+        use crate::tuned::{TunedConfig, TunedServer};
+        use windex_sim::{GpuSpec, Scale};
+        use windex_workload::{KeyDistribution, Relation};
+
+        let r = Relation::unique_sorted(1 << 13, KeyDistribution::SparseUniform, 5);
+        let trace = generate_tenant_trace(
+            &TraceConfig {
+                requests: 8,
+                min_keys: 32,
+                max_keys: 128,
+                offered_load_rps: 400.0,
+                ..TraceConfig::default()
+            },
+            0,
+            &r,
+        );
+        let mut srv = TunedServer::new(
+            GpuSpec::v100_nvlink2(Scale::PAPER),
+            TunedConfig::default(),
+            vec![(0, r)],
+            None,
+        )
+        .unwrap();
+        let rep = srv.run(&trace).unwrap();
+        let text = render_tuner_openmetrics(&rep);
+        assert!(text.ends_with("# EOF\n"));
+        assert_eq!(text.matches("# EOF").count(), 1);
+        assert_eq!(text, render_tuner_openmetrics(&rep));
+        assert!(text.contains("windex_tuner_strategy_info{tenant=\"0\",plan="));
+        assert!(text.contains("windex_tuner_window_tuples{tenant=\"0\"}"));
+        assert!(text.contains("windex_tuner_switches_total{tenant=\"0\"}"));
+        assert!(text.contains("windex_tuner_cost_error_ratio{tenant=\"0\"}"));
+        assert!(text.contains("windex_tuner_aggregate_qps "));
+        // Every sample line has a TYPE header, like the other exporters.
         for line in text.lines() {
             if line.starts_with('#') {
                 continue;

@@ -117,6 +117,43 @@ pub fn generate_trace(cfg: &TraceConfig, r: &Relation) -> Vec<TimedRequest> {
     out
 }
 
+/// Generate a trace whose every request belongs to `tenant`, with probe
+/// keys drawn from that tenant's own relation `r`. The per-tenant seed is
+/// derived as `cfg.seed ^ splitmix64(tenant)`, so tenants draw independent
+/// streams from one configured seed. Used by the tuner experiments, where
+/// tenants serve differently-sized relations and a shared key pool would
+/// be meaningless.
+pub fn generate_tenant_trace(
+    cfg: &TraceConfig,
+    tenant: TenantId,
+    r: &Relation,
+) -> Vec<TimedRequest> {
+    let per_tenant = TraceConfig {
+        seed: cfg.seed ^ splitmix64(tenant as u64 + 1),
+        tenants: 1,
+        ..*cfg
+    };
+    let mut trace = generate_trace(&per_tenant, r);
+    for t in &mut trace {
+        t.request.tenant = tenant;
+    }
+    trace
+}
+
+/// Merge per-tenant traces into one arrival-ordered trace. Ordering is
+/// total and deterministic: by arrival instant, then tenant id (arrival
+/// instants are seeded f64 draws, so cross-tenant ties are practically
+/// impossible — the tenant tiebreak just makes determinism unconditional).
+pub fn merge_traces(traces: Vec<Vec<TimedRequest>>) -> Vec<TimedRequest> {
+    let mut all: Vec<TimedRequest> = traces.into_iter().flatten().collect();
+    all.sort_by(|a, b| {
+        a.at_s
+            .total_cmp(&b.at_s)
+            .then(a.request.tenant.cmp(&b.request.tenant))
+    });
+    all
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -169,5 +206,35 @@ mod tests {
             }
         }
         assert!(seen.iter().all(|&s| s), "all tenants must appear");
+    }
+
+    #[test]
+    fn tenant_traces_pin_tenant_and_merge_ordered() {
+        let cfg = TraceConfig {
+            requests: 64,
+            ..TraceConfig::default()
+        };
+        let small = relation();
+        let big = Relation::unique_sorted(8192, KeyDistribution::SparseUniform, 2);
+        let t0 = generate_tenant_trace(&cfg, 0, &small);
+        let t1 = generate_tenant_trace(&cfg, 1, &big);
+        assert!(t0.iter().all(|t| t.request.tenant == 0));
+        assert!(t1.iter().all(|t| t.request.tenant == 1));
+        // Tenants draw independent streams from one seed.
+        assert_ne!(
+            t0.iter().map(|t| t.at_s).collect::<Vec<_>>(),
+            t1.iter().map(|t| t.at_s).collect::<Vec<_>>()
+        );
+        // Keys come from each tenant's own relation.
+        for t in &t1 {
+            for k in &t.request.keys {
+                assert!(big.keys().binary_search(k).is_ok());
+            }
+        }
+        let merged = merge_traces(vec![t0.clone(), t1.clone()]);
+        assert_eq!(merged.len(), t0.len() + t1.len());
+        assert!(merged.windows(2).all(|w| w[0].at_s <= w[1].at_s));
+        // Merge is deterministic regardless of input order.
+        assert_eq!(merged, merge_traces(vec![t1, t0]));
     }
 }

@@ -50,9 +50,17 @@ pub struct TimeBreakdown {
 }
 
 impl TimeBreakdown {
-    /// Queries per second implied by the total (`inf` for zero time).
+    /// Queries per second implied by the total. A zero (or negative) total
+    /// clamps to `0.0` rather than producing `inf`: these values flow into
+    /// serialized JSON artifacts and the `experiments regress` tolerance
+    /// bands, where a non-finite number would silently break comparisons
+    /// (`inf` serializes as `null` and defeats every relative-error check).
     pub fn queries_per_second(&self) -> f64 {
-        1.0 / self.total_s
+        if self.total_s > 0.0 {
+            1.0 / self.total_s
+        } else {
+            0.0
+        }
     }
 
     /// The interconnect-bound component (what a transfer stream occupies).
@@ -63,6 +71,54 @@ impl TimeBreakdown {
     /// The GPU-bound component (what a compute stream occupies).
     pub fn gpu_side_s(&self) -> f64 {
         self.gpu_mem_s + self.compute_s
+    }
+}
+
+/// A synthetic per-batch access profile for a *candidate* execution plan —
+/// the cost-model evaluation entry point used by the online tuner to price
+/// plans it has not run yet.
+///
+/// The profile is an abstract counter recipe (absolute totals for one batch
+/// of `keys` lookups, in simulated units like [`Counters`]); the model turns
+/// it into a counter delta and prices it through the exact same
+/// [`CostModel::estimate`] path as measured runs, so analytic priors and
+/// realized measurements live on one scale.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CandidateProfile {
+    /// Probe keys the batch carries.
+    pub keys: u64,
+    /// Bytes streamed sequentially over the interconnect (table scans,
+    /// probe-key streams).
+    pub streamed_bytes: u64,
+    /// Cachelines fetched by data-dependent (random) interconnect reads.
+    pub random_lines: u64,
+    /// Thrashing TLB re-misses (scaled like lookups).
+    pub thrash_tlb_misses: u64,
+    /// Page-sweep TLB misses (priced unscaled, like measured sweeps).
+    pub sweep_tlb_misses: u64,
+    /// Device-memory bytes moved (reads + writes combined).
+    pub gpu_bytes: u64,
+    /// Abstract compute operations.
+    pub compute_ops: u64,
+    /// Kernel launches (scale-invariant, like measured launches).
+    pub kernel_launches: u64,
+}
+
+impl CandidateProfile {
+    /// Lower the profile to the counter delta it describes.
+    pub fn to_counters(&self, cacheline_bytes: u64) -> Counters {
+        Counters {
+            ic_bytes_streamed: self.streamed_bytes,
+            ic_lines_random: self.random_lines,
+            ic_bytes_random: self.random_lines * cacheline_bytes,
+            tlb_misses: self.thrash_tlb_misses + self.sweep_tlb_misses,
+            tlb_sweep_misses: self.sweep_tlb_misses,
+            gpu_bytes_read: self.gpu_bytes,
+            compute_ops: self.compute_ops,
+            kernel_launches: self.kernel_launches,
+            lookups: self.keys,
+            ..Counters::default()
+        }
     }
 }
 
@@ -95,8 +151,11 @@ impl CostModel {
         let random_s = (delta.ic_bytes_random + ecc_bytes) as f64 * scale / rand_bw;
         // Page-sweep misses count pages × phases (already paper-scale:
         // pages are not shrunk per tuple); thrashing re-misses count
-        // lookups (scaled).
-        let thrash_misses = (delta.tlb_misses - delta.tlb_sweep_misses) as f64;
+        // lookups (scaled). Saturate: a saturating `Counters` delta can
+        // leave `tlb_sweep_misses > tlb_misses`, and an unchecked u64
+        // subtraction would panic in debug / wrap to an absurd translation
+        // cost in release.
+        let thrash_misses = delta.tlb_misses.saturating_sub(delta.tlb_sweep_misses) as f64;
         let sweep_misses = delta.tlb_sweep_misses as f64;
         let per_miss_s = ic.translation_latency_ns * 1e-9 / ic.max_inflight_translations as f64;
         let translation_s = (thrash_misses * scale + sweep_misses) * per_miss_s;
@@ -133,6 +192,14 @@ impl CostModel {
                 ic_side + gpu_side
             };
         bd
+    }
+
+    /// Price a candidate plan's synthetic access profile — identical
+    /// pricing path to [`estimate`](Self::estimate), so a prior computed
+    /// here is directly comparable to a realized per-batch measurement.
+    pub fn estimate_candidate(&self, profile: &CandidateProfile, overlap: bool) -> TimeBreakdown {
+        let delta = profile.to_counters(self.spec.cacheline_bytes);
+        self.estimate(&delta, overlap)
     }
 
     /// Paper-scale bytes moved over the interconnect in `delta` — the
@@ -212,6 +279,67 @@ mod tests {
         assert!(overlapped.total_s < serial.total_s);
         let expected = serial.streamed_s.max(serial.gpu_mem_s);
         assert!((overlapped.total_s - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inverted_tlb_delta_saturates_instead_of_panicking() {
+        // Regression: a saturating `Counters` delta can leave
+        // `tlb_sweep_misses > tlb_misses`; the unchecked subtraction used
+        // to panic in debug builds (and wrap to ~2^64 thrash misses in
+        // release, pricing a single batch at millions of seconds).
+        let m = model();
+        let d = Counters {
+            tlb_misses: 5,
+            tlb_sweep_misses: 10,
+            ..Counters::default()
+        };
+        let t = m.estimate(&d, false);
+        assert!(t.translation_s.is_finite());
+        // Thrash component saturates to zero; only the 10 sweep misses are
+        // priced (unscaled).
+        let per_miss = 3000e-9 / 24.0;
+        assert!((t.translation_s - 10.0 * per_miss).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_time_reports_zero_qps_not_inf() {
+        // Regression: `1.0 / 0.0 = inf` used to flow into JSON artifacts
+        // (where it serializes as `null`) and the regress tolerance bands.
+        let t = TimeBreakdown::default();
+        assert_eq!(t.total_s, 0.0);
+        let qps = t.queries_per_second();
+        assert_eq!(qps, 0.0);
+        assert!(qps.is_finite());
+        // Non-zero time still reports the reciprocal.
+        let t = TimeBreakdown {
+            total_s: 0.5,
+            ..TimeBreakdown::default()
+        };
+        assert_eq!(t.queries_per_second(), 2.0);
+    }
+
+    #[test]
+    fn candidate_profile_prices_like_equivalent_counters() {
+        let m = model();
+        let p = CandidateProfile {
+            keys: 1 << 10,
+            streamed_bytes: 1 << 20,
+            random_lines: 512,
+            thrash_tlb_misses: 64,
+            sweep_tlb_misses: 32,
+            gpu_bytes: 1 << 16,
+            compute_ops: 1 << 12,
+            kernel_launches: 8,
+        };
+        let via_profile = m.estimate_candidate(&p, true);
+        let via_counters = m.estimate(&p.to_counters(m.spec().cacheline_bytes), true);
+        assert_eq!(via_profile.total_s, via_counters.total_s);
+        assert!(via_profile.total_s > 0.0);
+        // Streaming more bytes must cost more — the profile really flows
+        // through the pricing path.
+        let mut bigger = p;
+        bigger.streamed_bytes *= 4;
+        assert!(m.estimate_candidate(&bigger, true).total_s > via_profile.total_s);
     }
 
     #[test]

@@ -65,7 +65,7 @@ pub mod tlb;
 pub mod trace;
 
 pub use chaos::{ChaosActivity, ChaosKind, ChaosScenario, ChaosSchedule, ChaosWindow};
-pub use cost::{CostModel, TimeBreakdown};
+pub use cost::{CandidateProfile, CostModel, TimeBreakdown};
 pub use counters::Counters;
 pub use engine::Gpu;
 pub use exec::{

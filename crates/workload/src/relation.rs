@@ -67,11 +67,14 @@ impl Relation {
 
     /// Generate `n` foreign keys drawn uniformly from `r` (the probe
     /// relation *S*). Every key matches exactly one *R* tuple.
+    ///
+    /// An empty `r` has no keys to draw from: the result is the trivial
+    /// empty relation (regardless of `n`) rather than a panic — the join
+    /// of anything against an empty build side is empty anyway.
     pub fn foreign_keys_uniform(r: &Relation, n: usize, seed: u64) -> Self {
-        assert!(
-            !r.is_empty(),
-            "cannot draw foreign keys from an empty relation"
-        );
+        if r.is_empty() {
+            return Relation::from_keys(Vec::new(), false);
+        }
         let mut rng = StdRng::seed_from_u64(seed);
         let keys = (0..n)
             .map(|_| r.keys[rng.random_range(0..r.len())])
@@ -85,11 +88,14 @@ impl Relation {
     /// Generate `n` foreign keys drawn from `r` with Zipf-skewed popularity
     /// (§5.2.2). Hot ranks are scattered across the key domain by a fixed
     /// coprime multiplier, so skew does not coincide with key order.
+    ///
+    /// An empty `r` yields the trivial empty relation, exactly like
+    /// [`foreign_keys_uniform`](Self::foreign_keys_uniform) — the modulo
+    /// scatter (`rank·scatter % |r|`) would otherwise divide by zero.
     pub fn foreign_keys_zipf(r: &Relation, n: usize, exponent: f64, seed: u64) -> Self {
-        assert!(
-            !r.is_empty(),
-            "cannot draw foreign keys from an empty relation"
-        );
+        if r.is_empty() {
+            return Relation::from_keys(Vec::new(), false);
+        }
         let sampler = ZipfSampler::new(r.len() as u64, exponent);
         let mut rng = StdRng::seed_from_u64(seed);
         let scatter = scatter_multiplier(r.len() as u64);
@@ -245,6 +251,21 @@ mod tests {
         }
         let max = counts.values().max().copied().unwrap();
         assert!(max > s.len() as u64 / 10, "hottest key count {max}");
+    }
+
+    #[test]
+    fn empty_relation_yields_empty_foreign_keys_not_panic() {
+        // Regression: `foreign_keys_zipf` divided by `r.len() == 0` in the
+        // rank-scatter modulo (and `foreign_keys_uniform` asserted) on an
+        // empty build side.
+        let empty = Relation::from_keys(Vec::new(), true);
+        let s = Relation::foreign_keys_zipf(&empty, 100, 1.5, 3);
+        assert!(s.is_empty());
+        let s = Relation::foreign_keys_uniform(&empty, 100, 3);
+        assert!(s.is_empty());
+        // n = 0 against a non-empty relation also stays well-formed.
+        let r = Relation::unique_sorted(16, KeyDistribution::Dense, 1);
+        assert!(Relation::foreign_keys_zipf(&r, 0, 1.0, 1).is_empty());
     }
 
     #[test]

@@ -18,7 +18,9 @@
 //!   concurrent lookup requests into shared partitioning windows, and scales
 //!   it out: a multi-GPU cluster with radix-sharded or replicated placement,
 //!   shard-aware routing over priced inter-GPU links, and device-loss
-//!   failover/re-sharding.
+//!   failover/re-sharding — plus an auto-tuned server that picks
+//!   `{strategy, window, partition bits}` per tenant online from observed
+//!   KPIs.
 //!
 //! ## Quickstart
 //!
@@ -62,9 +64,10 @@ pub mod prelude {
     };
     pub use windex_join::{HashJoinConfig, MultiValueHashTable, RadixPartitioner};
     pub use windex_serve::{
-        generate_trace, BatchPolicy, ClusterConfig, ClusterReport, ClusterServer, ClusterSpec,
-        LookupRequest, LookupResponse, Placement, RequestOutcome, ServeConfig, Server,
-        ServerReport, TraceConfig,
+        generate_tenant_trace, generate_trace, merge_traces, render_tuner_openmetrics, BatchPolicy,
+        ClusterConfig, ClusterReport, ClusterServer, ClusterSpec, LookupRequest, LookupResponse,
+        Placement, RequestOutcome, ServeConfig, Server, ServerReport, TraceConfig, TunedConfig,
+        TunedReport, TunedServer,
     };
     pub use windex_sim::{Counters, Gpu, GpuSpec, InterconnectSpec, MemLocation, Scale};
     pub use windex_workload::{KeyDistribution, Relation, ZipfSampler};
