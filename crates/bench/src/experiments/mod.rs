@@ -17,6 +17,7 @@ pub mod figs34;
 pub mod figs56;
 pub mod observe;
 pub mod regress;
+pub mod requests;
 pub mod serve;
 pub mod simperf;
 pub mod summary;

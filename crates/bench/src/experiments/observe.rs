@@ -15,15 +15,18 @@
 //! byte-identical across runs (pinned by `tests/exporters.rs`).
 
 use crate::config::ExpConfig;
-use crate::export::{chrome_trace_json, query_chrome_trace, server_chrome_trace};
+use crate::export::{
+    chrome_trace_json, cluster_request_chrome_trace, query_chrome_trace, server_chrome_trace,
+};
 use crate::output::{num6, Experiment};
 use serde_json::json;
 use std::path::Path;
 use windex_core::prelude::*;
 use windex_serve::prelude::{
-    generate_trace, render_openmetrics, BatchPolicy, ServeConfig, Server, ServerReport, TraceConfig,
+    generate_trace, render_openmetrics, BatchPolicy, ClusterConfig, ClusterReport, ClusterServer,
+    ClusterSpec, ServeConfig, Server, ServerReport, TraceConfig,
 };
-use windex_sim::{tlb_heatmap, Heatmap, Trace};
+use windex_sim::{tlb_heatmap, Heatmap, InterconnectSpec, Trace};
 
 /// Indexed-relation size, in paper GiB: 2× the V100's 32-GiB TLB reach,
 /// so the unwindowed probe phase visibly thrashes.
@@ -92,6 +95,42 @@ pub fn observed_server() -> ServerReport {
     server
         .run(&mut gpu, &trace)
         .expect("observe serve trace must complete")
+        .report
+}
+
+/// The seeded cluster run whose span trees feed the request-tracing
+/// artifacts (flow-linked Perfetto export, tail query cards).
+pub fn observed_cluster() -> ClusterReport {
+    let scale = Scale::PAPER;
+    let r = Relation::unique_sorted(
+        scale.sim_tuples_for_paper_gib(1.0),
+        KeyDistribution::Dense,
+        42,
+    );
+    let trace = generate_trace(
+        &TraceConfig {
+            seed: 9,
+            tenants: 4,
+            requests: 96,
+            min_keys: 32,
+            max_keys: 256,
+            offered_load_rps: 20_000.0,
+            deadline_s: None,
+        },
+        &r,
+    );
+    let cfg = ClusterConfig {
+        serve: ServeConfig::default(),
+        cluster: ClusterSpec::sharded(
+            4,
+            windex_sim::GpuSpec::v100_nvlink2(scale),
+            InterconnectSpec::nvlink4_peer(),
+        ),
+    };
+    ClusterServer::new(cfg, r)
+        .expect("observe cluster must construct")
+        .run(&trace)
+        .expect("observe cluster trace must complete")
         .report
 }
 
@@ -193,6 +232,39 @@ pub fn observe(cfg: &ExpConfig) -> Experiment {
         num6(server_report.completed_rps),
     ]);
 
+    // Request tracing: the cluster run's span trees as a flow-linked
+    // Perfetto export, the tail sampler's query cards as JSON, and the
+    // slowest card rendered as text.
+    let cluster_report = observed_cluster();
+    write_artifact(
+        &cfg.out_dir,
+        "trace_requests.json",
+        &chrome_trace_json(&cluster_request_chrome_trace(&cluster_report)),
+    );
+    let mut tail_json =
+        serde_json::to_string_pretty(&cluster_report.tail).expect("tail serializes");
+    tail_json.push('\n');
+    write_artifact(&cfg.out_dir, "requests_tail.json", &tail_json);
+    let cards: String = cluster_report
+        .tail
+        .slowest
+        .iter()
+        .map(|c| c.render())
+        .collect();
+    write_artifact(&cfg.out_dir, "query_cards.txt", &cards);
+    rows.push(vec![
+        json!("requests"),
+        json!(format!(
+            "cluster {}x {}",
+            cluster_report.gpus, cluster_report.link
+        )),
+        num6(0.0),
+        num6(0.0),
+        json!(cluster_report.requests),
+        json!(0u64),
+        num6(cluster_report.completed_rps),
+    ]);
+
     Experiment {
         id: "observe".into(),
         title: format!(
@@ -211,6 +283,9 @@ pub fn observe(cfg: &ExpConfig) -> Experiment {
         notes: vec![
             "trace_*.json load in Perfetto / chrome://tracing; heatmap_*.csv is long-format \
              (bucket,set,accesses,misses,miss_rate)"
+                .into(),
+            "trace_requests.json links coordinator request spans to shard legs with flow \
+             arrows; requests_tail.json / query_cards.txt hold the tail sampler's cards"
                 .into(),
             "fixed seeds, independent of --quick: artifacts are byte-identical across runs".into(),
             format!(

@@ -24,7 +24,7 @@
 
 use serde_json::Value;
 use windex_core::{DegradationEvent, QueryReport};
-use windex_serve::{ServeEvent, ServerReport};
+use windex_serve::{ClusterReport, ServeEvent, ServerReport};
 use windex_sim::{Trace, TraceEvent};
 
 /// Process id used for every emitted event (one run = one process).
@@ -87,6 +87,57 @@ impl ChromeTrace {
             ("ts", Value::from(ts_us)),
             ("args", args),
         ]));
+    }
+
+    /// An async-begin (`ph:"b"`) event. Async spans pair by
+    /// `(cat, id, name)` and may nest or overlap freely across tracks,
+    /// which is what a fan-out request needs.
+    fn async_begin(&mut self, tid: u64, name: &str, cat: &str, id: u64, ts_us: u64, args: Value) {
+        self.events.push(obj(vec![
+            ("name", Value::from(name)),
+            ("cat", Value::from(cat)),
+            ("ph", Value::from("b")),
+            ("id", Value::from(format!("{id:#x}"))),
+            ("pid", Value::from(PID)),
+            ("tid", Value::from(tid)),
+            ("ts", Value::from(ts_us)),
+            ("args", args),
+        ]));
+    }
+
+    /// The async-end (`ph:"e"`) matching an [`async_begin`](Self::async_begin).
+    fn async_end(&mut self, tid: u64, name: &str, cat: &str, id: u64, ts_us: u64) {
+        self.events.push(obj(vec![
+            ("name", Value::from(name)),
+            ("cat", Value::from(cat)),
+            ("ph", Value::from("e")),
+            ("id", Value::from(format!("{id:#x}"))),
+            ("pid", Value::from(PID)),
+            ("tid", Value::from(tid)),
+            ("ts", Value::from(ts_us)),
+        ]));
+    }
+
+    /// A flow event: `ph` is `"s"` (start), `"t"` (step), or `"f"`
+    /// (finish). Flows with one `(cat, id, name)` draw arrows between the
+    /// slices enclosing their timestamps, linking a coordinator span to
+    /// its shard legs across tracks.
+    fn flow(&mut self, ph: &str, tid: u64, name: &str, cat: &str, id: u64, ts_us: u64) {
+        debug_assert!(matches!(ph, "s" | "t" | "f"), "not a flow phase: {ph}");
+        let mut pairs = vec![
+            ("name", Value::from(name)),
+            ("cat", Value::from(cat)),
+            ("ph", Value::from(ph)),
+            ("id", Value::from(format!("{id:#x}"))),
+            ("pid", Value::from(PID)),
+            ("tid", Value::from(tid)),
+            ("ts", Value::from(ts_us)),
+        ];
+        if ph == "f" {
+            // Bind the arrow head to the enclosing slice, not the next one.
+            pairs.push(("bp", Value::from("e")));
+        }
+        self.events.push(obj(pairs));
     }
 
     fn finish(self) -> Value {
@@ -323,6 +374,91 @@ pub fn server_chrome_trace(report: &ServerReport) -> Value {
             obj(vec![("spans", Value::from(p.spans))]),
         );
         cursor += dur;
+    }
+    ct.finish()
+}
+
+/// Track id hosting shard `g`'s leg slices in the request-tree export.
+fn leg_tid(gpu: usize) -> u64 {
+    100 + gpu as u64
+}
+
+/// Render a cluster run's per-request span trees as a Chrome trace:
+/// each request is an async (`b`/`e`) span on the coordinator track, each
+/// shard leg an `X` slice on its GPU's track, and a flow chain
+/// (`s` → `t` → `f`) links the coordinator span through every leg back to
+/// the merge point, so Perfetto draws the fan-out/merge arrows.
+pub fn cluster_request_chrome_trace(report: &ClusterReport) -> Value {
+    let mut ct = ChromeTrace::new();
+    ct.thread_name(0, "requests");
+    for g in 0..report.gpus {
+        ct.thread_name(leg_tid(g), &format!("gpu {g} legs"));
+    }
+    for t in &report.traces {
+        let name = format!("request {}", t.request);
+        let end_us = us(t.completed_s).max(us(t.submitted_s));
+        ct.async_begin(
+            0,
+            &name,
+            "request",
+            t.trace_id,
+            us(t.submitted_s),
+            obj(vec![
+                ("trace_id", Value::from(format!("{:#x}", t.trace_id))),
+                ("tenant", Value::from(t.tenant as u64)),
+                ("outcome", Value::from(format!("{:?}", t.outcome))),
+                ("keys", Value::from(t.keys)),
+                ("matches", Value::from(t.matches)),
+                ("queue_s", Value::from(t.stages.queue_s)),
+                ("batch_s", Value::from(t.stages.batch_s)),
+                ("service_s", Value::from(t.stages.service_s)),
+                ("merge_s", Value::from(t.stages.merge_s)),
+                ("other_s", Value::from(t.stages.other_s)),
+            ]),
+        );
+        for (i, leg) in t.legs.iter().enumerate() {
+            let tid = leg_tid(leg.shard);
+            let flow_name = format!("r{} flow", t.request);
+            ct.flow(
+                "s",
+                0,
+                &flow_name,
+                "fanout",
+                leg.span_id,
+                us(leg.enqueued_s),
+            );
+            ct.complete(
+                tid,
+                &format!("r{} leg {}", t.request, leg.shard),
+                "leg",
+                us(leg.dispatched_s),
+                (us(leg.done_s).saturating_sub(us(leg.dispatched_s))).max(1),
+                obj(vec![
+                    ("keys", Value::from(leg.keys)),
+                    ("matches", Value::from(leg.matches)),
+                    ("remote", Value::from(leg.remote)),
+                    ("delivered_s", Value::from(leg.delivered_s)),
+                    ("critical", Value::from(t.critical_leg == Some(i))),
+                ]),
+            );
+            ct.flow(
+                "t",
+                tid,
+                &flow_name,
+                "fanout",
+                leg.span_id,
+                us(leg.dispatched_s),
+            );
+            ct.flow(
+                "f",
+                0,
+                &flow_name,
+                "fanout",
+                leg.span_id,
+                us(leg.delivered_s),
+            );
+        }
+        ct.async_end(0, &name, "request", t.trace_id, end_us);
     }
     ct.finish()
 }

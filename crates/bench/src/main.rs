@@ -21,6 +21,9 @@
 //!   tuner        online plan auto-tuning vs every static plan on a mixed
 //!                1/64 GiB tenant trace (writes BENCH_tuner.json; gates vs
 //!                the committed copy)
+//!   requests     per-request span-tree stage KPIs across every serving
+//!                layer (writes BENCH_requests.json; gates vs the
+//!                committed copy)
 //!   baseline     deterministic perf baseline (writes BENCH_baseline.json)
 //!   regress      CI gate: re-run the baseline matrix, diff against the
 //!                committed BENCH_baseline.json with tolerance bands
@@ -41,7 +44,7 @@
 use std::path::{Path, PathBuf};
 use windex_bench::experiments::{
     ablations, baseline, chaos, cluster, fig1, fig7, fig8, fig9, figs34, figs56, observe, regress,
-    serve, simperf, summary, table1, tuner, validate, whatif,
+    requests, serve, simperf, summary, table1, tuner, validate, whatif,
 };
 use windex_bench::{ExpConfig, Experiment};
 
@@ -95,6 +98,7 @@ fn run_target(target: &str, cfg: &ExpConfig) -> Result<Vec<Experiment>, String> 
         "chaos" => vec![chaos::chaos(cfg)?],
         "cluster" => vec![cluster::cluster(cfg)?],
         "tuner" => vec![tuner::tuner(cfg)?],
+        "requests" => vec![requests::requests(cfg)?],
         "all" => {
             let mut out = vec![table1::table1(), fig1::fig1(cfg)];
             let unpart = figs34::unpartitioned_sweep(cfg);
@@ -147,7 +151,7 @@ fn main() {
                 println!(
                     "usage: experiments [--quick] [--charts] [--out DIR] [--jobs N] <target>..."
                 );
-                println!("targets: all table1 fig1 fig3 fig4 fig5 fig6 fig7 fig8 fig9 serve chaos cluster tuner baseline regress simperf observe whatif-gh200 validate-scale");
+                println!("targets: all table1 fig1 fig3 fig4 fig5 fig6 fig7 fig8 fig9 serve chaos cluster tuner requests baseline regress simperf observe whatif-gh200 validate-scale");
                 println!("         summary ablations ablation-{{bits,overlap,pages,node-size,fanout,keydist,warm,spill,subwarp}}");
                 println!("--jobs N runs the seed-matrix targets (baseline, regress, simperf) on N worker threads; reports are byte-identical for any N");
                 return;

@@ -4,12 +4,48 @@
 //! and the exported JSON must actually parse.
 
 use serde_json::Value;
-use windex_bench::export::{chrome_trace_json, query_chrome_trace, server_chrome_trace};
+use windex_bench::experiments::observe::observed_cluster;
+use windex_bench::export::{
+    chrome_trace_json, cluster_request_chrome_trace, query_chrome_trace, server_chrome_trace,
+};
 use windex_core::prelude::*;
 use windex_serve::prelude::{
-    generate_trace, render_openmetrics, BatchPolicy, ServeConfig, Server, ServerReport, TraceConfig,
+    generate_trace, render_cluster_openmetrics, render_openmetrics, BatchPolicy, ServeConfig,
+    Server, ServerReport, TraceConfig,
 };
 use windex_sim::{l2_heatmap, tlb_heatmap, Trace, TraceMode};
+
+/// Every sample line's metric family must carry `# HELP` and `# TYPE`
+/// metadata (OpenMetrics requires exposition metadata per family).
+fn assert_families_have_metadata(text: &str) {
+    for line in text.lines() {
+        if line.starts_with('#') || line.is_empty() {
+            continue;
+        }
+        let metric = line.split(['{', ' ']).next().expect("metric name");
+        // Suffixes share their parent family's metadata.
+        let family = metric
+            .trim_end_matches("_total")
+            .trim_end_matches("_bucket")
+            .trim_end_matches("_count")
+            .trim_end_matches("_sum");
+        let has = |prefix: &str, fam: &str| {
+            text.lines().any(|l| {
+                l.strip_prefix(prefix)
+                    .and_then(|rest| rest.split(' ').next())
+                    .is_some_and(|f| f == fam)
+            })
+        };
+        assert!(
+            has("# HELP ", family) || has("# HELP ", metric),
+            "sample '{metric}' has no # HELP metadata"
+        );
+        assert!(
+            has("# TYPE ", family) || has("# TYPE ", metric),
+            "sample '{metric}' has no # TYPE metadata"
+        );
+    }
+}
 
 /// A small instrumented query run (8 paper-GiB, windowed INLJ) — enough to
 /// exercise phases, windows, and the trace recorder without the full
@@ -174,6 +210,128 @@ fn openmetrics_snapshot_is_byte_identical_and_well_formed() {
             a.contains(&format!("windex_requests_total{{tenant=\"{tenant}\"}}")),
             "missing tenant {tenant}"
         );
+    }
+    // Every family carries exposition metadata, including the span-tree
+    // stage families.
+    assert_families_have_metadata(&a);
+    assert!(a.contains("# TYPE windex_stage_p99_seconds gauge"));
+    assert!(a.contains("# TYPE windex_stage_seconds counter"));
+    for stage in ["queue", "batch", "service", "merge", "other"] {
+        assert!(
+            a.contains(&format!("windex_stage_p99_seconds{{stage=\"{stage}\"}}")),
+            "missing stage series {stage}"
+        );
+        assert!(
+            a.contains(&format!("windex_stage_seconds_total{{stage=\"{stage}\"}}")),
+            "missing stage total {stage}"
+        );
+    }
+}
+
+#[test]
+fn cluster_openmetrics_exposes_stage_and_critical_leg_families() {
+    let report = observed_cluster();
+    let a = render_cluster_openmetrics(&report);
+    let b = render_cluster_openmetrics(&observed_cluster());
+    assert_eq!(a, b, "same seed must expose identical cluster metrics");
+    assert!(a.ends_with("# EOF\n"));
+    assert_families_have_metadata(&a);
+    assert!(a.contains("# TYPE windex_cluster_stage_p99_seconds gauge"));
+    assert!(a.contains("# TYPE windex_critical_leg counter"));
+    // Critical-leg attribution covers every GPU label and sums to the
+    // number of fanned-out traces.
+    let critical: u64 = (0..report.gpus)
+        .map(|g| {
+            a.lines()
+                .find(|l| l.starts_with(&format!("windex_critical_leg_total{{gpu=\"{g}\"}}")))
+                .and_then(|l| l.rsplit(' ').next())
+                .and_then(|v| v.parse::<u64>().ok())
+                .unwrap_or_else(|| panic!("missing critical-leg series for gpu {g}"))
+        })
+        .sum();
+    let fanned = report
+        .traces
+        .iter()
+        .filter(|t| t.critical_leg.is_some())
+        .count() as u64;
+    assert_eq!(critical, fanned, "critical legs must reconcile with traces");
+    assert!(fanned > 0, "cluster run must fan out");
+}
+
+#[test]
+fn cluster_request_chrome_trace_flow_links_legs() {
+    let report = observed_cluster();
+    let json_a = chrome_trace_json(&cluster_request_chrome_trace(&report));
+    let json_b = chrome_trace_json(&cluster_request_chrome_trace(&observed_cluster()));
+    assert_eq!(json_a, json_b, "same seed must export identical bytes");
+    let parsed: Value = serde_json::from_str(&json_a).expect("export must parse");
+    let events = parsed.get("traceEvents").and_then(Value::as_array).unwrap();
+    let ph_of = |e: &Value| e.get("ph").and_then(Value::as_str).unwrap().to_string();
+    for ev in events {
+        let ph = ph_of(ev);
+        assert!(
+            matches!(ph.as_str(), "X" | "i" | "M" | "b" | "e" | "s" | "t" | "f"),
+            "unexpected phase {ph}"
+        );
+    }
+    // Async request spans pair begin/end on the same (cat, id, name).
+    let key = |e: &Value| {
+        (
+            e.get("cat").and_then(Value::as_str).unwrap().to_string(),
+            e.get("id").and_then(Value::as_str).unwrap().to_string(),
+            e.get("name").and_then(Value::as_str).unwrap().to_string(),
+        )
+    };
+    let begins: Vec<_> = events.iter().filter(|e| ph_of(e) == "b").map(key).collect();
+    let mut ends: Vec<_> = events.iter().filter(|e| ph_of(e) == "e").map(key).collect();
+    assert_eq!(
+        begins.len(),
+        report.traces.len(),
+        "one async span per request"
+    );
+    for k in &begins {
+        let i = ends
+            .iter()
+            .position(|e| e == k)
+            .unwrap_or_else(|| panic!("unmatched async begin {k:?}"));
+        ends.swap_remove(i);
+    }
+    assert!(ends.is_empty(), "unmatched async ends: {ends:?}");
+    // Flow arrows: one s/t/f triple per shard leg, and every finish step
+    // binds to the enclosing slice ("bp": "e").
+    let legs: usize = report.traces.iter().map(|t| t.legs.len()).sum();
+    for ph in ["s", "t", "f"] {
+        let n = events.iter().filter(|e| ph_of(e) == *ph).count();
+        assert_eq!(n, legs, "expected one '{ph}' flow event per leg");
+    }
+    for ev in events.iter().filter(|e| ph_of(e) == "f") {
+        assert_eq!(
+            ev.get("bp").and_then(Value::as_str),
+            Some("e"),
+            "flow finish must bind to enclosing slice"
+        );
+    }
+}
+
+#[test]
+fn tail_artifacts_are_deterministic_and_name_the_critical_shard() {
+    let a = observed_cluster();
+    let b = observed_cluster();
+    let tail_a = serde_json::to_string_pretty(&a.tail).unwrap();
+    let tail_b = serde_json::to_string_pretty(&b.tail).unwrap();
+    assert_eq!(tail_a, tail_b, "tail sample must be deterministic");
+    let cards_a: String = a.tail.slowest.iter().map(|c| c.render()).collect();
+    let cards_b: String = b.tail.slowest.iter().map(|c| c.render()).collect();
+    assert_eq!(cards_a, cards_b, "query cards must be deterministic");
+    assert!(!a.tail.slowest.is_empty(), "tail must sample the slowest");
+    // The slowest card is a cross-shard request whose card names its
+    // critical-path leg.
+    let top = &a.tail.slowest[0];
+    assert!(top.critical_shard.is_some(), "slowest request must fan out");
+    assert!(cards_a.contains("critical path: shard"), "{cards_a}");
+    // Slowest cards are ordered by descending latency.
+    for w in a.tail.slowest.windows(2) {
+        assert!(w[0].latency_s >= w[1].latency_s);
     }
 }
 

@@ -4,6 +4,7 @@
 use crate::report::{LatencyHistogram, LatencyStats};
 use crate::request::TenantId;
 use crate::resilience::SloReport;
+use crate::span::{RequestTrace, StageLatencyStats, TailReport};
 use serde::Serialize;
 use windex_index::IndexKind;
 
@@ -190,6 +191,15 @@ pub struct ClusterReport {
     pub mttr_total_s: f64,
     /// SLO attainment (availability, goodput, tail latency).
     pub slo: SloReport,
+    /// Per-stage latency distributions (queue / batch / service /
+    /// straggler-merge / other) over every request's span tree.
+    pub stages: StageLatencyStats,
+    /// One span tree per request, ordered by request id. Stage spans of
+    /// each tree partition its admission→completion interval exactly.
+    pub traces: Vec<RequestTrace>,
+    /// Deterministic tail sample: exact top-K slowest plus a seeded
+    /// uniform sample, as renderable query cards.
+    pub tail: TailReport,
 }
 
 #[cfg(test)]

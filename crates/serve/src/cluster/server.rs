@@ -41,6 +41,7 @@ use crate::request::{LookupResponse, RequestOutcome, TenantId};
 use crate::resilience::{jittered_backoff_s, RetryBudget, SloTracker};
 use crate::sched::DrrScheduler;
 use crate::server::{BatchPolicy, ServeConfig};
+use crate::span::{sample_tail, RequestContext, RequestTrace, StageLatencyStats, TailConfig};
 use crate::trace::TimedRequest;
 use std::collections::BTreeMap;
 use std::rc::Rc;
@@ -105,6 +106,8 @@ struct Parent {
     matches: Vec<(u64, u64)>,
     /// Latest delivery instant across the legs merged so far.
     ready_s: f64,
+    /// Span-tree builder for this request's trace.
+    ctx: RequestContext,
 }
 
 /// A dispatch in flight on one shard: results are computed eagerly (the
@@ -169,7 +172,11 @@ struct RunState {
     /// Sub-request id → shard currently holding it (failover moves these).
     sub_home: Vec<usize>,
     parents: BTreeMap<u64, Parent>,
+    /// Leg index inside the parent's `RequestContext`, parallel to `subs`.
+    leg_of_sub: Vec<usize>,
     responses: Vec<LookupResponse>,
+    /// One finished span tree per answered request.
+    traces: Vec<RequestTrace>,
     events: Vec<ClusterEvent>,
     cross_shard_bytes: u64,
     single_shard_requests: usize,
@@ -334,6 +341,13 @@ impl ClusterServer {
         self.shards.len()
     }
 
+    /// Mutable access to one shard's simulated GPU (e.g. to install a
+    /// bounded sim-trace recorder before a run). Panics if `shard` is out
+    /// of range.
+    pub fn shard_gpu_mut(&mut self, shard: usize) -> &mut Gpu {
+        &mut self.shards[shard].gpu
+    }
+
     /// Install one chaos schedule per GPU (see
     /// [`ChaosScenario::cluster_schedules`](windex_sim::ChaosScenario::cluster_schedules)).
     pub fn set_chaos_schedules(
@@ -362,7 +376,9 @@ impl ClusterServer {
             subs: Vec::new(),
             sub_home: Vec::new(),
             parents: BTreeMap::new(),
+            leg_of_sub: Vec::new(),
             responses: Vec::with_capacity(trace.len()),
+            traces: Vec::with_capacity(trace.len()),
             events: Vec::new(),
             cross_shard_bytes: 0,
             single_shard_requests: 0,
@@ -488,6 +504,8 @@ impl ClusterServer {
                 completed_s: now,
                 latency_s: latency,
             });
+            st.traces
+                .push(RequestContext::new(id, t.request.tenant, t.at_s, 0).finish(now, outcome, 0));
             return;
         }
         // Route every key to the shard owning its partition (sharded), or
@@ -524,6 +542,12 @@ impl ClusterServer {
             });
             st.responses
                 .push(shed_response(id, t.request.tenant, t.at_s, now));
+            st.traces
+                .push(RequestContext::new(id, t.request.tenant, t.at_s, n).finish(
+                    now,
+                    RequestOutcome::Shed,
+                    0,
+                ));
             return;
         }
         if legs.len() > 1 {
@@ -540,11 +564,16 @@ impl ClusterServer {
             subs: Vec::with_capacity(legs.len()),
             matches: Vec::new(),
             ready_s: now,
+            ctx: RequestContext::new(id, t.request.tenant, t.at_s, n),
         };
         for (shard, keys) in legs {
             let sub_id = st.subs.len() as u64;
             let n_keys = keys.len();
             parent.subs.push(sub_id);
+            let leg = parent
+                .ctx
+                .leg_opened(shard, n_keys, now, shard != coordinator);
+            st.leg_of_sub.push(leg);
             st.subs.push(SubRequest {
                 parent: id,
                 tenant: t.request.tenant,
@@ -578,7 +607,8 @@ impl ClusterServer {
             match shard.sched.dequeue()? {
                 Some(sub_id) => {
                     let sub = &st.subs[sub_id as usize];
-                    if st.parents.contains_key(&sub.parent) {
+                    if let Some(p) = st.parents.get_mut(&sub.parent) {
+                        p.ctx.staged(st.clock_s);
                         shard.batcher.stage(sub_id, &sub.keys, st.clock_s);
                     }
                 }
@@ -614,6 +644,20 @@ impl ClusterServer {
         let batch = self.shards[s].batcher.take(take, st.clock_s);
         if batch.is_empty() {
             return Ok(());
+        }
+        // Distinct sub-requests (and their parents) riding this dispatch,
+        // in first-occurrence batch order, for span milestones.
+        let mut member_subs: Vec<u64> = Vec::new();
+        let mut member_parents: Vec<u64> = Vec::new();
+        for &(_, rid) in &batch {
+            let (sub_id, _) = self.shards[s].batcher.resolve(rid);
+            if !member_subs.contains(&sub_id) {
+                member_subs.push(sub_id);
+            }
+            let parent_id = st.subs[sub_id as usize].parent;
+            if !member_parents.contains(&parent_id) {
+                member_parents.push(parent_id);
+            }
         }
         let mut backoff_total = 0.0f64;
         let mut est_total = 0.0f64;
@@ -669,6 +713,15 @@ impl ClusterServer {
                     };
                     st.cross_shard_bytes += in_bytes;
                     let done_s = st.clock_s + backoff_total + est_total + xfer_in_s;
+                    // Milestones: the batch left the queue for the device
+                    // at dispatch time (leg min-wins across split batches).
+                    for &sub_id in &member_subs {
+                        if let Some(p) = st.parents.get_mut(&st.subs[sub_id as usize].parent) {
+                            p.ctx.dispatched(st.clock_s);
+                            p.ctx
+                                .leg_dispatched(st.leg_of_sub[sub_id as usize], st.clock_s);
+                        }
+                    }
                     let shard = &mut self.shards[s];
                     shard.cross_bytes += in_bytes;
                     shard.keys_probed += batch.len();
@@ -758,6 +811,11 @@ impl ClusterServer {
                     self.retry_seq += 1;
                     attempts += 1;
                     backoff_total += backoff_s;
+                    for &parent_id in &member_parents {
+                        if let Some(p) = st.parents.get_mut(&parent_id) {
+                            p.ctx.retried();
+                        }
+                    }
                     st.events.push(ClusterEvent::DispatchRetried {
                         gpu: s,
                         attempt: attempts,
@@ -790,6 +848,10 @@ impl ClusterServer {
         let mut order: Vec<u64> = Vec::new();
         let mut keys_of: BTreeMap<u64, usize> = BTreeMap::new();
         let mut matches_of: BTreeMap<u64, u64> = BTreeMap::new();
+        // Distinct sub-requests per parent (first-occurrence order) and
+        // matches per sub, for per-leg span accounting.
+        let mut subs_of: BTreeMap<u64, Vec<u64>> = BTreeMap::new();
+        let mut sub_matches: BTreeMap<u64, usize> = BTreeMap::new();
         for &(_, rid) in &pd.batch {
             let (sub_id, _) = self.shards[s].batcher.resolve(rid);
             let parent_id = st.subs[sub_id as usize].parent;
@@ -797,6 +859,10 @@ impl ClusterServer {
                 order.push(parent_id);
             }
             *keys_of.entry(parent_id).or_insert(0) += 1;
+            let subs = subs_of.entry(parent_id).or_default();
+            if !subs.contains(&sub_id) {
+                subs.push(sub_id);
+            }
         }
         let base = pd.base;
         for &(rid, pos) in &pd.pairs {
@@ -805,6 +871,7 @@ impl ClusterServer {
             if let Some(p) = st.parents.get_mut(&parent_id) {
                 p.matches.push((rid_key[&rid], base + pos));
                 *matches_of.entry(parent_id).or_insert(0) += 1;
+                *sub_matches.entry(sub_id).or_insert(0) += 1;
             }
         }
         for parent_id in order {
@@ -822,13 +889,25 @@ impl ClusterServer {
                 pd.done_s + self.link.transfer_s(out_bytes)
             };
             p.ready_s = p.ready_s.max(delivery_s);
+            p.ctx.first_result(delivery_s);
+            for &sub_id in &subs_of[&parent_id] {
+                p.ctx.leg_delivered(
+                    st.leg_of_sub[sub_id as usize],
+                    pd.done_s,
+                    delivery_s,
+                    sub_matches.get(&sub_id).copied().unwrap_or(0),
+                );
+            }
             if p.remaining == 0 {
-                let p = st.parents.remove(&parent_id).expect("parent present");
+                let mut p = st.parents.remove(&parent_id).expect("parent present");
                 let latency = p.ready_s - p.submitted_s;
                 let outcome = match p.deadline {
                     Some(d) if latency > d => RequestOutcome::DeadlineMissed,
                     _ => RequestOutcome::Completed,
                 };
+                p.ctx.merged(p.ready_s);
+                st.traces
+                    .push(p.ctx.finish(p.ready_s, outcome, p.matches.len()));
                 st.responses.push(LookupResponse {
                     request: parent_id,
                     tenant: p.tenant,
@@ -1038,6 +1117,8 @@ impl ClusterServer {
                     self.shards[home].sched.cancel(tenant, sub_id);
                     self.shards[home].batcher.drop_request(sub_id);
                 }
+                st.traces
+                    .push(p.ctx.finish(st.clock_s, RequestOutcome::Shed, 0));
                 st.responses.push(shed_response(
                     parent_id,
                     p.tenant,
@@ -1055,6 +1136,14 @@ impl ClusterServer {
         mut st: RunState,
     ) -> Result<ClusterOutcome, WindexError> {
         st.responses.sort_by_key(|r| r.request);
+        st.traces.sort_by_key(|t| t.request);
+        debug_assert_eq!(
+            st.traces.len(),
+            st.responses.len(),
+            "every response carries a span tree"
+        );
+        let stages = StageLatencyStats::from_traces(&st.traces);
+        let tail = sample_tail(&st.traces, &TailConfig::default());
         let completed = st
             .responses
             .iter()
@@ -1165,6 +1254,9 @@ impl ClusterServer {
             recoveries: st.recoveries,
             mttr_total_s: st.mttr_total_s,
             slo,
+            stages,
+            traces: st.traces,
+            tail,
         };
         Ok(ClusterOutcome {
             responses: st.responses,

@@ -58,6 +58,7 @@ pub mod request;
 pub mod resilience;
 pub mod sched;
 pub mod server;
+pub mod span;
 pub mod trace;
 pub mod tuned;
 
@@ -76,6 +77,10 @@ pub use resilience::{
 };
 pub use sched::DrrScheduler;
 pub use server::{BatchPolicy, ServeConfig, ServeOutcome, Server};
+pub use span::{
+    sample_tail, trace_id_for, QueryCard, RequestContext, RequestTrace, ShardLeg, Span,
+    StageBreakdown, StageLatencyStats, TailConfig, TailReport,
+};
 pub use trace::{generate_tenant_trace, generate_trace, merge_traces, TimedRequest, TraceConfig};
 pub use tuned::{TunedConfig, TunedReport, TunedServeEvent, TunedServer, TunedTenantReport};
 
@@ -99,6 +104,10 @@ pub mod prelude {
     };
     pub use crate::sched::DrrScheduler;
     pub use crate::server::{BatchPolicy, ServeConfig, ServeOutcome, Server};
+    pub use crate::span::{
+        sample_tail, QueryCard, RequestTrace, ShardLeg, Span, StageBreakdown, StageLatencyStats,
+        TailConfig, TailReport,
+    };
     pub use crate::trace::{
         generate_tenant_trace, generate_trace, merge_traces, TimedRequest, TraceConfig,
     };

@@ -14,7 +14,58 @@
 
 use crate::cluster::ClusterReport;
 use crate::report::{ServeEvent, ServerReport};
+use crate::span::{RequestTrace, StageLatencyStats};
 use std::fmt::Write as _;
+
+/// The fixed stage order used by every per-stage family.
+const STAGE_NAMES: [&str; 5] = ["queue", "batch", "service", "merge", "other"];
+
+/// Write the per-stage latency families shared by all three exporters:
+/// a p99 gauge and a summed-seconds counter per stage, labelled
+/// `stage="queue|batch|service|merge|other"` under `<prefix>_stage_*`.
+fn stage_families(
+    o: &mut String,
+    prefix: &str,
+    stages: &StageLatencyStats,
+    traces: &[RequestTrace],
+) {
+    let p99s = [
+        stages.queue.p99_s,
+        stages.batch.p99_s,
+        stages.service.p99_s,
+        stages.merge.p99_s,
+        stages.other.p99_s,
+    ];
+    family(
+        o,
+        &format!("{prefix}_stage_p99_seconds"),
+        "gauge",
+        "p99 per-stage latency over all span trees, in virtual seconds.",
+    );
+    for (name, p99) in STAGE_NAMES.iter().zip(p99s) {
+        let _ = writeln!(o, "{prefix}_stage_p99_seconds{{stage=\"{name}\"}} {p99}");
+    }
+    let mut totals = [0.0f64; 5];
+    for t in traces {
+        totals[0] += t.stages.queue_s;
+        totals[1] += t.stages.batch_s;
+        totals[2] += t.stages.service_s;
+        totals[3] += t.stages.merge_s;
+        totals[4] += t.stages.other_s;
+    }
+    family(
+        o,
+        &format!("{prefix}_stage_seconds"),
+        "counter",
+        "Virtual time attributed to each stage, summed over all span trees.",
+    );
+    for (name, total) in STAGE_NAMES.iter().zip(totals) {
+        let _ = writeln!(
+            o,
+            "{prefix}_stage_seconds_total{{stage=\"{name}\"}} {total}"
+        );
+    }
+}
 
 /// Render `report` as an OpenMetrics text snapshot (ending in `# EOF`).
 pub fn render_openmetrics(report: &ServerReport) -> String {
@@ -312,6 +363,9 @@ pub fn render_openmetrics(report: &ServerReport) -> String {
         "p99 latency over answered requests, in virtual seconds.",
     );
     let _ = writeln!(o, "windex_slo_p99_seconds {}", report.slo.p99_s);
+
+    // Per-stage latency attribution from the span trees.
+    stage_families(&mut o, "windex", &report.stages, &report.traces);
 
     // Capacity and utilization gauges.
     family(
@@ -683,6 +737,29 @@ pub fn render_cluster_openmetrics(report: &ClusterReport) -> String {
         "windex_cluster_slo_availability {}",
         report.slo.availability
     );
+
+    // Per-stage latency attribution and critical-path shard counts from
+    // the span trees.
+    stage_families(&mut o, "windex_cluster", &report.stages, &report.traces);
+    family(
+        &mut o,
+        "windex_critical_leg",
+        "counter",
+        "Requests whose critical-path (last-delivered) leg ran on this shard.",
+    );
+    let mut crit = vec![0u64; report.gpus];
+    for t in &report.traces {
+        if let Some(i) = t.critical_leg {
+            let shard = t.legs[i].shard;
+            if shard < crit.len() {
+                crit[shard] += 1;
+            }
+        }
+    }
+    for (g, c) in crit.iter().enumerate() {
+        let _ = writeln!(o, "windex_critical_leg_total{{gpu=\"{g}\"}} {c}");
+    }
+
     family(
         &mut o,
         "windex_cluster_virtual_makespan_seconds",
@@ -906,6 +983,9 @@ pub fn render_tuner_openmetrics(report: &crate::tuned::TunedReport) -> String {
     let _ = writeln!(o, "windex_tuner_latency_seconds_count {}", h.count);
     let _ = writeln!(o, "windex_tuner_latency_seconds_sum {}", h.sum_s);
 
+    // Per-stage latency attribution from the span trees.
+    stage_families(&mut o, "windex_tuner", &report.stages, &report.traces);
+
     o.push_str("# EOF\n");
     o
 }
@@ -1025,6 +1105,9 @@ mod tests {
                 tokens_remaining: 62.5,
                 backoff_s: 4.5e-4,
             },
+            stages: crate::span::StageLatencyStats::default(),
+            traces: Vec::new(),
+            tail: crate::span::TailReport::default(),
         }
     }
 
@@ -1175,6 +1258,9 @@ mod tests {
                 good_share: 1.0,
                 p99_s: 2e-4,
             },
+            stages: crate::span::StageLatencyStats::default(),
+            traces: Vec::new(),
+            tail: crate::span::TailReport::default(),
         }
     }
 

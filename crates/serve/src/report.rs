@@ -2,6 +2,7 @@
 //! [`ServerReport`] rendered through the workspace's JSON output path.
 
 use crate::request::TenantId;
+use crate::span::{RequestTrace, StageLatencyStats, TailReport};
 use serde::Serialize;
 use windex_core::WindowStats;
 use windex_index::IndexKind;
@@ -310,11 +311,91 @@ pub struct ServerReport {
     /// Retry-budget summary: retries granted/denied this trace and tokens
     /// remaining.
     pub retry: crate::resilience::RetryReport,
+    /// Per-stage latency decomposition (queue / batch / service / merge /
+    /// other) over every request in the trace.
+    pub stages: StageLatencyStats,
+    /// One span tree per request, ascending request id. Every trace
+    /// satisfies [`RequestTrace::validate`]: stage spans partition the
+    /// admission→completion interval and sum exactly to the latency.
+    pub traces: Vec<RequestTrace>,
+    /// Deterministic tail sample: the top-K slowest requests plus a seeded
+    /// uniform sample, as EXPLAIN-ANALYZE-style query cards.
+    pub tail: TailReport,
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::collection::vec as pvec;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        /// Percentiles of any finite sample set are monotone
+        /// (p50 <= p95 <= p99 <= max), the mean lies inside the sample
+        /// range, and nothing is dropped.
+        #[test]
+        fn percentiles_are_monotone(samples in pvec(0.0f64..10.0, 1..64)) {
+            let l = LatencyStats::from_samples(samples.clone());
+            prop_assert_eq!(l.samples, samples.len());
+            prop_assert_eq!(l.dropped, 0);
+            prop_assert!(l.p50_s <= l.p95_s);
+            prop_assert!(l.p95_s <= l.p99_s);
+            prop_assert!(l.p99_s <= l.max_s);
+            let min = samples.iter().cloned().fold(f64::INFINITY, f64::min);
+            prop_assert!(l.mean_s >= min - 1e-12 && l.mean_s <= l.max_s + 1e-12);
+            prop_assert_eq!(
+                l.max_s,
+                samples.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+            );
+        }
+
+        /// The distribution is order-insensitive: reversing the samples
+        /// yields identical stats.
+        #[test]
+        fn order_insensitive(samples in pvec(0.0f64..10.0, 0..64)) {
+            let forward = LatencyStats::from_samples(samples.clone());
+            let mut rev = samples;
+            rev.reverse();
+            prop_assert_eq!(forward, LatencyStats::from_samples(rev));
+        }
+
+        /// A constant sample set collapses every percentile onto the
+        /// constant — singletons and duplicate runs alike.
+        #[test]
+        fn duplicates_collapse(value in 0.0f64..10.0, n in 1usize..32) {
+            let l = LatencyStats::from_samples(vec![value; n]);
+            prop_assert_eq!(l.samples, n);
+            prop_assert_eq!(l.p50_s, value);
+            prop_assert_eq!(l.p95_s, value);
+            prop_assert_eq!(l.p99_s, value);
+            prop_assert_eq!(l.max_s, value);
+            // The mean accumulates n rounded additions, so allow an ulp-
+            // scale slack; the percentiles above are exact picks.
+            prop_assert!((l.mean_s - value).abs() <= 1e-12 * value.max(1.0));
+        }
+
+        /// Non-finite samples never poison the percentiles: they land in
+        /// `dropped` and the stats equal those of the finite subset.
+        #[test]
+        fn non_finite_samples_only_move_dropped(
+            finite in pvec(0.0f64..10.0, 0..32),
+            nans in 0usize..4,
+            infs in 0usize..4,
+        ) {
+            let mut mixed = finite.clone();
+            mixed.extend(std::iter::repeat_n(f64::NAN, nans));
+            mixed.extend(std::iter::repeat_n(f64::INFINITY, infs));
+            let clean = LatencyStats::from_samples(finite);
+            let dirty = LatencyStats::from_samples(mixed);
+            prop_assert_eq!(dirty.dropped, nans + infs);
+            prop_assert_eq!(
+                dirty,
+                LatencyStats { dropped: nans + infs, ..clean }
+            );
+        }
+    }
 
     #[test]
     fn latency_percentiles_nearest_rank() {

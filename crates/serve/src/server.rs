@@ -40,6 +40,7 @@ use crate::resilience::{
     SloTracker, TenantBreaker,
 };
 use crate::sched::DrrScheduler;
+use crate::span::{sample_tail, RequestContext, RequestTrace, StageLatencyStats, TailConfig};
 use crate::trace::TimedRequest;
 use std::collections::BTreeMap;
 use std::rc::Rc;
@@ -146,6 +147,8 @@ struct InFlight {
     /// Keys not yet probed through a dispatched window.
     remaining: usize,
     matches: Vec<(u64, u64)>,
+    /// Span-tree builder following the request through the lifecycle.
+    ctx: RequestContext,
 }
 
 /// The deterministic multi-tenant query server.
@@ -291,6 +294,7 @@ impl Server {
         let mut batcher = MicroBatcher::new();
         let mut inflight: BTreeMap<u64, InFlight> = BTreeMap::new();
         let mut responses: Vec<LookupResponse> = Vec::with_capacity(trace.len());
+        let mut traces: Vec<RequestTrace> = Vec::with_capacity(trace.len());
         let mut events = self.setup_events.clone();
         let mut next_arrival = 0usize;
         let mut max_queue_depth = 0usize;
@@ -341,6 +345,10 @@ impl Server {
                         completed_s: clock,
                         latency_s: latency,
                     });
+                    traces.push(
+                        RequestContext::new(id, t.request.tenant, t.at_s, 0)
+                            .finish(clock, outcome, 0),
+                    );
                     continue;
                 }
                 // Per-tenant circuit breaker: an open breaker fast-rejects
@@ -355,6 +363,9 @@ impl Server {
                         request: id,
                     });
                     responses.push(shed_response(id, &t.request.tenant, t.at_s, clock));
+                    let mut ctx = RequestContext::new(id, t.request.tenant, t.at_s, n);
+                    ctx.fast_rejected();
+                    traces.push(ctx.finish(clock, RequestOutcome::Shed, 0));
                     continue;
                 }
                 let backlog = sched.queued_keys() + batcher.pending();
@@ -370,6 +381,11 @@ impl Server {
                         keys: n,
                     });
                     responses.push(shed_response(id, &t.request.tenant, t.at_s, clock));
+                    traces.push(RequestContext::new(id, t.request.tenant, t.at_s, n).finish(
+                        clock,
+                        RequestOutcome::Shed,
+                        0,
+                    ));
                     continue;
                 }
                 inflight.insert(
@@ -381,6 +397,7 @@ impl Server {
                         submitted_s: t.at_s,
                         remaining: n,
                         matches: Vec::new(),
+                        ctx: RequestContext::new(id, t.request.tenant, t.at_s, n),
                     },
                 );
                 sched.enqueue(t.request.tenant, id, n);
@@ -392,7 +409,7 @@ impl Server {
                 BatchPolicy::Shared { .. } => {
                     while batcher.pending() < self.window_tuples {
                         match sched.dequeue()? {
-                            Some(id) => stage(&mut batcher, &inflight, id, clock)?,
+                            Some(id) => stage(&mut batcher, &mut inflight, id, clock)?,
                             None => break,
                         }
                     }
@@ -400,7 +417,7 @@ impl Server {
                 BatchPolicy::PerRequest => {
                     if batcher.pending() == 0 {
                         if let Some(id) = sched.dequeue()? {
-                            stage(&mut batcher, &inflight, id, clock)?;
+                            stage(&mut batcher, &mut inflight, id, clock)?;
                         }
                     }
                 }
@@ -430,6 +447,7 @@ impl Server {
                     &mut batcher,
                     &mut inflight,
                     &mut responses,
+                    &mut traces,
                     &mut events,
                     &mut clock,
                     &mut windows_closed,
@@ -470,6 +488,10 @@ impl Server {
         debug_assert!(inflight.is_empty(), "all admitted requests answered");
 
         responses.sort_by_key(|r| r.request);
+        traces.sort_by_key(|t| t.request);
+        debug_assert_eq!(traces.len(), responses.len(), "one trace per response");
+        let stages = StageLatencyStats::from_traces(&traces);
+        let tail = sample_tail(&traces, &TailConfig::default());
         let counters = gpu.snapshot() - run_start;
         let phases = self
             .op
@@ -604,6 +626,9 @@ impl Server {
             slo,
             breaker,
             retry,
+            stages,
+            traces,
+            tail,
         };
         Ok(ServeOutcome { responses, report })
     }
@@ -623,6 +648,7 @@ impl Server {
         batcher: &mut MicroBatcher,
         inflight: &mut BTreeMap<u64, InFlight>,
         responses: &mut Vec<LookupResponse>,
+        traces: &mut Vec<RequestTrace>,
         events: &mut Vec<ServeEvent>,
         clock: &mut f64,
         windows_closed: &mut usize,
@@ -639,6 +665,20 @@ impl Server {
             keys: batch.len(),
             ..BatchSpan::default()
         };
+        // The distinct requests riding this dispatch, in batch order: their
+        // first dispatch milestone is now; retries below delay all of them.
+        let mut members: Vec<u64> = Vec::new();
+        for &(_, rid) in batch {
+            let (req, _) = batcher.resolve(rid);
+            if !members.contains(&req) {
+                members.push(req);
+            }
+        }
+        for req in &members {
+            if let Some(inf) = inflight.get_mut(req) {
+                inf.ctx.dispatched(*clock);
+            }
+        }
         let mut attempts = 0u32;
         loop {
             // A failed attempt leaves staged keys in the operator; start
@@ -667,7 +707,7 @@ impl Server {
                     span.completed = true;
                     batches.push(span);
                     self.retry_budget.on_success();
-                    self.complete(batch, batcher, inflight, responses, events, *clock)?;
+                    self.complete(batch, batcher, inflight, responses, traces, events, *clock)?;
                     return Ok(());
                 }
                 Err(e) if e.is_device_loss() => {
@@ -678,7 +718,7 @@ impl Server {
                         continue;
                     }
                     batches.push(span);
-                    self.abandon(batch, batcher, inflight, responses, events, *clock);
+                    self.abandon(batch, batcher, inflight, responses, traces, events, *clock);
                     return Ok(());
                 }
                 Err(e) if e.is_capacity() => {
@@ -714,7 +754,7 @@ impl Server {
                         continue;
                     }
                     batches.push(span);
-                    self.abandon(batch, batcher, inflight, responses, events, *clock);
+                    self.abandon(batch, batcher, inflight, responses, traces, events, *clock);
                     return Ok(());
                 }
                 Err(e)
@@ -739,6 +779,11 @@ impl Server {
                         attempt: attempts,
                         backoff_s,
                     });
+                    for req in &members {
+                        if let Some(inf) = inflight.get_mut(req) {
+                            inf.ctx.retried();
+                        }
+                    }
                     continue;
                 }
                 Err(e) => {
@@ -749,7 +794,7 @@ impl Server {
                         events.push(ServeEvent::RetriesExhausted { keys: batch.len() });
                     }
                     batches.push(span);
-                    self.abandon(batch, batcher, inflight, responses, events, *clock);
+                    self.abandon(batch, batcher, inflight, responses, traces, events, *clock);
                     return Ok(());
                 }
             }
@@ -802,6 +847,7 @@ impl Server {
         batcher: &mut MicroBatcher,
         inflight: &mut BTreeMap<u64, InFlight>,
         responses: &mut Vec<LookupResponse>,
+        traces: &mut Vec<RequestTrace>,
         events: &mut Vec<ServeEvent>,
         now_s: f64,
     ) -> Result<(), WindexError> {
@@ -828,7 +874,7 @@ impl Server {
             }
         }
         for req in done {
-            let inf = inflight.remove(&req).ok_or(WindexError::InvalidState(
+            let mut inf = inflight.remove(&req).ok_or(WindexError::InvalidState(
                 "completed request vanished from the in-flight table",
             ))?;
             // An answered request is a breaker success for its tenant —
@@ -844,6 +890,9 @@ impl Server {
                 Some(d) if latency > d => RequestOutcome::DeadlineMissed,
                 _ => RequestOutcome::Completed,
             };
+            inf.ctx.first_result(now_s);
+            inf.ctx.merged(now_s);
+            traces.push(inf.ctx.finish(now_s, outcome, inf.matches.len()));
             responses.push(LookupResponse {
                 request: req,
                 tenant: inf.tenant,
@@ -859,12 +908,14 @@ impl Server {
 
     /// Shed every request with a key in the failed batch: answer it
     /// [`RequestOutcome::Shed`] and drop its still-pending keys.
+    #[allow(clippy::too_many_arguments)]
     fn abandon(
         &mut self,
         batch: &[(u64, u64)],
         batcher: &mut MicroBatcher,
         inflight: &mut BTreeMap<u64, InFlight>,
         responses: &mut Vec<LookupResponse>,
+        traces: &mut Vec<RequestTrace>,
         events: &mut Vec<ServeEvent>,
         now_s: f64,
     ) {
@@ -894,6 +945,7 @@ impl Server {
                     }
                 }
                 responses.push(shed_response(req, &inf.tenant, inf.submitted_s, now_s));
+                traces.push(inf.ctx.finish(now_s, RequestOutcome::Shed, 0));
             }
         }
     }
@@ -917,13 +969,14 @@ fn shed_response(id: u64, tenant: &TenantId, submitted_s: f64, now_s: f64) -> Lo
 /// it surfaces as a typed error instead of an index panic.
 fn stage(
     batcher: &mut MicroBatcher,
-    inflight: &BTreeMap<u64, InFlight>,
+    inflight: &mut BTreeMap<u64, InFlight>,
     id: u64,
     now_s: f64,
 ) -> Result<(), WindexError> {
-    let inf = inflight.get(&id).ok_or(WindexError::InvalidState(
+    let inf = inflight.get_mut(&id).ok_or(WindexError::InvalidState(
         "scheduler released a request that is not in flight",
     ))?;
+    inf.ctx.staged(now_s);
     batcher.stage(id, &inf.keys, now_s);
     Ok(())
 }

@@ -9,6 +9,7 @@
 //! so one seed always produces byte-identical traces.
 
 use crate::request::{LookupRequest, TenantId};
+use windex_core::WindexError;
 use windex_workload::Relation;
 
 /// One scheduled arrival of a served trace.
@@ -39,6 +40,37 @@ pub struct TraceConfig {
     pub offered_load_rps: f64,
     /// Optional per-request latency budget (virtual seconds).
     pub deadline_s: Option<f64>,
+}
+
+impl TraceConfig {
+    /// Check the configuration for internal consistency. Returns a typed
+    /// [`WindexError::InvalidConfig`] naming the first violation, so
+    /// callers can surface it without a panic.
+    pub fn validate(&self) -> Result<(), WindexError> {
+        if self.tenants == 0 {
+            return Err(WindexError::InvalidConfig(
+                "trace needs at least one tenant",
+            ));
+        }
+        if self.min_keys < 1 || self.min_keys > self.max_keys {
+            return Err(WindexError::InvalidConfig(
+                "key-count range must be non-empty (1 <= min_keys <= max_keys)",
+            ));
+        }
+        if !self.offered_load_rps.is_finite() || self.offered_load_rps <= 0.0 {
+            return Err(WindexError::InvalidConfig(
+                "offered load must be finite and positive",
+            ));
+        }
+        if let Some(d) = self.deadline_s {
+            if !d.is_finite() || d <= 0.0 {
+                return Err(WindexError::InvalidConfig(
+                    "deadline must be finite and positive when set",
+                ));
+            }
+        }
+        Ok(())
+    }
 }
 
 impl Default for TraceConfig {
@@ -79,12 +111,7 @@ const SALT_KEY: u64 = 0x6b657921;
 /// keys sampled uniformly from the served relation `r` (foreign-key-valid
 /// probes, as in the paper's workloads §3.2). Same config ⇒ identical trace.
 pub fn generate_trace(cfg: &TraceConfig, r: &Relation) -> Vec<TimedRequest> {
-    assert!(cfg.tenants > 0, "trace needs at least one tenant");
-    assert!(
-        cfg.min_keys >= 1 && cfg.min_keys <= cfg.max_keys,
-        "key-count range must be non-empty"
-    );
-    assert!(cfg.offered_load_rps > 0.0, "offered load must be positive");
+    cfg.validate().expect("trace config must be valid");
     assert!(!r.keys().is_empty(), "served relation must not be empty");
 
     let mut out = Vec::with_capacity(cfg.requests);
@@ -161,6 +188,65 @@ mod tests {
 
     fn relation() -> Relation {
         Relation::unique_sorted(4096, KeyDistribution::SparseUniform, 1)
+    }
+
+    #[test]
+    fn validate_rejects_inconsistent_configs() {
+        use windex_core::WindexError;
+        let ok = TraceConfig::default();
+        assert!(ok.validate().is_ok());
+        let cases = [
+            TraceConfig { tenants: 0, ..ok },
+            TraceConfig {
+                min_keys: 65,
+                max_keys: 64,
+                ..ok
+            },
+            TraceConfig { min_keys: 0, ..ok },
+            TraceConfig {
+                offered_load_rps: 0.0,
+                ..ok
+            },
+            TraceConfig {
+                offered_load_rps: -100.0,
+                ..ok
+            },
+            TraceConfig {
+                offered_load_rps: f64::NAN,
+                ..ok
+            },
+            TraceConfig {
+                offered_load_rps: f64::INFINITY,
+                ..ok
+            },
+            TraceConfig {
+                deadline_s: Some(0.0),
+                ..ok
+            },
+            TraceConfig {
+                deadline_s: Some(f64::NAN),
+                ..ok
+            },
+        ];
+        for bad in cases {
+            match bad.validate() {
+                Err(WindexError::InvalidConfig(msg)) => {
+                    assert!(!msg.is_empty(), "message must name the violation")
+                }
+                other => panic!("expected InvalidConfig for {bad:?}, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "trace config must be valid")]
+    fn generate_trace_rejects_invalid_config() {
+        let cfg = TraceConfig {
+            min_keys: 8,
+            max_keys: 4,
+            ..TraceConfig::default()
+        };
+        generate_trace(&cfg, &relation());
     }
 
     #[test]

@@ -20,7 +20,10 @@
 //! runs serialize byte-identically.
 
 use crate::report::{LatencyHistogram, LatencyStats};
-use crate::request::TenantId;
+use crate::request::{RequestOutcome, TenantId};
+use crate::span::{
+    sample_tail, RequestContext, RequestTrace, StageLatencyStats, TailConfig, TailReport,
+};
 use crate::trace::TimedRequest;
 use serde::Serialize;
 use std::collections::VecDeque;
@@ -157,12 +160,19 @@ pub struct TunedReport {
     pub counters: Counters,
     /// Mean relative cost-model error across all tenants' batches.
     pub est_cost_error: f64,
+    /// Per-stage latency distributions over every request's span tree.
+    pub stages: StageLatencyStats,
+    /// One span tree per request, ordered by request id.
+    pub traces: Vec<RequestTrace>,
+    /// Deterministic tail sample (top-K slowest + seeded uniform).
+    pub tail: TailReport,
 }
 
 struct Queued {
     at_s: f64,
     keys: Vec<u64>,
     deadline: Option<f64>,
+    ctx: RequestContext,
 }
 
 struct Tenant {
@@ -175,6 +185,9 @@ struct Tenant {
     queue: VecDeque<Queued>,
     queued_keys: usize,
     events_seen: usize,
+    /// The tuner's last decision was an exploration: the next batch this
+    /// tenant dispatches is a probe batch.
+    explore_next: bool,
     requests: usize,
     completed: usize,
     deadline_missed: usize,
@@ -236,6 +249,7 @@ impl TunedServer {
                 queue: VecDeque::new(),
                 queued_keys: 0,
                 events_seen: 0,
+                explore_next: false,
                 requests: 0,
                 completed: 0,
                 deadline_missed: 0,
@@ -302,6 +316,7 @@ impl TunedServer {
         latencies: &mut Vec<f64>,
         totals: &mut Counters,
         events: &mut Vec<TunedServeEvent>,
+        traces: &mut Vec<RequestTrace>,
     ) -> Result<(), WindexError> {
         let cfg = self.cfg;
         let t = &mut self.tenants[ti];
@@ -314,11 +329,17 @@ impl TunedServer {
             }
             batch_keys += q.keys.len();
             t.queued_keys -= q.keys.len();
-            batch.push(t.queue.pop_front().unwrap());
+            let mut q = t.queue.pop_front().unwrap();
+            q.ctx.staged(*clock);
+            if t.explore_next {
+                q.ctx.probe_batch();
+            }
+            batch.push(q);
             if batch_keys >= cfg.batch_keys {
                 break;
             }
         }
+        t.explore_next = false;
         let keys: Vec<u64> = batch.iter().flat_map(|q| q.keys.iter().copied()).collect();
 
         let plan = t.tuner.current();
@@ -335,18 +356,28 @@ impl TunedServer {
         // Device-loss recovery may have jumped the device clock past ours;
         // completion lands after the later of the two plus the service.
         let service_s = build_s + rep.time.total_s;
-        let end_s = self.gpu.virtual_now_s().max(*clock) + service_s;
+        let start_s = self.gpu.virtual_now_s().max(*clock);
+        let end_s = start_s + service_s;
         t.busy_s += service_s;
         t.batches += 1;
         t.keys += keys.len();
         t.matches += rep.result_tuples;
-        for q in &batch {
+        for mut q in batch {
             let latency = end_s - q.at_s;
             latencies.push(latency);
             t.completed += 1;
-            if q.deadline.is_some_and(|d| latency > d) {
+            let outcome = if q.deadline.is_some_and(|d| latency > d) {
                 t.deadline_missed += 1;
-            }
+                RequestOutcome::DeadlineMissed
+            } else {
+                RequestOutcome::Completed
+            };
+            q.ctx.dispatched(start_s);
+            q.ctx.first_result(end_s);
+            q.ctx.merged(end_s);
+            // The batch path does not demultiplex matches per request, so
+            // traces carry 0 here; per-tenant totals live on the report.
+            traces.push(q.ctx.finish(end_s, outcome, 0));
         }
         *totals = *totals + rep.counters;
         *clock = end_s;
@@ -357,6 +388,9 @@ impl TunedServer {
         }
         t.tuner.decide();
         for e in &t.tuner.events()[t.events_seen..] {
+            if e.reason == windex_core::TuneReason::Explore {
+                t.explore_next = true;
+            }
             events.push(TunedServeEvent {
                 tenant: t.id,
                 at_s: *clock,
@@ -375,6 +409,7 @@ impl TunedServer {
         let mut latencies: Vec<f64> = Vec::new();
         let mut totals = Counters::default();
         let mut events: Vec<TunedServeEvent> = Vec::new();
+        let mut traces: Vec<RequestTrace> = Vec::with_capacity(trace.len());
 
         loop {
             // Admit everything that has arrived by `clock`.
@@ -392,12 +427,25 @@ impl TunedServer {
                     at_s: tr.at_s,
                     keys: tr.request.keys.clone(),
                     deadline: tr.request.deadline,
+                    ctx: RequestContext::new(
+                        next as u64,
+                        tr.request.tenant,
+                        tr.at_s,
+                        tr.request.keys.len(),
+                    ),
                 });
                 next += 1;
             }
             let drain = next >= trace.len();
             if let Some(ti) = self.dispatchable(clock, drain) {
-                self.dispatch(ti, &mut clock, &mut latencies, &mut totals, &mut events)?;
+                self.dispatch(
+                    ti,
+                    &mut clock,
+                    &mut latencies,
+                    &mut totals,
+                    &mut events,
+                    &mut traces,
+                )?;
                 continue;
             }
             if drain {
@@ -412,6 +460,9 @@ impl TunedServer {
             clock = clock.max(wake);
         }
 
+        traces.sort_by_key(|t| t.request);
+        let stages = StageLatencyStats::from_traces(&traces);
+        let tail = sample_tail(&traces, &TailConfig::default());
         let busy_s: f64 = self.tenants.iter().map(|t| t.busy_s).sum();
         let completed: usize = self.tenants.iter().map(|t| t.completed).sum();
         let keys_probed: usize = self.tenants.iter().map(|t| t.keys).sum();
@@ -481,6 +532,9 @@ impl TunedServer {
             } else {
                 0.0
             },
+            stages,
+            traces,
+            tail,
         })
     }
 }

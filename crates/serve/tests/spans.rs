@@ -1,0 +1,285 @@
+//! Span-tree acceptance tests: every request that enters any server leaves
+//! with a causally valid span tree whose stage spans reconcile bitwise with
+//! its end-to-end latency — single-GPU, auto-tuned, sharded cluster, and a
+//! cluster losing a device mid-trace. Also covers the bounded sim-trace
+//! overflow modes (ring eviction, every-nth sampling) threaded through the
+//! serving layers, with exact offered/recorded/dropped reconciliation.
+
+use windex_core::TunerConfig;
+use windex_serve::prelude::*;
+use windex_sim::{ChaosScenario, TraceMode};
+
+fn v100() -> GpuSpec {
+    GpuSpec::v100_nvlink2(Scale::PAPER)
+}
+
+fn relation(seed: u64) -> Relation {
+    Relation::unique_sorted(1 << 14, KeyDistribution::SparseUniform, seed)
+}
+
+fn trace_for(r: &Relation, requests: usize, seed: u64) -> Vec<TimedRequest> {
+    generate_trace(
+        &TraceConfig {
+            seed,
+            requests,
+            deadline_s: None,
+            ..TraceConfig::default()
+        },
+        r,
+    )
+}
+
+fn sharded_cfg(gpus: usize) -> ClusterConfig {
+    ClusterConfig {
+        serve: ServeConfig::default(),
+        cluster: ClusterSpec::sharded(gpus, v100(), InterconnectSpec::nvlink4_peer()),
+    }
+}
+
+/// Every trace validates, and the stage fold telescopes bitwise to the
+/// end-to-end latency (the contract `RequestTrace::validate` enforces).
+fn assert_all_valid(traces: &[RequestTrace], requests: usize, label: &str) {
+    assert_eq!(traces.len(), requests, "{label}: one span tree per request");
+    for t in traces {
+        t.validate()
+            .unwrap_or_else(|e| panic!("{label}: request {} span tree invalid: {e}", t.request));
+        assert_eq!(
+            t.stages.total_s().to_bits(),
+            t.latency_s().to_bits(),
+            "{label}: request {} stage sum must equal latency bitwise",
+            t.request
+        );
+    }
+}
+
+/// Single-GPU server: every request — including shed ones under a
+/// saturating arrival process — carries a valid span tree, with no shard
+/// legs and a zero merge stage.
+#[test]
+fn single_gpu_span_trees_cover_every_outcome() {
+    let r = relation(3);
+    let trace = generate_trace(
+        &TraceConfig {
+            seed: 11,
+            requests: 256,
+            min_keys: 256,
+            max_keys: 2_048,
+            offered_load_rps: 2_000.0,
+            deadline_s: None,
+            ..TraceConfig::default()
+        },
+        &r,
+    );
+    let mut gpu = Gpu::new(v100());
+    let mut server = Server::new(&mut gpu, ServeConfig::default(), r).unwrap();
+    let rep = server.run(&mut gpu, &trace).unwrap().report;
+    assert_all_valid(&rep.traces, trace.len(), "server");
+    assert!(rep.shed > 0, "this load must shed to exercise shed spans");
+    let shed = rep
+        .traces
+        .iter()
+        .filter(|t| t.outcome == RequestOutcome::Shed)
+        .count();
+    assert_eq!(shed, rep.shed, "shed outcomes reconcile with the report");
+    for t in &rep.traces {
+        assert!(t.legs.is_empty(), "single GPU never fans out");
+        assert_eq!(t.critical_leg, None);
+        assert_eq!(t.stages.merge_s, 0.0, "no merge stage without fan-out");
+    }
+}
+
+/// Sharded cluster: fan-out requests carry one leg per probed shard, the
+/// critical leg is the latest delivery, and the fanned count reconciles
+/// with the report's cross-shard counter.
+#[test]
+fn cluster_span_trees_fan_out_with_critical_legs() {
+    let r = relation(3);
+    let trace = trace_for(&r, 192, 17);
+    let mut cluster = ClusterServer::new(sharded_cfg(4), r).unwrap();
+    let rep = cluster.run(&trace).unwrap().report;
+    assert_all_valid(&rep.traces, trace.len(), "cluster");
+    let fanned = rep.traces.iter().filter(|t| t.legs.len() > 1).count();
+    assert_eq!(
+        fanned, rep.cross_shard_requests,
+        "span-tree fan-out reconciles with the cross-shard counter"
+    );
+    assert!(fanned > 0, "multi-key requests over 4 shards must fan out");
+    for t in &rep.traces {
+        if t.legs.is_empty() {
+            assert_eq!(t.critical_leg, None);
+            continue;
+        }
+        let c = t.critical_leg.expect("fanned request names a critical leg");
+        assert!(c < t.legs.len());
+        for leg in &t.legs {
+            assert!(
+                leg.delivered_s <= t.legs[c].delivered_s,
+                "request {}: critical leg must be the latest delivery",
+                t.request
+            );
+        }
+    }
+}
+
+/// Device loss mid-trace: the re-shard's rebuild and redrives land inside
+/// the affected requests' service/merge stages, and every span tree still
+/// validates with outcome counts reconciling against the report.
+#[test]
+fn chaos_span_trees_survive_device_loss() {
+    let r = relation(5);
+    let trace = generate_trace(
+        &TraceConfig {
+            seed: 23,
+            requests: 512,
+            offered_load_rps: 8_000.0,
+            deadline_s: None,
+            ..TraceConfig::default()
+        },
+        &r,
+    );
+    let mut cluster = ClusterServer::new(sharded_cfg(4), r).unwrap();
+    cluster
+        .set_chaos_schedules(ChaosScenario::DeviceLoss.cluster_schedules(40, 4, 1))
+        .unwrap();
+    let rep = cluster.run(&trace).unwrap().report;
+    assert!(!rep.per_shard[1].alive, "GPU 1 must actually be lost");
+    assert_all_valid(&rep.traces, trace.len(), "chaos");
+    let mut completed = 0;
+    let mut missed = 0;
+    let mut shed = 0;
+    for t in &rep.traces {
+        match t.outcome {
+            RequestOutcome::Completed => completed += 1,
+            RequestOutcome::DeadlineMissed => missed += 1,
+            RequestOutcome::Shed => shed += 1,
+        }
+    }
+    assert_eq!(completed, rep.completed);
+    assert_eq!(missed, rep.deadline_missed);
+    assert_eq!(shed, rep.shed);
+}
+
+/// Auto-tuned server: span trees cover every request across tenants, and
+/// the tuner's probe batches are flagged on the traces they ride in.
+#[test]
+fn tuned_span_trees_flag_probe_batches() {
+    let r = relation(7);
+    let trace = trace_for(&r, 192, 31);
+    let tenants: Vec<(TenantId, Relation)> = (0..4).map(|id| (id, r.clone())).collect();
+    // Exploration is a seeded ε-draw per decision, gated by the hysteresis
+    // dwell; crank ε and shrink the dwell so this short trace is guaranteed
+    // to land probe batches.
+    let cfg = TunedConfig {
+        tuner: TunerConfig {
+            epsilon: 0.9,
+            min_dwell_batches: 1,
+            ..TunerConfig::default()
+        },
+        ..TunedConfig::default()
+    };
+    let mut srv = TunedServer::new(v100(), cfg, tenants, None).unwrap();
+    let rep = srv.run(&trace).unwrap();
+    assert_all_valid(&rep.traces, trace.len(), "tuned");
+    assert!(
+        rep.traces.iter().any(|t| t.probe),
+        "exploration must flag at least one probe batch on its span trees"
+    );
+}
+
+/// Ring mode through the cluster: a bounded recorder on shard 0's GPU keeps
+/// exactly the run's suffix, the offered side keeps the full-run truth, and
+/// `offered - recorded` is the exact drop accounting.
+#[test]
+fn ring_trace_keeps_the_suffix_through_the_cluster() {
+    let r = relation(3);
+    let trace = trace_for(&r, 96, 17);
+    const CAP: usize = 256;
+
+    let full = {
+        let mut cluster = ClusterServer::new(sharded_cfg(4), r.clone()).unwrap();
+        cluster.shard_gpu_mut(0).start_trace(1 << 22);
+        cluster.run(&trace).unwrap();
+        cluster.shard_gpu_mut(0).stop_trace()
+    };
+    assert_eq!(full.dropped_events(), 0, "full capacity must drop nothing");
+    assert!(
+        full.offered().events as usize > CAP,
+        "run must overflow the bounded ring ({} events)",
+        full.offered().events
+    );
+
+    let ring = {
+        let mut cluster = ClusterServer::new(sharded_cfg(4), r.clone()).unwrap();
+        cluster
+            .shard_gpu_mut(0)
+            .start_trace_mode(CAP, TraceMode::Ring);
+        cluster.run(&trace).unwrap();
+        cluster.shard_gpu_mut(0).stop_trace()
+    };
+    // The offered side is the full-run truth regardless of eviction.
+    assert_eq!(ring.offered(), full.offered());
+    // Exact reconciliation: everything offered is recorded or dropped.
+    assert_eq!(
+        ring.offered().events,
+        ring.recorded().events + ring.dropped_events()
+    );
+    assert!(ring.truncated());
+    assert_eq!(ring.events().len(), CAP, "ring holds exactly its capacity");
+    // Ring keeps the most recent events: the recorded buffer is the full
+    // run's suffix, in order.
+    let all = full.events();
+    assert_eq!(ring.events(), &all[all.len() - CAP..]);
+}
+
+/// Every-nth sampling through the tuned server: the recorder thins the
+/// stream uniformly (exactly the ordinals ≡ 0 mod n), while the offered
+/// totals still match an unbounded recording of the same deterministic run.
+#[test]
+fn sampled_trace_thins_uniformly_through_the_tuned_server() {
+    let r = relation(7);
+    let trace = trace_for(&r, 96, 31);
+    let tenants: Vec<(TenantId, Relation)> = (0..4).map(|id| (id, r.clone())).collect();
+    const NTH: u64 = 7;
+
+    let run = |mode: Option<TraceMode>| {
+        let mut srv =
+            TunedServer::new(v100(), TunedConfig::default(), tenants.clone(), None).unwrap();
+        match mode {
+            Some(m) => srv.gpu_mut().start_trace_mode(1 << 22, m),
+            None => srv.gpu_mut().start_trace(1 << 22),
+        }
+        srv.run(&trace).unwrap();
+        srv.gpu_mut().stop_trace()
+    };
+
+    let full = run(None);
+    assert_eq!(full.dropped_events(), 0);
+    let sampled = run(Some(TraceMode::SampleEveryNth(NTH)));
+
+    assert_eq!(
+        sampled.offered(),
+        full.offered(),
+        "offered keeps full truth"
+    );
+    assert!(
+        sampled.dropped_events() > 0,
+        "sampling must thin the stream"
+    );
+    assert_eq!(
+        sampled.offered().events,
+        sampled.recorded().events + sampled.dropped_events()
+    );
+    assert_eq!(
+        sampled.recorded().events,
+        full.offered().events.div_ceil(NTH),
+        "every n-th ordinal is retained"
+    );
+    // The retained events are exactly every NTH-th of the full stream.
+    let expect: Vec<_> = full
+        .events()
+        .iter()
+        .step_by(NTH as usize)
+        .copied()
+        .collect();
+    assert_eq!(sampled.events(), expect.as_slice());
+}

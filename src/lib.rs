@@ -64,10 +64,11 @@ pub mod prelude {
     };
     pub use windex_join::{HashJoinConfig, MultiValueHashTable, RadixPartitioner};
     pub use windex_serve::{
-        generate_tenant_trace, generate_trace, merge_traces, render_tuner_openmetrics, BatchPolicy,
-        ClusterConfig, ClusterReport, ClusterServer, ClusterSpec, LookupRequest, LookupResponse,
-        Placement, RequestOutcome, ServeConfig, Server, ServerReport, TraceConfig, TunedConfig,
-        TunedReport, TunedServer,
+        generate_tenant_trace, generate_trace, merge_traces, render_tuner_openmetrics, sample_tail,
+        BatchPolicy, ClusterConfig, ClusterReport, ClusterServer, ClusterSpec, LookupRequest,
+        LookupResponse, Placement, QueryCard, RequestOutcome, RequestTrace, ServeConfig, Server,
+        ServerReport, ShardLeg, StageBreakdown, StageLatencyStats, TailConfig, TailReport,
+        TraceConfig, TunedConfig, TunedReport, TunedServer,
     };
     pub use windex_sim::{Counters, Gpu, GpuSpec, InterconnectSpec, MemLocation, Scale};
     pub use windex_workload::{KeyDistribution, Relation, ZipfSampler};
