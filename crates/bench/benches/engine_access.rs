@@ -4,8 +4,10 @@
 //! immediate scalar path (`Buffer::read`) against the warp-batched issue
 //! path (`read_issued` + `access_lines`), on a hit-heavy stream (a
 //! cache-resident working set — dominated by the MRU way-0 fast hit and
-//! the `last_line` short-circuit) and a miss-heavy stream (one page per
-//! access — dominated by LRU insertion and the page-stamp table).
+//! the `last_line` short-circuit), a miss-heavy stream (one page per
+//! access — dominated by LRU insertion and the page-stamp table), and a
+//! mixed stream (hot/cold interleaved 3:1 — the divergent-warp shape that
+//! stresses the classifier's hit/miss lane split within one batch).
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use std::hint::black_box;
@@ -26,6 +28,21 @@ fn cold_indices(page_elems: usize, len: usize) -> Vec<usize> {
         .collect()
 }
 
+/// Mixed: hot and cold interleaved 3:1 — the divergent-warp shape where the
+/// branchless classifier's lane split (hit lanes vs miss lanes in one
+/// batch) matters most.
+fn mixed_indices(line_elems: usize, page_elems: usize, len: usize) -> Vec<usize> {
+    (0..ACCESSES)
+        .map(|k| {
+            if k % 4 == 3 {
+                (k * page_elems * 7 + k) % (len - 1)
+            } else {
+                (k % 8) * line_elems
+            }
+        })
+        .collect()
+}
+
 fn bench_engine_access(c: &mut Criterion) {
     let mut gpu = Gpu::new(GpuSpec::v100_nvlink2(Scale::PAPER));
     let line_elems = gpu.spec().cacheline_bytes as usize / 8;
@@ -37,6 +54,7 @@ fn bench_engine_access(c: &mut Criterion) {
     for (stream, indices) in [
         ("hit_heavy", hot_indices(line_elems)),
         ("miss_heavy", cold_indices(page_elems, buf.len())),
+        ("mixed", mixed_indices(line_elems, page_elems, buf.len())),
     ] {
         group.bench_function(format!("scalar/{stream}"), |b| {
             b.iter(|| {

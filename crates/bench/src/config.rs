@@ -30,6 +30,12 @@ pub struct ExpConfig {
     /// (one fresh `Gpu` each), merged in fixed cell order — so any job
     /// count produces byte-identical reports.
     pub jobs: usize,
+    /// Worker threads for `simperf`'s tenant-parallel serve axis (the
+    /// multi-thread point; 1 thread is always measured too). Lanes are
+    /// independent per-tenant simulations merged in fixed tenant order, so
+    /// any thread count produces byte-identical outcomes — simperf fails
+    /// if they ever diverge.
+    pub serve_threads: usize,
 }
 
 impl ExpConfig {
@@ -46,6 +52,7 @@ impl ExpConfig {
             out_dir: PathBuf::from("results"),
             quick: false,
             jobs: 1,
+            serve_threads: 4,
         }
     }
 
@@ -60,6 +67,7 @@ impl ExpConfig {
             out_dir: PathBuf::from("results"),
             quick: true,
             jobs: 1,
+            serve_threads: 4,
         }
     }
 

@@ -125,6 +125,7 @@ fn main() {
     let mut charts = false;
     let mut out_dir: Option<PathBuf> = None;
     let mut jobs: usize = 1;
+    let mut serve_threads: usize = 4;
     let mut targets: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -147,13 +148,24 @@ fn main() {
                         std::process::exit(2);
                     });
             }
+            "--serve-threads" => {
+                serve_threads = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n >= 1)
+                    .unwrap_or_else(|| {
+                        eprintln!("--serve-threads requires a positive integer");
+                        std::process::exit(2);
+                    });
+            }
             "--help" | "-h" => {
                 println!(
-                    "usage: experiments [--quick] [--charts] [--out DIR] [--jobs N] <target>..."
+                    "usage: experiments [--quick] [--charts] [--out DIR] [--jobs N] [--serve-threads N] <target>..."
                 );
                 println!("targets: all table1 fig1 fig3 fig4 fig5 fig6 fig7 fig8 fig9 serve chaos cluster tuner requests baseline regress simperf observe whatif-gh200 validate-scale");
                 println!("         summary ablations ablation-{{bits,overlap,pages,node-size,fanout,keydist,warm,spill,subwarp}}");
                 println!("--jobs N runs the seed-matrix targets (baseline, regress, simperf) on N worker threads; reports are byte-identical for any N");
+                println!("--serve-threads N sets simperf's tenant-parallel serve point (1 thread is always measured too; outcomes must byte-match)");
                 return;
             }
             t => targets.push(t.to_string()),
@@ -168,6 +180,7 @@ fn main() {
         cfg.out_dir = dir;
     }
     cfg.jobs = jobs;
+    cfg.serve_threads = serve_threads;
     println!(
         "windex experiments — scale 1:{} ({}), S = 2^{} tuples, sweep {:?} GiB\n",
         cfg.scale.factor,

@@ -124,8 +124,10 @@ impl QuerySession {
                 }
             }
         }
-        let r_col = Rc::new(gpu.alloc_host_from_vec(r.keys().to_vec()));
-        let s_col = Rc::new(gpu.alloc_host_from_vec(s.keys().to_vec()));
+        // Zero-copy staging: the host columns alias the relations' shared
+        // storage (same addresses and accounting as a copied column).
+        let r_col = Rc::new(gpu.alloc_host_shared(r.keys_shared()));
+        let s_col = Rc::new(gpu.alloc_host_shared(s.keys_shared()));
         let bits = executor.resolve_bits(gpu, &r);
         Ok(QuerySession {
             executor,

@@ -22,6 +22,9 @@
 //! updates, which a rebuild models at the same interface).
 
 use crate::traits::{IndexKind, OutOfCoreIndex};
+use std::cell::RefCell;
+use std::rc::Rc;
+use std::sync::{Arc, Weak};
 use windex_sim::{lockstep, Buffer, Gpu, SubWarp, WARP_SIZE};
 
 /// Padding value for unused key slots. `u64::MAX` is therefore not an
@@ -46,6 +49,48 @@ impl Default for HarmoniaConfig {
     }
 }
 
+/// Host-side build artifacts: a pure function of (key column, node width).
+/// Same memoization scheme as the RadixSpline fit cache — identity is the
+/// shared column `Arc`, held weakly so a dropped column frees its entry.
+#[derive(Clone)]
+struct TreeArtifacts {
+    nk: usize,
+    region: Arc<[u64]>,
+    prefix: Arc<[u64]>,
+    first_leaf: u64,
+    height: u32,
+    len: usize,
+}
+
+/// Tree-memo entries kept per thread (see the RadixSpline fit cache).
+const TREE_CACHE_CAP: usize = 4;
+
+thread_local! {
+    static TREE_CACHE: RefCell<Vec<(Weak<[u64]>, TreeArtifacts)>> = const { RefCell::new(Vec::new()) };
+}
+
+fn cached_tree(col: &Arc<[u64]>, nk: usize) -> Option<TreeArtifacts> {
+    TREE_CACHE.with(|c| {
+        let mut cache = c.borrow_mut();
+        let hit = cache.iter().position(|(weak, art)| {
+            art.nk == nk && weak.upgrade().is_some_and(|alive| Arc::ptr_eq(&alive, col))
+        })?;
+        let entry = cache.remove(hit);
+        let art = entry.1.clone();
+        cache.insert(0, entry);
+        Some(art)
+    })
+}
+
+fn remember_tree(col: &Arc<[u64]>, art: TreeArtifacts) {
+    TREE_CACHE.with(|c| {
+        let mut cache = c.borrow_mut();
+        cache.retain(|(weak, _)| weak.strong_count() > 0);
+        cache.insert(0, (Arc::downgrade(col), art));
+        cache.truncate(TREE_CACHE_CAP);
+    });
+}
+
 /// The Harmonia index: key region + child prefix array, in CPU memory.
 #[derive(Debug)]
 pub struct Harmonia {
@@ -64,6 +109,64 @@ pub struct Harmonia {
 impl Harmonia {
     /// Build from unique sorted keys; rid `i` is assigned to `keys[i]`.
     pub fn build(gpu: &mut Gpu, keys: &[u64], config: HarmoniaConfig) -> Self {
+        Self::validate(keys, &config);
+        let (region, prefix, first_leaf, height) = Self::fit(keys, config.keys_per_node);
+        Harmonia {
+            key_region: gpu.alloc_host_from_vec(region),
+            prefix: gpu.alloc_host_from_vec(prefix),
+            nk: config.keys_per_node,
+            lanes_per_key: config.lanes_per_key,
+            first_leaf,
+            height,
+            len: keys.len(),
+        }
+    }
+
+    /// [`build`](Self::build) over a staged shared column: repeated builds
+    /// of the same column on one thread reuse the fitted tree (the region
+    /// and prefix arrays are pure functions of the keys and the node
+    /// width). `alloc_host_shared` assigns addresses and accounts exactly
+    /// like `alloc_host_from_vec`, so a memo hit changes wall time only.
+    pub fn build_shared(gpu: &mut Gpu, data: &Rc<Buffer<u64>>, config: HarmoniaConfig) -> Self {
+        let col = match data.shared_storage() {
+            Some(c) => c,
+            None => return Self::build(gpu, data.host(), config),
+        };
+        Self::validate(data.host(), &config);
+        let nk = config.keys_per_node;
+        if let Some(art) = cached_tree(&col, nk) {
+            return Harmonia {
+                key_region: gpu.alloc_host_shared(Arc::clone(&art.region)),
+                prefix: gpu.alloc_host_shared(Arc::clone(&art.prefix)),
+                nk,
+                lanes_per_key: config.lanes_per_key,
+                first_leaf: art.first_leaf,
+                height: art.height,
+                len: art.len,
+            };
+        }
+        let (region, prefix, first_leaf, height) = Self::fit(&col, nk);
+        let art = TreeArtifacts {
+            nk,
+            region: region.into(),
+            prefix: prefix.into(),
+            first_leaf,
+            height,
+            len: col.len(),
+        };
+        remember_tree(&col, art.clone());
+        Harmonia {
+            key_region: gpu.alloc_host_shared(Arc::clone(&art.region)),
+            prefix: gpu.alloc_host_shared(art.prefix),
+            nk,
+            lanes_per_key: config.lanes_per_key,
+            first_leaf,
+            height,
+            len: art.len,
+        }
+    }
+
+    fn validate(keys: &[u64], config: &HarmoniaConfig) {
         assert!(config.keys_per_node >= 2);
         assert!(
             config.lanes_per_key > 0 && WARP_SIZE.is_multiple_of(config.lanes_per_key),
@@ -71,66 +174,74 @@ impl Harmonia {
         );
         debug_assert!(keys.windows(2).all(|w| w[0] < w[1]));
         debug_assert!(keys.iter().all(|&k| k != PAD), "u64::MAX is reserved");
-        let nk = config.keys_per_node;
+    }
 
-        // Build levels bottom-up. Each level is a list of nodes; a node is
-        // (min_key, keys). Internal nodes hold the min key of each child.
-        let mut levels: Vec<Vec<Vec<u64>>> = Vec::new();
-        let leaf_level: Vec<Vec<u64>> = if keys.is_empty() {
-            vec![vec![]]
+    /// The pure fit: level geometry plus the filled key region and child
+    /// prefix array. Returns `(region, prefix, first_leaf, height)`.
+    fn fit(keys: &[u64], nk: usize) -> (Vec<u64>, Vec<u64>, u64, u32) {
+        // Level geometry, top-down node counts. The leaf level packs the
+        // keys nk at a time; every level above holds the min key of each
+        // child node, so its node count is ceil(children / nk). Computing
+        // the counts arithmetically lets the region and prefix arrays be
+        // filled in place — no per-node staging vectors (the old
+        // level-of-nodes representation allocated one small `Vec` per node,
+        // which dominated the build at millions of keys).
+        let leaf_count = if keys.is_empty() {
+            1
         } else {
-            keys.chunks(nk).map(|c| c.to_vec()).collect()
+            keys.len().div_ceil(nk)
         };
-        let mut mins: Vec<u64> = leaf_level
-            .iter()
-            .map(|n| n.first().copied().unwrap_or(PAD))
-            .collect();
-        levels.push(leaf_level);
-        while levels.last().unwrap().len() > 1 {
-            let child_count = levels.last().unwrap().len();
-            let mut level = Vec::with_capacity(child_count.div_ceil(nk));
-            let mut new_mins = Vec::with_capacity(level.capacity());
-            for chunk in mins.chunks(nk) {
-                level.push(chunk.to_vec());
-                new_mins.push(chunk[0]);
-            }
-            mins = new_mins;
-            levels.push(level);
+        let mut counts = vec![leaf_count];
+        while *counts.last().unwrap() > 1 {
+            counts.push(counts.last().unwrap().div_ceil(nk));
         }
-        levels.reverse(); // top-down: levels[0] = [root]
+        counts.reverse(); // top-down: counts[0] = 1 (the root)
+        let node_count: usize = counts.iter().sum();
+        let first_leaf = (node_count - leaf_count) as u64;
+        let height = counts.len() as u32;
+        // BFS id of each level's first node.
+        let bases: Vec<usize> = counts
+            .iter()
+            .scan(0usize, |acc, &c| {
+                let b = *acc;
+                *acc += c;
+                Some(b)
+            })
+            .collect();
 
-        // Assign BFS ids and fill the key region + prefix array.
-        let node_count: usize = levels.iter().map(|l| l.len()).sum();
         let mut region = vec![PAD; node_count * nk];
         let mut prefix = vec![0u64; node_count];
-        let mut id: usize = 0;
-        let mut next_level_base: usize = 0;
-        for (li, level) in levels.iter().enumerate() {
-            next_level_base += level.len();
-            let mut child_cursor = next_level_base as u64;
-            for node in level {
-                for (j, &k) in node.iter().enumerate() {
-                    region[id * nk + j] = k;
-                }
-                if li + 1 < levels.len() {
-                    prefix[id] = child_cursor;
-                    child_cursor += node.len() as u64;
-                }
-                id += 1;
+
+        // Leaves are packed and contiguous: one straight copy.
+        let leaf_at = first_leaf as usize * nk;
+        region[leaf_at..leaf_at + keys.len()].copy_from_slice(keys);
+
+        // prefix[i] = id of node i's first child (internal levels only).
+        for li in 0..counts.len().saturating_sub(1) {
+            let mut child_cursor = bases[li + 1] as u64;
+            for j in 0..counts[li] {
+                prefix[bases[li] + j] = child_cursor;
+                child_cursor += nk.min(counts[li + 1] - j * nk) as u64;
             }
         }
-        let first_leaf = (node_count - levels.last().unwrap().len()) as u64;
-        let height = levels.len() as u32;
 
-        Harmonia {
-            key_region: gpu.alloc_host_from_vec(region),
-            prefix: gpu.alloc_host_from_vec(prefix),
-            nk,
-            lanes_per_key: config.lanes_per_key,
-            first_leaf,
-            height,
-            len: keys.len(),
+        // Internal node keys, bottom-up: each level's keys are the min keys
+        // of the level below (for the leaf level, the first key per node).
+        let mut mins: Vec<u64> = if keys.is_empty() {
+            vec![PAD]
+        } else {
+            (0..leaf_count).map(|j| keys[j * nk]).collect()
+        };
+        for li in (0..counts.len().saturating_sub(1)).rev() {
+            for j in 0..counts[li] {
+                let chunk = &mins[j * nk..(j * nk + nk).min(mins.len())];
+                let at = (bases[li] + j) * nk;
+                region[at..at + chunk.len()].copy_from_slice(chunk);
+            }
+            mins = (0..counts[li]).map(|j| mins[j * nk]).collect();
         }
+
+        (region, prefix, first_leaf, height)
     }
 
     /// Tree height in levels (1 = the root is a leaf).

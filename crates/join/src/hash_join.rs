@@ -77,8 +77,8 @@ fn build_pass(
     let outcome = try_launch_kernel(gpu, |gpu| {
         for warp in warps_of(range.clone()) {
             let start = warp.start;
-            let keys = build.stream_read(gpu, start, warp.len()).to_vec();
-            for (i, k) in keys.into_iter().enumerate() {
+            let keys = build.stream_read(gpu, start, warp.len());
+            for (i, &k) in keys.iter().enumerate() {
                 table.insert(gpu, k, (start + i) as u64)?;
             }
         }
@@ -147,8 +147,8 @@ pub fn hash_join(
                         let mut pass_matches = 0;
                         for warp in warps_of(0..probe.len()) {
                             let start = warp.start;
-                            let keys = probe.stream_read(gpu, start, warp.len()).to_vec();
-                            for (i, k) in keys.into_iter().enumerate() {
+                            let keys = probe.stream_read(gpu, start, warp.len());
+                            for (i, &k) in keys.iter().enumerate() {
                                 let rid = (start + i) as u64;
                                 pass_matches += table.probe(gpu, k, |gpu, build_rid| {
                                     sink.emit(gpu, rid, build_rid);

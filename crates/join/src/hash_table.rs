@@ -257,31 +257,33 @@ impl MultiValueHashTable {
     /// read; chain blocks are read contiguously (the locality §3.1
     /// describes).
     pub fn probe<F: FnMut(&mut Gpu, u64)>(&self, gpu: &mut Gpu, key: u64, mut emit: F) -> usize {
-        // Probe reads go through the deferred issue path (values return
-        // immediately; accounting drains in program order — here at the end
-        // of the probe, or earlier whenever `emit` performs an immediate
-        // access, which flushes the queue first).
+        // Probe reads account immediately rather than through the deferred
+        // issue queue: every read here is sequentially *dependent* (the
+        // value decides the next slot), so there is never a batch to
+        // coalesce — the queue round-trip would be pure overhead. The
+        // accounting stream is identical either way: reads land in probe
+        // order, before any `emit` writes, exactly as the drained queue
+        // would have replayed them.
         let mut slot = hash64(key) & self.mask;
-        let step = hash64_step(key);
+        // Double-hash step, computed lazily: most probes resolve at the
+        // first slot (empty or direct hit) and never need it. The step is
+        // forced odd, so 0 is a safe "not yet computed" sentinel.
+        let mut step = 0u64;
         loop {
-            let pair = self.slots.read_range_issued(gpu, (slot * 2) as usize, 2);
+            let pair = self.slots.read_range(gpu, (slot * 2) as usize, 2);
             let (k, head) = (pair[0], pair[1]);
             if k == EMPTY {
-                gpu.access_lines();
                 return 0;
             }
             if k == key {
                 let mut count = 0;
                 let mut b = head as usize;
                 while b != EMPTY as usize {
-                    let hdr = self.pool.read_range_issued(gpu, b, BLOCK_HEADER);
+                    let hdr = self.pool.read_range(gpu, b, BLOCK_HEADER);
                     let (used, next) = (hdr[1] as usize, hdr[2]);
                     if used > 0 {
-                        let vals = self
-                            .pool
-                            .read_range_issued(gpu, b + BLOCK_HEADER, used)
-                            .to_vec();
-                        for v in vals {
+                        let vals = self.pool.read_range(gpu, b + BLOCK_HEADER, used);
+                        for &v in vals {
                             emit(gpu, v);
                         }
                         count += used;
@@ -292,8 +294,10 @@ impl MultiValueHashTable {
                         next as usize
                     };
                 }
-                gpu.access_lines();
                 return count;
+            }
+            if step == 0 {
+                step = hash64_step(key);
             }
             slot = (slot + step) & self.mask;
         }

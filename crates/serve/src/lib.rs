@@ -28,6 +28,10 @@
 //!   the degradation ladder under memory pressure, and the
 //!   [`ServerReport`] with virtual-time tail latencies ([`server`],
 //!   [`report`]);
+//! - [`serve_tenant_parallel`] (and the tuned/cluster variants) — the
+//!   tenant-parallel axis: independent tenants on independent `Gpu`
+//!   lanes, executed by a work-stealing pool, merged in fixed order so
+//!   the outcome is byte-identical for any thread count ([`parallel`]);
 //! - [`ClusterServer`] — the multi-GPU layer: [`ClusterSpec`] topologies,
 //!   radix-sharded or replicated placement of R, shard-aware routing with
 //!   deterministic fan-out/merge over a priced inter-GPU link, and
@@ -53,6 +57,7 @@
 pub mod batch;
 pub mod cluster;
 pub mod metrics;
+pub mod parallel;
 pub mod report;
 pub mod request;
 pub mod resilience;
@@ -67,7 +72,15 @@ pub use cluster::{
     ClusterConfig, ClusterEvent, ClusterOutcome, ClusterReport, ClusterServer, ClusterSpec,
     Placement, ShardLoad, ShardRouter,
 };
-pub use metrics::{render_cluster_openmetrics, render_openmetrics, render_tuner_openmetrics};
+pub use metrics::{
+    render_cluster_openmetrics, render_openmetrics, render_parallel_openmetrics,
+    render_tuner_openmetrics,
+};
+pub use parallel::{
+    serve_cluster_tenant_parallel, serve_tenant_parallel, serve_tuned_tenant_parallel,
+    shard_by_tenant, ParallelClusterOutcome, ParallelServeOutcome, ParallelSummary,
+    ParallelTunedOutcome, TenantLane, TenantShard,
+};
 pub use report::{BatchSpan, LatencyHistogram, LatencyStats, ServeEvent, ServerReport, TenantLoad};
 pub use request::{LookupRequest, LookupResponse, RequestOutcome, TenantId};
 pub use resilience::{
@@ -92,7 +105,13 @@ pub mod prelude {
         Placement, ShardLoad, ShardRouter,
     };
     pub use crate::metrics::{
-        render_cluster_openmetrics, render_openmetrics, render_tuner_openmetrics,
+        render_cluster_openmetrics, render_openmetrics, render_parallel_openmetrics,
+        render_tuner_openmetrics,
+    };
+    pub use crate::parallel::{
+        serve_cluster_tenant_parallel, serve_tenant_parallel, serve_tuned_tenant_parallel,
+        ParallelClusterOutcome, ParallelServeOutcome, ParallelSummary, ParallelTunedOutcome,
+        TenantLane, TenantShard,
     };
     pub use crate::report::{
         BatchSpan, LatencyHistogram, LatencyStats, ServeEvent, ServerReport, TenantLoad,

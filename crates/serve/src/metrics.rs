@@ -990,6 +990,142 @@ pub fn render_tuner_openmetrics(report: &crate::tuned::TunedReport) -> String {
     o
 }
 
+/// Render a tenant-parallel outcome as an OpenMetrics text snapshot
+/// (ending in `# EOF`). Lane series carry a `tenant` label and render in
+/// ascending tenant-id order — the outcome's fixed merge order — so the
+/// snapshot, like the outcome itself, is byte-identical for any
+/// worker-thread count.
+pub fn render_parallel_openmetrics(outcome: &crate::parallel::ParallelServeOutcome) -> String {
+    let mut o = String::new();
+    let s = &outcome.summary;
+
+    family(
+        &mut o,
+        "windex_parallel",
+        "gauge",
+        "Tenant-parallel identity.",
+    );
+    let _ = writeln!(
+        o,
+        "windex_parallel{{mode=\"{}\",lanes=\"{}\"}} 1",
+        escape(&s.mode),
+        s.lanes,
+    );
+
+    // Aggregate request accounting (disjoint outcome buckets).
+    family(
+        &mut o,
+        "windex_parallel_requests",
+        "counter",
+        "Requests across all tenant lanes, by outcome.",
+    );
+    for (outcome_label, n) in [
+        ("completed", s.completed),
+        ("shed", s.shed),
+        ("deadline_missed", s.deadline_missed),
+    ] {
+        let _ = writeln!(
+            o,
+            "windex_parallel_requests_total{{outcome=\"{outcome_label}\"}} {n}"
+        );
+    }
+    family(
+        &mut o,
+        "windex_parallel_keys_probed",
+        "counter",
+        "Probe keys dispatched across all tenant lanes.",
+    );
+    let _ = writeln!(o, "windex_parallel_keys_probed_total {}", s.keys_probed);
+    family(
+        &mut o,
+        "windex_parallel_result_tuples",
+        "counter",
+        "Join matches returned across all tenant lanes.",
+    );
+    let _ = writeln!(o, "windex_parallel_result_tuples_total {}", s.result_tuples);
+
+    // Makespan: lanes run concurrently in virtual time, so the aggregate
+    // makespan is the slowest lane's.
+    family(
+        &mut o,
+        "windex_parallel_makespan_seconds",
+        "gauge",
+        "Slowest lane's virtual makespan, in virtual seconds.",
+    );
+    let _ = writeln!(
+        o,
+        "windex_parallel_makespan_seconds {}",
+        s.virtual_makespan_s
+    );
+
+    // Per-lane accounting, ascending tenant id (the fixed merge order).
+    family(
+        &mut o,
+        "windex_parallel_lane_requests",
+        "counter",
+        "Requests served by each tenant lane.",
+    );
+    for lane in &outcome.lanes {
+        let _ = writeln!(
+            o,
+            "windex_parallel_lane_requests_total{{tenant=\"{}\"}} {}",
+            lane.tenant, lane.requests
+        );
+    }
+    family(
+        &mut o,
+        "windex_parallel_lane_completed",
+        "counter",
+        "Requests completed by each tenant lane.",
+    );
+    for lane in &outcome.lanes {
+        let _ = writeln!(
+            o,
+            "windex_parallel_lane_completed_total{{tenant=\"{}\"}} {}",
+            lane.tenant, lane.report.completed
+        );
+    }
+    family(
+        &mut o,
+        "windex_parallel_lane_makespan_seconds",
+        "gauge",
+        "Each tenant lane's virtual makespan.",
+    );
+    for lane in &outcome.lanes {
+        let _ = writeln!(
+            o,
+            "windex_parallel_lane_makespan_seconds{{tenant=\"{}\"}} {}",
+            lane.tenant, lane.report.virtual_makespan_s
+        );
+    }
+
+    // Merged latency histogram over all non-shed requests, all lanes.
+    family(
+        &mut o,
+        "windex_parallel_latency_seconds",
+        "histogram",
+        "Request latency over served requests, all lanes, in virtual seconds.",
+    );
+    let h = &s.latency_hist;
+    let cumulative = h.cumulative();
+    for (bound, cum) in h.bounds_s.iter().zip(&cumulative) {
+        let _ = writeln!(
+            o,
+            "windex_parallel_latency_seconds_bucket{{le=\"{bound}\"}} {cum}"
+        );
+    }
+    let _ = writeln!(
+        o,
+        "windex_parallel_latency_seconds_bucket{{le=\"+Inf\"}} {}",
+        h.count
+    );
+    let _ = writeln!(o, "windex_parallel_latency_seconds_count {}", h.count);
+    let _ = writeln!(o, "windex_parallel_latency_seconds_sum {}", h.sum_s);
+
+    o.push_str("# EOF\n");
+    o
+}
+
 /// Write a family's `# HELP` / `# TYPE` header.
 fn family(o: &mut String, name: &str, kind: &str, help: &str) {
     let _ = writeln!(o, "# HELP {name} {help}");

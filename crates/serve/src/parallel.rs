@@ -1,0 +1,517 @@
+//! Tenant-parallel serving: independent tenants on independent `Gpu`
+//! lanes, executed by a work-stealing thread pool, merged in fixed order.
+//!
+//! The shared-window [`Server`](crate::server::Server) interleaves every
+//! tenant on one device — right for studying cross-query batching, but it
+//! serializes tenants that share nothing: each tenant probes the same
+//! read-only relation through its own requests, and the virtual clock of
+//! one tenant's dispatches never needs to see another's. This module
+//! exploits that independence as a second parallel axis (the first being
+//! the engine's batched drain): the trace is partitioned by tenant, each
+//! tenant's sub-trace is served on its **own** freshly built `Gpu` lane,
+//! and the per-lane reports are merged in ascending-tenant order.
+//!
+//! # Determinism argument
+//!
+//! The output is byte-identical for any worker-thread count because
+//!
+//! 1. **Lanes share no mutable state.** Each lane builds its own `Gpu`
+//!    (sessions hold `Rc`s, so a lane is constructed *inside* the worker
+//!    thread that runs it), its own server, and its own chaos schedule
+//!    clone. The only shared inputs are immutable: the relation's
+//!    `Arc<[u64]>` column, the config, and the sub-traces.
+//! 2. **A lane's result is a pure function of its inputs.** Virtual time
+//!    restarts at zero per lane; fault windows, retry jitter, and tuner
+//!    exploration draws are all seeded per tenant, not per thread. The
+//!    thread-local generator/fit caches a lane may hit only change wall
+//!    time — their outputs are accounting-identical by construction.
+//! 3. **The merge order is fixed before any thread runs.** Lanes are
+//!    ascending tenant id; worker threads claim lane *indices* from an
+//!    atomic counter and write results into that lane's pre-allocated
+//!    slot, so which thread ran a lane is unobservable in the output.
+//!    Responses are re-keyed to their global (whole-trace) request ids and
+//!    merged by that id.
+//!
+//! Against the serial shared-window server the *semantics* differ — there
+//! is no cross-tenant batching, and each tenant sees a dedicated device —
+//! so this is an opt-in mode, not a drop-in replacement. Within the mode,
+//! `threads = 1` and `threads = N` serialize byte-identically; the CI
+//! byte-diff and `crates/serve/tests/parallel.rs` hold that line.
+
+use crate::cluster::{ClusterConfig, ClusterReport, ClusterServer};
+use crate::report::{LatencyHistogram, LatencyStats, ServerReport};
+use crate::request::{LookupResponse, RequestOutcome, TenantId};
+use crate::server::{ServeConfig, Server};
+use crate::trace::TimedRequest;
+use crate::tuned::{TunedConfig, TunedReport, TunedServer};
+use serde::Serialize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use windex_core::WindexError;
+use windex_sim::{ChaosSchedule, Gpu, GpuSpec};
+use windex_workload::Relation;
+
+/// One tenant's slice of a trace, plus the mapping back to global ids.
+#[derive(Debug, Clone)]
+pub struct TenantShard {
+    /// The tenant every request in `trace` belongs to.
+    pub tenant: TenantId,
+    /// The tenant's requests in arrival order, original `at_s` preserved.
+    pub trace: Vec<TimedRequest>,
+    /// `global_ids[i]` is the whole-trace request id of `trace[i]` (lane
+    /// servers assign ids by sub-trace ordinal; this maps them back).
+    pub global_ids: Vec<u64>,
+}
+
+/// Partition an arrival-ordered trace by tenant. Shards come back in
+/// ascending tenant id — the fixed lane (and merge) order — and each
+/// shard's sub-trace preserves the original arrival order and timestamps.
+pub fn shard_by_tenant(trace: &[TimedRequest]) -> Vec<TenantShard> {
+    let mut shards: Vec<TenantShard> = Vec::new();
+    for (gid, t) in trace.iter().enumerate() {
+        let tenant = t.request.tenant;
+        let shard = match shards.iter_mut().find(|s| s.tenant == tenant) {
+            Some(s) => s,
+            None => {
+                shards.push(TenantShard {
+                    tenant,
+                    trace: Vec::new(),
+                    global_ids: Vec::new(),
+                });
+                shards.last_mut().unwrap()
+            }
+        };
+        shard.trace.push(t.clone());
+        shard.global_ids.push(gid as u64);
+    }
+    shards.sort_by_key(|s| s.tenant);
+    shards
+}
+
+/// Run `lane` over every shard on up to `threads` workers and return the
+/// results in shard order. Workers claim shard *indices* from an atomic
+/// counter and write into that index's slot, so the result vector — and
+/// therefore everything merged from it — is independent of the thread
+/// count and of which worker ran which lane. Errors propagate by lane
+/// order (the lowest-tenant failure wins), again thread-count independent.
+fn run_lanes<T, F>(shards: &[TenantShard], threads: usize, lane: F) -> Result<Vec<T>, WindexError>
+where
+    T: Send,
+    F: Fn(&TenantShard) -> Result<T, WindexError> + Sync,
+{
+    let threads = threads.max(1).min(shards.len().max(1));
+    let slots: Vec<Mutex<Option<Result<T, WindexError>>>> =
+        (0..shards.len()).map(|_| Mutex::new(None)).collect();
+    if threads == 1 {
+        // Serial reference path: same claim order a single worker would
+        // take, without spawning.
+        for (shard, slot) in shards.iter().zip(&slots) {
+            *slot.lock().unwrap() = Some(lane(shard));
+        }
+    } else {
+        let next = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(shard) = shards.get(i) else { break };
+                    *slots[i].lock().unwrap() = Some(lane(shard));
+                });
+            }
+        });
+    }
+    let mut out = Vec::with_capacity(shards.len());
+    for slot in slots {
+        out.push(
+            slot.into_inner()
+                .map_err(|_| WindexError::InvalidState("tenant lane worker panicked"))?
+                .ok_or(WindexError::InvalidState("tenant lane never ran"))??,
+        );
+    }
+    Ok(out)
+}
+
+/// One tenant lane's report. The report's internal request ids are
+/// *lane-local* (sub-trace ordinals); the outcome's merged `responses`
+/// carry the global ids.
+#[derive(Debug, Clone)]
+pub struct TenantLane<R> {
+    /// The tenant this lane served.
+    pub tenant: TenantId,
+    /// Requests in the tenant's sub-trace.
+    pub requests: usize,
+    /// The lane server's full report.
+    pub report: R,
+}
+
+// Hand-rolled: the derive shim does not handle generic types.
+impl<R: Serialize> Serialize for TenantLane<R> {
+    fn to_ser_value(&self) -> serde::SerValue {
+        serde::SerValue::Map(vec![
+            ("tenant".to_string(), self.tenant.to_ser_value()),
+            ("requests".to_string(), self.requests.to_ser_value()),
+            ("report".to_string(), self.report.to_ser_value()),
+        ])
+    }
+}
+
+/// Cross-lane aggregate of a tenant-parallel run. Deliberately excludes
+/// the worker-thread count: the summary describes the *result*, which is
+/// identical for any thread count, not the execution.
+#[derive(Debug, Clone, Serialize)]
+pub struct ParallelSummary {
+    /// Always `"tenant-parallel"`.
+    pub mode: String,
+    /// Tenant lanes (== distinct tenants in the trace).
+    pub lanes: usize,
+    /// Requests across all lanes.
+    pub requests: usize,
+    /// Requests completed within deadline (or with none set).
+    pub completed: usize,
+    /// Requests shed.
+    pub shed: usize,
+    /// Requests served past their deadline.
+    pub deadline_missed: usize,
+    /// Join matches returned across all lanes.
+    pub result_tuples: usize,
+    /// Probe keys dispatched across all lanes.
+    pub keys_probed: usize,
+    /// Slowest lane's virtual makespan — lanes run concurrently in
+    /// virtual time (each tenant has a dedicated device), so the run ends
+    /// when the slowest lane does.
+    pub virtual_makespan_s: f64,
+    /// Completed requests per virtual second of the aggregate makespan.
+    pub completed_rps: f64,
+    /// Latency distribution over all non-shed requests, all lanes.
+    pub latency: LatencyStats,
+    /// Fixed-bucket histogram over the same samples.
+    pub latency_hist: LatencyHistogram,
+}
+
+impl ParallelSummary {
+    fn new(
+        lanes: usize,
+        requests: usize,
+        counts: (usize, usize, usize),
+        result_tuples: usize,
+        keys_probed: usize,
+        makespan_s: f64,
+        samples: Vec<f64>,
+    ) -> Self {
+        let (completed, shed, deadline_missed) = counts;
+        ParallelSummary {
+            mode: "tenant-parallel".to_string(),
+            lanes,
+            requests,
+            completed,
+            shed,
+            deadline_missed,
+            result_tuples,
+            keys_probed,
+            virtual_makespan_s: makespan_s,
+            completed_rps: if makespan_s > 0.0 {
+                completed as f64 / makespan_s
+            } else {
+                0.0
+            },
+            latency_hist: LatencyHistogram::from_samples(&samples),
+            latency: LatencyStats::from_samples(samples),
+        }
+    }
+}
+
+/// Outcome of [`serve_tenant_parallel`].
+#[derive(Debug, Clone, Serialize)]
+pub struct ParallelServeOutcome {
+    /// Every response, re-keyed to global request ids and merged by id.
+    pub responses: Vec<LookupResponse>,
+    /// Per-tenant lane reports, ascending tenant id.
+    pub lanes: Vec<TenantLane<ServerReport>>,
+    /// Cross-lane aggregate.
+    pub summary: ParallelSummary,
+}
+
+/// Outcome of [`serve_tuned_tenant_parallel`].
+#[derive(Debug, Clone, Serialize)]
+pub struct ParallelTunedOutcome {
+    /// Per-tenant lane reports, ascending tenant id.
+    pub lanes: Vec<TenantLane<TunedReport>>,
+    /// Cross-lane aggregate.
+    pub summary: ParallelSummary,
+}
+
+/// Outcome of [`serve_cluster_tenant_parallel`].
+#[derive(Debug, Clone, Serialize)]
+pub struct ParallelClusterOutcome {
+    /// Every response, re-keyed to global request ids and merged by id.
+    pub responses: Vec<LookupResponse>,
+    /// Per-tenant lane reports, ascending tenant id.
+    pub lanes: Vec<TenantLane<ClusterReport>>,
+    /// Cross-lane aggregate.
+    pub summary: ParallelSummary,
+}
+
+/// Re-key a lane's responses to global ids and fold them into `merged`.
+fn merge_responses(
+    merged: &mut Vec<LookupResponse>,
+    shard: &TenantShard,
+    mut responses: Vec<LookupResponse>,
+) {
+    for r in &mut responses {
+        r.request = shard.global_ids[r.request as usize];
+    }
+    merged.extend(responses);
+}
+
+/// Outcome tallies over merged responses: (completed, shed,
+/// deadline-missed) counts, total matches, and non-shed latency samples.
+fn response_tallies(responses: &[LookupResponse]) -> ((usize, usize, usize), usize, Vec<f64>) {
+    let mut counts = (0usize, 0usize, 0usize);
+    let mut matches = 0usize;
+    let mut samples = Vec::new();
+    for r in responses {
+        matches += r.matches.len();
+        match r.outcome {
+            RequestOutcome::Completed => counts.0 += 1,
+            RequestOutcome::Shed => counts.1 += 1,
+            RequestOutcome::DeadlineMissed => counts.2 += 1,
+        }
+        if r.outcome != RequestOutcome::Shed {
+            samples.push(r.latency_s);
+        }
+    }
+    (counts, matches, samples)
+}
+
+/// Serve `trace` with one shared-window [`Server`] per tenant, each on its
+/// own fresh `Gpu` lane, using up to `threads` workers. `chaos` (if any)
+/// is installed on **every** lane, so each tenant's device replays the
+/// same fault windows. Same inputs ⇒ byte-identical outcome for any
+/// `threads`.
+pub fn serve_tenant_parallel(
+    spec: &GpuSpec,
+    cfg: ServeConfig,
+    r: &Relation,
+    trace: &[TimedRequest],
+    threads: usize,
+    chaos: Option<&ChaosSchedule>,
+) -> Result<ParallelServeOutcome, WindexError> {
+    let shards = shard_by_tenant(trace);
+    let outcomes = run_lanes(&shards, threads, |shard| {
+        let mut gpu = Gpu::new(spec.clone());
+        if let Some(schedule) = chaos {
+            gpu.set_chaos_schedule(schedule.clone())?;
+        }
+        let mut server = Server::new(&mut gpu, cfg, r.clone())?;
+        server.run(&mut gpu, &shard.trace)
+    })?;
+    let mut responses = Vec::with_capacity(trace.len());
+    let mut lanes = Vec::with_capacity(shards.len());
+    let mut keys_probed = 0usize;
+    let mut makespan_s = 0.0f64;
+    for (shard, outcome) in shards.iter().zip(outcomes) {
+        merge_responses(&mut responses, shard, outcome.responses);
+        keys_probed += outcome.report.keys_probed;
+        makespan_s = makespan_s.max(outcome.report.virtual_makespan_s);
+        lanes.push(TenantLane {
+            tenant: shard.tenant,
+            requests: shard.trace.len(),
+            report: outcome.report,
+        });
+    }
+    responses.sort_by_key(|r| r.request);
+    let (counts, matches, samples) = response_tallies(&responses);
+    let summary = ParallelSummary::new(
+        lanes.len(),
+        trace.len(),
+        counts,
+        matches,
+        keys_probed,
+        makespan_s,
+        samples,
+    );
+    Ok(ParallelServeOutcome {
+        responses,
+        lanes,
+        summary,
+    })
+}
+
+/// Serve `trace` with one single-tenant [`TunedServer`] per tenant, each
+/// on its own fresh `Gpu` lane. `tenants` maps each tenant to its
+/// relation (exactly as [`TunedServer::new`] takes them); a trace request
+/// for an unmapped tenant fails the run. Per-tenant tuner seeds derive
+/// from the tenant id, so a lane's tuner draws the same exploration
+/// stream it would in the shared-device server.
+pub fn serve_tuned_tenant_parallel(
+    spec: &GpuSpec,
+    cfg: TunedConfig,
+    tenants: &[(TenantId, Relation)],
+    trace: &[TimedRequest],
+    threads: usize,
+    chaos: Option<&ChaosSchedule>,
+) -> Result<ParallelTunedOutcome, WindexError> {
+    let shards = shard_by_tenant(trace);
+    let reports = run_lanes(&shards, threads, |shard| {
+        let r = tenants
+            .iter()
+            .find(|(id, _)| *id == shard.tenant)
+            .map(|(_, r)| r.clone())
+            .ok_or(WindexError::InvalidConfig(
+                "trace request for a tenant the server does not host",
+            ))?;
+        let mut server = TunedServer::new(spec.clone(), cfg, vec![(shard.tenant, r)], None)?;
+        if let Some(schedule) = chaos {
+            server.gpu_mut().set_chaos_schedule(schedule.clone())?;
+        }
+        server.run(&shard.trace)
+    })?;
+    let mut lanes = Vec::with_capacity(shards.len());
+    let mut counts = (0usize, 0usize, 0usize);
+    let mut matches = 0usize;
+    let mut keys_probed = 0usize;
+    let mut makespan_s = 0.0f64;
+    let mut samples = Vec::new();
+    for (shard, report) in shards.iter().zip(reports) {
+        counts.0 += report.completed;
+        counts.2 += report.deadline_missed;
+        matches += report.result_tuples;
+        keys_probed += report.keys_probed;
+        makespan_s = makespan_s.max(report.virtual_makespan_s);
+        // The tuned server queues instead of shedding, so every span tree
+        // carries a served latency.
+        samples.extend(report.traces.iter().map(|t| t.completed_s - t.submitted_s));
+        lanes.push(TenantLane {
+            tenant: shard.tenant,
+            requests: shard.trace.len(),
+            report,
+        });
+    }
+    // `completed` counts deadline-missed requests too in TunedReport
+    // (they were served); mirror the Server-side convention where the
+    // buckets are disjoint.
+    counts.0 -= counts.2;
+    let requests = trace.len();
+    let summary = ParallelSummary::new(
+        lanes.len(),
+        requests,
+        counts,
+        matches,
+        keys_probed,
+        makespan_s,
+        samples,
+    );
+    Ok(ParallelTunedOutcome { lanes, summary })
+}
+
+/// Serve `trace` with one [`ClusterServer`] per tenant — every tenant gets
+/// a dedicated multi-GPU cluster lane built from the same `ClusterConfig`
+/// and relation. `chaos` (if any) must hold one schedule per cluster GPU
+/// and is installed on every lane's cluster.
+pub fn serve_cluster_tenant_parallel(
+    cfg: &ClusterConfig,
+    r: &Relation,
+    trace: &[TimedRequest],
+    threads: usize,
+    chaos: Option<&[ChaosSchedule]>,
+) -> Result<ParallelClusterOutcome, WindexError> {
+    let shards = shard_by_tenant(trace);
+    let outcomes = run_lanes(&shards, threads, |shard| {
+        let mut server = ClusterServer::new(cfg.clone(), r.clone())?;
+        if let Some(schedules) = chaos {
+            server.set_chaos_schedules(schedules.to_vec())?;
+        }
+        server.run(&shard.trace)
+    })?;
+    let mut responses = Vec::with_capacity(trace.len());
+    let mut lanes = Vec::with_capacity(shards.len());
+    let mut keys_probed = 0usize;
+    let mut makespan_s = 0.0f64;
+    for (shard, outcome) in shards.iter().zip(outcomes) {
+        merge_responses(&mut responses, shard, outcome.responses);
+        keys_probed += outcome.report.keys_probed;
+        makespan_s = makespan_s.max(outcome.report.virtual_makespan_s);
+        lanes.push(TenantLane {
+            tenant: shard.tenant,
+            requests: shard.trace.len(),
+            report: outcome.report,
+        });
+    }
+    responses.sort_by_key(|r| r.request);
+    let (counts, matches, samples) = response_tallies(&responses);
+    let summary = ParallelSummary::new(
+        lanes.len(),
+        trace.len(),
+        counts,
+        matches,
+        keys_probed,
+        makespan_s,
+        samples,
+    );
+    Ok(ParallelClusterOutcome {
+        responses,
+        lanes,
+        summary,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{generate_trace, TraceConfig};
+    use windex_sim::Scale;
+    use windex_workload::KeyDistribution;
+
+    fn spec() -> GpuSpec {
+        GpuSpec::v100_nvlink2(Scale::PAPER)
+    }
+
+    fn relation() -> Relation {
+        Relation::unique_sorted(1 << 14, KeyDistribution::SparseUniform, 7)
+    }
+
+    fn trace(r: &Relation) -> Vec<TimedRequest> {
+        generate_trace(
+            &TraceConfig {
+                requests: 48,
+                tenants: 3,
+                min_keys: 32,
+                max_keys: 128,
+                offered_load_rps: 2000.0,
+                ..TraceConfig::default()
+            },
+            r,
+        )
+    }
+
+    #[test]
+    fn shards_partition_the_trace_in_order() {
+        let r = relation();
+        let t = trace(&r);
+        let shards = shard_by_tenant(&t);
+        assert_eq!(shards.iter().map(|s| s.trace.len()).sum::<usize>(), t.len());
+        assert!(shards.windows(2).all(|w| w[0].tenant < w[1].tenant));
+        for s in &shards {
+            assert!(s.trace.iter().all(|q| q.request.tenant == s.tenant));
+            assert!(s.trace.windows(2).all(|w| w[0].at_s <= w[1].at_s));
+            assert!(s.global_ids.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    fn responses_cover_every_global_id() {
+        let r = relation();
+        let t = trace(&r);
+        let out = serve_tenant_parallel(&spec(), ServeConfig::default(), &r, &t, 2, None).unwrap();
+        assert_eq!(out.responses.len(), t.len());
+        for (i, resp) in out.responses.iter().enumerate() {
+            assert_eq!(resp.request, i as u64);
+            assert_eq!(resp.tenant, t[i].request.tenant);
+        }
+        assert_eq!(out.summary.requests, t.len());
+        assert_eq!(
+            out.summary.completed + out.summary.shed + out.summary.deadline_missed,
+            t.len()
+        );
+    }
+}

@@ -213,7 +213,7 @@ impl Server {
         if !r.is_sorted_unique() {
             return Err(QueryError::IndexedRelationNotSorted.into());
         }
-        let col = Rc::new(gpu.alloc_host_from_vec(r.keys().to_vec()));
+        let col = Rc::new(gpu.alloc_host_shared(r.keys_shared()));
         let index = BuiltIndex::build(gpu, cfg.index, &col, &IndexConfigs::default());
         let bits = cfg.partition_bits.unwrap_or_else(|| {
             let domain = r.max_key().unwrap_or(0) - r.min_key().unwrap_or(0);

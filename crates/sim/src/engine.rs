@@ -109,6 +109,12 @@ pub struct Gpu {
     /// drains this queue first, so the global accounting order always
     /// equals program order and batching is observationally invisible.
     issue: Vec<IssuedAccess>,
+    /// Reusable scratch for the drain's data-parallel precompute pass:
+    /// expanded per-lane line addresses and their set/tag hashes (shared by
+    /// the L1 and L2 selectors). Kept on the engine so steady-state drains
+    /// never allocate.
+    drain_lines: Vec<u64>,
+    drain_hashes: Vec<u64>,
     /// Optional access-trace recorder.
     trace: Option<Trace>,
     /// Deterministic fault-injection plan (defaults to no faults).
@@ -169,6 +175,8 @@ impl Gpu {
             // evicts it. A few thousand slots even for generous specs.
             missed_pages: PageStampTable::new(spec_tlb_pages * 8, THRASH_DISTANCE),
             issue: Vec::with_capacity(crate::exec::MAX_LANES * 4),
+            drain_lines: Vec::with_capacity(crate::exec::MAX_LANES * 4),
+            drain_hashes: Vec::with_capacity(crate::exec::MAX_LANES * 4),
             trace: None,
             fault_plan: FaultPlan::none(),
             fault_seq: [0; 3],
@@ -306,6 +314,19 @@ impl Gpu {
     pub fn alloc_host_from_vec<T: Copy>(&mut self, data: Vec<T>) -> Buffer<T> {
         self.alloc_from_vec(MemLocation::Cpu, data)
             .expect("host allocations are infallible")
+    }
+
+    /// Allocate a host (CPU-memory) buffer that *aliases* `data` instead of
+    /// copying it — staging a multi-megabyte base column is an `Arc` clone.
+    /// Address assignment, accounting, and access semantics are identical to
+    /// [`Gpu::alloc_host_from_vec`]; a later device-side write converts the
+    /// buffer to owned storage (copy-on-write).
+    pub fn alloc_host_shared<T: Copy>(&mut self, data: std::sync::Arc<[T]>) -> Buffer<T> {
+        self.access_lines();
+        let reserved = self.reservation_bytes::<T>(data.len());
+        let base = self.next_addr;
+        self.next_addr = base + reserved;
+        Buffer::from_shared(data, base, MemLocation::Cpu)
     }
 
     /// Release a buffer. Device buffers return their reservation to the HBM
@@ -637,23 +658,42 @@ impl Gpu {
     /// and cheap when the queue is empty.
     #[inline]
     pub fn access_lines(&mut self) {
-        if !self.issue.is_empty() {
-            self.drain_issue_queue();
+        match self.issue.len() {
+            0 => {}
+            // Dominant non-lockstep case (pointer-chasing probes drain after
+            // every dependent load): resolve the lone request in place and
+            // skip the batch scratch machinery entirely. Same accounting
+            // order by construction.
+            1 => {
+                let req = self.issue[0];
+                self.issue.clear();
+                if req.write {
+                    self.write_accounting(req.loc, req.addr, req.bytes);
+                } else {
+                    if req.loc == MemLocation::Cpu {
+                        self.draw_transfer_fault();
+                    }
+                    if self.trace.is_some() {
+                        self.read_lines::<true>(req.loc, req.addr, req.bytes);
+                    } else {
+                        self.read_lines::<false>(req.loc, req.addr, req.bytes);
+                    }
+                }
+            }
+            _ => self.drain_issue_queue(),
         }
     }
 
     /// The cold path of [`Gpu::access_lines`]: replay the queue through the
-    /// same accounting the immediate entry points use.
+    /// same accounting the immediate entry points use. Runs of reads go
+    /// through a two-pass batch resolve (see [`Gpu::replay_read_run`]);
+    /// interleaved writes are applied in place so program order holds.
     fn drain_issue_queue(&mut self) {
         let queue = std::mem::take(&mut self.issue);
         if self.trace.is_some() {
-            for req in &queue {
-                self.resolve_issued::<true>(req);
-            }
+            self.replay_queue::<true>(&queue);
         } else {
-            for req in &queue {
-                self.resolve_issued::<false>(req);
-            }
+            self.replay_queue::<false>(&queue);
         }
         // Hand the allocation back so steady-state issue never reallocates.
         let mut queue = queue;
@@ -661,16 +701,94 @@ impl Gpu {
         self.issue = queue;
     }
 
-    #[inline]
-    fn resolve_issued<const TRACED: bool>(&mut self, req: &IssuedAccess) {
-        if req.write {
-            self.write_accounting(req.loc, req.addr, req.bytes);
-        } else {
+    /// Batches below this size skip the two-pass scratch machinery: the
+    /// per-run setup (scratch swap, run splitting, cursor bookkeeping)
+    /// costs more than it saves until the hash/address precompute has a
+    /// handful of lanes to amortize over. Pointer-chasing probes drain 2–3
+    /// requests at a time; warp-lockstep rounds drain 32+.
+    const SMALL_DRAIN: usize = 8;
+
+    /// Scalar replay for small batches — the plain program-order loop the
+    /// pre-batch engine ran, with identical accounting per request.
+    fn replay_small<const TRACED: bool>(&mut self, queue: &[IssuedAccess]) {
+        for req in queue {
+            if req.write {
+                self.write_accounting(req.loc, req.addr, req.bytes);
+            } else {
+                if req.loc == MemLocation::Cpu {
+                    self.draw_transfer_fault();
+                }
+                self.read_lines::<TRACED>(req.loc, req.addr, req.bytes);
+            }
+        }
+    }
+
+    fn replay_queue<const TRACED: bool>(&mut self, queue: &[IssuedAccess]) {
+        if queue.len() <= Self::SMALL_DRAIN {
+            self.replay_small::<TRACED>(queue);
+            return;
+        }
+        let mut i = 0;
+        while i < queue.len() {
+            let req = &queue[i];
+            if req.write {
+                self.write_accounting(req.loc, req.addr, req.bytes);
+                i += 1;
+                continue;
+            }
+            let run_end = queue[i..]
+                .iter()
+                .position(|r| r.write)
+                .map_or(queue.len(), |p| i + p);
+            self.replay_read_run::<TRACED>(&queue[i..run_end]);
+            i = run_end;
+        }
+    }
+
+    /// Resolve a maximal run of queued reads in two passes.
+    ///
+    /// **Pass 1 — data-parallel lane math (pure).** Expand every request
+    /// into its cacheline sequence and precompute each lane's line address
+    /// and the set/tag hash shared by the L1 and L2 selectors. Nothing here
+    /// reads or writes simulator state, so hoisting it out of the replay
+    /// loop commutes with everything and the compiler is free to pipeline
+    /// the multiply-heavy hash math across all lanes of the batch.
+    ///
+    /// **Pass 2 — program-order application.** State transitions (LRU
+    /// refreshes, fills, evictions, TLB walks), counters, fault draws, and
+    /// trace events happen in exactly the order the scalar path produced
+    /// them. Lanes are *not* independent — a duplicate line or a same-set
+    /// conflict within one batch changes the later lane's hit/miss outcome
+    /// — so classification against mutable state cannot be hoisted; only
+    /// the pure lane math can. The differential suite's anchor cases pin
+    /// this boundary.
+    fn replay_read_run<const TRACED: bool>(&mut self, run: &[IssuedAccess]) {
+        let mut lines = std::mem::take(&mut self.drain_lines);
+        let mut hashes = std::mem::take(&mut self.drain_hashes);
+        lines.clear();
+        hashes.clear();
+        let shift = self.line_shift;
+        for req in run {
+            let first = req.addr >> shift;
+            let last = (req.addr + req.bytes - 1) >> shift;
+            for line in first..=last {
+                lines.push(line << shift);
+                hashes.push(lru::hash_of(line));
+            }
+        }
+        let mut cursor = 0usize;
+        for req in run {
             if req.loc == MemLocation::Cpu {
                 self.draw_transfer_fault();
             }
-            self.read_lines::<TRACED>(req.loc, req.addr, req.bytes);
+            let n = (((req.addr + req.bytes - 1) >> shift) - (req.addr >> shift)) as usize + 1;
+            for k in cursor..cursor + n {
+                self.access_line_hashed::<TRACED>(req.loc, lines[k], hashes[k]);
+            }
+            cursor += n;
         }
+        self.drain_lines = lines;
+        self.drain_hashes = hashes;
     }
 
     /// Per-line accounting of one read request.
@@ -798,7 +916,7 @@ impl Gpu {
     fn access_line_read<const TRACED: bool>(&mut self, loc: MemLocation, line_addr: u64) {
         self.access_clock += 1;
         // Consecutive-same-line fast path: the previous access left this
-        // line MRU at way 0 of its L1 set, so it is a guaranteed hit and
+        // line MRU (rank 0) in its L1 set, so it is a guaranteed hit and
         // the refresh is a no-op — skip the hash and the set walk entirely.
         // (Addresses are unique across buffers, so a line address implies
         // its location; no `loc` check is needed.)
@@ -813,9 +931,45 @@ impl Gpu {
             }
             return;
         }
-        self.last_line = line_addr;
         // L1 and L2 share the line size: hash the tag once for both.
         let hash = lru::hash_of(line_addr >> self.line_shift);
+        self.access_line_cold::<TRACED>(loc, line_addr, hash);
+    }
+
+    /// [`Gpu::access_line_read`] with the tag hash precomputed by the
+    /// drain's batch pass (pure lane math, so it is identical to what the
+    /// scalar path would compute here).
+    #[inline]
+    fn access_line_hashed<const TRACED: bool>(
+        &mut self,
+        loc: MemLocation,
+        line_addr: u64,
+        hash: u64,
+    ) {
+        self.access_clock += 1;
+        if line_addr == self.last_line {
+            self.counters.l1_hits += 1;
+            if TRACED {
+                self.record_event(TraceEvent::ReadLine {
+                    loc,
+                    line_addr,
+                    hit: HitLevel::L1,
+                });
+            }
+            return;
+        }
+        self.access_line_cold::<TRACED>(loc, line_addr, hash);
+    }
+
+    /// The shared cold body: classify against L1/L2/TLB state and account.
+    #[inline]
+    fn access_line_cold<const TRACED: bool>(
+        &mut self,
+        loc: MemLocation,
+        line_addr: u64,
+        hash: u64,
+    ) {
+        self.last_line = line_addr;
         let hit = if self.l1.access_hashed(line_addr, hash) {
             self.counters.l1_hits += 1;
             HitLevel::L1

@@ -3,22 +3,29 @@
 //!
 //! Entries are keyed by an opaque tag (page number for the TLB, line number
 //! for caches). Sets are selected by a Fibonacci hash of the tag; within a
-//! set, replacement is exact LRU implemented with *move-to-front ordering*:
-//! way 0 of a set is always the most recently used tag and the last way is
-//! always the victim. This is observationally identical to the classic
-//! stamp-based LRU (same hit/miss answer for every access sequence) but
-//! makes the common cases cheap — a repeat access to the hottest tag is a
-//! single compare against way 0, and a miss is one `copy_within` shift with
-//! no stamp bookkeeping or victim scan. Associativity equal to the entry
-//! count yields a fully associative structure (used for the small GPU TLB).
+//! set, tags live in a flat struct-of-arrays store in *recency order* (way 0
+//! is MRU, the last way the LRU victim), so recency is the array order
+//! itself and no separate replacement metadata exists.
+//!
+//! The hot path is specialized at compile time for the associativities the
+//! device specs actually use (8-way L1, 16-way L2, 32-way TLB): lookup and
+//! move-to-front refile are fused into a single forward pass that carries
+//! the displaced tag in a register, so each way is loaded and stored exactly
+//! once whether the access hits or misses. Several alternatives were
+//! prototyped and measured *slower* on these tiny geometries — a separated
+//! recency store (per-way rank bytes updated with SWAR arithmetic), an
+//! early-exit scan followed by `copy_within`, a branchless SWAR match mask,
+//! and an AVX2 movemask scan — so the fused carry pass stays; see DESIGN.md
+//! §"Simulator performance" for the numbers. Associativity equal to the
+//! entry count yields a fully associative structure (used for the small GPU
+//! TLB).
 
 /// Set-associative LRU tag store.
 #[derive(Debug, Clone)]
 pub struct SetAssocLru {
-    /// Flat `sets × assoc` array of tags; each set's slice is kept in
-    /// recency order (way 0 = MRU, last way = LRU victim). `u64::MAX`
-    /// marks an empty way; empties sink to the tail, so they are always
-    /// consumed before a live tag is evicted.
+    /// Flat `sets × assoc` array; within a set, index 0 is MRU and
+    /// `assoc - 1` is the eviction victim. `u64::MAX` marks an empty way
+    /// (empties sit at the tail by construction and are consumed first).
     tags: Vec<u64>,
     sets: usize,
     assoc: usize,
@@ -100,11 +107,14 @@ impl SetAssocLru {
     }
 
     /// Set selection from a precomputed [`hash_of`] value, so one hash can
-    /// be shared between L1 and L2 on the engine's per-line hot path.
+    /// be shared between L1 and L2 on the engine's per-line hot path (and
+    /// computed for a whole drained batch up front).
     #[inline]
     fn set_from_hash(&self, hash: u64) -> usize {
-        if self.sets == 1 {
-            0
+        if self.sets.is_power_of_two() {
+            // `hash % 2^k` is a mask (covers `sets == 1` with mask 0) —
+            // identical to the fastmod result, minus the widening multiply.
+            hash as usize & (self.sets - 1)
         } else {
             // Lemire's fastmod: exact `hash % sets` because `hash < 2^32`.
             let low = self.fastmod_m.wrapping_mul(hash);
@@ -120,27 +130,72 @@ impl SetAssocLru {
     }
 
     /// [`access`](Self::access) with the tag hash precomputed by the caller.
+    /// Dispatches to a compile-time-specialized body for the spec
+    /// associativities (one perfectly predicted branch per structure).
     #[inline]
     pub fn access_hashed(&mut self, tag: u64, hash: u64) -> bool {
         debug_assert_ne!(tag, EMPTY, "tag collides with the empty sentinel");
         debug_assert_eq!(hash, hash_of(tag), "hash must be hash_of(tag)");
+        match self.assoc {
+            8 => self.access_const::<8>(tag, hash),
+            16 => self.access_const::<16>(tag, hash),
+            32 => self.access_const::<32>(tag, hash),
+            _ => self.access_any(tag, hash),
+        }
+    }
+
+    /// The specialized hot body: with `ASSOC` known at compile time the
+    /// residency scan unrolls into a branchless match mask and the
+    /// move-to-front shift on a miss is a fixed-size block move.
+    #[inline]
+    fn access_const<const ASSOC: usize>(&mut self, tag: u64, hash: u64) -> bool {
+        debug_assert_eq!(self.assoc, ASSOC);
+        let base = self.set_from_hash(hash) * ASSOC;
+        let ways: &mut [u64; ASSOC] = (&mut self.tags[base..base + ASSOC]).try_into().unwrap();
+        // MRU fast path: repeat hits touch one word and move nothing.
+        if ways[0] == tag {
+            return true;
+        }
+        // Fused scan + move-to-front: one forward pass with a register
+        // carry. Each way is read once and overwritten by its predecessor;
+        // on a hit at depth `i` everything before it has already aged one
+        // position and the loop stops — exactly the MTF refile. On a miss
+        // the pass runs to the end and the old tail (LRU victim or an
+        // empty) falls off in the carry register. Measured against an
+        // early-exit scan + `copy_within`, a SWAR bitmask scan, and an
+        // AVX2 movemask scan on the three spec geometries: the carry loop
+        // wins every pattern (the alternatives pay mispredicts at varying
+        // hit depths or a non-inlinable `target_feature` call).
+        let mut carry = tag;
+        for slot in ways.iter_mut() {
+            let cur = *slot;
+            *slot = carry;
+            if cur == tag {
+                return true;
+            }
+            carry = cur;
+        }
+        false
+    }
+
+    /// Generic fallback for associativities outside the spec presets
+    /// (arbitrary test geometries); same semantics as the specialized body,
+    /// classic early-exit scan.
+    fn access_any(&mut self, tag: u64, hash: u64) -> bool {
         let base = self.set_from_hash(hash) * self.assoc;
         let ways = &mut self.tags[base..base + self.assoc];
-        // MRU fast hit: the hottest tag costs one compare and no movement.
         if ways[0] == tag {
             return true;
         }
         for i in 1..ways.len() {
             if ways[i] == tag {
-                // Hit at depth i: rotate [0, i) right and refile as MRU.
                 ways.copy_within(0..i, 1);
                 ways[0] = tag;
                 return true;
             }
         }
-        // Miss: the victim (LRU or an empty way that sank to the tail)
-        // falls off the end; everything else ages one position.
-        ways.copy_within(0..ways.len() - 1, 1);
+        let last = ways.len() - 1;
+        ways.copy_within(0..last, 1);
         ways[0] = tag;
         false
     }
@@ -254,8 +309,34 @@ mod tests {
         assert_eq!(misses, 4 * 33);
     }
 
-    /// Differential check: move-to-front must answer exactly like the
-    /// classic stamp-based LRU for arbitrary access sequences.
+    /// The compile-time-specialized bodies must answer exactly like the
+    /// generic fallback for every spec associativity (same algorithm,
+    /// different codegen), including identical end-state tag order.
+    #[test]
+    fn specialized_matches_generic() {
+        for assoc in [8usize, 16, 32] {
+            let mut fast = SetAssocLru::new(assoc * 4, assoc);
+            let mut slow = SetAssocLru::new(assoc * 4, assoc);
+            let mut x = 0x0123_4567_89AB_CDEFu64;
+            for _ in 0..6_000 {
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                let tag = (x >> 33) % (assoc as u64 * 8);
+                let hash = hash_of(tag);
+                assert_eq!(
+                    fast.access_hashed(tag, hash),
+                    slow.access_any(tag, hash),
+                    "assoc={assoc} tag={tag}"
+                );
+                assert_eq!(fast.tags, slow.tags, "assoc={assoc} state diverged");
+            }
+        }
+    }
+
+    /// Differential check: the recency-ordered representation must answer
+    /// exactly like a classic stamp-based LRU for arbitrary access
+    /// sequences.
     #[test]
     fn matches_stamp_lru_reference() {
         struct StampLru {
@@ -287,7 +368,7 @@ mod tests {
                 false
             }
         }
-        for (entries, assoc) in [(8usize, 2usize), (8, 4), (16, 16), (6, 2)] {
+        for (entries, assoc) in [(8usize, 2usize), (8, 4), (16, 16), (6, 2), (96, 32)] {
             let mut fast = SetAssocLru::new(entries, assoc);
             let mut reference = StampLru {
                 tags: vec![EMPTY; entries],

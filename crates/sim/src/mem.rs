@@ -1,8 +1,9 @@
 //! Simulated memory: placement-aware buffers in a shared virtual address
 //! space.
 //!
-//! A [`Buffer`] owns real host data (a `Vec<T>`) and carries a base virtual
-//! address plus a placement ([`MemLocation::Cpu`] for out-of-core base
+//! A [`Buffer`] holds real host data (an owned `Vec<T>`, or shared
+//! `Arc<[T]>` storage aliasing a staged column — see [`Storage`]) and
+//! carries a base virtual address plus a placement ([`MemLocation::Cpu`] for out-of-core base
 //! relations and indexes, [`MemLocation::Gpu`] for device-resident state such
 //! as hash tables and partition buffers). Every device-side access goes
 //! through the [`Gpu`] engine, which drives the
@@ -13,6 +14,7 @@
 
 use crate::engine::Gpu;
 use std::mem::{size_of, size_of_val};
+use std::sync::Arc;
 
 /// Where a buffer physically resides.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize)]
@@ -25,10 +27,42 @@ pub enum MemLocation {
     Cpu,
 }
 
+/// Backing storage of a [`Buffer`]: exclusively owned, or aliasing a
+/// read-mostly column shared with the workload layer (e.g. a staged base
+/// relation). Shared storage turns staging a multi-megabyte column into an
+/// `Arc` clone; the first device-side *write* silently converts to owned
+/// (copy-on-write), so buffer semantics are unchanged either way.
+#[derive(Debug, Clone)]
+enum Storage<T> {
+    Owned(Vec<T>),
+    Shared(Arc<[T]>),
+}
+
+impl<T: Copy> Storage<T> {
+    #[inline]
+    fn as_slice(&self) -> &[T] {
+        match self {
+            Storage::Owned(v) => v,
+            Storage::Shared(a) => a,
+        }
+    }
+
+    #[inline]
+    fn as_mut_slice(&mut self) -> &mut [T] {
+        if let Storage::Shared(a) = self {
+            *self = Storage::Owned(a.to_vec());
+        }
+        match self {
+            Storage::Owned(v) => v,
+            Storage::Shared(_) => unreachable!("converted to owned above"),
+        }
+    }
+}
+
 /// A typed, placement-aware memory region with a stable virtual base address.
 #[derive(Debug, Clone)]
 pub struct Buffer<T> {
-    data: Vec<T>,
+    data: Storage<T>,
     base: u64,
     loc: MemLocation,
 }
@@ -36,17 +70,44 @@ pub struct Buffer<T> {
 impl<T: Copy> Buffer<T> {
     /// Internal constructor; use [`Gpu::alloc`] / [`Gpu::alloc_from_vec`].
     pub(crate) fn from_parts(data: Vec<T>, base: u64, loc: MemLocation) -> Self {
-        Buffer { data, base, loc }
+        Buffer {
+            data: Storage::Owned(data),
+            base,
+            loc,
+        }
+    }
+
+    /// Internal constructor for shared (zero-copy) storage; use
+    /// [`Gpu::alloc_host_shared`].
+    pub(crate) fn from_shared(data: Arc<[T]>, base: u64, loc: MemLocation) -> Self {
+        Buffer {
+            data: Storage::Shared(data),
+            base,
+            loc,
+        }
+    }
+
+    /// The shared (`Arc`) storage backing this buffer, if it was allocated
+    /// zero-copy via [`Gpu::alloc_host_shared`] and has not been converted
+    /// to owned by a write. While the column stays alive, the returned
+    /// `Arc`'s pointer identity is a stable identity for its contents —
+    /// callers use it to recognize the same staged column across queries
+    /// (e.g. to reuse an index fit).
+    pub fn shared_storage(&self) -> Option<Arc<[T]>> {
+        match &self.data {
+            Storage::Shared(a) => Some(Arc::clone(a)),
+            Storage::Owned(_) => None,
+        }
     }
 
     /// Number of elements.
     pub fn len(&self) -> usize {
-        self.data.len()
+        self.data.as_slice().len()
     }
 
     /// Whether the buffer holds no elements.
     pub fn is_empty(&self) -> bool {
-        self.data.is_empty()
+        self.data.as_slice().is_empty()
     }
 
     /// Placement of this buffer.
@@ -61,13 +122,13 @@ impl<T: Copy> Buffer<T> {
 
     /// Size in bytes.
     pub fn size_bytes(&self) -> u64 {
-        (self.data.len() * size_of::<T>()) as u64
+        std::mem::size_of_val(self.data.as_slice()) as u64
     }
 
     /// Virtual address of element `i`.
     #[inline]
     pub fn addr_of(&self, i: usize) -> u64 {
-        debug_assert!(i <= self.data.len());
+        debug_assert!(i <= self.data.as_slice().len());
         self.base + (i * size_of::<T>()) as u64
     }
 
@@ -75,7 +136,7 @@ impl<T: Copy> Buffer<T> {
     #[inline]
     pub fn read(&self, gpu: &mut Gpu, i: usize) -> T {
         gpu.touch_read(self.loc, self.addr_of(i), size_of::<T>() as u64);
-        self.data[i]
+        self.data.as_slice()[i]
     }
 
     /// Device-side read of `count` contiguous elements starting at `i`
@@ -83,7 +144,7 @@ impl<T: Copy> Buffer<T> {
     #[inline]
     pub fn read_range(&self, gpu: &mut Gpu, i: usize, count: usize) -> &[T] {
         gpu.touch_read(self.loc, self.addr_of(i), (count * size_of::<T>()) as u64);
-        &self.data[i..i + count]
+        &self.data.as_slice()[i..i + count]
     }
 
     /// Device-side read of element `i` on the warp-coalesced issue path:
@@ -94,21 +155,21 @@ impl<T: Copy> Buffer<T> {
     #[inline]
     pub fn read_issued(&self, gpu: &mut Gpu, i: usize) -> T {
         gpu.issue_read(self.loc, self.addr_of(i), size_of::<T>() as u64);
-        self.data[i]
+        self.data.as_slice()[i]
     }
 
     /// Coalesced-range variant of [`Buffer::read_issued`].
     #[inline]
     pub fn read_range_issued(&self, gpu: &mut Gpu, i: usize, count: usize) -> &[T] {
         gpu.issue_read(self.loc, self.addr_of(i), (count * size_of::<T>()) as u64);
-        &self.data[i..i + count]
+        &self.data.as_slice()[i..i + count]
     }
 
     /// Device-side write of element `i`: counted by the memory system.
     #[inline]
     pub fn write(&mut self, gpu: &mut Gpu, i: usize, value: T) {
         gpu.touch_write(self.loc, self.addr_of(i), size_of::<T>() as u64);
-        self.data[i] = value;
+        self.data.as_mut_slice()[i] = value;
     }
 
     /// Device-side coalesced write of a contiguous run starting at `i`
@@ -116,7 +177,7 @@ impl<T: Copy> Buffer<T> {
     #[inline]
     pub fn write_range(&mut self, gpu: &mut Gpu, i: usize, values: &[T]) {
         gpu.touch_write(self.loc, self.addr_of(i), size_of_val(values) as u64);
-        self.data[i..i + values.len()].copy_from_slice(values);
+        self.data.as_mut_slice()[i..i + values.len()].copy_from_slice(values);
     }
 
     /// Coalesced write on the issue path: data lands immediately, the
@@ -125,7 +186,7 @@ impl<T: Copy> Buffer<T> {
     #[inline]
     pub fn write_range_issued(&mut self, gpu: &mut Gpu, i: usize, values: &[T]) {
         gpu.issue_write(self.loc, self.addr_of(i), size_of_val(values) as u64);
-        self.data[i..i + values.len()].copy_from_slice(values);
+        self.data.as_mut_slice()[i..i + values.len()].copy_from_slice(values);
     }
 
     /// Sequential streaming read of `count` elements starting at `i`.
@@ -135,29 +196,33 @@ impl<T: Copy> Buffer<T> {
     #[inline]
     pub fn stream_read(&self, gpu: &mut Gpu, i: usize, count: usize) -> &[T] {
         gpu.stream_read(self.loc, self.addr_of(i), (count * size_of::<T>()) as u64);
-        &self.data[i..i + count]
+        &self.data.as_slice()[i..i + count]
     }
 
     /// Sequential streaming write of a contiguous run starting at `i`.
     #[inline]
     pub fn stream_write(&mut self, gpu: &mut Gpu, i: usize, values: &[T]) {
         gpu.stream_write(self.loc, self.addr_of(i), size_of_val(values) as u64);
-        self.data[i..i + values.len()].copy_from_slice(values);
+        self.data.as_mut_slice()[i..i + values.len()].copy_from_slice(values);
     }
 
     /// Host-side view (not counted — pre-query work such as data loading).
     pub fn host(&self) -> &[T] {
-        &self.data
+        self.data.as_slice()
     }
 
-    /// Host-side mutable view (not counted).
+    /// Host-side mutable view (not counted). Copies shared storage to owned
+    /// first (copy-on-write).
     pub fn host_mut(&mut self) -> &mut [T] {
-        &mut self.data
+        self.data.as_mut_slice()
     }
 
-    /// Consume the buffer and return the host data.
+    /// Consume the buffer and return the host data (copies when shared).
     pub fn into_host(self) -> Vec<T> {
-        self.data
+        match self.data {
+            Storage::Owned(v) => v,
+            Storage::Shared(a) => a.to_vec(),
+        }
     }
 }
 

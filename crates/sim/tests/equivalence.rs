@@ -24,9 +24,12 @@ const N: usize = 1 << 14;
 /// Trace capacity comfortably above the maximum events a case can emit.
 const TRACE_CAP: usize = 1 << 14;
 
-fn twin() -> (Gpu, u64) {
+/// A twin with a caller-sized probe buffer — the TLB-thrashing and
+/// cross-page anchors need a working set spanning many pages (one page is
+/// 1 MiB at paper scale, far wider than the default buffer).
+fn twin_sized(elems: usize) -> (Gpu, u64) {
     let mut gpu = Gpu::new(GpuSpec::v100_nvlink2(Scale::PAPER));
-    let buf = gpu.alloc_host_from_vec(vec![0u64; N]);
+    let buf = gpu.alloc_host_from_vec(vec![0u64; elems]);
     (gpu, buf.base_addr())
 }
 
@@ -35,8 +38,13 @@ fn twin() -> (Gpu, u64) {
 /// streaming reads (immediate on both — they drain the twin's queue),
 /// explicit drain points, and full memory-system resets.
 fn replay(traced: bool, ops: &[(u8, usize, u64)]) {
-    let (mut imm, base_a) = twin();
-    let (mut iss, base_b) = twin();
+    replay_sized(N, traced, ops);
+}
+
+/// `replay` over a caller-sized buffer (for streams wider than one page).
+fn replay_sized(elems: usize, traced: bool, ops: &[(u8, usize, u64)]) {
+    let (mut imm, base_a) = twin_sized(elems);
+    let (mut iss, base_b) = twin_sized(elems);
     assert_eq!(base_a, base_b, "twin allocators must agree on addresses");
     if traced {
         imm.start_trace(TRACE_CAP);
@@ -112,6 +120,92 @@ fn fixed_streams_match() {
     // Miss-heavy: stride one page per access, wider than TLB + caches.
     let cold: Vec<(u8, usize, u64)> = (0..500).map(|k| (0u8, (k * 512) % (N - 8), 8u64)).collect();
     replay(true, &cold);
+}
+
+/// Edge lanes of the batched classifier, pinned as fixed anchors: the same
+/// cache line appearing more than once inside one drained batch (the later
+/// copies must classify as hits of the first, exactly as program order
+/// would), and duplicates at mixed access widths sharing a line.
+#[test]
+fn duplicate_line_within_one_batch_matches() {
+    let mut ops: Vec<(u8, usize, u64)> = Vec::new();
+    // Six reads of the very same element queued back to back, one drain.
+    ops.extend((0..6).map(|_| (0u8, 100usize, 8u64)));
+    ops.push((87, 0, 0));
+    // Same line at different offsets/widths within a single batch; the
+    // first access misses, the rest are intra-batch hits.
+    ops.extend([
+        (0u8, 200usize, 8u64),
+        (0, 201, 16),
+        (0, 203, 32),
+        (0, 200, 64),
+    ]);
+    ops.push((87, 0, 0));
+    // Duplicate lines interleaved with a write to the same line, then a
+    // re-read after a reset (must miss again on both paths).
+    ops.extend([(0u8, 300usize, 8u64), (70, 300, 8), (0, 300, 8)]);
+    ops.push((95, 0, 0));
+    ops.push((0, 300, 8));
+    replay(true, &ops);
+}
+
+/// More distinct lines mapping to one L1 set than the set holds, all queued
+/// in a single batch: the classifier must evict mid-batch in program order.
+/// Geometry: 128 B lines × 16 sets → same-set stride is 256 elements; the
+/// L1 is 8-way, so 12 lines overflow the set inside one drain.
+#[test]
+fn same_set_conflict_within_one_batch_matches() {
+    const SET_STRIDE: usize = 256; // elements between lines in one L1 set
+    let mut ops: Vec<(u8, usize, u64)> = Vec::new();
+    ops.extend((0..12).map(|k| (0u8, k * SET_STRIDE, 8u64)));
+    ops.push((87, 0, 0));
+    // Re-run the same batch: the head lines were evicted by the tail, so
+    // hit/miss flips relative to a naive "seen this batch" classifier.
+    ops.extend((0..12).map(|k| (0u8, k * SET_STRIDE, 8u64)));
+    ops.push((87, 0, 0));
+    // And once more in reverse order, without an intermediate drain.
+    ops.extend((0..12).rev().map(|k| (0u8, k * SET_STRIDE, 8u64)));
+    replay(true, &ops);
+}
+
+/// TLB-thrashing mix: a working set of 40 distinct pages (the TLB holds
+/// 32 entries in one fully-associative set), walked round-robin so every
+/// access faults the TLB while the L2 still sees reuse. Needs its own
+/// buffer — one page is 1 MiB at paper scale, wider than the default N.
+#[test]
+fn tlb_thrashing_stream_matches() {
+    let page_elems = GpuSpec::v100_nvlink2(Scale::PAPER).page_bytes as usize / 8;
+    const PAGES: usize = 40;
+    let mut ops: Vec<(u8, usize, u64)> = Vec::new();
+    for round in 0..4usize {
+        for p in 0..PAGES {
+            // Vary the in-page offset per round so lines differ too.
+            ops.push((0, p * page_elems + round * 16, 8));
+        }
+        ops.push((87, 0, 0));
+    }
+    replay_sized(PAGES * page_elems, true, &ops);
+}
+
+/// Cross-page accesses: spans whose byte range straddles a page boundary
+/// must account lines (and TLB entries) on both pages, identically on the
+/// immediate and issued paths — including duplicates inside one batch.
+#[test]
+fn cross_page_accesses_match() {
+    let page_elems = GpuSpec::v100_nvlink2(Scale::PAPER).page_bytes as usize / 8;
+    let mut ops: Vec<(u8, usize, u64)> = Vec::new();
+    for p in 1..=6usize {
+        // 32 bytes before the boundary, 64-byte span → crosses into page p.
+        ops.push((0, p * page_elems - 4, 64));
+        // The same straddling span again within the same batch.
+        ops.push((0, p * page_elems - 4, 64));
+        // A write straddling the same boundary at a different offset.
+        ops.push((70, p * page_elems - 2, 48));
+    }
+    ops.push((87, 0, 0));
+    // A streaming read across a boundary drains and must match too.
+    ops.push((80, 3 * page_elems - 4, 64));
+    replay_sized(7 * page_elems, true, &ops);
 }
 
 /// The flat page-stamp table must keep a multi-query session's footprint
